@@ -1,0 +1,102 @@
+// Ablations over the design choices DESIGN.md calls out (Sec. 4.2–4.5):
+// the noise mixture, partial supervision, candidacy vectors, the
+// supervision boost Λ, the noise priors ρ, and Gibbs-EM refitting of
+// (α, β). Each row reports hidden-user ACC@100 on the same fold.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+#include "bench/bench_util.h"
+#include "core/model.h"
+#include "eval/metrics.h"
+#include "io/table_printer.h"
+
+int main() {
+  using namespace mlp;
+  synth::WorldConfig world_config = bench::BenchWorldConfig();
+  // Ablations run many fits; a somewhat smaller world keeps this bench
+  // fast while preserving every effect.
+  if (world_config.num_users > 2500) world_config.num_users = 2500;
+  bench::BenchContext context(world_config);
+  bench::PrintHeader("Ablations: MLP design choices",
+                     "noise mixture (4.2), supervision & candidacy (4.3), "
+                     "Gibbs-EM (4.5)",
+                     context);
+
+  core::ModelInput input = context.MakeInput(0);
+  std::vector<graph::UserId> test_users = context.TestUsers(0);
+  auto acc_of = [&](const core::MlpConfig& config,
+                    const core::ModelInput& in) {
+    core::MlpModel model(config);
+    Result<core::MlpResult> result = model.Fit(in);
+    MLP_CHECK(result.ok());
+    return eval::AccuracyWithin(result->home, context.registered(),
+                                test_users, *context.world().distances,
+                                100.0);
+  };
+
+  core::MlpConfig reference = bench::BenchMlpConfig();
+  io::TablePrinter table({"variant", "ACC@100", "delta vs full"});
+  double full = acc_of(reference, input);
+  auto row = [&](const std::string& name, double acc) {
+    table.AddRow({name, StringPrintf("%.3f", acc),
+                  StringPrintf("%+.3f", acc - full)});
+  };
+  row("full MLP (reference)", full);
+
+  {
+    core::MlpConfig c = reference;
+    c.model_noise = false;
+    row("no noise mixture (mu=nu=0)", acc_of(c, input));
+  }
+  {
+    core::MlpConfig c = reference;
+    c.use_supervision = false;
+    row("no supervision (unsupervised, Sec 4.3)", acc_of(c, input));
+  }
+  {
+    // Candidacy-off explodes the blocked following update (|L|^2 per
+    // edge), so the ablation runs on the tweeting-only variant where the
+    // update stays O(|L|) — the efficiency point the paper makes is
+    // exactly that candidacy makes the full model tractable.
+    core::MlpConfig with = reference;
+    with.source = core::ObservationSource::kTweetingOnly;
+    core::MlpConfig without = with;
+    without.use_candidacy = false;
+    row("MLP_C with candidacy", acc_of(with, input));
+    row("MLP_C without candidacy (all L)", acc_of(without, input));
+  }
+  for (double boost : {5.0, 200.0}) {
+    core::MlpConfig c = reference;
+    c.supervision_boost = boost;
+    row(StringPrintf("supervision boost = %.0f", boost), acc_of(c, input));
+  }
+  for (double rho : {0.05, 0.4}) {
+    core::MlpConfig c = reference;
+    c.rho_f = rho;
+    c.rho_t = rho;
+    row(StringPrintf("rho_f = rho_t = %.2f", rho), acc_of(c, input));
+  }
+  {
+    core::MlpConfig c = reference;
+    c.gibbs_em_rounds = 2;
+    row("Gibbs-EM refit of (alpha, beta), 2 rounds", acc_of(c, input));
+  }
+  {
+    core::MlpConfig c = reference;
+    c.fit_power_law_from_data = false;  // paper's Twitter constants
+    row("fixed alpha=-0.55, beta=0.0045 (no refit)", acc_of(c, input));
+  }
+  table.Print();
+
+  std::printf(
+      "\nexpected directions: removing the noise mixture or supervision "
+      "hurts;\ncandidacy buys both accuracy and tractability.\n"
+      "note: Gibbs-EM drifts alpha steeper than the generator's truth on "
+      "this\nsubstrate (assignments over-concentrate at short distances); "
+      "the refit is\ndamped and OFF by default — see DESIGN.md.\n");
+  return 0;
+}

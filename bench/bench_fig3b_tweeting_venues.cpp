@@ -1,0 +1,72 @@
+// Figure 3(b): tweeting probabilities of the top venues for users in
+// Austin and Los Angeles. The paper's observations: (1) distributions
+// differ across locations, (2) nearby venues carry high probability,
+// (3) far-but-popular venues still get tweeted — probability is not
+// monotonic in distance.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "bench/bench_util.h"
+#include "io/table_printer.h"
+#include "stats/discrete.h"
+
+int main() {
+  using namespace mlp;
+  bench::BenchContext context(bench::BenchWorldConfig());
+  bench::PrintHeader("Figure 3(b): tweeting probabilities of venues",
+                     "top-5 venues for Austin and Los Angeles (Sec. 4.1)",
+                     context);
+
+  const auto& world = context.world();
+  const int num_venues = world.vocab->size();
+
+  // Empirical venue distributions from the generated tweets, exactly how
+  // the paper builds the figure (relative venue frequencies per city).
+  auto empirical = [&](geo::CityId city) {
+    std::vector<double> counts(num_venues, 0.0);
+    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+      if (context.registered()[u] != city) continue;
+      for (graph::EdgeId k : world.graph->TweetEdges(u)) {
+        counts[world.graph->tweeting(k).venue] += 1.0;
+      }
+    }
+    stats::NormalizeInPlace(&counts);
+    return counts;
+  };
+
+  for (const char* name : {"Austin", "Los Angeles"}) {
+    geo::CityId city = world.gazetteer->Find(
+        name, name[0] == 'A' ? "TX" : "CA");
+    std::vector<double> probs = empirical(city);
+    std::printf("-- users at %s --\n", world.gazetteer->FullName(city).c_str());
+    io::TablePrinter table({"venue", "P(tweet venue)", "log10(P)"});
+    for (int v : stats::TopK(probs, 5)) {
+      table.AddRow({world.vocab->venue(v).name,
+                    StringPrintf("%.4f", probs[v]),
+                    StringPrintf("%.2f", std::log10(probs[v]))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Shape checks straight out of the paper's text.
+  geo::CityId austin = world.gazetteer->Find("Austin", "TX");
+  geo::CityId la = world.gazetteer->Find("Los Angeles", "CA");
+  std::vector<double> at_austin = empirical(austin);
+  std::vector<double> at_la = empirical(la);
+  auto venue = [&](const char* n) { return *world.vocab->Find(n); };
+  std::printf(
+      "shape checks:\n"
+      "  P(\"los angeles\" | LA) > P(\"los angeles\" | Austin): %s\n"
+      "  P(\"austin\" | Austin) > P(\"hollywood\" | Austin):    %s\n"
+      "  far-but-popular venue nonzero at Austin (\"new york\"): %s\n",
+      at_la[venue("los angeles")] > at_austin[venue("los angeles")]
+          ? "HOLDS" : "VIOLATED",
+      at_austin[venue("austin")] > at_austin[venue("hollywood")]
+          ? "HOLDS" : "VIOLATED",
+      at_austin[venue("new york")] > 0.0 ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 3(c): a multi-location user's relationships split across their
+// locations. The paper shows user 13069282 (Los Angeles + Austin) with
+// friends and venues clustering around both regions.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mlp;
+  bench::BenchContext context(bench::BenchWorldConfig());
+  bench::PrintHeader(
+      "Figure 3(c): relationships as a mixture of a user's locations",
+      "user 13069282's friends/venues cluster at LA and Austin (Sec. 4.2)",
+      context);
+
+  const auto& world = context.world();
+  // Pick the two-location labeled user with the most relationships.
+  graph::UserId best = -1;
+  int best_degree = -1;
+  for (graph::UserId u : context.ClearMultiLocationUsers(300.0)) {
+    if (world.truth.profiles[u].locations.size() != 2) continue;
+    int degree = static_cast<int>(world.graph->OutEdges(u).size() +
+                                  world.graph->InEdges(u).size());
+    if (degree > best_degree) {
+      best_degree = degree;
+      best = u;
+    }
+  }
+  if (best < 0) {
+    std::printf("no suitable user in this world\n");
+    return 0;
+  }
+
+  const synth::TrueProfile& profile = world.truth.profiles[best];
+  geo::CityId loc_a = profile.locations[0];
+  geo::CityId loc_b = profile.locations[1];
+  std::printf("user %s, true locations: %s (home, w=%.2f) and %s (w=%.2f)\n\n",
+              world.graph->user(best).handle.c_str(),
+              world.gazetteer->FullName(loc_a).c_str(), profile.weights[0],
+              world.gazetteer->FullName(loc_b).c_str(), profile.weights[1]);
+
+  auto region_of = [&](geo::CityId c) {
+    if (c == geo::kInvalidCity) return 'n';  // unlabeled neighbor
+    double da = world.distances->raw_miles(c, loc_a);
+    double db = world.distances->raw_miles(c, loc_b);
+    if (da <= 100.0 && da <= db) return 'A';
+    if (db <= 100.0) return 'B';
+    return '-';
+  };
+
+  int at_a = 0, at_b = 0, elsewhere = 0, unlabeled = 0;
+  auto tally = [&](graph::UserId other) {
+    switch (region_of(context.registered()[other])) {
+      case 'A': ++at_a; break;
+      case 'B': ++at_b; break;
+      case 'n': ++unlabeled; break;
+      default: ++elsewhere;
+    }
+  };
+  for (graph::EdgeId s : world.graph->OutEdges(best)) {
+    tally(world.graph->following(s).friend_user);
+  }
+  for (graph::EdgeId s : world.graph->InEdges(best)) {
+    tally(world.graph->following(s).follower);
+  }
+  std::printf("neighbors within 100mi of %s: %d\n",
+              world.gazetteer->FullName(loc_a).c_str(), at_a);
+  std::printf("neighbors within 100mi of %s: %d\n",
+              world.gazetteer->FullName(loc_b).c_str(), at_b);
+  std::printf("neighbors elsewhere: %d (unlabeled: %d)\n\n", elsewhere,
+              unlabeled);
+
+  int venues_a = 0, venues_b = 0, venues_other = 0;
+  for (graph::EdgeId k : world.graph->TweetEdges(best)) {
+    graph::VenueId v = world.graph->tweeting(k).venue;
+    char r = '-';
+    for (geo::CityId ref : world.vocab->venue(v).referents) {
+      char rr = region_of(ref);
+      if (rr == 'A' || rr == 'B') {
+        r = rr;
+        break;
+      }
+    }
+    if (r == 'A') ++venues_a;
+    else if (r == 'B') ++venues_b;
+    else ++venues_other;
+  }
+  std::printf("tweeted venues near %s: %d, near %s: %d, elsewhere: %d\n\n",
+              world.gazetteer->FullName(loc_a).c_str(), venues_a,
+              world.gazetteer->FullName(loc_b).c_str(), venues_b,
+              venues_other);
+
+  bool both_regions =
+      (at_a + venues_a) > 0 && (at_b + venues_b) > 0;
+  std::printf("shape check: relationships cluster at BOTH locations: %s\n",
+              both_regions ? "HOLDS" : "VIOLATED");
+  return 0;
+}

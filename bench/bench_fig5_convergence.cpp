@@ -1,0 +1,49 @@
+// Figure 5: convergence of the Gibbs sampler. The paper plots the
+// accuracy change per iteration and reports convergence in ~14 rounds —
+// far fewer than typical LDA runs — crediting the candidacy-vector
+// initialization (Sec. 5.1).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "bench/bench_util.h"
+#include "core/model.h"
+#include "io/table_printer.h"
+
+int main() {
+  using namespace mlp;
+  bench::BenchContext context(bench::BenchWorldConfig());
+  bench::PrintHeader("Figure 5: accuracy change across Gibbs iterations",
+                     "converges in ~14 iterations (Sec. 5.1)", context);
+
+  core::MlpConfig config = bench::BenchMlpConfig();
+  config.burn_in_iterations = 20;  // long trace for the figure
+  config.sampling_iterations = 5;
+  core::MlpModel model(config);
+  Result<core::MlpResult> result = model.Fit(context.MakeInput(0));
+  if (!result.ok()) {
+    std::printf("fit failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<double>& trace = result->home_change_per_sweep;
+  io::TablePrinter table({"iteration", "home-estimate change", "log10"});
+  for (size_t i = 0; i < trace.size(); ++i) {
+    double change = std::max(trace[i], 1e-6);
+    table.AddRow({std::to_string(i + 1), StringPrintf("%.4f", trace[i]),
+                  StringPrintf("%.2f", std::log10(change))});
+  }
+  table.Print();
+
+  // Convergence check: by iteration 14 the per-sweep change must be well
+  // below the first sweeps', mirroring the paper's 1e-2..1e-4 drop.
+  double early = trace.empty() ? 0.0 : trace[0];
+  double at14 = trace.size() >= 14 ? trace[13] : trace.back();
+  std::printf(
+      "\nshape check: change at iteration 14 (%.4f) < 25%% of first "
+      "iteration (%.4f): %s\n",
+      at14, early, at14 < 0.25 * early ? "HOLDS" : "VIOLATED");
+  return 0;
+}

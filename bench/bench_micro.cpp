@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: geo math, alias
+// sampling, the d^alpha table, venue extraction, power-law fitting, and
+// full Gibbs sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/model.h"
+#include "core/pair_distance.h"
+#include "core/pow_table.h"
+#include "core/priors.h"
+#include "core/random_models.h"
+#include "core/sampler.h"
+#include "eval/cross_validation.h"
+#include "geo/gazetteer.h"
+#include "geo/grid_index.h"
+#include "stats/alias_table.h"
+#include "synth/world_generator.h"
+#include "text/venue_extractor.h"
+
+namespace {
+
+using namespace mlp;
+
+const geo::Gazetteer& Gaz() {
+  static geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  return gaz;
+}
+
+const geo::CityDistanceMatrix& Distances() {
+  static geo::CityDistanceMatrix dist(Gaz(), 1.0);
+  return dist;
+}
+
+void BM_Haversine(benchmark::State& state) {
+  geo::LatLon a{34.05, -118.24}, b{40.71, -74.01};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::HaversineMiles(a, b));
+    b.lat += 1e-9;  // defeat CSE
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_DistanceMatrixLookup(benchmark::State& state) {
+  const geo::CityDistanceMatrix& dist = Distances();
+  Pcg32 rng(1);
+  int n = dist.size();
+  for (auto _ : state) {
+    geo::CityId a = static_cast<geo::CityId>(rng.UniformU32(n));
+    geo::CityId b = static_cast<geo::CityId>(rng.UniformU32(n));
+    benchmark::DoNotOptimize(dist.miles(a, b));
+  }
+}
+BENCHMARK(BM_DistanceMatrixLookup);
+
+void BM_PowTableBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PowTable table(&Distances(), -0.55);
+    benchmark::DoNotOptimize(table.Get(0, 1));
+  }
+}
+BENCHMARK(BM_PowTableBuild);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  stats::AliasTable table(Gaz().PopulationWeights());
+  Pcg32 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_GridIndexRadiusQuery(benchmark::State& state) {
+  geo::CityGridIndex index(&Gaz());
+  geo::LatLon center{34.05, -118.24};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.WithinMiles(center, state.range(0)));
+  }
+}
+BENCHMARK(BM_GridIndexRadiusQuery)->Arg(50)->Arg(200);
+
+void BM_VenueExtraction(benchmark::State& state) {
+  static text::VenueVocabulary vocab = text::VenueVocabulary::Build(Gaz());
+  text::VenueExtractor extractor(&vocab);
+  std::string tweet =
+      "flying from los angeles to austin for sxsw, then new york!";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.ExtractIds(tweet));
+  }
+}
+BENCHMARK(BM_VenueExtraction);
+
+void BM_PowerLawFit(benchmark::State& state) {
+  std::vector<stats::CurvePoint> points;
+  stats::PowerLaw truth{-0.55, 0.0045};
+  for (double d = 1.0; d < 3000.0; d *= 1.1) {
+    points.push_back({d, truth(d), d});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::FitPowerLaw(points));
+  }
+}
+BENCHMARK(BM_PowerLawFit);
+
+void BM_WorldGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::WorldConfig config;
+    config.num_users = static_cast<int>(state.range(0));
+    config.seed = 11;
+    auto world = synth::GenerateWorld(config);
+    benchmark::DoNotOptimize(world.ok());
+  }
+}
+BENCHMARK(BM_WorldGeneration)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_PairDistanceHistogram(benchmark::State& state) {
+  synth::WorldConfig config;
+  config.num_users = 2000;
+  config.seed = 13;
+  static auto world = std::move(synth::GenerateWorld(config).ValueOrDie());
+  static auto homes = eval::RegisteredHomes(*world.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PairDistanceHistogram(homes, *world.distances, 1.0, 3000));
+  }
+}
+BENCHMARK(BM_PairDistanceHistogram)->Unit(benchmark::kMillisecond);
+
+/// One full Gibbs sweep over a 1000-user world (following + tweeting).
+void BM_GibbsSweep(benchmark::State& state) {
+  synth::WorldConfig config;
+  config.num_users = 1000;
+  config.seed = 17;
+  static auto world = std::move(synth::GenerateWorld(config).ValueOrDie());
+  static auto referents = world.vocab->ReferentTable();
+  static core::ModelInput input = [] {
+    core::ModelInput in;
+    in.gazetteer = world.gazetteer.get();
+    in.graph = world.graph.get();
+    in.distances = world.distances.get();
+    in.venue_referents = &referents;
+    in.observed_home = eval::RegisteredHomes(*world.graph);
+    return in;
+  }();
+  static core::MlpConfig model_config;
+  static auto priors = core::BuildPriors(input, model_config);
+  static auto random_models = core::RandomModels::Learn(*world.graph);
+  static core::PowTable pow_table(world.distances.get(), -0.55);
+  core::GibbsSampler sampler(&input, &model_config, &priors, &random_models,
+                             &pow_table);
+  Pcg32 rng(23);
+  sampler.Initialize(&rng);
+  for (auto _ : state) {
+    sampler.RunSweep(&rng);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (world.graph->num_following() +
+                           world.graph->num_tweeting()));
+}
+BENCHMARK(BM_GibbsSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

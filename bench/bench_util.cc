@@ -1,0 +1,118 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "graph/graph_stats.h"
+
+namespace mlp {
+namespace bench {
+
+namespace {
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  return std::atoll(raw);
+}
+}  // namespace
+
+synth::WorldConfig BenchWorldConfig() {
+  synth::WorldConfig config;
+  config.num_users = static_cast<int>(EnvInt("MLP_BENCH_USERS", 4000));
+  config.seed = static_cast<uint64_t>(EnvInt("MLP_BENCH_SEED", 20120827));
+  config.following_noise_fraction = 0.25;
+  config.tweeting_noise_fraction = 0.25;
+  config.multi_location_fraction = 0.40;
+  return config;
+}
+
+core::MlpConfig BenchMlpConfig() {
+  core::MlpConfig config;
+  config.burn_in_iterations = 10;
+  config.sampling_iterations = 14;
+  config.rho_f = 0.2;
+  config.rho_t = 0.2;
+  return config;
+}
+
+int BenchFoldCount(int default_folds) {
+  int folds = static_cast<int>(EnvInt("MLP_BENCH_FOLDS", default_folds));
+  if (folds < 1) folds = 1;
+  if (folds > 5) folds = 5;
+  return folds;
+}
+
+BenchContext::BenchContext(const synth::WorldConfig& config)
+    : world_(std::move(synth::GenerateWorld(config).ValueOrDie())),
+      referents_(world_.vocab->ReferentTable()),
+      registered_(eval::RegisteredHomes(*world_.graph)),
+      folds_(eval::MakeKFolds(registered_, 5, config.seed ^ 0x5eed)),
+      lineup_(eval::StandardLineup(BenchMlpConfig())) {}
+
+core::ModelInput BenchContext::MakeInput(int fold) const {
+  core::ModelInput input;
+  input.gazetteer = world_.gazetteer.get();
+  input.graph = world_.graph.get();
+  input.distances = world_.distances.get();
+  input.venue_referents = &referents_;
+  input.observed_home = folds_.MaskedHomes(registered_, fold);
+  return input;
+}
+
+const eval::MethodOutput& BenchContext::Run(const std::string& name,
+                                            int fold) {
+  std::string key = name + "#" + std::to_string(fold);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  for (const eval::NamedMethod& nm : lineup_) {
+    if (nm.name == name) {
+      Result<eval::MethodOutput> out = nm.method(MakeInput(fold));
+      MLP_CHECK_MSG(out.ok(), "bench method failed");
+      return cache_.emplace(key, std::move(out).ValueOrDie()).first->second;
+    }
+  }
+  MLP_CHECK_MSG(false, "unknown bench method");
+  __builtin_unreachable();
+}
+
+std::vector<graph::UserId> BenchContext::ClearMultiLocationUsers(
+    double min_separation_miles) const {
+  std::vector<graph::UserId> users;
+  for (graph::UserId u = 0; u < world_.graph->num_users(); ++u) {
+    if (registered_[u] == geo::kInvalidCity) continue;
+    // Celebrities' neighborhoods are mostly noise follows — they are not
+    // representative profiling subjects (the paper's 585 hand-labeled
+    // users are ordinary accounts).
+    if (world_.truth.is_celebrity[u]) continue;
+    const synth::TrueProfile& p = world_.truth.profiles[u];
+    if (!p.IsMultiLocation()) continue;
+    bool clear = true;
+    for (size_t i = 0; i < p.locations.size() && clear; ++i) {
+      for (size_t j = i + 1; j < p.locations.size(); ++j) {
+        if (world_.distances->raw_miles(p.locations[i], p.locations[j]) <
+            min_separation_miles) {
+          clear = false;
+          break;
+        }
+      }
+    }
+    if (clear) users.push_back(u);
+  }
+  return users;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const BenchContext& context) {
+  graph::GraphStats stats = graph::ComputeGraphStats(*context.world().graph);
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_ref.c_str());
+  std::printf(
+      "world: %d users (%d labeled), %d following, %d tweeting; seed %llu\n\n",
+      stats.num_users, stats.num_labeled, stats.num_following,
+      stats.num_tweeting,
+      static_cast<unsigned long long>(context.world().config.seed));
+}
+
+}  // namespace bench
+}  // namespace mlp

@@ -1,0 +1,76 @@
+#ifndef MLP_BENCH_BENCH_UTIL_H_
+#define MLP_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/input.h"
+#include "core/model_config.h"
+#include "eval/cross_validation.h"
+#include "eval/methods.h"
+#include "synth/world.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace bench {
+
+/// The paper-calibrated benchmark world: Sec-5 degree statistics, 25%
+/// noisy relationships, 40% multi-location users. Size and seed honor the
+/// MLP_BENCH_USERS / MLP_BENCH_SEED environment overrides so the whole
+/// suite can be scaled up on bigger machines.
+synth::WorldConfig BenchWorldConfig();
+
+/// Gibbs settings every bench uses (Fig. 5: ~14 sweeps to converge).
+core::MlpConfig BenchMlpConfig();
+
+/// Number of CV folds to actually evaluate (MLP_BENCH_FOLDS, default
+/// `default_folds`); the split itself is always 5-fold like the paper.
+int BenchFoldCount(int default_folds);
+
+/// One generated world plus everything the experiments share: referent
+/// table, registered homes, the 5-fold split, and cached method outputs.
+class BenchContext {
+ public:
+  explicit BenchContext(const synth::WorldConfig& config);
+
+  const synth::SyntheticWorld& world() const { return world_; }
+  const std::vector<geo::CityId>& registered() const { return registered_; }
+  const eval::FoldAssignment& folds() const { return folds_; }
+
+  /// Model input with fold `fold`'s labels hidden.
+  core::ModelInput MakeInput(int fold) const;
+
+  /// Runs (and caches) a method on a fold.
+  const eval::MethodOutput& Run(const std::string& name, int fold);
+
+  /// The five Table-2 methods in paper order.
+  const std::vector<eval::NamedMethod>& lineup() const { return lineup_; }
+
+  /// Labeled users with ≥2 true locations mutually ≥ `min_separation_miles`
+  /// apart — the "clearly have multiple locations" subset of Sec. 5.2.
+  std::vector<graph::UserId> ClearMultiLocationUsers(
+      double min_separation_miles = 150.0) const;
+
+  /// Test users of `fold`.
+  std::vector<graph::UserId> TestUsers(int fold) const {
+    return folds_.TestUsers(fold);
+  }
+
+ private:
+  synth::SyntheticWorld world_;
+  std::vector<std::vector<geo::CityId>> referents_;
+  std::vector<geo::CityId> registered_;
+  eval::FoldAssignment folds_;
+  std::vector<eval::NamedMethod> lineup_;
+  std::map<std::string, eval::MethodOutput> cache_;
+};
+
+/// Prints the standard bench header (world size, seed, paper reference).
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const BenchContext& context);
+
+}  // namespace bench
+}  // namespace mlp
+
+#endif  // MLP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Quickstart: generate a synthetic Twitter world, hide 20% of the labels,
+// run the full MLP model, and inspect what it recovered.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/model.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "synth/world_generator.h"
+
+int main() {
+  using namespace mlp;
+
+  // 1. A synthetic world calibrated to the paper's dataset statistics.
+  synth::WorldConfig world_config;
+  world_config.num_users = 2000;
+  world_config.seed = 7;
+  Result<synth::SyntheticWorld> world_or = synth::GenerateWorld(world_config);
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_or.status().ToString().c_str());
+    return 1;
+  }
+  synth::SyntheticWorld world = std::move(world_or).ValueOrDie();
+  std::printf("world: %d users, %d following, %d tweeting relationships\n",
+              world.graph->num_users(), world.graph->num_following(),
+              world.graph->num_tweeting());
+
+  // 2. Hide fold 0 of a 5-fold split — those users become the test set.
+  std::vector<geo::CityId> registered =
+      eval::RegisteredHomes(*world.graph);
+  eval::FoldAssignment folds = eval::MakeKFolds(registered, 5, /*seed=*/1);
+  std::vector<graph::UserId> test_users = folds.TestUsers(0);
+
+  core::ModelInput input;
+  input.gazetteer = world.gazetteer.get();
+  input.graph = world.graph.get();
+  input.distances = world.distances.get();
+  auto referents = world.vocab->ReferentTable();
+  input.venue_referents = &referents;
+  input.observed_home = folds.MaskedHomes(registered, 0);
+
+  // 3. Fit MLP (following + tweeting observations).
+  core::MlpConfig config;
+  config.burn_in_iterations = 10;
+  config.sampling_iterations = 15;
+  core::MlpModel model(config);
+  Result<core::MlpResult> result_or = model.Fit(input);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  core::MlpResult result = std::move(result_or).ValueOrDie();
+
+  // 4. Home-prediction accuracy on the hidden users (ACC@100).
+  double acc100 = eval::AccuracyWithin(result.home, registered, test_users,
+                                       *world.distances, 100.0);
+  std::printf("fitted power law: alpha=%.3f beta=%.5f\n", result.alpha,
+              result.beta);
+  std::printf("ACC@100 on %zu hidden users: %.1f%%\n", test_users.size(),
+              acc100 * 100.0);
+
+  // 5. Look at one hidden multi-location user's recovered profile.
+  for (graph::UserId u : test_users) {
+    const synth::TrueProfile& truth = world.truth.profiles[u];
+    if (!truth.IsMultiLocation()) continue;
+    std::printf("\nuser %s — true locations:", world.graph->user(u).handle.c_str());
+    for (geo::CityId c : truth.locations) {
+      std::printf(" [%s]", world.gazetteer->FullName(c).c_str());
+    }
+    std::printf("\n  recovered profile:");
+    for (const auto& [city, prob] : result.profiles[u].entries()) {
+      if (prob < 0.05) break;
+      std::printf(" %s(%.2f)", world.gazetteer->FullName(city).c_str(), prob);
+    }
+    std::printf("\n");
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "baselines/base_c.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace baselines {
+
+namespace {
+using geo::CityId;
+using graph::UserId;
+using graph::VenueId;
+
+/// Per-city venue mention counts from labeled users.
+struct TrainingCounts {
+  std::vector<std::vector<double>> city_venue;  // [city][venue]
+  std::vector<double> city_total;               // mentions per city
+  std::vector<double> venue_total;              // mentions per venue
+  std::vector<double> city_users;               // labeled users per city
+  double total_users = 0.0;
+};
+
+TrainingCounts CountTraining(const core::ModelInput& input) {
+  const graph::SocialGraph& graph = *input.graph;
+  const int num_cities = input.num_locations();
+  const int num_venues = graph.num_venues();
+  TrainingCounts counts;
+  counts.city_venue.assign(num_cities, std::vector<double>(num_venues, 0.0));
+  counts.city_total.assign(num_cities, 0.0);
+  counts.venue_total.assign(num_venues, 0.0);
+  counts.city_users.assign(num_cities, 0.0);
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    CityId home = input.observed_home[u];
+    if (home == geo::kInvalidCity) continue;
+    counts.city_users[home] += 1.0;
+    counts.total_users += 1.0;
+    for (graph::EdgeId k : graph.TweetEdges(u)) {
+      VenueId v = graph.tweeting(k).venue;
+      counts.city_venue[home][v] += 1.0;
+      counts.city_total[home] += 1.0;
+      counts.venue_total[v] += 1.0;
+    }
+  }
+  return counts;
+}
+}  // namespace
+
+std::vector<VenueId> BaseC::SelectLocalVenues(
+    const core::ModelInput& input) const {
+  TrainingCounts counts = CountTraining(input);
+  const int num_venues = input.graph->num_venues();
+  const int num_cities = input.num_locations();
+  std::vector<VenueId> local;
+  for (VenueId v = 0; v < num_venues; ++v) {
+    if (counts.venue_total[v] < config_.min_mentions) continue;
+    double max_share = 0.0;
+    for (CityId c = 0; c < num_cities; ++c) {
+      double share = counts.city_venue[c][v] / counts.venue_total[v];
+      max_share = std::max(max_share, share);
+    }
+    if (max_share >= config_.focus_threshold) local.push_back(v);
+  }
+  return local;
+}
+
+Result<BaselineResult> BaseC::Fit(const core::ModelInput& input) const {
+  if (input.graph == nullptr || input.distances == nullptr ||
+      input.gazetteer == nullptr) {
+    return Status::InvalidArgument("BaseC input has null components");
+  }
+  if (!input.graph->finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  const graph::SocialGraph& graph = *input.graph;
+  const geo::CityDistanceMatrix& dist = *input.distances;
+  const int num_cities = input.num_locations();
+  const int num_venues = graph.num_venues();
+
+  TrainingCounts counts = CountTraining(input);
+  std::vector<VenueId> local_list = SelectLocalVenues(input);
+  std::vector<uint8_t> is_local(num_venues, 0);
+  for (VenueId v : local_list) is_local[v] = 1;
+
+  // Base distributions p̂(v | l) with Laplace smoothing.
+  const double laplace = config_.laplace;
+  auto base_prob = [&](CityId l, VenueId v) {
+    return (counts.city_venue[l][v] + laplace) /
+           (counts.city_total[l] + laplace * num_venues);
+  };
+
+  // Lattice smoothing: precompute each city's neighborhood and blend.
+  std::vector<std::vector<std::pair<CityId, double>>> neighborhoods(
+      num_cities);
+  for (CityId l = 0; l < num_cities; ++l) {
+    double kernel_total = 0.0;
+    for (CityId c = 0; c < num_cities; ++c) {
+      if (c == l) continue;
+      double d = dist.raw_miles(l, c);
+      if (d > config_.smoothing_radius_miles) continue;
+      double k = std::exp(-(d * d) / (2.0 * config_.smoothing_sigma_miles *
+                                      config_.smoothing_sigma_miles));
+      neighborhoods[l].emplace_back(c, k);
+      kernel_total += k;
+    }
+    if (kernel_total > 0.0) {
+      for (auto& [c, k] : neighborhoods[l]) {
+        k *= (1.0 - config_.self_weight) / kernel_total;
+      }
+    }
+  }
+
+  // log p_smooth(v | l) for local venues only (the classifier ignores the
+  // rest), flattened for cache friendliness.
+  std::vector<double> log_prob(static_cast<size_t>(num_cities) *
+                               num_venues);
+  for (CityId l = 0; l < num_cities; ++l) {
+    bool has_neighbors = !neighborhoods[l].empty();
+    for (VenueId v = 0; v < num_venues; ++v) {
+      if (!is_local[v]) continue;
+      double p = has_neighbors ? config_.self_weight * base_prob(l, v)
+                               : base_prob(l, v);
+      for (const auto& [c, w] : neighborhoods[l]) {
+        p += w * base_prob(c, v);
+      }
+      log_prob[static_cast<size_t>(l) * num_venues + v] = std::log(p);
+    }
+  }
+
+  // log prior(l) from the training users' city distribution.
+  std::vector<double> log_prior(num_cities);
+  for (CityId l = 0; l < num_cities; ++l) {
+    log_prior[l] = std::log((counts.city_users[l] + 1.0) /
+                            (counts.total_users + num_cities));
+  }
+
+  CityId prior_argmax = static_cast<CityId>(
+      std::max_element(log_prior.begin(), log_prior.end()) -
+      log_prior.begin());
+
+  BaselineResult result;
+  const int num_users = input.num_users();
+  result.profiles.resize(num_users);
+  result.home.assign(num_users, prior_argmax);
+
+  std::vector<double> scores(num_cities);
+  for (UserId u = 0; u < num_users; ++u) {
+    // The user's local-venue mention counts.
+    std::vector<std::pair<VenueId, double>> mentions;
+    for (graph::EdgeId k : graph.TweetEdges(u)) {
+      VenueId v = graph.tweeting(k).venue;
+      if (!is_local[v]) continue;
+      bool found = false;
+      for (auto& [mv, mc] : mentions) {
+        if (mv == v) {
+          mc += 1.0;
+          found = true;
+          break;
+        }
+      }
+      if (!found) mentions.emplace_back(v, 1.0);
+    }
+    if (mentions.empty()) continue;
+
+    for (CityId l = 0; l < num_cities; ++l) {
+      double score = log_prior[l];
+      for (const auto& [v, c] : mentions) {
+        score += c * log_prob[static_cast<size_t>(l) * num_venues + v];
+      }
+      scores[l] = score;
+    }
+
+    double max_score = *std::max_element(scores.begin(), scores.end());
+    std::vector<std::pair<CityId, double>> entries;
+    double z = 0.0;
+    for (CityId l = 0; l < num_cities; ++l) {
+      double w = std::exp(scores[l] - max_score);
+      if (w < 1e-12) continue;  // keep profiles sparse
+      z += w;
+      entries.emplace_back(l, w);
+    }
+    for (auto& [c, w] : entries) w /= z;
+    result.profiles[u] = core::LocationProfile(std::move(entries));
+    result.home[u] = result.profiles[u].Home();
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace mlp

@@ -1,0 +1,57 @@
+#ifndef MLP_BASELINES_BASE_C_H_
+#define MLP_BASELINES_BASE_C_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "baselines/base_u.h"
+#include "core/input.h"
+
+namespace mlp {
+namespace baselines {
+
+struct BaseCConfig {
+  /// A venue participates as a "local word" only with at least this many
+  /// training mentions.
+  int min_mentions = 10;
+  /// Spatial-focus threshold: a venue is local when its most likely city
+  /// holds at least this share of its mentions ([8] selects local words via
+  /// a supervised classifier; this score is the non-subjective analogue —
+  /// the paper itself reports BaseC's accuracy swings 36–50% with the word
+  /// set chosen).
+  double focus_threshold = 0.30;
+  /// Laplace smoothing for p(v | l).
+  double laplace = 0.02;
+  /// Lattice neighborhood smoothing ([8] Sec. 5.2): p(v|l) is blended with
+  /// nearby cities' distributions, Gaussian-kernel weighted.
+  double smoothing_radius_miles = 100.0;
+  double smoothing_sigma_miles = 50.0;
+  /// Weight of the city's own distribution in the blend.
+  double self_weight = 0.7;
+};
+
+/// BaseC — Cheng, Caverlee, Lee, "You are where you tweet" (CIKM 2010), the
+/// paper's content-only baseline. Estimates per-city venue distributions
+/// from labeled users' tweets, filters to spatially focused ("local")
+/// venues, smooths across the city lattice, and classifies each user to
+/// the city maximizing Σ log p(v|l) + log prior(l) over their local-venue
+/// mentions. Single-location by construction.
+class BaseC {
+ public:
+  explicit BaseC(BaseCConfig config = {}) : config_(config) {}
+
+  Result<BaselineResult> Fit(const core::ModelInput& input) const;
+
+  /// The venue ids selected as local words on the given input (exposed for
+  /// tests and the word-set-sensitivity ablation).
+  std::vector<graph::VenueId> SelectLocalVenues(
+      const core::ModelInput& input) const;
+
+ private:
+  BaseCConfig config_;
+};
+
+}  // namespace baselines
+}  // namespace mlp
+
+#endif  // MLP_BASELINES_BASE_C_H_

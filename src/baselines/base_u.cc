@@ -1,0 +1,122 @@
+#include "baselines/base_u.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/pair_distance.h"
+#include "stats/power_law.h"
+
+namespace mlp {
+namespace baselines {
+
+namespace {
+using geo::CityId;
+using graph::UserId;
+}  // namespace
+
+Result<BaselineResult> BaseU::Fit(const core::ModelInput& input) const {
+  if (input.graph == nullptr || input.distances == nullptr ||
+      input.gazetteer == nullptr) {
+    return Status::InvalidArgument("BaseU input has null components");
+  }
+  if (!input.graph->finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  const graph::SocialGraph& graph = *input.graph;
+  const geo::CityDistanceMatrix& dist = *input.distances;
+  const int num_users = input.num_users();
+  const int num_cities = input.num_locations();
+
+  // Step 1: learn p(edge | d) from the training labels (Sec. 2 of [5]).
+  stats::PowerLaw law{config_.fallback_alpha, config_.fallback_beta};
+  Result<stats::PowerLaw> fit = core::FitFollowingPowerLaw(
+      graph, input.observed_home, dist);
+  if (fit.ok()) law = *fit;
+
+  auto edge_prob = [&](double d) {
+    return std::min(law(d), config_.max_edge_prob);
+  };
+
+  // Step 2: the non-edge correction term, grouped by city:
+  // G(l) = Σ_c n_c · log(1 − p(d(l, c))), n_c = labeled users homed at c.
+  std::vector<double> city_count(num_cities, 0.0);
+  for (UserId u = 0; u < num_users; ++u) {
+    CityId home = input.observed_home[u];
+    if (home != geo::kInvalidCity) city_count[home] += 1.0;
+  }
+  std::vector<double> non_edge_term(num_cities, 0.0);
+  for (CityId l = 0; l < num_cities; ++l) {
+    double total = 0.0;
+    for (CityId c = 0; c < num_cities; ++c) {
+      if (city_count[c] <= 0.0) continue;
+      total += city_count[c] * std::log1p(-edge_prob(dist.miles(l, c)));
+    }
+    non_edge_term[l] = total;
+  }
+
+  // Fallback for users with no labeled neighbors: the most populous city.
+  CityId top_city = 0;
+  for (CityId c = 1; c < num_cities; ++c) {
+    if (input.gazetteer->city(c).population >
+        input.gazetteer->city(top_city).population) {
+      top_city = c;
+    }
+  }
+
+  BaselineResult result;
+  result.profiles.resize(num_users);
+  result.home.assign(num_users, top_city);
+
+  std::vector<CityId> neighbor_cities;
+  for (UserId u = 0; u < num_users; ++u) {
+    // Gather labeled neighbor homes (both directions, as in [5]'s
+    // undirected friendship setting).
+    neighbor_cities.clear();
+    auto add_neighbor = [&](UserId other) {
+      CityId c = input.observed_home[other];
+      if (c != geo::kInvalidCity) neighbor_cities.push_back(c);
+    };
+    for (graph::EdgeId s : graph.OutEdges(u)) {
+      add_neighbor(graph.following(s).friend_user);
+    }
+    for (graph::EdgeId s : graph.InEdges(u)) {
+      add_neighbor(graph.following(s).follower);
+    }
+    if (neighbor_cities.empty()) continue;
+
+    // Candidate set: distinct neighbor cities.
+    std::vector<CityId> candidates = neighbor_cities;
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    std::vector<double> scores(candidates.size(), 0.0);
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      CityId l = candidates[ci];
+      double score = non_edge_term[l];
+      for (CityId lv : neighbor_cities) {
+        double p = edge_prob(dist.miles(l, lv));
+        score += std::log(p) - std::log1p(-p);
+      }
+      scores[ci] = score;
+    }
+
+    // Scores → profile via softmax (shifted for stability).
+    double max_score = *std::max_element(scores.begin(), scores.end());
+    std::vector<std::pair<CityId, double>> entries;
+    double z = 0.0;
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      double w = std::exp(scores[ci] - max_score);
+      z += w;
+      entries.emplace_back(candidates[ci], w);
+    }
+    for (auto& [c, w] : entries) w /= z;
+    result.profiles[u] = core::LocationProfile(std::move(entries));
+    result.home[u] = result.profiles[u].Home();
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace mlp

@@ -1,0 +1,56 @@
+#ifndef MLP_BASELINES_BASE_U_H_
+#define MLP_BASELINES_BASE_U_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/input.h"
+#include "core/location_profile.h"
+
+namespace mlp {
+namespace baselines {
+
+/// Shared output shape of the single-location baselines: a score-derived
+/// profile (for the top-K multi-location protocol of Sec. 5.2) and the
+/// argmax home estimate.
+struct BaselineResult {
+  std::vector<core::LocationProfile> profiles;
+  std::vector<geo::CityId> home;
+};
+
+struct BaseUConfig {
+  /// Cap on p(d) when computing log(1-p); keeps the non-edge term finite
+  /// for very short distances where the fitted power law exceeds 1.
+  double max_edge_prob = 0.25;
+  /// Power-law fit fallback when the data cannot be fit (paper's values).
+  double fallback_alpha = -0.55;
+  double fallback_beta = 0.0045;
+};
+
+/// BaseU — Backstrom, Sun, Marlow, "Find me if you can" (WWW 2010), the
+/// paper's social-network baseline. Learns P(edge | distance) as a power
+/// law over labeled pairs, then places each user at the maximum-likelihood
+/// city:
+///
+///   score(l) = Σ_{v ∈ neighbors} [log p(d(l, l_v)) − log(1 − p(d(l, l_v)))]
+///              + Σ_{w ∈ labeled} log(1 − p(d(l, l_w)))
+///
+/// The second sum — Backstrom's correction for non-edges — is precomputed
+/// per city pair in O(|L|²). Candidates are the cities of the user's
+/// labeled neighbors (followers and friends), exactly the "one location"
+/// assumption the paper criticizes: a user's multiple regions compete for
+/// a single argmax.
+class BaseU {
+ public:
+  explicit BaseU(BaseUConfig config = {}) : config_(config) {}
+
+  Result<BaselineResult> Fit(const core::ModelInput& input) const;
+
+ private:
+  BaseUConfig config_;
+};
+
+}  // namespace baselines
+}  // namespace mlp
+
+#endif  // MLP_BASELINES_BASE_U_H_

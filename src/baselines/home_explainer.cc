@@ -1,0 +1,22 @@
+#include "baselines/home_explainer.h"
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace baselines {
+
+std::vector<core::FollowingExplanation> ExplainByHome(
+    const graph::SocialGraph& graph, const std::vector<geo::CityId>& homes) {
+  MLP_CHECK(static_cast<int>(homes.size()) == graph.num_users());
+  std::vector<core::FollowingExplanation> out(graph.num_following());
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    const graph::FollowingEdge& edge = graph.following(s);
+    out[s].x = homes[edge.follower];
+    out[s].y = homes[edge.friend_user];
+    out[s].noise_prob = 0.0;
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace mlp

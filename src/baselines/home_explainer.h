@@ -1,0 +1,24 @@
+#ifndef MLP_BASELINES_HOME_EXPLAINER_H_
+#define MLP_BASELINES_HOME_EXPLAINER_H_
+
+#include <vector>
+
+#include "core/sampler.h"
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace baselines {
+
+/// "Base" of Sec. 5.3: explains every following relationship by assigning
+/// both users their home locations. The paper calls it a strong baseline —
+/// it is right whenever a relationship really is home-to-home — but it
+/// cannot explain relationships rooted in users' other locations.
+/// `homes[u]` may be ground truth or a prediction; edges touching a user
+/// with kInvalidCity get an invalid assignment (counted as wrong by eval).
+std::vector<core::FollowingExplanation> ExplainByHome(
+    const graph::SocialGraph& graph, const std::vector<geo::CityId>& homes);
+
+}  // namespace baselines
+}  // namespace mlp
+
+#endif  // MLP_BASELINES_HOME_EXPLAINER_H_

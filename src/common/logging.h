@@ -1,0 +1,64 @@
+#ifndef MLP_COMMON_LOGGING_H_
+#define MLP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mlp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line: emits on destruction. Used via the MLP_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Aborts with a message when `condition` is false, in all build types.
+/// Reserved for programmer errors (invariant violations), not data errors.
+#define MLP_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::mlp::internal::CheckFailed(#condition, __FILE__, __LINE__);       \
+    }                                                                     \
+  } while (0)
+
+#define MLP_CHECK_MSG(condition, msg)                                     \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::mlp::internal::CheckFailed(msg, __FILE__, __LINE__);              \
+    }                                                                     \
+  } while (0)
+
+#define MLP_LOG(level) \
+  ::mlp::internal::LogMessage(::mlp::LogLevel::level, __FILE__, __LINE__)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace mlp
+
+#endif  // MLP_COMMON_LOGGING_H_

@@ -1,0 +1,91 @@
+#ifndef MLP_COMMON_RANDOM_H_
+#define MLP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mlp {
+
+/// PCG-XSH-RR 64/32 pseudo-random generator (O'Neill 2014).
+///
+/// Deterministic given a seed, fast, and with a tiny state — every sampler,
+/// generator and test in the library takes one of these so runs are exactly
+/// reproducible. Satisfies UniformRandomBitGenerator.
+class Pcg32 {
+ public:
+  using result_type = uint32_t;
+
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Next raw 32-bit draw.
+  uint32_t operator()() { return NextU32(); }
+  uint32_t NextU32();
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t UniformU32(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Gamma(shape, 1.0) via Marsaglia–Tsang; shape > 0.
+  double Gamma(double shape);
+
+  /// Poisson with given mean (Knuth for small mean, PTRS-like rejection
+  /// through normal approximation threshold for large mean).
+  int Poisson(double mean);
+
+  /// Index draw from unnormalized non-negative weights. Linear scan;
+  /// for repeated sampling from the same weights use stats::AliasTable.
+  /// Returns weights.size()-1 on numeric fallthrough; -1 when all weights
+  /// are zero or the vector is empty.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Dirichlet draw with concentration `alpha` (all entries > 0).
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformU32(static_cast<uint32_t>(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Child generator with a decorrelated stream; use to give each component
+  /// its own RNG derived from one master seed.
+  Pcg32 Fork();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mlp
+
+#endif  // MLP_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+#ifndef MLP_COMMON_RESULT_H_
+#define MLP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mlp {
+
+/// Either a value of type `T` or a non-OK `Status` (Arrow's `Result<T>`).
+///
+/// Usage:
+///   Result<Gazetteer> r = Gazetteer::FromCsv(path);
+///   if (!r.ok()) return r.status();
+///   Gazetteer gaz = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; undefined if `!ok()` (asserts in debug).
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace mlp
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// status on error.
+#define MLP_CONCAT_IMPL(a, b) a##b
+#define MLP_CONCAT(a, b) MLP_CONCAT_IMPL(a, b)
+#define MLP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+#define MLP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MLP_ASSIGN_OR_RETURN_IMPL(MLP_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#endif  // MLP_COMMON_RESULT_H_

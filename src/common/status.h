@@ -1,0 +1,93 @@
+#ifndef MLP_COMMON_STATUS_H_
+#define MLP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mlp {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Operation outcome. The library does not throw exceptions; fallible
+/// functions return `Status` (or `Result<T>`, see result.h) instead.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// Human-readable "<CODE>: <message>" string, "OK" for success.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace mlp
+
+/// Propagates a non-OK status to the caller (RocksDB idiom).
+#define MLP_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::mlp::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#endif  // MLP_COMMON_STATUS_H_

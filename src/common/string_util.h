@@ -1,0 +1,38 @@
+#ifndef MLP_COMMON_STRING_UTIL_H_
+#define MLP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlp {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True when every character is an ASCII letter.
+bool IsAlpha(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mlp
+
+#endif  // MLP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,42 @@
+#ifndef MLP_CORE_INPUT_H_
+#define MLP_CORE_INPUT_H_
+
+#include <vector>
+
+#include "geo/distance_matrix.h"
+#include "geo/gazetteer.h"
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace core {
+
+/// Everything MLP (and the baselines) observe. The caller controls which
+/// home locations are visible via `observed_home` — evaluation hides test
+/// users' labels here while the graph keeps its raw records.
+struct ModelInput {
+  /// Candidate locations L. Not owned.
+  const geo::Gazetteer* gazetteer = nullptr;
+  /// Finalized observation graph (f 1:S, t 1:K). Not owned.
+  const graph::SocialGraph* graph = nullptr;
+  /// |L|×|L| city distances, floored at the power law's distance floor.
+  /// Not owned.
+  const geo::CityDistanceMatrix* distances = nullptr;
+  /// Referent cities per venue id (for candidacy vectors). Not owned.
+  const std::vector<std::vector<geo::CityId>>* venue_referents = nullptr;
+  /// Per-user observed home location; geo::kInvalidCity marks unlabeled
+  /// users U_N. Size must equal graph->num_users().
+  std::vector<geo::CityId> observed_home;
+
+  int num_users() const { return graph->num_users(); }
+  int num_locations() const { return distances->size(); }
+  int num_venues() const { return graph->num_venues(); }
+
+  bool IsLabeled(graph::UserId u) const {
+    return observed_home[u] != geo::kInvalidCity;
+  }
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_INPUT_H_

@@ -1,0 +1,45 @@
+#include "core/location_profile.h"
+
+#include <algorithm>
+
+namespace mlp {
+namespace core {
+
+LocationProfile::LocationProfile(
+    std::vector<std::pair<geo::CityId, double>> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+}
+
+geo::CityId LocationProfile::Home() const {
+  return entries_.empty() ? geo::kInvalidCity : entries_.front().first;
+}
+
+std::vector<geo::CityId> LocationProfile::TopK(int k) const {
+  std::vector<geo::CityId> out;
+  for (int i = 0; i < size() && i < k; ++i) out.push_back(entries_[i].first);
+  return out;
+}
+
+std::vector<geo::CityId> LocationProfile::AboveThreshold(
+    double threshold) const {
+  std::vector<geo::CityId> out;
+  for (const auto& [city, prob] : entries_) {
+    if (prob >= threshold) out.push_back(city);
+  }
+  return out;
+}
+
+double LocationProfile::ProbabilityOf(geo::CityId city) const {
+  for (const auto& [c, prob] : entries_) {
+    if (c == city) return prob;
+  }
+  return 0.0;
+}
+
+}  // namespace core
+}  // namespace mlp

@@ -1,0 +1,49 @@
+#ifndef MLP_CORE_LOCATION_PROFILE_H_
+#define MLP_CORE_LOCATION_PROFILE_H_
+
+#include <utility>
+#include <vector>
+
+#include "geo/gazetteer.h"
+
+namespace mlp {
+namespace core {
+
+/// A user's estimated location profile θ̂_i: (city, probability) pairs
+/// sorted by probability descending. Probabilities sum to 1 over the user's
+/// candidate set (locations outside it have probability 0).
+class LocationProfile {
+ public:
+  LocationProfile() = default;
+  /// `entries` need not be sorted; normalization is the caller's job.
+  explicit LocationProfile(
+      std::vector<std::pair<geo::CityId, double>> entries);
+
+  bool empty() const { return entries_.empty(); }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  const std::vector<std::pair<geo::CityId, double>>& entries() const {
+    return entries_;
+  }
+
+  /// The home-location estimate: the most probable location (Sec. 4.5:
+  /// "predict the home location as the one with the largest probability").
+  geo::CityId Home() const;
+
+  /// Top-k locations (k ≥ size() returns all).
+  std::vector<geo::CityId> TopK(int k) const;
+
+  /// Locations with probability ≥ threshold.
+  std::vector<geo::CityId> AboveThreshold(double threshold) const;
+
+  /// Probability of `city` (0 when absent).
+  double ProbabilityOf(geo::CityId city) const;
+
+ private:
+  std::vector<std::pair<geo::CityId, double>> entries_;
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_LOCATION_PROFILE_H_

@@ -1,0 +1,140 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/pair_distance.h"
+#include "core/priors.h"
+#include "core/pow_table.h"
+#include "core/random_models.h"
+
+namespace mlp {
+namespace core {
+
+namespace {
+constexpr int kEmHistogramBuckets = 3000;  // 1-mile buckets
+constexpr double kEmMinPairs = 50.0;
+constexpr double kAlphaMin = -2.0;
+constexpr double kAlphaMax = -0.05;
+}  // namespace
+
+Status MlpModel::ValidateInput(const ModelInput& input) const {
+  if (input.gazetteer == nullptr || input.graph == nullptr ||
+      input.distances == nullptr) {
+    return Status::InvalidArgument("ModelInput has null components");
+  }
+  if (!input.graph->finalized()) {
+    return Status::FailedPrecondition("graph must be finalized before Fit");
+  }
+  if (static_cast<int>(input.observed_home.size()) !=
+      input.graph->num_users()) {
+    return Status::InvalidArgument("observed_home size != num_users");
+  }
+  for (geo::CityId c : input.observed_home) {
+    if (c != geo::kInvalidCity && (c < 0 || c >= input.num_locations())) {
+      return Status::InvalidArgument("observed home out of gazetteer range");
+    }
+  }
+  if (config_.source != ObservationSource::kFollowingOnly) {
+    if (input.venue_referents == nullptr) {
+      return Status::InvalidArgument(
+          "venue_referents required when tweeting observations are used");
+    }
+    if (static_cast<int>(input.venue_referents->size()) <
+        input.graph->num_venues()) {
+      return Status::InvalidArgument("venue_referents smaller than vocabulary");
+    }
+  }
+  if (config_.burn_in_iterations < 0 || config_.sampling_iterations < 1) {
+    return Status::InvalidArgument("need >=0 burn-in and >=1 sampling sweeps");
+  }
+  if (config_.rho_f < 0.0 || config_.rho_f >= 1.0 || config_.rho_t < 0.0 ||
+      config_.rho_t >= 1.0) {
+    return Status::InvalidArgument("rho_f/rho_t must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<MlpResult> MlpModel::Fit(const ModelInput& input) {
+  MLP_RETURN_NOT_OK(ValidateInput(input));
+  MlpConfig config = config_;  // mutable: (α, β) evolve during Gibbs-EM
+
+  // Sec. 4.1: learn the location-based following model from labeled pairs.
+  if (config.fit_power_law_from_data &&
+      config.source != ObservationSource::kTweetingOnly) {
+    Result<stats::PowerLaw> fit = FitFollowingPowerLaw(
+        *input.graph, input.observed_home, *input.distances);
+    if (fit.ok()) {
+      config.alpha = std::clamp(fit->alpha, kAlphaMin, kAlphaMax);
+      config.beta = std::clamp(fit->beta, 1e-9, 1.0);
+    }
+    // Too little supervision to fit: keep the paper's defaults.
+  }
+
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  RandomModels random_models = RandomModels::Learn(*input.graph);
+  PowTable pow_table(input.distances, config.alpha,
+                     config.distance_floor_miles);
+
+  Pcg32 rng(config.seed, 0x5bd1e995u);
+  GibbsSampler sampler(&input, &config, &priors, &random_models, &pow_table);
+  sampler.Initialize(&rng);
+
+  const int rounds = std::max(0, config.gibbs_em_rounds) + 1;
+  for (int round = 0; round < rounds; ++round) {
+    for (int it = 0; it < config.burn_in_iterations; ++it) {
+      sampler.RunSweep(&rng);
+    }
+    sampler.ResetAccumulators();
+    for (int it = 0; it < config.sampling_iterations; ++it) {
+      sampler.RunSweep(&rng);
+      sampler.AccumulateSample();
+    }
+
+    if (round + 1 < rounds &&
+        config.source != ObservationSource::kTweetingOnly) {
+      // Gibbs-EM M-step (Sec. 4.5): rebuild the Fig-3a curve with the
+      // expected assignment distances as the numerator and the OBSERVED
+      // labeled pair distances as the denominator. Both sides are
+      // restricted to labeled users so the ratio compares consistent
+      // populations (estimated homes of unlabeled users would bias the
+      // denominator toward wherever the model currently errs).
+      std::vector<double> edge_hist =
+          sampler.AssignmentDistanceHistogram(kEmHistogramBuckets);
+      std::vector<double> pair_hist = PairDistanceHistogram(
+          input.observed_home, *input.distances, 1.0, kEmHistogramBuckets);
+      Result<stats::PowerLaw> fit = stats::FitPowerLaw(
+          stats::RatioCurve(edge_hist, pair_hist, kEmMinPairs));
+      if (fit.ok()) {
+        // Damped move on the slope α; see MlpConfig::em_damping.
+        double damping = std::clamp(config.em_damping, 0.0, 1.0);
+        double target_alpha = std::clamp(fit->alpha, kAlphaMin, kAlphaMax);
+        config.alpha += damping * (target_alpha - config.alpha);
+        // β by moment matching rather than the regression intercept: pick
+        // the scale that preserves the observed location-edge mass,
+        // Σ_d pairs(d)·β·d^α = Σ_d edges(d). The intercept-based β drifts
+        // upward round over round (the assignment histogram concentrates
+        // near the floor), which unbalances the μ update's noise branch.
+        double edge_mass = 0.0, kernel_mass = 0.0;
+        for (size_t d = 0; d < edge_hist.size(); ++d) {
+          edge_mass += edge_hist[d];
+          kernel_mass += pair_hist[d] * std::pow(static_cast<double>(d) + 0.5,
+                                                 config.alpha);
+        }
+        if (edge_mass > 0.0 && kernel_mass > 0.0) {
+          config.beta = std::clamp(edge_mass / kernel_mass, 1e-9, 1.0);
+        }
+        pow_table.Rebuild(config.alpha);
+      }
+    }
+  }
+
+  MlpResult result = sampler.BuildResult();
+  result.alpha = config.alpha;
+  result.beta = config.beta;
+  return result;
+}
+
+}  // namespace core
+}  // namespace mlp

@@ -1,0 +1,42 @@
+#ifndef MLP_CORE_MODEL_H_
+#define MLP_CORE_MODEL_H_
+
+#include "common/result.h"
+#include "core/input.h"
+#include "core/model_config.h"
+#include "core/sampler.h"
+
+namespace mlp {
+namespace core {
+
+/// The multiple location profiling model — the paper's contribution.
+///
+/// Usage:
+///   core::MlpConfig config;                  // MLP (both sources)
+///   core::MlpModel model(config);
+///   core::ModelInput input = ...;            // graph + observed homes
+///   Result<core::MlpResult> result = model.Fit(input);
+///
+/// Fit() performs the full Sec. 4.5 procedure: learn (α, β) from labeled
+/// pairs, build candidacy vectors and priors γ_i, learn the random models
+/// F_R/T_R, run collapsed Gibbs (burn-in + averaged sampling sweeps), and
+/// optionally alternate with Gibbs-EM rounds that refit (α, β) from the
+/// expected assignment distances.
+class MlpModel {
+ public:
+  explicit MlpModel(MlpConfig config) : config_(config) {}
+
+  const MlpConfig& config() const { return config_; }
+
+  Result<MlpResult> Fit(const ModelInput& input);
+
+ private:
+  Status ValidateInput(const ModelInput& input) const;
+
+  MlpConfig config_;
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_MODEL_H_

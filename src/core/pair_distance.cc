@@ -1,0 +1,80 @@
+#include "core/pair_distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace core {
+
+namespace {
+int BucketOf(double miles, double bucket_miles, int num_buckets) {
+  int b = static_cast<int>(std::floor(miles / bucket_miles));
+  if (b < 0) b = 0;
+  if (b >= num_buckets) return -1;  // out of range; caller drops
+  return b;
+}
+}  // namespace
+
+std::vector<double> PairDistanceHistogram(
+    const std::vector<geo::CityId>& homes,
+    const geo::CityDistanceMatrix& distances, double bucket_miles,
+    int num_buckets) {
+  MLP_CHECK(bucket_miles > 0.0 && num_buckets > 0);
+  // Group users by home city.
+  std::vector<double> city_count(distances.size(), 0.0);
+  for (geo::CityId home : homes) {
+    if (home != geo::kInvalidCity) city_count[home] += 1.0;
+  }
+  std::vector<double> hist(num_buckets, 0.0);
+  const int num_cities = distances.size();
+  for (geo::CityId a = 0; a < num_cities; ++a) {
+    if (city_count[a] <= 0.0) continue;
+    // Same-city ordered pairs sit at the distance floor.
+    int b0 = BucketOf(distances.miles(a, a), bucket_miles, num_buckets);
+    if (b0 >= 0) hist[b0] += city_count[a] * (city_count[a] - 1.0);
+    for (geo::CityId b = a + 1; b < num_cities; ++b) {
+      if (city_count[b] <= 0.0) continue;
+      int bucket = BucketOf(distances.miles(a, b), bucket_miles, num_buckets);
+      if (bucket >= 0) {
+        // Ordered pairs in both directions.
+        hist[bucket] += 2.0 * city_count[a] * city_count[b];
+      }
+    }
+  }
+  return hist;
+}
+
+std::vector<double> EdgeDistanceHistogram(
+    const graph::SocialGraph& graph, const std::vector<geo::CityId>& homes,
+    const geo::CityDistanceMatrix& distances, double bucket_miles,
+    int num_buckets) {
+  MLP_CHECK(bucket_miles > 0.0 && num_buckets > 0);
+  MLP_CHECK(static_cast<int>(homes.size()) == graph.num_users());
+  std::vector<double> hist(num_buckets, 0.0);
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    const graph::FollowingEdge& edge = graph.following(s);
+    geo::CityId a = homes[edge.follower];
+    geo::CityId b = homes[edge.friend_user];
+    if (a == geo::kInvalidCity || b == geo::kInvalidCity) continue;
+    int bucket = BucketOf(distances.miles(a, b), bucket_miles, num_buckets);
+    if (bucket >= 0) hist[bucket] += 1.0;
+  }
+  return hist;
+}
+
+Result<stats::PowerLaw> FitFollowingPowerLaw(
+    const graph::SocialGraph& graph, const std::vector<geo::CityId>& homes,
+    const geo::CityDistanceMatrix& distances, double bucket_miles,
+    int num_buckets, double min_pairs) {
+  std::vector<double> pairs =
+      PairDistanceHistogram(homes, distances, bucket_miles, num_buckets);
+  std::vector<double> edges =
+      EdgeDistanceHistogram(graph, homes, distances, bucket_miles, num_buckets);
+  std::vector<stats::CurvePoint> curve =
+      stats::RatioCurve(edges, pairs, min_pairs);
+  return stats::FitPowerLaw(curve);
+}
+
+}  // namespace core
+}  // namespace mlp

@@ -1,0 +1,43 @@
+#ifndef MLP_CORE_PAIR_DISTANCE_H_
+#define MLP_CORE_PAIR_DISTANCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/distance_matrix.h"
+#include "graph/social_graph.h"
+#include "stats/power_law.h"
+
+namespace mlp {
+namespace core {
+
+/// Histogram (1 bucket = `bucket_miles`) of pairwise distances between
+/// users with known homes. The paper forms all ~2.5·10^10 labeled pairs and
+/// buckets them (Sec. 4.1); grouping users by home city makes this exact in
+/// O(|L|²): a city pair (a,b) contributes n_a·n_b pairs at d(a,b), and a
+/// city with n_a users contributes n_a·(n_a-1) same-city pairs at the
+/// distance floor. Ordered pairs, matching directed following edges.
+std::vector<double> PairDistanceHistogram(
+    const std::vector<geo::CityId>& homes,
+    const geo::CityDistanceMatrix& distances, double bucket_miles,
+    int num_buckets);
+
+/// Histogram of following-edge distances over edges whose two endpoints
+/// both have known homes.
+std::vector<double> EdgeDistanceHistogram(
+    const graph::SocialGraph& graph, const std::vector<geo::CityId>& homes,
+    const geo::CityDistanceMatrix& distances, double bucket_miles,
+    int num_buckets);
+
+/// The Sec-4.1 procedure end to end: bucket labeled pairs and labeled
+/// edges, take the per-bucket ratio (Fig. 3a's dots), and fit the power law
+/// (its line). Buckets with < `min_pairs` pairs are dropped.
+Result<stats::PowerLaw> FitFollowingPowerLaw(
+    const graph::SocialGraph& graph, const std::vector<geo::CityId>& homes,
+    const geo::CityDistanceMatrix& distances, double bucket_miles = 1.0,
+    int num_buckets = 3000, double min_pairs = 100.0);
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_PAIR_DISTANCE_H_

@@ -1,0 +1,35 @@
+#include "core/pow_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace core {
+
+PowTable::PowTable(const geo::CityDistanceMatrix* distances, double alpha,
+                   double floor_miles)
+    : distances_(distances),
+      n_(distances->size()),
+      floor_miles_(std::max(floor_miles, distances->floor_miles())) {
+  MLP_CHECK(distances_ != nullptr);
+  MLP_CHECK(floor_miles_ > 0.0);
+  Rebuild(alpha);
+}
+
+void PowTable::Rebuild(double alpha) {
+  alpha_ = alpha;
+  data_.assign(static_cast<size_t>(n_) * n_, 0.0f);
+  for (geo::CityId a = 0; a < n_; ++a) {
+    for (geo::CityId b = a; b < n_; ++b) {
+      double d = std::max(distances_->raw_miles(a, b), floor_miles_);
+      float value = static_cast<float>(std::pow(d, alpha));
+      data_[static_cast<size_t>(a) * n_ + b] = value;
+      data_[static_cast<size_t>(b) * n_ + a] = value;
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace mlp

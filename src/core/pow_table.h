@@ -1,0 +1,43 @@
+#ifndef MLP_CORE_POW_TABLE_H_
+#define MLP_CORE_POW_TABLE_H_
+
+#include <vector>
+
+#include "geo/distance_matrix.h"
+
+namespace mlp {
+namespace core {
+
+/// Precomputed d(a,b)^α over all city pairs. d^α appears in every Gibbs
+/// update of every following relationship (Eqs. 5, 7, 8); precomputing the
+/// |L|² table (~0.5 MB) once per α turns millions of pow() calls per sweep
+/// into array loads. Rebuild() is called when Gibbs-EM refits α.
+class PowTable {
+ public:
+  /// `floor_miles` clamps distances from below before exponentiation; it
+  /// may exceed the matrix's own floor (e.g. a metro-scale floor for
+  /// city-level inference).
+  PowTable(const geo::CityDistanceMatrix* distances, double alpha,
+           double floor_miles = 1.0);
+
+  /// max(d(a,b), floor)^α.
+  double Get(geo::CityId a, geo::CityId b) const {
+    return data_[static_cast<size_t>(a) * n_ + b];
+  }
+
+  double alpha() const { return alpha_; }
+  double floor_miles() const { return floor_miles_; }
+  void Rebuild(double alpha);
+
+ private:
+  const geo::CityDistanceMatrix* distances_;
+  int n_;
+  double alpha_;
+  double floor_miles_;
+  std::vector<float> data_;
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_POW_TABLE_H_

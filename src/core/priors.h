@@ -1,0 +1,45 @@
+#ifndef MLP_CORE_PRIORS_H_
+#define MLP_CORE_PRIORS_H_
+
+#include <vector>
+
+#include "core/input.h"
+#include "core/model_config.h"
+
+namespace mlp {
+namespace core {
+
+/// Per-user prior derived in Sec. 4.3: the candidacy vector λ_i (which
+/// locations are candidates at all) and the Dirichlet parameter
+/// γ_i = η_i × Λ × γ + τ·λ_i restricted to those candidates.
+struct UserPrior {
+  /// Candidate locations, sorted ascending by CityId.
+  std::vector<geo::CityId> candidates;
+  /// γ_{i,l} for each candidate (parallel to `candidates`).
+  std::vector<double> gamma;
+  double gamma_sum = 0.0;
+
+  int size() const { return static_cast<int>(candidates.size()); }
+
+  /// Index of `city` in `candidates`, or -1. Binary search.
+  int IndexOf(geo::CityId city) const;
+};
+
+/// Builds candidacy vectors and priors for every user.
+///
+/// A location is a candidate for u_i iff it is "observed from u_i's
+/// following and tweeting relationships" (Sec. 4.3): a neighbor's observed
+/// home, a referent of a tweeted venue, or u_i's own observed home. Sources
+/// are filtered by `config.source` so MLP_U and MLP_C see only their own
+/// evidence. Users with no observed candidate fall back to the
+/// `fallback_top_cities` most populous locations (by total candidate
+/// frequency over labeled users). With `config.use_candidacy == false`
+/// every location is a candidate (the ablation the paper argues against on
+/// efficiency grounds).
+std::vector<UserPrior> BuildPriors(const ModelInput& input,
+                                   const MlpConfig& config);
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_PRIORS_H_

@@ -1,0 +1,25 @@
+#include "core/random_models.h"
+
+namespace mlp {
+namespace core {
+
+RandomModels RandomModels::Learn(const graph::SocialGraph& graph) {
+  RandomModels models;
+  double n = static_cast<double>(graph.num_users());
+  if (n > 0.0) {
+    models.following_prob = static_cast<double>(graph.num_following()) /
+                            (n * n);
+  }
+  models.venue_prob.assign(graph.num_venues(), 0.0);
+  const double k = static_cast<double>(graph.num_tweeting());
+  if (k > 0.0) {
+    for (graph::EdgeId e = 0; e < graph.num_tweeting(); ++e) {
+      models.venue_prob[graph.tweeting(e).venue] += 1.0;
+    }
+    for (double& p : models.venue_prob) p /= k;
+  }
+  return models;
+}
+
+}  // namespace core
+}  // namespace mlp

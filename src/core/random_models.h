@@ -1,0 +1,25 @@
+#ifndef MLP_CORE_RANDOM_MODELS_H_
+#define MLP_CORE_RANDOM_MODELS_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace core {
+
+/// The empirical random ("noise") generative models of Sec. 4.2, learned
+/// from the observations exactly as the paper specifies:
+///   F_R: p(f⟨i,j⟩ = 1) = S / N²
+///   T_R: p(t⟨i,j⟩ to venue v) = count(v) / K
+struct RandomModels {
+  double following_prob = 0.0;          // F_R
+  std::vector<double> venue_prob;       // T_R, indexed by venue id
+
+  static RandomModels Learn(const graph::SocialGraph& graph);
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_RANDOM_MODELS_H_

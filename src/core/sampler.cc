@@ -1,0 +1,445 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace core {
+
+namespace {
+constexpr int kEdgeDistanceBuckets = 4000;  // 1-mile buckets, CONUS scale
+}
+
+GibbsSampler::GibbsSampler(const ModelInput* input, const MlpConfig* config,
+                           const std::vector<UserPrior>* priors,
+                           const RandomModels* random_models,
+                           const PowTable* pow_table)
+    : input_(input),
+      config_(config),
+      priors_(priors),
+      random_models_(random_models),
+      pow_table_(pow_table) {
+  MLP_CHECK(input_ != nullptr && config_ != nullptr && priors_ != nullptr);
+  MLP_CHECK(random_models_ != nullptr && pow_table_ != nullptr);
+  MLP_CHECK(static_cast<int>(priors_->size()) == input_->num_users());
+}
+
+double GibbsSampler::ThetaWeight(graph::UserId u, int candidate_idx) const {
+  // The collapsed P(x = l | rest): (ϕ_{i,l} + γ_{i,l}) up to the constant
+  // denominator (ϕ_i + Σγ), which cancels inside a categorical draw but is
+  // needed for the μ update — callers divide when required.
+  return phi_[u][candidate_idx] + (*priors_)[u].gamma[candidate_idx];
+}
+
+double GibbsSampler::VenueProb(geo::CityId location,
+                               graph::VenueId venue) const {
+  const double delta = config_->delta;
+  const double v_total = static_cast<double>(input_->num_venues());
+  return (venue_counts_[location][venue] + delta) /
+         (venue_counts_total_[location] + delta * v_total);
+}
+
+int GibbsSampler::SampleCandidate(const std::vector<double>& weights,
+                                  Pcg32* rng) const {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // All weights underflowed; fall back to uniform.
+    return static_cast<int>(
+        rng->UniformU32(static_cast<uint32_t>(weights.size())));
+  }
+  double target = rng->NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+void GibbsSampler::Initialize(Pcg32* rng) {
+  const graph::SocialGraph& graph = *input_->graph;
+  const int num_users = input_->num_users();
+  const int num_locations = input_->num_locations();
+
+  phi_.resize(num_users);
+  for (graph::UserId u = 0; u < num_users; ++u) {
+    phi_[u].assign((*priors_)[u].size(), 0.0);
+  }
+  phi_total_.assign(num_users, 0.0);
+  if (UseTweeting()) {
+    venue_counts_.assign(num_locations, {});
+    for (auto& row : venue_counts_) row.assign(input_->num_venues(), 0.0);
+    venue_counts_total_.assign(num_locations, 0.0);
+  }
+
+  // Seed assignments from the priors (supervised users start mostly at
+  // their observed home because of the γ boost), all location-based.
+  auto draw_from_prior = [&](graph::UserId u) -> int {
+    return SampleCandidate((*priors_)[u].gamma, rng);
+  };
+
+  if (UseFollowing()) {
+    const int s_total = graph.num_following();
+    mu_.assign(s_total, 0);
+    x_idx_.assign(s_total, 0);
+    y_idx_.assign(s_total, 0);
+    edge_both_labeled_.assign(s_total, 0);
+    for (graph::EdgeId s = 0; s < s_total; ++s) {
+      const graph::FollowingEdge& edge = graph.following(s);
+      edge_both_labeled_[s] =
+          input_->IsLabeled(edge.follower) && input_->IsLabeled(edge.friend_user)
+              ? 1
+              : 0;
+      x_idx_[s] = draw_from_prior(edge.follower);
+      y_idx_[s] = draw_from_prior(edge.friend_user);
+      phi_[edge.follower][x_idx_[s]] += 1.0;
+      phi_total_[edge.follower] += 1.0;
+      phi_[edge.friend_user][y_idx_[s]] += 1.0;
+      phi_total_[edge.friend_user] += 1.0;
+    }
+  }
+  if (UseTweeting()) {
+    const int k_total = graph.num_tweeting();
+    nu_.assign(k_total, 0);
+    z_idx_.assign(k_total, 0);
+    for (graph::EdgeId k = 0; k < k_total; ++k) {
+      const graph::TweetingEdge& edge = graph.tweeting(k);
+      z_idx_[k] = draw_from_prior(edge.user);
+      geo::CityId z = (*priors_)[edge.user].candidates[z_idx_[k]];
+      phi_[edge.user][z_idx_[k]] += 1.0;
+      phi_total_[edge.user] += 1.0;
+      venue_counts_[z][edge.venue] += 1.0;
+      venue_counts_total_[z] += 1.0;
+    }
+  }
+
+  ResetAccumulators();
+  last_homes_ = CurrentHomes();
+  home_change_per_sweep_.clear();
+}
+
+void GibbsSampler::SampleFollowing(graph::EdgeId s, Pcg32* rng) {
+  const graph::FollowingEdge& edge = input_->graph->following(s);
+  const graph::UserId i = edge.follower;
+  const graph::UserId j = edge.friend_user;
+  const UserPrior& prior_i = (*priors_)[i];
+  const UserPrior& prior_j = (*priors_)[j];
+  const int ni = prior_i.size();
+  const int nj = prior_j.size();
+
+  // --- remove this relationship's contribution ---
+  if (mu_[s] == 0) {
+    phi_[i][x_idx_[s]] -= 1.0;
+    phi_total_[i] -= 1.0;
+    phi_[j][y_idx_[s]] -= 1.0;
+    phi_total_[j] -= 1.0;
+  }
+
+  // Blocked update for (μ_s, x_s, y_s): the μ branch weights marginalize
+  // the location model over ALL candidate pairs, which is the collapsed
+  // probability of generating the edge from locations (Eqs. 4–5); the
+  // conditional form printed in the paper has the same stationary
+  // distribution but mixes poorly (the location branch is penalized by the
+  // current pair's prior mass while the random branch carries no matching
+  // factor). See DESIGN.md.
+  scratch_a_.resize(ni);
+  for (int l = 0; l < ni; ++l) scratch_a_[l] = ThetaWeight(i, l);
+  scratch_b_.resize(nj);
+  for (int l = 0; l < nj; ++l) scratch_b_[l] = ThetaWeight(j, l);
+
+  // row[l1] = Σ_{l2} θ̃_j(l2) · d(c_i[l1], c_j[l2])^α.
+  scratch_row_.assign(ni, 0.0);
+  for (int l1 = 0; l1 < ni; ++l1) {
+    geo::CityId c1 = prior_i.candidates[l1];
+    double acc = 0.0;
+    for (int l2 = 0; l2 < nj; ++l2) {
+      acc += scratch_b_[l2] * pow_table_->Get(c1, prior_j.candidates[l2]);
+    }
+    scratch_row_[l1] = acc;
+  }
+
+  // --- sample μ_s ---
+  if (config_->model_noise && config_->rho_f > 0.0) {
+    double pair_mass = 0.0;  // Σ θ̃_i(l1)·row[l1] = (Σθθd^α)·A_i·A_j
+    for (int l1 = 0; l1 < ni; ++l1) {
+      pair_mass += scratch_a_[l1] * scratch_row_[l1];
+    }
+    double norm = (phi_total_[i] + prior_i.gamma_sum) *
+                  (phi_total_[j] + prior_j.gamma_sum);
+    double w_random = config_->rho_f * random_models_->following_prob;
+    double w_location =
+        (1.0 - config_->rho_f) * config_->beta * pair_mass / norm;
+    double denom = w_random + w_location;
+    mu_[s] = (denom > 0.0 && rng->Bernoulli(w_random / denom)) ? 1 : 0;
+  } else {
+    mu_[s] = 0;
+  }
+
+  // --- sample (x_s, y_s) ---
+  if (mu_[s] == 0) {
+    // Joint draw from the grid: x ∝ θ̃_i(l1)·row[l1], then y | x.
+    scratch_.resize(ni);
+    for (int l1 = 0; l1 < ni; ++l1) {
+      scratch_[l1] = scratch_a_[l1] * scratch_row_[l1];
+    }
+    x_idx_[s] = SampleCandidate(scratch_, rng);
+    geo::CityId cx = prior_i.candidates[x_idx_[s]];
+    scratch_.resize(nj);
+    for (int l2 = 0; l2 < nj; ++l2) {
+      scratch_[l2] =
+          scratch_b_[l2] * pow_table_->Get(cx, prior_j.candidates[l2]);
+    }
+    y_idx_[s] = SampleCandidate(scratch_, rng);
+    phi_[i][x_idx_[s]] += 1.0;
+    phi_total_[i] += 1.0;
+    phi_[j][y_idx_[s]] += 1.0;
+    phi_total_[j] += 1.0;
+  } else {
+    // Noise branch: assignments stay latent, drawn from the count-prior
+    // posterior alone (distance term inactive — Eqs. 7–8 with μ=1).
+    x_idx_[s] = SampleCandidate(scratch_a_, rng);
+    y_idx_[s] = SampleCandidate(scratch_b_, rng);
+  }
+}
+
+void GibbsSampler::SampleTweeting(graph::EdgeId k, Pcg32* rng) {
+  const graph::TweetingEdge& edge = input_->graph->tweeting(k);
+  const graph::UserId i = edge.user;
+  const graph::VenueId v = edge.venue;
+  const UserPrior& prior_i = (*priors_)[i];
+
+  // --- remove ---
+  if (nu_[k] == 0) {
+    geo::CityId z = prior_i.candidates[z_idx_[k]];
+    phi_[i][z_idx_[k]] -= 1.0;
+    phi_total_[i] -= 1.0;
+    venue_counts_[z][v] -= 1.0;
+    venue_counts_total_[z] -= 1.0;
+  }
+
+  const int ni = prior_i.size();
+  scratch_a_.resize(ni);
+  for (int l = 0; l < ni; ++l) scratch_a_[l] = ThetaWeight(i, l);
+  // Location-branch weights per candidate: θ̃_i(l)·ψ_l(v).
+  scratch_.resize(ni);
+  for (int l = 0; l < ni; ++l) {
+    scratch_[l] = scratch_a_[l] * VenueProb(prior_i.candidates[l], v);
+  }
+
+  // --- sample ν_k (blocked over z, mirroring the following update) ---
+  if (config_->model_noise && config_->rho_t > 0.0) {
+    double mass = 0.0;
+    for (int l = 0; l < ni; ++l) mass += scratch_[l];
+    double norm = phi_total_[i] + prior_i.gamma_sum;
+    double w_random = config_->rho_t * random_models_->venue_prob[v];
+    double w_location = (1.0 - config_->rho_t) * mass / norm;
+    double denom = w_random + w_location;
+    nu_[k] = (denom > 0.0 && rng->Bernoulli(w_random / denom)) ? 1 : 0;
+  } else {
+    nu_[k] = 0;
+  }
+
+  // --- sample z_{k,i} (Eq. 9) ---
+  if (nu_[k] == 0) {
+    z_idx_[k] = SampleCandidate(scratch_, rng);
+    geo::CityId z = prior_i.candidates[z_idx_[k]];
+    phi_[i][z_idx_[k]] += 1.0;
+    phi_total_[i] += 1.0;
+    venue_counts_[z][v] += 1.0;
+    venue_counts_total_[z] += 1.0;
+  } else {
+    z_idx_[k] = SampleCandidate(scratch_a_, rng);
+  }
+}
+
+void GibbsSampler::RunSweep(Pcg32* rng) {
+  if (UseFollowing()) {
+    for (graph::EdgeId s = 0; s < input_->graph->num_following(); ++s) {
+      SampleFollowing(s, rng);
+    }
+  }
+  if (UseTweeting()) {
+    for (graph::EdgeId k = 0; k < input_->graph->num_tweeting(); ++k) {
+      SampleTweeting(k, rng);
+    }
+  }
+
+  // Convergence trace: fraction of users whose current home flipped.
+  std::vector<geo::CityId> homes = CurrentHomes();
+  int changed = 0;
+  for (size_t u = 0; u < homes.size(); ++u) {
+    if (homes[u] != last_homes_[u]) ++changed;
+  }
+  home_change_per_sweep_.push_back(
+      homes.empty() ? 0.0
+                    : static_cast<double>(changed) /
+                          static_cast<double>(homes.size()));
+  last_homes_ = std::move(homes);
+}
+
+void GibbsSampler::ResetAccumulators() {
+  accumulated_samples_ = 0;
+  acc_phi_.resize(phi_.size());
+  for (size_t u = 0; u < phi_.size(); ++u) {
+    acc_phi_[u].assign(phi_[u].size(), 0.0);
+  }
+  acc_x_.assign(x_idx_.size(), {});
+  acc_y_.assign(y_idx_.size(), {});
+  acc_mu_.assign(mu_.size(), 0.0);
+  acc_z_.assign(z_idx_.size(), {});
+  acc_nu_.assign(nu_.size(), 0.0);
+  acc_edge_distance_.assign(kEdgeDistanceBuckets, 0.0);
+}
+
+void GibbsSampler::AccumulateSample() {
+  ++accumulated_samples_;
+  for (size_t u = 0; u < phi_.size(); ++u) {
+    for (size_t l = 0; l < phi_[u].size(); ++l) {
+      acc_phi_[u][l] += phi_[u][l];
+    }
+  }
+  const graph::SocialGraph& graph = *input_->graph;
+  for (size_t s = 0; s < mu_.size(); ++s) {
+    const graph::FollowingEdge& edge =
+        graph.following(static_cast<graph::EdgeId>(s));
+    if (acc_x_[s].empty()) {
+      acc_x_[s].assign((*priors_)[edge.follower].size(), 0.0f);
+      acc_y_[s].assign((*priors_)[edge.friend_user].size(), 0.0f);
+    }
+    acc_x_[s][x_idx_[s]] += 1.0f;
+    acc_y_[s][y_idx_[s]] += 1.0f;
+    acc_mu_[s] += mu_[s];
+    if (mu_[s] == 0 && edge_both_labeled_[s]) {
+      geo::CityId cx = (*priors_)[edge.follower].candidates[x_idx_[s]];
+      geo::CityId cy = (*priors_)[edge.friend_user].candidates[y_idx_[s]];
+      double d = input_->distances->miles(cx, cy);
+      int bucket = static_cast<int>(d);
+      if (bucket >= 0 && bucket < kEdgeDistanceBuckets) {
+        acc_edge_distance_[bucket] += 1.0;
+      }
+    }
+  }
+  for (size_t k = 0; k < nu_.size(); ++k) {
+    const graph::TweetingEdge& edge =
+        graph.tweeting(static_cast<graph::EdgeId>(k));
+    if (acc_z_[k].empty()) {
+      acc_z_[k].assign((*priors_)[edge.user].size(), 0.0f);
+    }
+    acc_z_[k][z_idx_[k]] += 1.0f;
+    acc_nu_[k] += nu_[k];
+  }
+}
+
+std::vector<geo::CityId> GibbsSampler::CurrentHomes() const {
+  std::vector<geo::CityId> homes(input_->num_users(), geo::kInvalidCity);
+  for (graph::UserId u = 0; u < input_->num_users(); ++u) {
+    const UserPrior& prior = (*priors_)[u];
+    double best = -1.0;
+    for (int l = 0; l < prior.size(); ++l) {
+      double w = phi_[u][l] + prior.gamma[l];
+      if (w > best) {
+        best = w;
+        homes[u] = prior.candidates[l];
+      }
+    }
+  }
+  return homes;
+}
+
+std::vector<double> GibbsSampler::AssignmentDistanceHistogram(
+    int num_buckets) const {
+  std::vector<double> hist(num_buckets, 0.0);
+  if (accumulated_samples_ == 0) return hist;
+  double scale = 1.0 / static_cast<double>(accumulated_samples_);
+  int n = std::min(num_buckets, kEdgeDistanceBuckets);
+  for (int b = 0; b < n; ++b) {
+    hist[b] = acc_edge_distance_[b] * scale;
+  }
+  return hist;
+}
+
+MlpResult GibbsSampler::BuildResult() const {
+  MlpResult result;
+  const int num_users = input_->num_users();
+  const double samples =
+      accumulated_samples_ > 0 ? static_cast<double>(accumulated_samples_)
+                               : 1.0;
+
+  result.profiles.reserve(num_users);
+  result.home.resize(num_users);
+  for (graph::UserId u = 0; u < num_users; ++u) {
+    const UserPrior& prior = (*priors_)[u];
+    std::vector<std::pair<geo::CityId, double>> entries;
+    entries.reserve(prior.size());
+    double denom = 0.0;
+    for (int l = 0; l < prior.size(); ++l) {
+      double phi_avg = accumulated_samples_ > 0 ? acc_phi_[u][l] / samples
+                                                : phi_[u][l];
+      denom += phi_avg + prior.gamma[l];
+    }
+    for (int l = 0; l < prior.size(); ++l) {
+      double phi_avg = accumulated_samples_ > 0 ? acc_phi_[u][l] / samples
+                                                : phi_[u][l];
+      // Eq. 10: p(l|θ_i) = (ϕ_{i,l} + γ_{i,l}) / (ϕ_i + Σ_l γ_{i,l}).
+      entries.emplace_back(prior.candidates[l],
+                           (phi_avg + prior.gamma[l]) / denom);
+    }
+    LocationProfile profile(std::move(entries));
+    result.home[u] = profile.Home();
+    result.profiles.push_back(std::move(profile));
+  }
+
+  const graph::SocialGraph& graph = *input_->graph;
+  result.following.resize(mu_.size());
+  for (size_t s = 0; s < mu_.size(); ++s) {
+    const graph::FollowingEdge& edge =
+        graph.following(static_cast<graph::EdgeId>(s));
+    FollowingExplanation& ex = result.following[s];
+    const UserPrior& prior_i = (*priors_)[edge.follower];
+    const UserPrior& prior_j = (*priors_)[edge.friend_user];
+    if (accumulated_samples_ > 0 && !acc_x_[s].empty()) {
+      int bx = static_cast<int>(std::max_element(acc_x_[s].begin(),
+                                                 acc_x_[s].end()) -
+                                acc_x_[s].begin());
+      int by = static_cast<int>(std::max_element(acc_y_[s].begin(),
+                                                 acc_y_[s].end()) -
+                                acc_y_[s].begin());
+      ex.x = prior_i.candidates[bx];
+      ex.y = prior_j.candidates[by];
+      ex.noise_prob = acc_mu_[s] / samples;
+    } else {
+      ex.x = prior_i.candidates[x_idx_[s]];
+      ex.y = prior_j.candidates[y_idx_[s]];
+      ex.noise_prob = mu_[s];
+    }
+  }
+
+  result.tweeting.resize(nu_.size());
+  for (size_t k = 0; k < nu_.size(); ++k) {
+    const graph::TweetingEdge& edge =
+        graph.tweeting(static_cast<graph::EdgeId>(k));
+    TweetExplanation& ex = result.tweeting[k];
+    const UserPrior& prior_i = (*priors_)[edge.user];
+    if (accumulated_samples_ > 0 && !acc_z_[k].empty()) {
+      int bz = static_cast<int>(std::max_element(acc_z_[k].begin(),
+                                                 acc_z_[k].end()) -
+                                acc_z_[k].begin());
+      ex.z = prior_i.candidates[bz];
+      ex.noise_prob = acc_nu_[k] / samples;
+    } else {
+      ex.z = prior_i.candidates[z_idx_[k]];
+      ex.noise_prob = nu_[k];
+    }
+  }
+
+  result.alpha = pow_table_->alpha();
+  result.beta = config_->beta;
+  result.home_change_per_sweep = home_change_per_sweep_;
+  return result;
+}
+
+}  // namespace core
+}  // namespace mlp

@@ -1,0 +1,150 @@
+#ifndef MLP_CORE_SAMPLER_H_
+#define MLP_CORE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/input.h"
+#include "core/location_profile.h"
+#include "core/model_config.h"
+#include "core/pow_table.h"
+#include "core/priors.h"
+#include "core/random_models.h"
+
+namespace mlp {
+namespace core {
+
+/// Estimated explanation of one following relationship: the posterior-mode
+/// location assignments (x̂, ŷ) and the posterior probability that the
+/// relationship is noise (μ=1).
+struct FollowingExplanation {
+  geo::CityId x = geo::kInvalidCity;
+  geo::CityId y = geo::kInvalidCity;
+  double noise_prob = 0.0;
+};
+
+/// Estimated explanation of one tweeting relationship.
+struct TweetExplanation {
+  geo::CityId z = geo::kInvalidCity;
+  double noise_prob = 0.0;
+};
+
+/// Full inference output.
+struct MlpResult {
+  std::vector<LocationProfile> profiles;         // θ̂_i per user (Eq. 10)
+  std::vector<geo::CityId> home;                 // argmax of θ̂_i
+  std::vector<FollowingExplanation> following;   // per following edge
+  std::vector<TweetExplanation> tweeting;        // per tweeting edge
+  double alpha = 0.0;                            // final power-law exponent
+  double beta = 0.0;
+  /// Per-sweep fraction of users whose home estimate changed (the
+  /// convergence trace behind Fig. 5).
+  std::vector<double> home_change_per_sweep;
+};
+
+/// Collapsed Gibbs sampler for MLP (Sec. 4.5). θ and ψ are integrated out;
+/// the chain state is the model selectors (μ, ν) and location assignments
+/// (x, y, z) of every relationship, with sufficient statistics
+/// ϕ_{i,l} (per-user assignment counts over candidates, location-based
+/// relationships only) and φ_{l,v} (per-location venue counts).
+///
+/// One sweep resamples, for each following relationship, μ_s (Eq. 5) then
+/// x_{s,i} (Eq. 7) then y_{s,j} (Eq. 8), and for each tweeting relationship
+/// ν_k (Eq. 6) then z_{k,i} (Eq. 9). Assignments of noise-flagged
+/// relationships stay latent but are excluded from ϕ/φ, per the joint
+/// (Eq. 4) where their generation terms carry exponent (1-μ).
+class GibbsSampler {
+ public:
+  /// All pointers must outlive the sampler.
+  GibbsSampler(const ModelInput* input, const MlpConfig* config,
+               const std::vector<UserPrior>* priors,
+               const RandomModels* random_models, const PowTable* pow_table);
+
+  /// Draws initial assignments from the priors and builds the counts.
+  void Initialize(Pcg32* rng);
+
+  /// One full Gibbs sweep. Appends to the convergence trace.
+  void RunSweep(Pcg32* rng);
+
+  /// Clears the post-burn-in accumulators (call between Gibbs-EM rounds).
+  void ResetAccumulators();
+
+  /// Adds the current state into the θ/explanation/EM accumulators.
+  void AccumulateSample();
+
+  /// Home estimate per user from the *current* counts (used for the
+  /// convergence trace and by callers that probe mid-run state).
+  std::vector<geo::CityId> CurrentHomes() const;
+
+  /// Averaged 1-mile histogram of assignment distances d(x̂_s, ŷ_s) of
+  /// location-based following relationships — the Gibbs-EM E-step quantity.
+  /// Only edges between two LABELED users accumulate, so the ratio against
+  /// the labeled pair histogram compares consistent populations.
+  std::vector<double> AssignmentDistanceHistogram(int num_buckets) const;
+
+  /// Builds the final result from the accumulators (falls back to the
+  /// current state when nothing was accumulated).
+  MlpResult BuildResult() const;
+
+  int accumulated_samples() const { return accumulated_samples_; }
+
+ private:
+  void SampleFollowing(graph::EdgeId s, Pcg32* rng);
+  void SampleTweeting(graph::EdgeId k, Pcg32* rng);
+
+  double ThetaWeight(graph::UserId u, int candidate_idx) const;
+  double VenueProb(geo::CityId location, graph::VenueId venue) const;
+
+  int SampleCandidate(const std::vector<double>& weights, Pcg32* rng) const;
+
+  bool UseFollowing() const {
+    return config_->source != ObservationSource::kTweetingOnly;
+  }
+  bool UseTweeting() const {
+    return config_->source != ObservationSource::kFollowingOnly;
+  }
+
+  const ModelInput* input_;
+  const MlpConfig* config_;
+  const std::vector<UserPrior>* priors_;
+  const RandomModels* random_models_;
+  const PowTable* pow_table_;
+
+  // Chain state.
+  std::vector<uint8_t> mu_;      // per following edge
+  std::vector<int32_t> x_idx_;   // candidate index in follower's prior
+  std::vector<int32_t> y_idx_;   // candidate index in friend's prior
+  std::vector<uint8_t> nu_;      // per tweeting edge
+  std::vector<int32_t> z_idx_;   // candidate index in tweeter's prior
+
+  // Sufficient statistics.
+  std::vector<std::vector<double>> phi_;  // [user][candidate]
+  std::vector<double> phi_total_;         // [user]
+  std::vector<std::vector<double>> venue_counts_;  // [location][venue]
+  std::vector<double> venue_counts_total_;         // [location]
+
+  // Post-burn-in accumulators.
+  int accumulated_samples_ = 0;
+  std::vector<std::vector<double>> acc_phi_;
+  std::vector<std::vector<float>> acc_x_;   // [edge][candidate of follower]
+  std::vector<std::vector<float>> acc_y_;
+  std::vector<double> acc_mu_;
+  std::vector<std::vector<float>> acc_z_;
+  std::vector<double> acc_nu_;
+  std::vector<double> acc_edge_distance_;   // 1-mile histogram
+  std::vector<uint8_t> edge_both_labeled_;  // per following edge
+
+  // Convergence trace.
+  std::vector<geo::CityId> last_homes_;
+  std::vector<double> home_change_per_sweep_;
+
+  mutable std::vector<double> scratch_;
+  mutable std::vector<double> scratch_a_;
+  mutable std::vector<double> scratch_b_;
+  mutable std::vector<double> scratch_row_;
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_SAMPLER_H_

@@ -1,0 +1,57 @@
+#include "eval/cross_validation.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mlp {
+namespace eval {
+
+std::vector<graph::UserId> FoldAssignment::TestUsers(int fold) const {
+  std::vector<graph::UserId> out;
+  for (size_t u = 0; u < fold_of_user.size(); ++u) {
+    if (fold_of_user[u] == fold) out.push_back(static_cast<graph::UserId>(u));
+  }
+  return out;
+}
+
+std::vector<geo::CityId> FoldAssignment::MaskedHomes(
+    const std::vector<geo::CityId>& registered, int fold) const {
+  MLP_CHECK(registered.size() == fold_of_user.size());
+  std::vector<geo::CityId> masked = registered;
+  for (size_t u = 0; u < masked.size(); ++u) {
+    if (fold_of_user[u] == fold) masked[u] = geo::kInvalidCity;
+  }
+  return masked;
+}
+
+FoldAssignment MakeKFolds(const std::vector<geo::CityId>& registered, int k,
+                          uint64_t seed) {
+  MLP_CHECK(k >= 2);
+  FoldAssignment assignment;
+  assignment.num_folds = k;
+  assignment.fold_of_user.assign(registered.size(), -1);
+
+  std::vector<graph::UserId> labeled;
+  for (size_t u = 0; u < registered.size(); ++u) {
+    if (registered[u] != geo::kInvalidCity) {
+      labeled.push_back(static_cast<graph::UserId>(u));
+    }
+  }
+  Pcg32 rng(seed, 0x2545F4914F6CDD1DULL);
+  rng.Shuffle(&labeled);
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    assignment.fold_of_user[labeled[i]] = static_cast<int>(i % k);
+  }
+  return assignment;
+}
+
+std::vector<geo::CityId> RegisteredHomes(const graph::SocialGraph& graph) {
+  std::vector<geo::CityId> homes(graph.num_users(), geo::kInvalidCity);
+  for (graph::UserId u = 0; u < graph.num_users(); ++u) {
+    homes[u] = graph.user(u).registered_city;
+  }
+  return homes;
+}
+
+}  // namespace eval
+}  // namespace mlp

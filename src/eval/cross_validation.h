@@ -1,0 +1,40 @@
+#ifndef MLP_EVAL_CROSS_VALIDATION_H_
+#define MLP_EVAL_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/gazetteer.h"
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace eval {
+
+/// K-fold split over labeled users (the paper's "five fold validation":
+/// 80% labeled, 20% hidden, averaged over 5 runs). Unlabeled users belong
+/// to no fold (-1) — they are never test users and never provide labels.
+struct FoldAssignment {
+  int num_folds = 0;
+  /// fold_of_user[u] ∈ [0, num_folds) for labeled users, -1 otherwise.
+  std::vector<int> fold_of_user;
+
+  /// Test users of `fold`.
+  std::vector<graph::UserId> TestUsers(int fold) const;
+
+  /// Observed-home vector for a fold: `registered` with the fold's test
+  /// users hidden (set to kInvalidCity).
+  std::vector<geo::CityId> MaskedHomes(
+      const std::vector<geo::CityId>& registered, int fold) const;
+};
+
+/// Shuffles labeled users into `k` near-equal folds, deterministically.
+FoldAssignment MakeKFolds(const std::vector<geo::CityId>& registered, int k,
+                          uint64_t seed);
+
+/// Registered homes straight out of a graph (convenience).
+std::vector<geo::CityId> RegisteredHomes(const graph::SocialGraph& graph);
+
+}  // namespace eval
+}  // namespace mlp
+
+#endif  // MLP_EVAL_CROSS_VALIDATION_H_

@@ -1,0 +1,63 @@
+#include "eval/methods.h"
+
+#include "baselines/base_c.h"
+#include "baselines/base_u.h"
+#include "core/model.h"
+
+namespace mlp {
+namespace eval {
+
+Method MakeMlpMethod(core::MlpConfig config) {
+  return [config](const core::ModelInput& input) -> Result<MethodOutput> {
+    core::MlpModel model(config);
+    Result<core::MlpResult> result = model.Fit(input);
+    if (!result.ok()) return result.status();
+    MethodOutput out;
+    out.profiles = std::move(result->profiles);
+    out.home = std::move(result->home);
+    return out;
+  };
+}
+
+Method MakeBaseUMethod() {
+  return [](const core::ModelInput& input) -> Result<MethodOutput> {
+    baselines::BaseU base;
+    Result<baselines::BaselineResult> result = base.Fit(input);
+    if (!result.ok()) return result.status();
+    MethodOutput out;
+    out.profiles = std::move(result->profiles);
+    out.home = std::move(result->home);
+    return out;
+  };
+}
+
+Method MakeBaseCMethod() {
+  return [](const core::ModelInput& input) -> Result<MethodOutput> {
+    baselines::BaseC base;
+    Result<baselines::BaselineResult> result = base.Fit(input);
+    if (!result.ok()) return result.status();
+    MethodOutput out;
+    out.profiles = std::move(result->profiles);
+    out.home = std::move(result->home);
+    return out;
+  };
+}
+
+std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config) {
+  core::MlpConfig u_config = mlp_config;
+  u_config.source = core::ObservationSource::kFollowingOnly;
+  core::MlpConfig c_config = mlp_config;
+  c_config.source = core::ObservationSource::kTweetingOnly;
+  core::MlpConfig full_config = mlp_config;
+  full_config.source = core::ObservationSource::kBoth;
+  return {
+      {"BaseU", MakeBaseUMethod()},
+      {"BaseC", MakeBaseCMethod()},
+      {"MLP_U", MakeMlpMethod(u_config)},
+      {"MLP_C", MakeMlpMethod(c_config)},
+      {"MLP", MakeMlpMethod(full_config)},
+  };
+}
+
+}  // namespace eval
+}  // namespace mlp

@@ -1,0 +1,45 @@
+#ifndef MLP_EVAL_METHODS_H_
+#define MLP_EVAL_METHODS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/input.h"
+#include "core/location_profile.h"
+#include "core/model_config.h"
+
+namespace mlp {
+namespace eval {
+
+/// What every profiling method produces: a per-user profile and home
+/// estimate. MLP additionally produces relationship explanations, which
+/// the relationship benches consume directly from MlpResult.
+struct MethodOutput {
+  std::vector<core::LocationProfile> profiles;
+  std::vector<geo::CityId> home;
+};
+
+/// A profiling method under evaluation: observed homes in, estimates out.
+using Method =
+    std::function<Result<MethodOutput>(const core::ModelInput& input)>;
+
+/// The five methods of Tab. 2/3. `MakeMlpMethod` wraps the given config
+/// (vary `source` for MLP_U / MLP_C / MLP).
+Method MakeMlpMethod(core::MlpConfig config);
+Method MakeBaseUMethod();
+Method MakeBaseCMethod();
+
+/// Name → method for the standard lineup, in the paper's column order:
+/// BaseU, BaseC, MLP_U, MLP_C, MLP.
+struct NamedMethod {
+  std::string name;
+  Method method;
+};
+std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config);
+
+}  // namespace eval
+}  // namespace mlp
+
+#endif  // MLP_EVAL_METHODS_H_

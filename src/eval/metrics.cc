@@ -1,0 +1,104 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace eval {
+
+namespace {
+bool WithinMiles(geo::CityId a, geo::CityId b,
+                 const geo::CityDistanceMatrix& distances, double miles) {
+  if (a == geo::kInvalidCity || b == geo::kInvalidCity) return false;
+  return distances.raw_miles(a, b) <= miles;
+}
+
+bool CloseToAny(geo::CityId l, const std::vector<geo::CityId>& set,
+                const geo::CityDistanceMatrix& distances, double miles) {
+  for (geo::CityId other : set) {
+    if (WithinMiles(l, other, distances, miles)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+double AccuracyWithin(const std::vector<geo::CityId>& predicted,
+                      const std::vector<geo::CityId>& truth,
+                      const std::vector<graph::UserId>& users,
+                      const geo::CityDistanceMatrix& distances, double miles) {
+  if (users.empty()) return 0.0;
+  int correct = 0;
+  for (graph::UserId u : users) {
+    MLP_CHECK(u >= 0 && u < static_cast<graph::UserId>(predicted.size()));
+    MLP_CHECK(u < static_cast<graph::UserId>(truth.size()));
+    if (WithinMiles(predicted[u], truth[u], distances, miles)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(users.size());
+}
+
+std::vector<double> AccumulativeAccuracyCurve(
+    const std::vector<geo::CityId>& predicted,
+    const std::vector<geo::CityId>& truth,
+    const std::vector<graph::UserId>& users,
+    const geo::CityDistanceMatrix& distances,
+    const std::vector<double>& mile_points) {
+  std::vector<double> curve;
+  curve.reserve(mile_points.size());
+  for (double m : mile_points) {
+    curve.push_back(AccuracyWithin(predicted, truth, users, distances, m));
+  }
+  return curve;
+}
+
+MultiLocationScores DistancePrecisionRecall(
+    const std::vector<std::vector<geo::CityId>>& predicted,
+    const std::vector<std::vector<geo::CityId>>& truth,
+    const std::vector<graph::UserId>& users,
+    const geo::CityDistanceMatrix& distances, double miles) {
+  MultiLocationScores scores;
+  if (users.empty()) return scores;
+  double dp_sum = 0.0;
+  double dr_sum = 0.0;
+  for (graph::UserId u : users) {
+    const std::vector<geo::CityId>& pred = predicted[u];
+    const std::vector<geo::CityId>& real = truth[u];
+    if (!pred.empty()) {
+      int close = 0;
+      for (geo::CityId l : pred) {
+        if (CloseToAny(l, real, distances, miles)) ++close;
+      }
+      dp_sum += static_cast<double>(close) / static_cast<double>(pred.size());
+    }
+    if (!real.empty()) {
+      int close = 0;
+      for (geo::CityId l : real) {
+        if (CloseToAny(l, pred, distances, miles)) ++close;
+      }
+      dr_sum += static_cast<double>(close) / static_cast<double>(real.size());
+    }
+  }
+  scores.dp = dp_sum / static_cast<double>(users.size());
+  scores.dr = dr_sum / static_cast<double>(users.size());
+  return scores;
+}
+
+double RelationshipAccuracy(
+    const std::vector<core::FollowingExplanation>& predicted,
+    const std::vector<std::pair<geo::CityId, geo::CityId>>& truth,
+    const std::vector<graph::EdgeId>& edges,
+    const geo::CityDistanceMatrix& distances, double miles) {
+  if (edges.empty()) return 0.0;
+  int correct = 0;
+  for (graph::EdgeId s : edges) {
+    MLP_CHECK(s >= 0 && s < static_cast<graph::EdgeId>(predicted.size()));
+    MLP_CHECK(s < static_cast<graph::EdgeId>(truth.size()));
+    const core::FollowingExplanation& ex = predicted[s];
+    if (WithinMiles(ex.x, truth[s].first, distances, miles) &&
+        WithinMiles(ex.y, truth[s].second, distances, miles)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(edges.size());
+}
+
+}  // namespace eval
+}  // namespace mlp

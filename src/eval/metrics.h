@@ -1,0 +1,58 @@
+#ifndef MLP_EVAL_METRICS_H_
+#define MLP_EVAL_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/sampler.h"
+#include "geo/distance_matrix.h"
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace eval {
+
+/// ACC@m (Sec. 5.1): fraction of `users` whose predicted home lies within
+/// `miles` of the true home. Predictions of kInvalidCity count as wrong.
+double AccuracyWithin(const std::vector<geo::CityId>& predicted,
+                      const std::vector<geo::CityId>& truth,
+                      const std::vector<graph::UserId>& users,
+                      const geo::CityDistanceMatrix& distances, double miles);
+
+/// The Fig-4 AAD curve: ACC@m for each m in `mile_points`.
+std::vector<double> AccumulativeAccuracyCurve(
+    const std::vector<geo::CityId>& predicted,
+    const std::vector<geo::CityId>& truth,
+    const std::vector<graph::UserId>& users,
+    const geo::CityDistanceMatrix& distances,
+    const std::vector<double>& mile_points);
+
+/// DP@K / DR@K (Sec. 5.2). For one user with predicted set L' and true set
+/// L: DP = |{l ∈ L' : ∃l'∈L, d(l,l') < m}| / |L'| and DR symmetric.
+struct MultiLocationScores {
+  double dp = 0.0;
+  double dr = 0.0;
+};
+
+/// Averages DP/DR over users (prediction lists indexed per user id; only
+/// ids in `users` participate). Users with an empty predicted set score
+/// DP=0, DR=0.
+MultiLocationScores DistancePrecisionRecall(
+    const std::vector<std::vector<geo::CityId>>& predicted,
+    const std::vector<std::vector<geo::CityId>>& truth,
+    const std::vector<graph::UserId>& users,
+    const geo::CityDistanceMatrix& distances, double miles);
+
+/// Relationship-explanation ACC@m (Sec. 5.3): a relationship is correct iff
+/// BOTH endpoints' assignments fall within `miles` of the true assignments.
+/// Only edge ids in `edges` are scored; invalid predicted assignments are
+/// wrong.
+double RelationshipAccuracy(
+    const std::vector<core::FollowingExplanation>& predicted,
+    const std::vector<std::pair<geo::CityId, geo::CityId>>& truth,
+    const std::vector<graph::EdgeId>& edges,
+    const geo::CityDistanceMatrix& distances, double miles);
+
+}  // namespace eval
+}  // namespace mlp
+
+#endif  // MLP_EVAL_METRICS_H_

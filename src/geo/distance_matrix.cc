@@ -1,0 +1,25 @@
+#include "geo/distance_matrix.h"
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace geo {
+
+CityDistanceMatrix::CityDistanceMatrix(const Gazetteer& gazetteer,
+                                       double floor_miles)
+    : n_(gazetteer.size()),
+      floor_miles_(floor_miles),
+      floor_(static_cast<float>(floor_miles)) {
+  MLP_CHECK(floor_miles_ >= 0.0);
+  data_.assign(static_cast<size_t>(n_) * n_, 0.0f);
+  for (CityId a = 0; a < n_; ++a) {
+    for (CityId b = a + 1; b < n_; ++b) {
+      float d = static_cast<float>(gazetteer.DistanceMiles(a, b));
+      data_[static_cast<size_t>(a) * n_ + b] = d;
+      data_[static_cast<size_t>(b) * n_ + a] = d;
+    }
+  }
+}
+
+}  // namespace geo
+}  // namespace mlp

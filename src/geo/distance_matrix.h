@@ -1,0 +1,48 @@
+#ifndef MLP_GEO_DISTANCE_MATRIX_H_
+#define MLP_GEO_DISTANCE_MATRIX_H_
+
+#include <vector>
+
+#include "geo/gazetteer.h"
+
+namespace mlp {
+namespace geo {
+
+/// Dense precomputed |L|×|L| city distance matrix in miles.
+///
+/// Distances are the hottest quantity in both inference (Eq. 1/7/8) and the
+/// generators, and |L| is a few hundred, so an O(|L|²) float table (≈0.5 MB)
+/// beats recomputing haversines everywhere. Distances below `floor_miles`
+/// are clamped up to it: the paper buckets pairs at 1-mile granularity, and
+/// the power law β·d^α diverges at d=0 (see DESIGN.md).
+class CityDistanceMatrix {
+ public:
+  explicit CityDistanceMatrix(const Gazetteer& gazetteer,
+                              double floor_miles = 1.0);
+
+  /// Distance in miles between cities `a` and `b`, clamped up to the
+  /// floor (the diagonal reads floor_miles).
+  double miles(CityId a, CityId b) const {
+    float raw = data_[static_cast<size_t>(a) * n_ + b];
+    return raw < floor_ ? floor_ : raw;
+  }
+
+  /// Unclamped great-circle distance (0 on the diagonal).
+  double raw_miles(CityId a, CityId b) const {
+    return data_[static_cast<size_t>(a) * n_ + b];
+  }
+
+  int size() const { return n_; }
+  double floor_miles() const { return floor_miles_; }
+
+ private:
+  int n_;
+  double floor_miles_;
+  float floor_;
+  std::vector<float> data_;
+};
+
+}  // namespace geo
+}  // namespace mlp
+
+#endif  // MLP_GEO_DISTANCE_MATRIX_H_

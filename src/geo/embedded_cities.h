@@ -1,0 +1,26 @@
+#ifndef MLP_GEO_EMBEDDED_CITIES_H_
+#define MLP_GEO_EMBEDDED_CITIES_H_
+
+#include <cstdint>
+
+namespace mlp {
+namespace geo {
+
+/// One row of the embedded gazetteer (Census-2000-style city list).
+struct EmbeddedCity {
+  const char* name;   // e.g. "Los Angeles"
+  const char* state;  // USPS abbreviation, e.g. "CA"
+  double lat;
+  double lon;
+  int64_t population;
+};
+
+/// The embedded city table: 300+ real US cities covering every state, the
+/// largest metros, the college towns the paper's examples use, and the
+/// ambiguous names it calls out (Princeton NJ / Princeton WV, Hollywood FL).
+const EmbeddedCity* EmbeddedCities(int* count);
+
+}  // namespace geo
+}  // namespace mlp
+
+#endif  // MLP_GEO_EMBEDDED_CITIES_H_

@@ -1,0 +1,137 @@
+#include "geo/gazetteer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "geo/embedded_cities.h"
+#include "geo/us_states.h"
+
+namespace mlp {
+namespace geo {
+
+namespace {
+std::string NameStateKey(std::string_view name, std::string_view state) {
+  std::string key = ToLower(Trim(name));
+  key += '|';
+  key += ToLower(Trim(state));
+  return key;
+}
+}  // namespace
+
+Gazetteer Gazetteer::FromEmbedded() {
+  int count = 0;
+  const EmbeddedCity* rows = EmbeddedCities(&count);
+  Gazetteer gaz;
+  gaz.cities_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    City c;
+    c.name = rows[i].name;
+    c.state = rows[i].state;
+    c.pos = LatLon{rows[i].lat, rows[i].lon};
+    c.population = rows[i].population;
+    gaz.cities_.push_back(std::move(c));
+  }
+  gaz.BuildIndexes();
+  return gaz;
+}
+
+Result<Gazetteer> Gazetteer::FromRecords(std::vector<City> cities) {
+  if (cities.empty()) {
+    return Status::InvalidArgument("gazetteer requires at least one city");
+  }
+  for (const City& c : cities) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("gazetteer city with empty name");
+    }
+    if (!NormalizeState(c.state).has_value()) {
+      return Status::InvalidArgument("unknown state: " + c.state);
+    }
+    if (c.pos.lat < -90.0 || c.pos.lat > 90.0 || c.pos.lon < -180.0 ||
+        c.pos.lon > 180.0) {
+      return Status::InvalidArgument("city out of lat/lon range: " + c.name);
+    }
+    if (c.population < 0) {
+      return Status::InvalidArgument("negative population: " + c.name);
+    }
+  }
+  Gazetteer gaz;
+  gaz.cities_ = std::move(cities);
+  gaz.BuildIndexes();
+  return gaz;
+}
+
+void Gazetteer::BuildIndexes() {
+  by_name_.clear();
+  by_name_state_.clear();
+  total_population_ = 0;
+  for (CityId id = 0; id < size(); ++id) {
+    const City& c = cities_[id];
+    by_name_[ToLower(c.name)].push_back(id);
+    by_name_state_[NameStateKey(c.name, c.state)] = id;
+    total_population_ += c.population;
+  }
+}
+
+const std::vector<CityId>* Gazetteer::FindByName(std::string_view name) const {
+  auto it = by_name_.find(ToLower(Trim(name)));
+  if (it == by_name_.end()) return nullptr;
+  return &it->second;
+}
+
+CityId Gazetteer::Find(std::string_view name, std::string_view state) const {
+  std::optional<std::string> norm = NormalizeState(state);
+  if (!norm.has_value()) return kInvalidCity;
+  auto it = by_name_state_.find(NameStateKey(name, *norm));
+  if (it == by_name_state_.end()) return kInvalidCity;
+  return it->second;
+}
+
+double Gazetteer::DistanceMiles(CityId a, CityId b) const {
+  MLP_CHECK(a >= 0 && a < size() && b >= 0 && b < size());
+  return HaversineMiles(cities_[a].pos, cities_[b].pos);
+}
+
+std::string Gazetteer::FullName(CityId id) const {
+  MLP_CHECK(id >= 0 && id < size());
+  return cities_[id].name + ", " + cities_[id].state;
+}
+
+std::vector<double> Gazetteer::PopulationWeights() const {
+  std::vector<double> w(cities_.size());
+  for (size_t i = 0; i < cities_.size(); ++i) {
+    w[i] = static_cast<double>(cities_[i].population);
+  }
+  return w;
+}
+
+CityId Gazetteer::NearestCity(const LatLon& p) const {
+  CityId best = kInvalidCity;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (CityId id = 0; id < size(); ++id) {
+    double d = HaversineMiles(p, cities_[id].pos);
+    if (d < best_dist) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::vector<CityId> Gazetteer::WithinMiles(CityId center, double miles) const {
+  MLP_CHECK(center >= 0 && center < size());
+  std::vector<std::pair<double, CityId>> hits;
+  for (CityId id = 0; id < size(); ++id) {
+    double d = DistanceMiles(center, id);
+    if (d <= miles) hits.emplace_back(d, id);
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<CityId> out;
+  out.reserve(hits.size());
+  for (const auto& [d, id] : hits) out.push_back(id);
+  return out;
+}
+
+}  // namespace geo
+}  // namespace mlp

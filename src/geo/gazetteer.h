@@ -1,0 +1,86 @@
+#ifndef MLP_GEO_GAZETTEER_H_
+#define MLP_GEO_GAZETTEER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/latlon.h"
+
+namespace mlp {
+namespace geo {
+
+/// Index of a city within a Gazetteer; these are the paper's candidate
+/// locations L (Sec. 3: "all possible city-level locations can be given by a
+/// gazetteer").
+using CityId = int32_t;
+inline constexpr CityId kInvalidCity = -1;
+
+/// One gazetteer entry.
+struct City {
+  std::string name;   // e.g. "Austin"
+  std::string state;  // USPS abbreviation, e.g. "TX"
+  LatLon pos;
+  int64_t population = 0;
+};
+
+/// A city-level gazetteer (Census-2000-style). Provides the candidate
+/// location set L, name→city resolution (ambiguous names like "Princeton"
+/// map to several cities), and pairwise distances.
+class Gazetteer {
+ public:
+  /// Builds from the compiled-in city table (300+ real US cities).
+  static Gazetteer FromEmbedded();
+
+  /// Builds from rows of (name, state, lat, lon, population).
+  static Result<Gazetteer> FromRecords(std::vector<City> cities);
+
+  int size() const { return static_cast<int>(cities_.size()); }
+  const City& city(CityId id) const { return cities_[id]; }
+  const std::vector<City>& cities() const { return cities_; }
+
+  /// All cities whose lower-cased name equals `name` (any state); nullptr
+  /// when the name is unknown. This is where venue-name ambiguity
+  /// ("19 towns named Princeton") surfaces.
+  const std::vector<CityId>* FindByName(std::string_view name) const;
+
+  /// Exact (name, state) lookup; kInvalidCity if absent. Both arguments are
+  /// case-insensitive; state may be a full name or USPS abbreviation.
+  CityId Find(std::string_view name, std::string_view state) const;
+
+  /// Great-circle miles between two cities.
+  double DistanceMiles(CityId a, CityId b) const;
+
+  /// "Austin, TX".
+  std::string FullName(CityId id) const;
+
+  int64_t TotalPopulation() const { return total_population_; }
+
+  /// Per-city population as unnormalized sampling weights.
+  std::vector<double> PopulationWeights() const;
+
+  /// City with minimal haversine distance to `p` (linear scan).
+  CityId NearestCity(const LatLon& p) const;
+
+  /// All cities within `miles` of city `center` (inclusive), sorted by
+  /// distance ascending. Linear scan; use CityGridIndex for bulk queries.
+  std::vector<CityId> WithinMiles(CityId center, double miles) const;
+
+ private:
+  Gazetteer() = default;
+  void BuildIndexes();
+
+  std::vector<City> cities_;
+  std::unordered_map<std::string, std::vector<CityId>> by_name_;
+  std::unordered_map<std::string, CityId> by_name_state_;
+  int64_t total_population_ = 0;
+};
+
+}  // namespace geo
+}  // namespace mlp
+
+#endif  // MLP_GEO_GAZETTEER_H_

@@ -1,0 +1,76 @@
+#include "geo/grid_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace geo {
+
+CityGridIndex::CityGridIndex(const Gazetteer* gazetteer, double cell_degrees)
+    : gazetteer_(gazetteer), cell_degrees_(cell_degrees) {
+  MLP_CHECK(gazetteer_ != nullptr);
+  MLP_CHECK(cell_degrees_ > 0.0);
+  for (CityId id = 0; id < gazetteer_->size(); ++id) {
+    const LatLon& p = gazetteer_->city(id).pos;
+    cells_[CellKey(p.lat, p.lon)].push_back(id);
+  }
+}
+
+int64_t CityGridIndex::CellKey(double lat, double lon) const {
+  int64_t row = static_cast<int64_t>(std::floor((lat + 90.0) / cell_degrees_));
+  int64_t col = static_cast<int64_t>(std::floor((lon + 180.0) / cell_degrees_));
+  return row * 1000000 + col;
+}
+
+std::vector<CityId> CityGridIndex::WithinMiles(const LatLon& center,
+                                               double miles) const {
+  std::vector<CityId> out;
+  if (miles < 0.0) return out;
+  double dlat = MilesToLatDegrees(miles);
+  double dlon = MilesToLonDegrees(miles, center.lat);
+  int64_t row_lo =
+      static_cast<int64_t>(std::floor((center.lat - dlat + 90.0) / cell_degrees_));
+  int64_t row_hi =
+      static_cast<int64_t>(std::floor((center.lat + dlat + 90.0) / cell_degrees_));
+  int64_t col_lo = static_cast<int64_t>(
+      std::floor((center.lon - dlon + 180.0) / cell_degrees_));
+  int64_t col_hi = static_cast<int64_t>(
+      std::floor((center.lon + dlon + 180.0) / cell_degrees_));
+  for (int64_t row = row_lo; row <= row_hi; ++row) {
+    for (int64_t col = col_lo; col <= col_hi; ++col) {
+      auto it = cells_.find(row * 1000000 + col);
+      if (it == cells_.end()) continue;
+      for (CityId id : it->second) {
+        if (HaversineMiles(center, gazetteer_->city(id).pos) <= miles) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CityId CityGridIndex::Nearest(const LatLon& center) const {
+  // Expanding ring search; falls back to a full scan past the continent
+  // scale so the loop always terminates.
+  for (double radius = 25.0; radius <= 6400.0; radius *= 2.0) {
+    std::vector<CityId> hits = WithinMiles(center, radius);
+    if (hits.empty()) continue;
+    CityId best = kInvalidCity;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (CityId id : hits) {
+      double d = HaversineMiles(center, gazetteer_->city(id).pos);
+      if (d < best_dist) {
+        best_dist = d;
+        best = id;
+      }
+    }
+    return best;
+  }
+  return gazetteer_->NearestCity(center);
+}
+
+}  // namespace geo
+}  // namespace mlp

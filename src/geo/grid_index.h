@@ -1,0 +1,42 @@
+#ifndef MLP_GEO_GRID_INDEX_H_
+#define MLP_GEO_GRID_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geo/gazetteer.h"
+#include "geo/latlon.h"
+
+namespace mlp {
+namespace geo {
+
+/// Uniform lat/lon grid over the cities of a Gazetteer for fast radius
+/// queries. Cells are `cell_degrees` on a side; a radius query scans only
+/// the cells overlapping the query circle's bounding box and then filters
+/// by exact haversine distance.
+class CityGridIndex {
+ public:
+  /// `gazetteer` must outlive the index.
+  explicit CityGridIndex(const Gazetteer* gazetteer, double cell_degrees = 1.0);
+
+  /// Ids of all cities within `miles` of `center` (inclusive). Order is
+  /// unspecified.
+  std::vector<CityId> WithinMiles(const LatLon& center, double miles) const;
+
+  /// Nearest city to `center`, expanding the search ring as needed.
+  CityId Nearest(const LatLon& center) const;
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  int64_t CellKey(double lat, double lon) const;
+
+  const Gazetteer* gazetteer_;
+  double cell_degrees_;
+  std::unordered_map<int64_t, std::vector<CityId>> cells_;
+};
+
+}  // namespace geo
+}  // namespace mlp
+
+#endif  // MLP_GEO_GRID_INDEX_H_

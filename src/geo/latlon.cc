@@ -1,0 +1,47 @@
+#include "geo/latlon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlp {
+namespace geo {
+
+double DegToRad(double deg) { return deg * M_PI / 180.0; }
+
+double HaversineMiles(const LatLon& a, const LatLon& b) {
+  double lat1 = DegToRad(a.lat);
+  double lat2 = DegToRad(b.lat);
+  double dlat = lat2 - lat1;
+  double dlon = DegToRad(b.lon - a.lon);
+  double sin_dlat = std::sin(dlat / 2.0);
+  double sin_dlon = std::sin(dlon / 2.0);
+  double h = sin_dlat * sin_dlat +
+             std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  h = std::min(1.0, h);
+  return 2.0 * kEarthRadiusMiles * std::asin(std::sqrt(h));
+}
+
+double ApproxMiles(const LatLon& a, const LatLon& b) {
+  double mean_lat = DegToRad((a.lat + b.lat) / 2.0);
+  double dx = DegToRad(b.lon - a.lon) * std::cos(mean_lat);
+  double dy = DegToRad(b.lat - a.lat);
+  return kEarthRadiusMiles * std::sqrt(dx * dx + dy * dy);
+}
+
+bool InBoundingBox(const LatLon& p, const LatLon& lo, const LatLon& hi) {
+  return p.lat >= lo.lat && p.lat <= hi.lat && p.lon >= lo.lon &&
+         p.lon <= hi.lon;
+}
+
+double MilesToLatDegrees(double miles) {
+  return miles / (kEarthRadiusMiles * M_PI / 180.0);
+}
+
+double MilesToLonDegrees(double miles, double at_lat_deg) {
+  double scale = std::cos(DegToRad(at_lat_deg));
+  if (scale < 1e-6) scale = 1e-6;
+  return MilesToLatDegrees(miles) / scale;
+}
+
+}  // namespace geo
+}  // namespace mlp

@@ -1,0 +1,41 @@
+#ifndef MLP_GEO_LATLON_H_
+#define MLP_GEO_LATLON_H_
+
+namespace mlp {
+namespace geo {
+
+/// Mean Earth radius in miles (matches the paper's mile-based distances).
+inline constexpr double kEarthRadiusMiles = 3958.7613;
+
+/// A geographic point in decimal degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  bool operator==(const LatLon& other) const {
+    return lat == other.lat && lon == other.lon;
+  }
+};
+
+double DegToRad(double deg);
+
+/// Great-circle distance in miles (haversine formula).
+double HaversineMiles(const LatLon& a, const LatLon& b);
+
+/// Fast approximate distance (equirectangular projection); within ~1% of
+/// haversine under ~500 miles. Used in inner sampling loops.
+double ApproxMiles(const LatLon& a, const LatLon& b);
+
+/// True when `p` lies inside the axis-aligned box [lo, hi] (degrees).
+bool InBoundingBox(const LatLon& p, const LatLon& lo, const LatLon& hi);
+
+/// Degrees of latitude spanned by `miles`.
+double MilesToLatDegrees(double miles);
+
+/// Degrees of longitude spanned by `miles` at latitude `at_lat_deg`.
+double MilesToLonDegrees(double miles, double at_lat_deg);
+
+}  // namespace geo
+}  // namespace mlp
+
+#endif  // MLP_GEO_LATLON_H_

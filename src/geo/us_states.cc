@@ -1,0 +1,70 @@
+#include "geo/us_states.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mlp {
+namespace geo {
+
+namespace {
+constexpr StateInfo kStates[] = {
+    {"Alabama", "AL"},        {"Alaska", "AK"},
+    {"Arizona", "AZ"},        {"Arkansas", "AR"},
+    {"California", "CA"},     {"Colorado", "CO"},
+    {"Connecticut", "CT"},    {"Delaware", "DE"},
+    {"District of Columbia", "DC"},
+    {"Florida", "FL"},        {"Georgia", "GA"},
+    {"Hawaii", "HI"},         {"Idaho", "ID"},
+    {"Illinois", "IL"},       {"Indiana", "IN"},
+    {"Iowa", "IA"},           {"Kansas", "KS"},
+    {"Kentucky", "KY"},       {"Louisiana", "LA"},
+    {"Maine", "ME"},          {"Maryland", "MD"},
+    {"Massachusetts", "MA"},  {"Michigan", "MI"},
+    {"Minnesota", "MN"},      {"Mississippi", "MS"},
+    {"Missouri", "MO"},       {"Montana", "MT"},
+    {"Nebraska", "NE"},       {"Nevada", "NV"},
+    {"New Hampshire", "NH"},  {"New Jersey", "NJ"},
+    {"New Mexico", "NM"},     {"New York", "NY"},
+    {"North Carolina", "NC"}, {"North Dakota", "ND"},
+    {"Ohio", "OH"},           {"Oklahoma", "OK"},
+    {"Oregon", "OR"},         {"Pennsylvania", "PA"},
+    {"Rhode Island", "RI"},   {"South Carolina", "SC"},
+    {"South Dakota", "SD"},   {"Tennessee", "TN"},
+    {"Texas", "TX"},          {"Utah", "UT"},
+    {"Vermont", "VT"},        {"Virginia", "VA"},
+    {"Washington", "WA"},     {"West Virginia", "WV"},
+    {"Wisconsin", "WI"},      {"Wyoming", "WY"},
+};
+constexpr int kNumStates = sizeof(kStates) / sizeof(kStates[0]);
+}  // namespace
+
+const StateInfo* AllStates(int* count) {
+  *count = kNumStates;
+  return kStates;
+}
+
+std::optional<std::string> NormalizeState(std::string_view raw) {
+  std::string lowered = ToLower(Trim(raw));
+  if (lowered.empty()) return std::nullopt;
+  for (const StateInfo& s : kStates) {
+    if (lowered == ToLower(s.abbreviation) || lowered == ToLower(s.name)) {
+      return std::string(s.abbreviation);
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsStateAbbreviation(std::string_view raw) {
+  if (raw.size() != 2) return false;
+  std::string upper;
+  upper.push_back(static_cast<char>(std::toupper(raw[0])));
+  upper.push_back(static_cast<char>(std::toupper(raw[1])));
+  for (const StateInfo& s : kStates) {
+    if (upper == s.abbreviation) return true;
+  }
+  return false;
+}
+
+}  // namespace geo
+}  // namespace mlp

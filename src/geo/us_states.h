@@ -1,0 +1,30 @@
+#ifndef MLP_GEO_US_STATES_H_
+#define MLP_GEO_US_STATES_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mlp {
+namespace geo {
+
+/// One US state (or DC) with its USPS abbreviation.
+struct StateInfo {
+  const char* name;          // e.g. "California"
+  const char* abbreviation;  // e.g. "CA"
+};
+
+/// All 50 states plus DC.
+const StateInfo* AllStates(int* count);
+
+/// Resolves a state name or abbreviation (case-insensitive) to the USPS
+/// abbreviation. Returns nullopt for unknown strings.
+std::optional<std::string> NormalizeState(std::string_view raw);
+
+/// True when `raw` (case-insensitive) is a USPS state abbreviation.
+bool IsStateAbbreviation(std::string_view raw);
+
+}  // namespace geo
+}  // namespace mlp
+
+#endif  // MLP_GEO_US_STATES_H_

@@ -1,0 +1,55 @@
+#include "graph/graph_stats.h"
+
+#include <unordered_set>
+
+namespace mlp {
+namespace graph {
+
+GraphStats ComputeGraphStats(const SocialGraph& graph) {
+  GraphStats stats;
+  stats.num_users = graph.num_users();
+  stats.num_labeled = graph.num_labeled();
+  stats.num_following = graph.num_following();
+  stats.num_tweeting = graph.num_tweeting();
+  if (stats.num_users > 0) {
+    double n = static_cast<double>(stats.num_users);
+    stats.avg_friends_per_user = graph.num_following() / n;
+    stats.avg_followers_per_user = graph.num_following() / n;
+    stats.avg_venues_per_user = graph.num_tweeting() / n;
+    stats.labeled_fraction = stats.num_labeled / n;
+  }
+  return stats;
+}
+
+double NeighborLocationCoverage(
+    const SocialGraph& graph,
+    const std::vector<std::vector<geo::CityId>>& venue_referents) {
+  int labeled = 0;
+  int covered = 0;
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    geo::CityId home = graph.user(u).registered_city;
+    if (home == geo::kInvalidCity) continue;
+    ++labeled;
+    std::unordered_set<geo::CityId> seen;
+    for (EdgeId s : graph.OutEdges(u)) {
+      geo::CityId c = graph.user(graph.following(s).friend_user).registered_city;
+      if (c != geo::kInvalidCity) seen.insert(c);
+    }
+    for (EdgeId s : graph.InEdges(u)) {
+      geo::CityId c = graph.user(graph.following(s).follower).registered_city;
+      if (c != geo::kInvalidCity) seen.insert(c);
+    }
+    for (EdgeId k : graph.TweetEdges(u)) {
+      VenueId v = graph.tweeting(k).venue;
+      if (v >= 0 && v < static_cast<VenueId>(venue_referents.size())) {
+        for (geo::CityId c : venue_referents[v]) seen.insert(c);
+      }
+    }
+    if (seen.count(home) > 0) ++covered;
+  }
+  if (labeled == 0) return 0.0;
+  return static_cast<double>(covered) / static_cast<double>(labeled);
+}
+
+}  // namespace graph
+}  // namespace mlp

@@ -1,0 +1,36 @@
+#ifndef MLP_GRAPH_GRAPH_STATS_H_
+#define MLP_GRAPH_GRAPH_STATS_H_
+
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace graph {
+
+/// Dataset summary in the shape of the paper's Sec. 5 statistics
+/// ("14.8 friends, 14.9 followers, and 29.0 tweeted venues per user").
+struct GraphStats {
+  int num_users = 0;
+  int num_labeled = 0;
+  int num_following = 0;
+  int num_tweeting = 0;
+  double avg_friends_per_user = 0.0;    // out-degree
+  double avg_followers_per_user = 0.0;  // in-degree
+  double avg_venues_per_user = 0.0;     // tweeting relationships
+  double labeled_fraction = 0.0;
+};
+
+GraphStats ComputeGraphStats(const SocialGraph& graph);
+
+/// Fraction of labeled users whose registered city appears among the
+/// observed locations of their relationships: neighbors' registered homes
+/// or referents of tweeted venues (`venue_referents[v]` lists the cities a
+/// venue name may denote). The paper reports ~92% (Sec. 4.3); this is the
+/// quantity that justifies candidacy vectors.
+double NeighborLocationCoverage(
+    const SocialGraph& graph,
+    const std::vector<std::vector<geo::CityId>>& venue_referents);
+
+}  // namespace graph
+}  // namespace mlp
+
+#endif  // MLP_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,84 @@
+#include "graph/social_graph.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mlp {
+namespace graph {
+
+UserId SocialGraph::AddUser(UserRecord record) {
+  MLP_CHECK(!finalized_);
+  users_.push_back(std::move(record));
+  return static_cast<UserId>(users_.size() - 1);
+}
+
+Status SocialGraph::AddFollowing(UserId follower, UserId friend_user) {
+  MLP_CHECK(!finalized_);
+  if (follower < 0 || follower >= num_users() || friend_user < 0 ||
+      friend_user >= num_users()) {
+    return Status::InvalidArgument(
+        StringPrintf("following edge references unknown user (%d -> %d)",
+                     follower, friend_user));
+  }
+  if (follower == friend_user) {
+    return Status::InvalidArgument(
+        StringPrintf("self-follow rejected for user %d", follower));
+  }
+  following_.push_back(FollowingEdge{follower, friend_user});
+  return Status::OK();
+}
+
+Status SocialGraph::AddTweeting(UserId user, VenueId venue) {
+  MLP_CHECK(!finalized_);
+  if (user < 0 || user >= num_users()) {
+    return Status::InvalidArgument(
+        StringPrintf("tweeting edge references unknown user %d", user));
+  }
+  if (venue < 0 || venue >= num_venues_) {
+    return Status::InvalidArgument(
+        StringPrintf("tweeting edge references unknown venue %d", venue));
+  }
+  tweeting_.push_back(TweetingEdge{user, venue});
+  return Status::OK();
+}
+
+void SocialGraph::Finalize() {
+  MLP_CHECK(!finalized_);
+  out_edges_.assign(users_.size(), {});
+  in_edges_.assign(users_.size(), {});
+  tweet_edges_.assign(users_.size(), {});
+  for (EdgeId s = 0; s < num_following(); ++s) {
+    out_edges_[following_[s].follower].push_back(s);
+    in_edges_[following_[s].friend_user].push_back(s);
+  }
+  for (EdgeId k = 0; k < num_tweeting(); ++k) {
+    tweet_edges_[tweeting_[k].user].push_back(k);
+  }
+  finalized_ = true;
+}
+
+int SocialGraph::num_labeled() const {
+  int count = 0;
+  for (const UserRecord& u : users_) {
+    if (u.registered_city != geo::kInvalidCity) ++count;
+  }
+  return count;
+}
+
+const std::vector<EdgeId>& SocialGraph::OutEdges(UserId u) const {
+  MLP_CHECK(finalized_);
+  return out_edges_[u];
+}
+
+const std::vector<EdgeId>& SocialGraph::InEdges(UserId u) const {
+  MLP_CHECK(finalized_);
+  return in_edges_[u];
+}
+
+const std::vector<EdgeId>& SocialGraph::TweetEdges(UserId u) const {
+  MLP_CHECK(finalized_);
+  return tweet_edges_[u];
+}
+
+}  // namespace graph
+}  // namespace mlp

@@ -1,0 +1,103 @@
+#ifndef MLP_GRAPH_SOCIAL_GRAPH_H_
+#define MLP_GRAPH_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/gazetteer.h"
+
+namespace mlp {
+namespace graph {
+
+using UserId = int32_t;
+using VenueId = int32_t;
+using EdgeId = int32_t;
+inline constexpr UserId kInvalidUser = -1;
+
+/// One account. `registered_city` is the parsed "city, state" home location
+/// from the profile field — the paper's labeled users U* have it set; the
+/// rest are UN. It is ground-truth input, not a prediction.
+struct UserRecord {
+  std::string handle;
+  std::string profile_location;  // raw registered-location string (may be noise)
+  geo::CityId registered_city = geo::kInvalidCity;
+};
+
+/// A following relationship f⟨i,j⟩: `follower` follows `friend_user`
+/// (paper Sec. 3: i is a follower of j, j is a friend of i).
+struct FollowingEdge {
+  UserId follower = kInvalidUser;
+  UserId friend_user = kInvalidUser;
+};
+
+/// A tweeting relationship t⟨i,j⟩: `user` tweeted venue `venue` once.
+/// Repeated mentions are repeated edges, exactly as in the paper.
+struct TweetingEdge {
+  UserId user = kInvalidUser;
+  VenueId venue = -1;
+};
+
+/// The observation store: users U, following relationships f(1:S) and
+/// tweeting relationships t(1:K), with per-user adjacency indexes built by
+/// `Finalize()`. Append-only before finalization; immutable after.
+class SocialGraph {
+ public:
+  explicit SocialGraph(int num_venues = 0) : num_venues_(num_venues) {}
+
+  /// Appends a user; returns its id.
+  UserId AddUser(UserRecord record);
+
+  /// Appends f⟨follower, friend⟩. Both ids must already exist; self-follows
+  /// are rejected.
+  Status AddFollowing(UserId follower, UserId friend_user);
+
+  /// Appends t⟨user, venue⟩.
+  Status AddTweeting(UserId user, VenueId venue);
+
+  /// Builds per-user adjacency indexes. Must be called before the per-user
+  /// accessors; further mutation afterwards is a programming error.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  int num_users() const { return static_cast<int>(users_.size()); }
+  int num_venues() const { return num_venues_; }
+  void set_num_venues(int n) { num_venues_ = n; }
+
+  /// S and K in the paper's notation.
+  int num_following() const { return static_cast<int>(following_.size()); }
+  int num_tweeting() const { return static_cast<int>(tweeting_.size()); }
+
+  const UserRecord& user(UserId id) const { return users_[id]; }
+  UserRecord* mutable_user(UserId id) { return &users_[id]; }
+  const FollowingEdge& following(EdgeId s) const { return following_[s]; }
+  const TweetingEdge& tweeting(EdgeId k) const { return tweeting_[k]; }
+
+  bool is_labeled(UserId id) const {
+    return users_[id].registered_city != geo::kInvalidCity;
+  }
+  int num_labeled() const;
+
+  /// Edge ids where `u` is the follower (u's "friends" list).
+  const std::vector<EdgeId>& OutEdges(UserId u) const;
+  /// Edge ids where `u` is the friend (u's "followers" list).
+  const std::vector<EdgeId>& InEdges(UserId u) const;
+  /// Tweeting-edge ids of `u`.
+  const std::vector<EdgeId>& TweetEdges(UserId u) const;
+
+ private:
+  int num_venues_;
+  std::vector<UserRecord> users_;
+  std::vector<FollowingEdge> following_;
+  std::vector<TweetingEdge> tweeting_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<std::vector<EdgeId>> tweet_edges_;
+  bool finalized_ = false;
+};
+
+}  // namespace graph
+}  // namespace mlp
+
+#endif  // MLP_GRAPH_SOCIAL_GRAPH_H_

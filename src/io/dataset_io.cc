@@ -1,0 +1,178 @@
+#include "io/dataset_io.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "io/csv.h"
+
+namespace mlp {
+namespace io {
+
+namespace {
+std::string PathJoin(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+std::string CityField(geo::CityId id) { return std::to_string(id); }
+
+Result<geo::CityId> ParseCity(const std::string& field) {
+  char* end = nullptr;
+  long value = std::strtol(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad city id field: " + field);
+  }
+  return static_cast<geo::CityId>(value);
+}
+
+Result<int> ParseInt(const std::string& field) {
+  char* end = nullptr;
+  long value = std::strtol(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer field: " + field);
+  }
+  return static_cast<int>(value);
+}
+}  // namespace
+
+Status SaveDataset(const std::string& directory,
+                   const graph::SocialGraph& graph,
+                   const synth::GroundTruth* truth) {
+  std::vector<std::vector<std::string>> users;
+  users.push_back({"handle", "profile_location", "registered_city",
+                   "true_locations", "true_weights"});
+  for (graph::UserId u = 0; u < graph.num_users(); ++u) {
+    const graph::UserRecord& record = graph.user(u);
+    std::vector<std::string> row = {record.handle, record.profile_location,
+                                    CityField(record.registered_city)};
+    if (truth != nullptr) {
+      const synth::TrueProfile& p = truth->profiles[u];
+      std::vector<std::string> locs, weights;
+      for (size_t i = 0; i < p.locations.size(); ++i) {
+        locs.push_back(std::to_string(p.locations[i]));
+        weights.push_back(StringPrintf("%.6f", p.weights[i]));
+      }
+      row.push_back(Join(locs, ";"));
+      row.push_back(Join(weights, ";"));
+    } else {
+      row.push_back("");
+      row.push_back("");
+    }
+    users.push_back(std::move(row));
+  }
+  MLP_RETURN_NOT_OK(WriteCsvFile(PathJoin(directory, "users.csv"), users));
+
+  std::vector<std::vector<std::string>> following;
+  following.push_back({"follower", "friend", "noisy", "x", "y"});
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    const graph::FollowingEdge& e = graph.following(s);
+    std::vector<std::string> row = {std::to_string(e.follower),
+                                    std::to_string(e.friend_user)};
+    if (truth != nullptr) {
+      const synth::FollowingTruth& t = truth->following[s];
+      row.push_back(t.noisy ? "1" : "0");
+      row.push_back(CityField(t.x));
+      row.push_back(CityField(t.y));
+    }
+    following.push_back(std::move(row));
+  }
+  MLP_RETURN_NOT_OK(
+      WriteCsvFile(PathJoin(directory, "following.csv"), following));
+
+  std::vector<std::vector<std::string>> tweeting;
+  tweeting.push_back({"user", "venue", "noisy", "z"});
+  for (graph::EdgeId k = 0; k < graph.num_tweeting(); ++k) {
+    const graph::TweetingEdge& e = graph.tweeting(k);
+    std::vector<std::string> row = {std::to_string(e.user),
+                                    std::to_string(e.venue)};
+    if (truth != nullptr) {
+      const synth::TweetingTruth& t = truth->tweeting[k];
+      row.push_back(t.noisy ? "1" : "0");
+      row.push_back(CityField(t.z));
+    }
+    tweeting.push_back(std::move(row));
+  }
+  return WriteCsvFile(PathJoin(directory, "tweeting.csv"), tweeting);
+}
+
+Result<LoadedDataset> LoadDataset(const std::string& directory,
+                                  int num_venues) {
+  LoadedDataset loaded{graph::SocialGraph(num_venues), {}, false};
+
+  MLP_ASSIGN_OR_RETURN(auto user_rows,
+                       ReadCsvFile(PathJoin(directory, "users.csv")));
+  if (user_rows.empty()) {
+    return Status::InvalidArgument("users.csv empty");
+  }
+  for (size_t r = 1; r < user_rows.size(); ++r) {
+    const auto& row = user_rows[r];
+    if (row.size() < 3) {
+      return Status::InvalidArgument("users.csv row too short");
+    }
+    graph::UserRecord record;
+    record.handle = row[0];
+    record.profile_location = row[1];
+    MLP_ASSIGN_OR_RETURN(record.registered_city, ParseCity(row[2]));
+    loaded.graph.AddUser(std::move(record));
+
+    synth::TrueProfile profile;
+    if (row.size() >= 5 && !row[3].empty()) {
+      loaded.has_truth = true;
+      for (const std::string& loc : Split(row[3], ';')) {
+        MLP_ASSIGN_OR_RETURN(geo::CityId c, ParseCity(loc));
+        profile.locations.push_back(c);
+      }
+      for (const std::string& w : Split(row[4], ';')) {
+        profile.weights.push_back(std::atof(w.c_str()));
+      }
+      if (profile.locations.size() != profile.weights.size()) {
+        return Status::InvalidArgument("users.csv truth size mismatch");
+      }
+    }
+    loaded.truth.profiles.push_back(std::move(profile));
+  }
+
+  MLP_ASSIGN_OR_RETURN(auto follow_rows,
+                       ReadCsvFile(PathJoin(directory, "following.csv")));
+  for (size_t r = 1; r < follow_rows.size(); ++r) {
+    const auto& row = follow_rows[r];
+    if (row.size() < 2) {
+      return Status::InvalidArgument("following.csv row too short");
+    }
+    MLP_ASSIGN_OR_RETURN(int follower, ParseInt(row[0]));
+    MLP_ASSIGN_OR_RETURN(int friend_user, ParseInt(row[1]));
+    MLP_RETURN_NOT_OK(loaded.graph.AddFollowing(follower, friend_user));
+    if (row.size() >= 5) {
+      synth::FollowingTruth t;
+      t.noisy = row[2] == "1";
+      MLP_ASSIGN_OR_RETURN(t.x, ParseCity(row[3]));
+      MLP_ASSIGN_OR_RETURN(t.y, ParseCity(row[4]));
+      loaded.truth.following.push_back(t);
+    }
+  }
+
+  MLP_ASSIGN_OR_RETURN(auto tweet_rows,
+                       ReadCsvFile(PathJoin(directory, "tweeting.csv")));
+  for (size_t r = 1; r < tweet_rows.size(); ++r) {
+    const auto& row = tweet_rows[r];
+    if (row.size() < 2) {
+      return Status::InvalidArgument("tweeting.csv row too short");
+    }
+    MLP_ASSIGN_OR_RETURN(int user, ParseInt(row[0]));
+    MLP_ASSIGN_OR_RETURN(int venue, ParseInt(row[1]));
+    MLP_RETURN_NOT_OK(loaded.graph.AddTweeting(user, venue));
+    if (row.size() >= 4) {
+      synth::TweetingTruth t;
+      t.noisy = row[2] == "1";
+      MLP_ASSIGN_OR_RETURN(t.z, ParseCity(row[3]));
+      loaded.truth.tweeting.push_back(t);
+    }
+  }
+
+  loaded.graph.Finalize();
+  return loaded;
+}
+
+}  // namespace io
+}  // namespace mlp

@@ -1,0 +1,35 @@
+#ifndef MLP_IO_DATASET_IO_H_
+#define MLP_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/social_graph.h"
+#include "synth/ground_truth.h"
+
+namespace mlp {
+namespace io {
+
+/// Persists a dataset as three CSV files under `directory` (created by the
+/// caller): users.csv (handle, profile_location, registered_city),
+/// following.csv (follower, friend[, truth]) and tweeting.csv
+/// (user, venue[, truth]). Ground truth columns are included when `truth`
+/// is non-null, so saved worlds stay evaluable.
+Status SaveDataset(const std::string& directory,
+                   const graph::SocialGraph& graph,
+                   const synth::GroundTruth* truth = nullptr);
+
+/// Loaded counterpart of SaveDataset.
+struct LoadedDataset {
+  graph::SocialGraph graph;
+  synth::GroundTruth truth;  // empty vectors when files had no truth columns
+  bool has_truth = false;
+};
+
+Result<LoadedDataset> LoadDataset(const std::string& directory,
+                                  int num_venues);
+
+}  // namespace io
+}  // namespace mlp
+
+#endif  // MLP_IO_DATASET_IO_H_

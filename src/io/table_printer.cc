@@ -1,0 +1,62 @@
+#include "io/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace mlp {
+namespace io {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(StringPrintf("%.*f", precision, v));
+  }
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t underline = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    underline += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out += std::string(underline, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace io
+}  // namespace mlp

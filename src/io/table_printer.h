@@ -1,0 +1,36 @@
+#ifndef MLP_IO_TABLE_PRINTER_H_
+#define MLP_IO_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mlp {
+namespace io {
+
+/// Column-aligned console tables — every bench prints its paper table or
+/// figure series through this so output stays uniform and diffable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders with a header underline; columns padded to the widest cell.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace io
+}  // namespace mlp
+
+#endif  // MLP_IO_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+#include "stats/alias_table.h"
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace stats {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    MLP_CHECK_MSG(w >= 0.0, "AliasTable weight must be non-negative");
+    total += w;
+  }
+  if (weights.empty() || total <= 0.0) return;
+
+  const int n = static_cast<int>(weights.size());
+  normalized_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale so the average bucket holds probability exactly 1.
+  std::vector<double> scaled(n);
+  for (int i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * n;
+  }
+
+  std::vector<int> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int s = small.back();
+    small.pop_back();
+    int l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical remainders: both queues drain to probability-1 buckets.
+  for (int i : large) prob_[i] = 1.0;
+  for (int i : small) prob_[i] = 1.0;
+}
+
+int AliasTable::Sample(Pcg32* rng) const {
+  MLP_CHECK(ok());
+  int bucket = static_cast<int>(rng->UniformU32(static_cast<uint32_t>(size())));
+  return rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace stats
+}  // namespace mlp

@@ -1,0 +1,43 @@
+#ifndef MLP_STATS_ALIAS_TABLE_H_
+#define MLP_STATS_ALIAS_TABLE_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace mlp {
+namespace stats {
+
+/// Walker's alias method: O(n) construction, O(1) draws from a fixed
+/// discrete distribution. Used wherever the same weights are sampled many
+/// times (population-weighted city draws, per-city target tables in the
+/// network generator, the random tweeting model TR).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from unnormalized non-negative weights. All-zero or empty
+  /// weights produce an empty (unusable) table; check `ok()`.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// True when the table can be sampled from.
+  bool ok() const { return !prob_.empty(); }
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+  /// Draws an index in [0, size()). Requires ok().
+  int Sample(Pcg32* rng) const;
+
+  /// Probability mass of index `i` in the normalized distribution.
+  double Probability(int i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;     // acceptance probability per bucket
+  std::vector<int> alias_;       // alias index per bucket
+  std::vector<double> normalized_;
+};
+
+}  // namespace stats
+}  // namespace mlp
+
+#endif  // MLP_STATS_ALIAS_TABLE_H_

@@ -1,0 +1,34 @@
+#ifndef MLP_STATS_DESCRIPTIVE_H_
+#define MLP_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace mlp {
+namespace stats {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 for fewer than two points.
+double Variance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0,1]; 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+double Median(std::vector<double> xs);
+
+/// Pearson correlation; 0 when either side is constant or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Coefficient of determination of predictions vs. actuals; can be negative
+/// for fits worse than the mean; 0 on degenerate input.
+double RSquared(const std::vector<double>& actual,
+                const std::vector<double>& predicted);
+
+}  // namespace stats
+}  // namespace mlp
+
+#endif  // MLP_STATS_DESCRIPTIVE_H_

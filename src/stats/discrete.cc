@@ -1,0 +1,88 @@
+#include "stats/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace stats {
+
+double NormalizeInPlace(std::vector<double>* weights) {
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  if (weights->empty()) return total;
+  if (total <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(weights->size());
+    for (double& w : *weights) w = uniform;
+    return total;
+  }
+  for (double& w : *weights) w /= total;
+  return total;
+}
+
+double Entropy(const std::vector<double>& probs) {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<int> TopK(const std::vector<double>& weights, int k) {
+  std::vector<int> idx(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) idx[i] = static_cast<int>(i);
+  if (k < 0) k = 0;
+  k = std::min<int>(k, static_cast<int>(weights.size()));
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](int a, int b) {
+                      if (weights[a] != weights[b]) {
+                        return weights[a] > weights[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<int> AboveThreshold(const std::vector<double>& weights,
+                                double threshold) {
+  std::vector<int> idx;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] >= threshold) idx.push_back(static_cast<int>(i));
+  }
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  return idx;
+}
+
+void SparseCounts::Add(int32_t id, double delta) {
+  total_ += delta;
+  for (auto& [key, count] : entries_) {
+    if (key == id) {
+      count += delta;
+      MLP_CHECK_MSG(count > -1e-9, "SparseCounts went negative");
+      if (count < 0.0) count = 0.0;
+      return;
+    }
+  }
+  MLP_CHECK_MSG(delta > -1e-9, "SparseCounts decrement of missing id");
+  entries_.emplace_back(id, delta);
+}
+
+double SparseCounts::Get(int32_t id) const {
+  for (const auto& [key, count] : entries_) {
+    if (key == id) return count;
+  }
+  return 0.0;
+}
+
+void SparseCounts::Clear() {
+  entries_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace stats
+}  // namespace mlp

@@ -1,0 +1,51 @@
+#ifndef MLP_STATS_DISCRETE_H_
+#define MLP_STATS_DISCRETE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mlp {
+namespace stats {
+
+/// Normalizes non-negative weights in place to sum to 1; all-zero input
+/// becomes uniform. Returns the pre-normalization sum.
+double NormalizeInPlace(std::vector<double>* weights);
+
+/// Shannon entropy (nats) of a normalized distribution; treats zeros as 0.
+double Entropy(const std::vector<double>& probs);
+
+/// Indices of the `k` largest weights, descending by weight (ties broken by
+/// lower index first).
+std::vector<int> TopK(const std::vector<double>& weights, int k);
+
+/// Indices whose weight is >= threshold, descending by weight.
+std::vector<int> AboveThreshold(const std::vector<double>& weights,
+                                double threshold);
+
+/// Sparse counter keyed by small integer ids. Backed by a flat map of
+/// (id → count); the working sets here (candidate locations per user) are
+/// tiny, so linear probing over a small vector beats hashing.
+class SparseCounts {
+ public:
+  /// Adds `delta` to the count of `id` (may go to zero but not negative).
+  void Add(int32_t id, double delta);
+
+  double Get(int32_t id) const;
+  double total() const { return total_; }
+
+  const std::vector<std::pair<int32_t, double>>& entries() const {
+    return entries_;
+  }
+
+  void Clear();
+
+ private:
+  std::vector<std::pair<int32_t, double>> entries_;
+  double total_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace mlp
+
+#endif  // MLP_STATS_DISCRETE_H_

@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace stats {
+
+Histogram::Histogram(double bucket_width, int num_buckets)
+    : bucket_width_(bucket_width) {
+  MLP_CHECK(bucket_width > 0.0);
+  MLP_CHECK(num_buckets > 0);
+  counts_.assign(num_buckets, 0.0);
+}
+
+void Histogram::Add(double value, double weight) {
+  total_ += weight;
+  if (value < 0.0) value = 0.0;
+  int bucket = static_cast<int>(std::floor(value / bucket_width_));
+  if (bucket >= num_buckets()) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[bucket] += weight;
+}
+
+double Histogram::BucketCenter(int bucket) const {
+  return (static_cast<double>(bucket) + 0.5) * bucket_width_;
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+void Histogram::Clear() {
+  for (double& c : counts_) c = 0.0;
+  overflow_ = 0.0;
+  total_ = 0.0;
+}
+
+}  // namespace stats
+}  // namespace mlp

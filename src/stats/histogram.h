@@ -1,0 +1,46 @@
+#ifndef MLP_STATS_HISTOGRAM_H_
+#define MLP_STATS_HISTOGRAM_H_
+
+#include <vector>
+
+namespace mlp {
+namespace stats {
+
+/// Fixed-width histogram over [0, bucket_width * num_buckets); values past
+/// the top edge land in the overflow bucket. The paper buckets user-pair
+/// distances "by intervals of 1 mile" (Sec. 4.1); this is that structure.
+class Histogram {
+ public:
+  Histogram(double bucket_width, int num_buckets);
+
+  void Add(double value, double weight = 1.0);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double bucket_width() const { return bucket_width_; }
+  double count(int bucket) const { return counts_[bucket]; }
+  double overflow() const { return overflow_; }
+  double total() const { return total_; }
+
+  /// Bucket midpoint in value units.
+  double BucketCenter(int bucket) const;
+
+  /// All in-range bucket counts.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Normalized densities (counts / total, excluding nothing); zero total
+  /// yields all-zero.
+  std::vector<double> Normalized() const;
+
+  void Clear();
+
+ private:
+  double bucket_width_;
+  std::vector<double> counts_;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace mlp
+
+#endif  // MLP_STATS_HISTOGRAM_H_

@@ -1,0 +1,71 @@
+#include "stats/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlp {
+namespace stats {
+
+double PowerLaw::operator()(double d) const {
+  double p = beta * std::pow(d, alpha);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double PowerLaw::LogProb(double d) const {
+  return std::log(beta) + alpha * std::log(d);
+}
+
+Result<PowerLaw> FitPowerLaw(const std::vector<CurvePoint>& points) {
+  // Weighted least squares on (log x, log y).
+  double sw = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int usable = 0;
+  double first_logx = 0.0;
+  bool distinct_x = false;
+  for (const CurvePoint& p : points) {
+    if (p.x <= 0.0 || p.y <= 0.0 || p.weight <= 0.0) continue;
+    double lx = std::log(p.x);
+    double ly = std::log(p.y);
+    if (usable == 0) {
+      first_logx = lx;
+    } else if (lx != first_logx) {
+      distinct_x = true;
+    }
+    ++usable;
+    sw += p.weight;
+    sx += p.weight * lx;
+    sy += p.weight * ly;
+    sxx += p.weight * lx * lx;
+    sxy += p.weight * lx * ly;
+  }
+  if (usable < 2 || !distinct_x) {
+    return Status::InvalidArgument(
+        "power-law fit needs >=2 points with distinct positive x and y");
+  }
+  double denom = sw * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return Status::InvalidArgument("degenerate power-law fit (denominator~0)");
+  }
+  PowerLaw fit;
+  fit.alpha = (sw * sxy - sx * sy) / denom;
+  fit.beta = std::exp((sy - fit.alpha * sx) / sw);
+  return fit;
+}
+
+std::vector<CurvePoint> RatioCurve(const std::vector<double>& edge_counts,
+                                   const std::vector<double>& pair_counts,
+                                   double min_pairs) {
+  std::vector<CurvePoint> out;
+  size_t n = std::min(edge_counts.size(), pair_counts.size());
+  for (size_t d = 0; d < n; ++d) {
+    if (pair_counts[d] < min_pairs || edge_counts[d] <= 0.0) continue;
+    CurvePoint p;
+    p.x = static_cast<double>(d) + 0.5;  // bucket midpoint; keeps x > 0
+    p.y = edge_counts[d] / pair_counts[d];
+    p.weight = pair_counts[d];
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace mlp

@@ -1,0 +1,50 @@
+#ifndef MLP_STATS_POWER_LAW_H_
+#define MLP_STATS_POWER_LAW_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlp {
+namespace stats {
+
+/// The paper's location-based following model parameters (Eq. 1):
+/// P(f⟨i,j⟩ | α, β, x_i, y_j) = β · d(x_i, y_j)^α, with α≈-0.55 and
+/// β≈0.0045 learned from Twitter (Sec. 4.1, Fig. 3a).
+struct PowerLaw {
+  double alpha = -0.55;
+  double beta = 0.0045;
+
+  /// β·d^α, with probability clamped into [0, 1]. `d` must be > 0 (callers
+  /// clamp distances to the 1-mile floor first; see CityDistanceMatrix).
+  double operator()(double d) const;
+
+  /// log(β·d^α) without the [0,1] clamp; useful in log-likelihoods.
+  double LogProb(double d) const;
+};
+
+/// One (distance, probability) point of an empirical following-probability
+/// curve (the dots of Fig. 3a).
+struct CurvePoint {
+  double x = 0.0;  // distance in miles (> 0)
+  double y = 0.0;  // probability (> 0 to participate in the fit)
+  double weight = 1.0;  // e.g. number of pairs in the bucket
+};
+
+/// Weighted least-squares fit of log y = log β + α·log x. Points with
+/// non-positive x or y are skipped (log undefined); the fit needs at least
+/// two usable points with distinct x.
+Result<PowerLaw> FitPowerLaw(const std::vector<CurvePoint>& points);
+
+/// Builds the Fig-3a curve from bucketed counts: `edge_counts[d]` edges and
+/// `pair_counts[d]` user pairs in the d-th 1-mile bucket; probability is the
+/// ratio. Buckets with fewer than `min_pairs` pairs or zero edges are
+/// dropped (log-log fit cannot use them).
+std::vector<CurvePoint> RatioCurve(const std::vector<double>& edge_counts,
+                                   const std::vector<double>& pair_counts,
+                                   double min_pairs = 1.0);
+
+}  // namespace stats
+}  // namespace mlp
+
+#endif  // MLP_STATS_POWER_LAW_H_

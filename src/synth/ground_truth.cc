@@ -1,0 +1,16 @@
+#include "synth/ground_truth.h"
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace synth {
+
+geo::CityId SampleLocation(const TrueProfile& profile, Pcg32* rng) {
+  MLP_CHECK(!profile.locations.empty());
+  int idx = rng->Categorical(profile.weights);
+  if (idx < 0) idx = 0;
+  return profile.locations[idx];
+}
+
+}  // namespace synth
+}  // namespace mlp

@@ -1,0 +1,50 @@
+#include "synth/tweet_text.h"
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace synth {
+
+namespace {
+// No template word may appear in the venue vocabulary (city names or
+// landmarks); see TweetTextRoundtrip tests.
+constexpr const char* kTemplates[] = {
+    "good day from %s!",
+    "cant wait to visit %s next week",
+    "just got back from %s",
+    "missing %s so much right now",
+    "great evening out in %s tonight",
+    "traffic around %s is crazy today",
+    "whos coming to %s this weekend?",
+    "lovely sky over %s",
+    "quick stop in %s",
+    "finally heading to %s again",
+};
+constexpr int kNumTemplates =
+    static_cast<int>(sizeof(kTemplates) / sizeof(kTemplates[0]));
+}  // namespace
+
+TweetTextSynthesizer::TweetTextSynthesizer(uint64_t seed)
+    : rng_(seed, 0xabcdef1234567ULL) {}
+
+std::string TweetTextSynthesizer::Render(const std::string& venue_name) {
+  const char* pattern = kTemplates[rng_.UniformInt(0, kNumTemplates - 1)];
+  int size = std::snprintf(nullptr, 0, pattern, venue_name.c_str());
+  MLP_CHECK(size > 0);
+  std::string out(static_cast<size_t>(size), '\0');
+  std::snprintf(out.data(), out.size() + 1, pattern, venue_name.c_str());
+  return out;
+}
+
+std::vector<std::string> TweetTextSynthesizer::RenderTimeline(
+    const SyntheticWorld& world, graph::UserId user) {
+  std::vector<std::string> tweets;
+  for (graph::EdgeId k : world.graph->TweetEdges(user)) {
+    const graph::TweetingEdge& edge = world.graph->tweeting(k);
+    tweets.push_back(Render(world.vocab->venue(edge.venue).name));
+  }
+  return tweets;
+}
+
+}  // namespace synth
+}  // namespace mlp

@@ -1,0 +1,37 @@
+#ifndef MLP_SYNTH_TWEET_TEXT_H_
+#define MLP_SYNTH_TWEET_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/social_graph.h"
+#include "synth/world.h"
+
+namespace mlp {
+namespace synth {
+
+/// Renders tweet text around venue mentions. Templates deliberately contain
+/// no vocabulary words, so running text::VenueExtractor over the rendered
+/// tweets recovers exactly the venue multiset that generated them — the
+/// end-to-end text-pipeline tests rely on this roundtrip.
+class TweetTextSynthesizer {
+ public:
+  explicit TweetTextSynthesizer(uint64_t seed = 7);
+
+  /// One tweet mentioning `venue_name`.
+  std::string Render(const std::string& venue_name);
+
+  /// A user's full timeline: one tweet per tweeting relationship of `user`
+  /// in `world.graph`, in edge order.
+  std::vector<std::string> RenderTimeline(const SyntheticWorld& world,
+                                          graph::UserId user);
+
+ private:
+  Pcg32 rng_;
+};
+
+}  // namespace synth
+}  // namespace mlp
+
+#endif  // MLP_SYNTH_TWEET_TEXT_H_

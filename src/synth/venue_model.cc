@@ -1,0 +1,59 @@
+#include "synth/venue_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/discrete.h"
+
+namespace mlp {
+namespace synth {
+
+TrueVenueModel::TrueVenueModel(const geo::Gazetteer& gazetteer,
+                               const text::VenueVocabulary& vocab,
+                               const geo::CityDistanceMatrix& distances,
+                               const VenueModelParams& params) {
+  const int num_venues = vocab.size();
+  const int num_cities = gazetteer.size();
+  MLP_CHECK(num_venues > 0 && num_cities > 0);
+  MLP_CHECK(std::abs(params.local_mass + params.global_mass +
+                     params.uniform_mass - 1.0) < 1e-9);
+
+  // Global popularity: a venue is popular in proportion to the population
+  // of its referent cities, superlinearly (big-city venues dominate chatter).
+  global_.assign(num_venues, 0.0);
+  for (int v = 0; v < num_venues; ++v) {
+    for (geo::CityId r : vocab.venue(v).referents) {
+      global_[v] +=
+          std::pow(static_cast<double>(gazetteer.city(r).population), 1.1);
+    }
+  }
+  stats::NormalizeInPlace(&global_);
+
+  per_city_.assign(num_cities, {});
+  const double uniform = 1.0 / static_cast<double>(num_venues);
+  for (geo::CityId c = 0; c < num_cities; ++c) {
+    // Local component: venues decay exponentially with the distance from
+    // this city to their nearest referent; the city's own name is boosted.
+    std::vector<double> local(num_venues, 0.0);
+    for (int v = 0; v < num_venues; ++v) {
+      double best = 0.0;
+      for (geo::CityId r : vocab.venue(v).referents) {
+        double w = std::exp(-distances.raw_miles(c, r) / params.decay_miles);
+        if (r == c) w *= params.own_city_boost;
+        if (w > best) best = w;
+      }
+      local[v] = best;
+    }
+    stats::NormalizeInPlace(&local);
+
+    std::vector<double>& psi = per_city_[c];
+    psi.assign(num_venues, 0.0);
+    for (int v = 0; v < num_venues; ++v) {
+      psi[v] = params.local_mass * local[v] + params.global_mass * global_[v] +
+               params.uniform_mass * uniform;
+    }
+  }
+}
+
+}  // namespace synth
+}  // namespace mlp

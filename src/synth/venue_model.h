@@ -1,0 +1,54 @@
+#ifndef MLP_SYNTH_VENUE_MODEL_H_
+#define MLP_SYNTH_VENUE_MODEL_H_
+
+#include <vector>
+
+#include "geo/distance_matrix.h"
+#include "geo/gazetteer.h"
+#include "text/venue_vocab.h"
+
+namespace mlp {
+namespace synth {
+
+/// Construction parameters for the true per-city tweeting distributions
+/// ψ_true (mirrors WorldConfig's tweeting block).
+struct VenueModelParams {
+  double local_mass = 0.60;
+  double global_mass = 0.30;
+  double uniform_mass = 0.10;
+  double decay_miles = 50.0;
+  double own_city_boost = 3.0;
+};
+
+/// The true location-based tweeting models: one multinomial over venues V
+/// per city, matching the paper's Fig-3(b) observations — a city's own and
+/// nearby venues carry high mass, far-but-popular venues (Hollywood seen
+/// from Austin) carry small-but-nonzero mass, and mass is not monotonic in
+/// distance.
+class TrueVenueModel {
+ public:
+  TrueVenueModel(const geo::Gazetteer& gazetteer,
+                 const text::VenueVocabulary& vocab,
+                 const geo::CityDistanceMatrix& distances,
+                 const VenueModelParams& params);
+
+  /// ψ_true(city): normalized venue distribution (size = vocab.size()).
+  const std::vector<double>& CityDistribution(geo::CityId city) const {
+    return per_city_[city];
+  }
+
+  /// The global popularity distribution — also the generator's random
+  /// tweeting model TR_true.
+  const std::vector<double>& GlobalPopularity() const { return global_; }
+
+  int num_venues() const { return static_cast<int>(global_.size()); }
+
+ private:
+  std::vector<std::vector<double>> per_city_;
+  std::vector<double> global_;
+};
+
+}  // namespace synth
+}  // namespace mlp
+
+#endif  // MLP_SYNTH_VENUE_MODEL_H_

@@ -1,0 +1,35 @@
+#ifndef MLP_SYNTH_WORLD_H_
+#define MLP_SYNTH_WORLD_H_
+
+#include <memory>
+
+#include "geo/distance_matrix.h"
+#include "geo/gazetteer.h"
+#include "graph/social_graph.h"
+#include "synth/ground_truth.h"
+#include "synth/world_config.h"
+#include "text/venue_vocab.h"
+
+namespace mlp {
+namespace synth {
+
+/// A generated dataset: gazetteer (candidate locations L), venue vocabulary
+/// V, the observation graph (f 1:S and t 1:K plus registered locations), and
+/// the hidden ground truth the evaluation compares against.
+///
+/// Held behind unique_ptr members so the world is cheap to move while the
+/// graph and matrices stay address-stable for the model classes that keep
+/// pointers into them.
+struct SyntheticWorld {
+  WorldConfig config;
+  std::unique_ptr<geo::Gazetteer> gazetteer;
+  std::unique_ptr<geo::CityDistanceMatrix> distances;
+  std::unique_ptr<text::VenueVocabulary> vocab;
+  std::unique_ptr<graph::SocialGraph> graph;
+  GroundTruth truth;
+};
+
+}  // namespace synth
+}  // namespace mlp
+
+#endif  // MLP_SYNTH_WORLD_H_

@@ -1,0 +1,362 @@
+#include "synth/world_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "stats/alias_table.h"
+#include "synth/venue_model.h"
+#include "text/profile_parser.h"
+
+namespace mlp {
+namespace synth {
+
+namespace {
+
+using geo::CityId;
+using graph::UserId;
+
+/// Phrases that fail the "city, state" parsing rules — the nonsensical,
+/// general, or blank registered locations the paper describes.
+constexpr const char* kUnparseableProfiles[] = {
+    "my home",   "CA",          "",           "earth",
+    "USA",       "worldwide",   "best coast", "in your heart",
+    "somewhere", "the universe"};
+
+class WorldGenerator {
+ public:
+  explicit WorldGenerator(const WorldConfig& config)
+      : config_(config), rng_(config.seed, 0x9e3779b97f4a7c15ULL) {}
+
+  Result<SyntheticWorld> Generate() {
+    MLP_RETURN_NOT_OK(Validate());
+    world_.config = config_;
+    world_.gazetteer =
+        std::make_unique<geo::Gazetteer>(geo::Gazetteer::FromEmbedded());
+    world_.distances = std::make_unique<geo::CityDistanceMatrix>(
+        *world_.gazetteer, /*floor_miles=*/1.0);
+    world_.vocab = std::make_unique<text::VenueVocabulary>(
+        text::VenueVocabulary::Build(*world_.gazetteer));
+    world_.graph =
+        std::make_unique<graph::SocialGraph>(world_.vocab->size());
+
+    GenerateProfiles();
+    PickCelebrities();
+    GenerateProfileStrings();
+    GenerateFollowing();
+    GenerateTweeting();
+    world_.graph->Finalize();
+    return std::move(world_);
+  }
+
+ private:
+  Status Validate() const {
+    if (config_.num_users < 2) {
+      return Status::InvalidArgument("num_users must be >= 2");
+    }
+    if (config_.primary_weight <= 0.0 || config_.primary_weight > 1.0) {
+      return Status::InvalidArgument("primary_weight must be in (0, 1]");
+    }
+    if (config_.max_locations < 1) {
+      return Status::InvalidArgument("max_locations must be >= 1");
+    }
+    if (std::abs(config_.local_mass + config_.global_mass +
+                 config_.uniform_mass - 1.0) > 1e-9) {
+      return Status::InvalidArgument("venue mixture masses must sum to 1");
+    }
+    if (config_.following_alpha >= 0.0) {
+      return Status::InvalidArgument("following_alpha must be negative");
+    }
+    return Status::OK();
+  }
+
+  void GenerateProfiles() {
+    const geo::Gazetteer& gaz = *world_.gazetteer;
+    stats::AliasTable population_alias(gaz.PopulationWeights());
+    world_.truth.profiles.resize(config_.num_users);
+
+    for (int u = 0; u < config_.num_users; ++u) {
+      TrueProfile& profile = world_.truth.profiles[u];
+      CityId home = population_alias.Sample(&rng_);
+      profile.locations.push_back(home);
+
+      int extra = 0;
+      if (config_.max_locations > 1 &&
+          rng_.Bernoulli(config_.multi_location_fraction)) {
+        extra = 1;
+        while (extra < config_.max_locations - 1 &&
+               !rng_.Bernoulli(config_.extra_location_stop_prob)) {
+          ++extra;
+        }
+      }
+      for (int e = 0; e < extra; ++e) {
+        CityId loc = rng_.Bernoulli(config_.faraway_extra_fraction)
+                         ? SampleFarawayCity(profile, population_alias)
+                         : SampleNearbyCity(home);
+        if (loc == geo::kInvalidCity) continue;
+        if (std::find(profile.locations.begin(), profile.locations.end(),
+                      loc) != profile.locations.end()) {
+          continue;
+        }
+        profile.locations.push_back(loc);
+      }
+
+      const size_t n = profile.locations.size();
+      profile.weights.assign(n, 0.0);
+      if (n == 1) {
+        profile.weights[0] = 1.0;
+      } else {
+        profile.weights[0] = config_.primary_weight;
+        double rest = (1.0 - config_.primary_weight) /
+                      static_cast<double>(n - 1);
+        for (size_t i = 1; i < n; ++i) profile.weights[i] = rest;
+      }
+    }
+
+    // Per-city user mass and membership, used by both generators below.
+    const int num_cities = gaz.size();
+    city_mass_.assign(num_cities, 0.0);
+    city_users_.assign(num_cities, {});
+    city_user_weights_.assign(num_cities, {});
+    for (int u = 0; u < config_.num_users; ++u) {
+      const TrueProfile& p = world_.truth.profiles[u];
+      for (size_t i = 0; i < p.locations.size(); ++i) {
+        CityId c = p.locations[i];
+        city_mass_[c] += p.weights[i];
+        city_users_[c].push_back(u);
+        city_user_weights_[c].push_back(p.weights[i]);
+      }
+    }
+    city_user_alias_.resize(num_cities);
+    for (int c = 0; c < num_cities; ++c) {
+      if (!city_users_[c].empty()) {
+        city_user_alias_[c] = stats::AliasTable(city_user_weights_[c]);
+      }
+    }
+    target_city_alias_.assign(num_cities, stats::AliasTable());
+  }
+
+  CityId SampleFarawayCity(const TrueProfile& profile,
+                           const stats::AliasTable& population_alias) {
+    const geo::CityDistanceMatrix& dist = *world_.distances;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      CityId candidate = population_alias.Sample(&rng_);
+      bool far_enough = true;
+      for (CityId existing : profile.locations) {
+        if (dist.raw_miles(existing, candidate) <
+            config_.min_extra_distance_miles) {
+          far_enough = false;
+          break;
+        }
+      }
+      if (far_enough) return candidate;
+    }
+    return geo::kInvalidCity;
+  }
+
+  CityId SampleNearbyCity(CityId home) {
+    const geo::Gazetteer& gaz = *world_.gazetteer;
+    const geo::CityDistanceMatrix& dist = *world_.distances;
+    std::vector<CityId> ring;
+    std::vector<double> weights;
+    for (CityId c = 0; c < gaz.size(); ++c) {
+      double d = dist.raw_miles(home, c);
+      if (c != home && d <= config_.nearby_radius_miles) {
+        ring.push_back(c);
+        weights.push_back(static_cast<double>(gaz.city(c).population));
+      }
+    }
+    if (ring.empty()) return geo::kInvalidCity;
+    int idx = rng_.Categorical(weights);
+    return idx < 0 ? geo::kInvalidCity : ring[idx];
+  }
+
+  void PickCelebrities() {
+    world_.truth.is_celebrity.assign(config_.num_users, false);
+    int want = std::min(config_.num_celebrities, config_.num_users / 2);
+    std::vector<UserId> ids(config_.num_users);
+    for (int u = 0; u < config_.num_users; ++u) ids[u] = u;
+    rng_.Shuffle(&ids);
+    celebrities_.assign(ids.begin(), ids.begin() + want);
+    std::vector<double> zipf(want);
+    for (int r = 0; r < want; ++r) {
+      world_.truth.is_celebrity[celebrities_[r]] = true;
+      zipf[r] = 1.0 / std::pow(static_cast<double>(r + 1),
+                               config_.celebrity_zipf_exponent);
+    }
+    if (want > 0) celebrity_alias_ = stats::AliasTable(zipf);
+  }
+
+  void GenerateProfileStrings() {
+    const geo::Gazetteer& gaz = *world_.gazetteer;
+    for (int u = 0; u < config_.num_users; ++u) {
+      graph::UserRecord record;
+      record.handle = StringPrintf("user%06d", u);
+      if (rng_.Bernoulli(config_.unparseable_profile_fraction)) {
+        int pick = rng_.UniformInt(
+            0, static_cast<int>(std::size(kUnparseableProfiles)) - 1);
+        record.profile_location = kUnparseableProfiles[pick];
+      } else {
+        CityId rendered = world_.truth.profiles[u].home();
+        if (rng_.Bernoulli(config_.wrong_label_fraction)) {
+          rendered = static_cast<CityId>(
+              rng_.UniformU32(static_cast<uint32_t>(gaz.size())));
+        }
+        const geo::City& city = gaz.city(rendered);
+        // Render with the formatting quirks real profiles show; all of
+        // these must survive the parser.
+        switch (rng_.UniformInt(0, 3)) {
+          case 0:
+            record.profile_location = city.name + ", " + city.state;
+            break;
+          case 1:
+            record.profile_location = ToLower(city.name) + ", " +
+                                      ToLower(city.state);
+            break;
+          case 2:
+            record.profile_location = city.name + " ,  " + city.state;
+            break;
+          default:
+            record.profile_location = ToLower(city.name) + ", " + city.state;
+            break;
+        }
+      }
+      std::optional<CityId> parsed =
+          text::ParseRegisteredLocation(record.profile_location, gaz);
+      record.registered_city = parsed.value_or(geo::kInvalidCity);
+      world_.graph->AddUser(std::move(record));
+    }
+  }
+
+  /// Lazily builds the alias table over target cities for source city x:
+  /// weight(c) = user-mass(c) · d(x, c)^α.
+  const stats::AliasTable& TargetCityAlias(CityId x) {
+    stats::AliasTable& table = target_city_alias_[x];
+    if (table.ok()) return table;
+    const geo::CityDistanceMatrix& dist = *world_.distances;
+    std::vector<double> weights(city_mass_.size(), 0.0);
+    for (size_t c = 0; c < city_mass_.size(); ++c) {
+      if (city_mass_[c] <= 0.0) continue;
+      weights[c] = city_mass_[c] *
+                   std::pow(dist.miles(x, static_cast<CityId>(c)),
+                            config_.following_alpha);
+      if (static_cast<CityId>(c) == x) weights[c] *= config_.same_city_boost;
+    }
+    table = stats::AliasTable(weights);
+    return table;
+  }
+
+  void GenerateFollowing() {
+    graph::SocialGraph& graph = *world_.graph;
+    std::vector<std::unordered_set<UserId>> friends(config_.num_users);
+    for (int i = 0; i < config_.num_users; ++i) {
+      int degree = rng_.Poisson(config_.avg_friends);
+      for (int slot = 0; slot < degree; ++slot) {
+        if (rng_.Bernoulli(config_.following_noise_fraction)) {
+          UserId j = SampleNoisyTarget(i, friends[i]);
+          if (j == graph::kInvalidUser) continue;
+          MLP_CHECK(graph.AddFollowing(i, j).ok());
+          friends[i].insert(j);
+          world_.truth.following.push_back(FollowingTruth{true,
+                                                          geo::kInvalidCity,
+                                                          geo::kInvalidCity});
+        } else {
+          CityId x = SampleLocation(world_.truth.profiles[i], &rng_);
+          const stats::AliasTable& targets = TargetCityAlias(x);
+          if (!targets.ok()) continue;
+          UserId j = graph::kInvalidUser;
+          CityId y = geo::kInvalidCity;
+          for (int attempt = 0; attempt < 10; ++attempt) {
+            CityId c = targets.Sample(&rng_);
+            UserId candidate =
+                city_users_[c][city_user_alias_[c].Sample(&rng_)];
+            if (candidate != i && friends[i].count(candidate) == 0) {
+              j = candidate;
+              y = c;
+              break;
+            }
+          }
+          if (j == graph::kInvalidUser) continue;
+          MLP_CHECK(graph.AddFollowing(i, j).ok());
+          friends[i].insert(j);
+          world_.truth.following.push_back(FollowingTruth{false, x, y});
+        }
+      }
+    }
+  }
+
+  UserId SampleNoisyTarget(UserId self,
+                           const std::unordered_set<UserId>& existing) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      UserId j;
+      if (celebrity_alias_.ok() &&
+          rng_.Bernoulli(config_.celebrity_noise_share)) {
+        j = celebrities_[celebrity_alias_.Sample(&rng_)];
+      } else {
+        j = static_cast<UserId>(
+            rng_.UniformU32(static_cast<uint32_t>(config_.num_users)));
+      }
+      if (j != self && existing.count(j) == 0) return j;
+    }
+    return graph::kInvalidUser;
+  }
+
+  void GenerateTweeting() {
+    VenueModelParams params;
+    params.local_mass = config_.local_mass;
+    params.global_mass = config_.global_mass;
+    params.uniform_mass = config_.uniform_mass;
+    params.decay_miles = config_.venue_decay_miles;
+    params.own_city_boost = config_.own_city_boost;
+    TrueVenueModel model(*world_.gazetteer, *world_.vocab, *world_.distances,
+                         params);
+
+    stats::AliasTable global_alias(model.GlobalPopularity());
+    std::vector<stats::AliasTable> city_alias(world_.gazetteer->size());
+
+    graph::SocialGraph& graph = *world_.graph;
+    for (int u = 0; u < config_.num_users; ++u) {
+      int count = rng_.Poisson(config_.avg_tweeted_venues);
+      for (int t = 0; t < count; ++t) {
+        if (rng_.Bernoulli(config_.tweeting_noise_fraction)) {
+          int v = global_alias.Sample(&rng_);
+          MLP_CHECK(graph.AddTweeting(u, v).ok());
+          world_.truth.tweeting.push_back(
+              TweetingTruth{true, geo::kInvalidCity});
+        } else {
+          CityId z = SampleLocation(world_.truth.profiles[u], &rng_);
+          if (!city_alias[z].ok()) {
+            city_alias[z] = stats::AliasTable(model.CityDistribution(z));
+          }
+          int v = city_alias[z].Sample(&rng_);
+          MLP_CHECK(graph.AddTweeting(u, v).ok());
+          world_.truth.tweeting.push_back(TweetingTruth{false, z});
+        }
+      }
+    }
+  }
+
+  WorldConfig config_;
+  Pcg32 rng_;
+  SyntheticWorld world_;
+
+  std::vector<double> city_mass_;
+  std::vector<std::vector<UserId>> city_users_;
+  std::vector<std::vector<double>> city_user_weights_;
+  std::vector<stats::AliasTable> city_user_alias_;
+  std::vector<stats::AliasTable> target_city_alias_;
+  std::vector<UserId> celebrities_;
+  stats::AliasTable celebrity_alias_;
+};
+
+}  // namespace
+
+Result<SyntheticWorld> GenerateWorld(const WorldConfig& config) {
+  WorldGenerator generator(config);
+  return generator.Generate();
+}
+
+}  // namespace synth
+}  // namespace mlp

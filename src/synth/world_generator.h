@@ -1,0 +1,33 @@
+#ifndef MLP_SYNTH_WORLD_GENERATOR_H_
+#define MLP_SYNTH_WORLD_GENERATOR_H_
+
+#include "common/result.h"
+#include "synth/world.h"
+#include "synth/world_config.h"
+
+namespace mlp {
+namespace synth {
+
+/// Generates a synthetic Twitter world by running the paper's generative
+/// story forward with the embedded gazetteer:
+///
+///  1. Each user gets a true multi-location profile (population-weighted
+///     home; some users gain faraway or regional secondary locations).
+///  2. Following edges: a per-user Poisson out-degree; each edge is either
+///     noisy (celebrity/uniform target) or location-based — a location
+///     assignment x ~ θ_true(i), then a target city ∝ user-mass(c)·d(x,c)^α,
+///     then a user at that city ∝ θ_true(j)(c). The (x, c) pair is recorded
+///     as the edge's ground-truth explanation.
+///  3. Venue tweets: noisy draws from the popularity model TR_true, or
+///     z ~ θ_true(i) followed by v ~ ψ_true(z).
+///  4. Registered profile strings are rendered ("Austin, TX", case-mangled)
+///     and re-parsed through text::ParseRegisteredLocation, so labeled users
+///     are exactly those whose strings survive the paper's parsing rules.
+///
+/// Deterministic given config.seed.
+Result<SyntheticWorld> GenerateWorld(const WorldConfig& config);
+
+}  // namespace synth
+}  // namespace mlp
+
+#endif  // MLP_SYNTH_WORLD_GENERATOR_H_

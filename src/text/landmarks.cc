@@ -1,0 +1,126 @@
+#include "text/landmarks.h"
+
+namespace mlp {
+namespace text {
+
+namespace {
+constexpr LandmarkEntry kLandmarks[] = {
+    // New York
+    {"times square", "New York", "NY"},
+    {"central park", "New York", "NY"},
+    {"wall street", "New York", "NY"},
+    {"broadway", "New York", "NY"},
+    {"brooklyn", "New York", "NY"},
+    {"manhattan", "New York", "NY"},
+    {"harlem", "New York", "NY"},
+    {"bronx", "New York", "NY"},
+    {"madison square garden", "New York", "NY"},
+    {"empire state", "New York", "NY"},
+    {"statue of liberty", "New York", "NY"},
+    {"yankees", "New York", "NY"},
+    {"knicks", "New York", "NY"},
+    // Los Angeles area
+    {"hollywood", "Los Angeles", "CA"},
+    {"venice beach", "Los Angeles", "CA"},
+    {"sunset boulevard", "Los Angeles", "CA"},
+    {"staples center", "Los Angeles", "CA"},
+    {"griffith park", "Los Angeles", "CA"},
+    {"dodger stadium", "Los Angeles", "CA"},
+    {"lakers", "Los Angeles", "CA"},
+    {"rodeo drive", "Beverly Hills", "CA"},
+    {"santa monica pier", "Santa Monica", "CA"},
+    // San Francisco bay
+    {"golden gate", "San Francisco", "CA"},
+    {"alcatraz", "San Francisco", "CA"},
+    {"mission district", "San Francisco", "CA"},
+    {"lombard street", "San Francisco", "CA"},
+    {"fishermans wharf", "San Francisco", "CA"},
+    {"silicon valley", "San Jose", "CA"},
+    {"stanford university", "Palo Alto", "CA"},
+    {"uc berkeley", "Berkeley", "CA"},
+    // Chicago
+    {"navy pier", "Chicago", "IL"},
+    {"magnificent mile", "Chicago", "IL"},
+    {"wrigley field", "Chicago", "IL"},
+    {"millennium park", "Chicago", "IL"},
+    {"michigan avenue", "Chicago", "IL"},
+    {"cubs", "Chicago", "IL"},
+    // Boston
+    {"fenway park", "Boston", "MA"},
+    {"faneuil hall", "Boston", "MA"},
+    {"back bay", "Boston", "MA"},
+    {"patriots", "Boston", "MA"},
+    {"harvard square", "Cambridge", "MA"},
+    // Washington DC
+    {"national mall", "Washington", "DC"},
+    {"georgetown", "Washington", "DC"},
+    {"dupont circle", "Washington", "DC"},
+    {"white house", "Washington", "DC"},
+    // Austin (the paper's running example)
+    {"sixth street", "Austin", "TX"},
+    {"sxsw", "Austin", "TX"},
+    {"zilker park", "Austin", "TX"},
+    {"barton springs", "Austin", "TX"},
+    {"ut austin", "Austin", "TX"},
+    {"longhorns", "Austin", "TX"},
+    // Texas metros
+    {"alamo", "San Antonio", "TX"},
+    {"riverwalk", "San Antonio", "TX"},
+    {"spurs", "San Antonio", "TX"},
+    {"mavericks", "Dallas", "TX"},
+    {"rockets", "Houston", "TX"},
+    // Seattle
+    {"space needle", "Seattle", "WA"},
+    {"pike place", "Seattle", "WA"},
+    {"puget sound", "Seattle", "WA"},
+    {"lake union", "Seattle", "WA"},
+    {"seahawks", "Seattle", "WA"},
+    {"capitol hill", "Seattle", "WA"},
+    // The same name in a second city — deliberate ambiguity.
+    {"capitol hill", "Washington", "DC"},
+    {"broadway", "Nashville", "TN"},
+    // Nashville / Memphis
+    {"music row", "Nashville", "TN"},
+    {"grand ole opry", "Nashville", "TN"},
+    {"beale street", "Memphis", "TN"},
+    {"graceland", "Memphis", "TN"},
+    // New Orleans
+    {"french quarter", "New Orleans", "LA"},
+    {"bourbon street", "New Orleans", "LA"},
+    // Miami
+    {"south beach", "Miami", "FL"},
+    {"little havana", "Miami", "FL"},
+    {"calle ocho", "Miami", "FL"},
+    // Orlando / Anaheim
+    {"disney world", "Orlando", "FL"},
+    {"disneyland", "Anaheim", "CA"},
+    // Las Vegas
+    {"vegas", "Las Vegas", "NV"},
+    {"vegas strip", "Las Vegas", "NV"},
+    // Honolulu
+    {"waikiki", "Honolulu", "HI"},
+    {"pearl harbor", "Honolulu", "HI"},
+    // Other metros
+    {"mile high", "Denver", "CO"},
+    {"broncos", "Denver", "CO"},
+    {"gateway arch", "St. Louis", "MO"},
+    {"inner harbor", "Baltimore", "MD"},
+    {"mall of america", "Bloomington", "MN"},
+    {"buckhead", "Atlanta", "GA"},
+    {"braves", "Atlanta", "GA"},
+    {"packers", "Green Bay", "WI"},
+    {"gaslamp quarter", "San Diego", "CA"},
+    {"balboa park", "San Diego", "CA"},
+    {"liberty bell", "Philadelphia", "PA"},
+    {"bourbon", "New Orleans", "LA"},
+};
+constexpr int kNumLandmarks = sizeof(kLandmarks) / sizeof(kLandmarks[0]);
+}  // namespace
+
+const LandmarkEntry* EmbeddedLandmarks(int* count) {
+  *count = kNumLandmarks;
+  return kLandmarks;
+}
+
+}  // namespace text
+}  // namespace mlp

@@ -1,0 +1,23 @@
+#ifndef MLP_TEXT_LANDMARKS_H_
+#define MLP_TEXT_LANDMARKS_H_
+
+namespace mlp {
+namespace text {
+
+/// A non-city venue name (place or local entity — "Time Square", "Stanford
+/// University" in the paper's terminology) and the city it refers to. Some
+/// names appear twice with different cities ("broadway" → New York and
+/// Nashville): ambiguity is intentional and flows into venue referent sets.
+struct LandmarkEntry {
+  const char* name;        // lower-case, space-separated tokens (max 3)
+  const char* city_name;   // gazetteer city name
+  const char* city_state;  // USPS abbreviation
+};
+
+/// The embedded landmark table.
+const LandmarkEntry* EmbeddedLandmarks(int* count);
+
+}  // namespace text
+}  // namespace mlp
+
+#endif  // MLP_TEXT_LANDMARKS_H_

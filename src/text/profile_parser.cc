@@ -1,0 +1,34 @@
+#include "text/profile_parser.h"
+
+#include "common/string_util.h"
+#include "geo/us_states.h"
+
+namespace mlp {
+namespace text {
+
+std::optional<geo::CityId> ParseRegisteredLocation(
+    std::string_view raw, const geo::Gazetteer& gazetteer) {
+  std::string trimmed = Trim(raw);
+  if (trimmed.empty()) return std::nullopt;
+
+  // Must be exactly "city, state"; more commas means free-form text
+  // ("Augusta, GA/New London, CT" is handled by the multi-location labeling
+  // pipeline, not here — the paper treats such users as unlabeled for the
+  // home-location task too).
+  std::vector<std::string> parts = Split(trimmed, ',');
+  if (parts.size() != 2) return std::nullopt;
+
+  std::string city = Trim(parts[0]);
+  std::string state = Trim(parts[1]);
+  if (city.empty() || state.empty()) return std::nullopt;
+
+  // "CA" alone or "somewhere, earth" → reject via state normalization.
+  if (!geo::NormalizeState(state).has_value()) return std::nullopt;
+
+  geo::CityId id = gazetteer.Find(city, state);
+  if (id == geo::kInvalidCity) return std::nullopt;
+  return id;
+}
+
+}  // namespace text
+}  // namespace mlp

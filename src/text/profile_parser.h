@@ -1,0 +1,24 @@
+#ifndef MLP_TEXT_PROFILE_PARSER_H_
+#define MLP_TEXT_PROFILE_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "geo/gazetteer.h"
+
+namespace mlp {
+namespace text {
+
+/// Parses a raw Twitter registered-location string using the rules of
+/// Cheng et al. [8] that the paper adopts (Sec. 5 Data Collection):
+/// accept only city-level labels of the form "cityName, stateName" or
+/// "cityName, stateAbbreviation" where the city is in the gazetteer.
+/// Nonsensical ("my home"), general ("CA"), blank, or unknown-city strings
+/// yield nullopt — those users are unlabeled.
+std::optional<geo::CityId> ParseRegisteredLocation(
+    std::string_view raw, const geo::Gazetteer& gazetteer);
+
+}  // namespace text
+}  // namespace mlp
+
+#endif  // MLP_TEXT_PROFILE_PARSER_H_

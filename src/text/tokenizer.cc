@@ -1,0 +1,59 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace mlp {
+namespace text {
+
+namespace {
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool LooksLikeUrlStart(std::string_view text, size_t pos) {
+  return text.substr(pos, 7) == "http://" || text.substr(pos, 8) == "https://";
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (LooksLikeUrlStart(text, i)) {
+      // Skip to the next whitespace; URLs carry no venue signal.
+      while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      continue;
+    }
+    char c = text[i];
+    if (IsTokenChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if ((c == '\'' || c == '.') && !current.empty() && i + 1 < text.size() &&
+               IsTokenChar(text[i + 1])) {
+      // In-token apostrophe/period: drop it, keep the token running
+      // ("don't" → "dont", "st. " splits but "st.l" → "stl").
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+    ++i;
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens, size_t pos,
+                       size_t count) {
+  std::string out;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[pos + i];
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace mlp

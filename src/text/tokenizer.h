@@ -1,0 +1,25 @@
+#ifndef MLP_TEXT_TOKENIZER_H_
+#define MLP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlp {
+namespace text {
+
+/// Lower-cases and splits tweet text into word tokens. Letters and digits
+/// are token characters; apostrophes and periods inside a token are dropped
+/// ("st. louis" → ["st", "louis"]); everything else separates tokens.
+/// @-mentions and #hashtags keep their word part; URLs are skipped.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Joins `count` tokens starting at `pos` with single spaces
+/// ("los" + "angeles" → "los angeles"). Caller guarantees the range.
+std::string JoinTokens(const std::vector<std::string>& tokens, size_t pos,
+                       size_t count);
+
+}  // namespace text
+}  // namespace mlp
+
+#endif  // MLP_TEXT_TOKENIZER_H_

@@ -1,0 +1,47 @@
+#include "text/venue_extractor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace mlp {
+namespace text {
+
+VenueExtractor::VenueExtractor(const VenueVocabulary* vocab) : vocab_(vocab) {
+  MLP_CHECK(vocab_ != nullptr);
+}
+
+std::vector<VenueMention> VenueExtractor::Extract(
+    std::string_view tweet_text) const {
+  std::vector<VenueMention> mentions;
+  std::vector<std::string> tokens = Tokenize(tweet_text);
+  size_t max_window = static_cast<size_t>(vocab_->max_name_tokens());
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    size_t window = std::min(max_window, tokens.size() - pos);
+    bool matched = false;
+    for (size_t len = window; len >= 1; --len) {
+      std::string candidate = JoinTokens(tokens, pos, len);
+      std::optional<VenueId> id = vocab_->Find(candidate);
+      if (id.has_value()) {
+        mentions.push_back(VenueMention{*id, pos, len});
+        pos += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++pos;
+  }
+  return mentions;
+}
+
+std::vector<VenueId> VenueExtractor::ExtractIds(
+    std::string_view tweet_text) const {
+  std::vector<VenueId> ids;
+  for (const VenueMention& m : Extract(tweet_text)) ids.push_back(m.venue);
+  return ids;
+}
+
+}  // namespace text
+}  // namespace mlp

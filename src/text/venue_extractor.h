@@ -1,0 +1,41 @@
+#ifndef MLP_TEXT_VENUE_EXTRACTOR_H_
+#define MLP_TEXT_VENUE_EXTRACTOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/venue_vocab.h"
+
+namespace mlp {
+namespace text {
+
+/// One extracted venue mention.
+struct VenueMention {
+  VenueId venue = -1;
+  size_t token_begin = 0;  // index of the first matched token
+  size_t token_count = 0;
+};
+
+/// Extracts venue mentions from tweet text by greedy longest-match against
+/// the vocabulary (the paper extracts venues "based on the same gazetteer").
+/// "see you in los angeles" matches the 2-token venue "los angeles", not the
+/// city "angeles". Overlapping matches are resolved left-to-right.
+class VenueExtractor {
+ public:
+  /// `vocab` must outlive the extractor.
+  explicit VenueExtractor(const VenueVocabulary* vocab);
+
+  std::vector<VenueMention> Extract(std::string_view tweet_text) const;
+
+  /// Convenience: just the venue ids, one per mention (duplicates kept —
+  /// each mention is one tweeting relationship).
+  std::vector<VenueId> ExtractIds(std::string_view tweet_text) const;
+
+ private:
+  const VenueVocabulary* vocab_;
+};
+
+}  // namespace text
+}  // namespace mlp
+
+#endif  // MLP_TEXT_VENUE_EXTRACTOR_H_

@@ -1,0 +1,86 @@
+#include "text/venue_vocab.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/landmarks.h"
+#include "text/tokenizer.h"
+
+namespace mlp {
+namespace text {
+
+namespace {
+int CountTokens(std::string_view name) {
+  int tokens = 1;
+  for (char c : name) {
+    if (c == ' ') ++tokens;
+  }
+  return tokens;
+}
+}  // namespace
+
+VenueVocabulary VenueVocabulary::Build(const geo::Gazetteer& gazetteer) {
+  VenueVocabulary vocab;
+  vocab.city_name_venue_.assign(gazetteer.size(), -1);
+
+  auto intern = [&vocab](const std::string& name) -> VenueId {
+    auto it = vocab.by_name_.find(name);
+    if (it != vocab.by_name_.end()) return it->second;
+    Venue v;
+    v.name = name;
+    VenueId id = static_cast<VenueId>(vocab.venues_.size());
+    vocab.venues_.push_back(std::move(v));
+    vocab.by_name_[name] = id;
+    vocab.max_name_tokens_ =
+        std::max(vocab.max_name_tokens_, CountTokens(name));
+    return id;
+  };
+  auto add_referent = [&vocab](VenueId id, geo::CityId city) {
+    auto& refs = vocab.venues_[id].referents;
+    if (std::find(refs.begin(), refs.end(), city) == refs.end()) {
+      refs.push_back(city);
+    }
+  };
+
+  // City names first: "Princeton" becomes one venue whose referents are
+  // Princeton NJ and Princeton WV.
+  for (geo::CityId c = 0; c < gazetteer.size(); ++c) {
+    // Tokenize to normalize punctuation ("St. Louis" → "st louis") so tweet
+    // extraction and vocabulary agree on the key.
+    std::vector<std::string> tokens = Tokenize(gazetteer.city(c).name);
+    std::string name = JoinTokens(tokens, 0, tokens.size());
+    VenueId id = intern(name);
+    vocab.venues_[id].is_city_name = true;
+    add_referent(id, c);
+    vocab.city_name_venue_[c] = id;
+  }
+
+  int landmark_count = 0;
+  const LandmarkEntry* landmarks = EmbeddedLandmarks(&landmark_count);
+  for (int i = 0; i < landmark_count; ++i) {
+    geo::CityId city =
+        gazetteer.Find(landmarks[i].city_name, landmarks[i].city_state);
+    if (city == geo::kInvalidCity) continue;  // gazetteer subset in use
+    VenueId id = intern(landmarks[i].name);
+    add_referent(id, city);
+  }
+  return vocab;
+}
+
+std::optional<VenueId> VenueVocabulary::Find(std::string_view name) const {
+  auto it = by_name_.find(ToLower(Trim(name)));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::vector<geo::CityId>> VenueVocabulary::ReferentTable() const {
+  std::vector<std::vector<geo::CityId>> table(venues_.size());
+  for (size_t v = 0; v < venues_.size(); ++v) {
+    table[v] = venues_[v].referents;
+  }
+  return table;
+}
+
+}  // namespace text
+}  // namespace mlp

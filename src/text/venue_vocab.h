@@ -1,0 +1,61 @@
+#ifndef MLP_TEXT_VENUE_VOCAB_H_
+#define MLP_TEXT_VENUE_VOCAB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/gazetteer.h"
+
+namespace mlp {
+namespace text {
+
+using VenueId = int32_t;
+
+/// One venue name — a geo signal that can be tweeted. A venue may refer to
+/// several locations ("there are 19 towns named Princeton"): `referents`
+/// lists every gazetteer city the name may denote.
+struct Venue {
+  std::string name;  // lower-case, space-separated tokens
+  std::vector<geo::CityId> referents;
+  bool is_city_name = false;  // true when the name is a gazetteer city name
+};
+
+/// The venue vocabulary V (paper Tab. 1): all gazetteer city names plus the
+/// embedded landmark table, with referent sets merged by name.
+class VenueVocabulary {
+ public:
+  /// Builds city-name venues from `gazetteer` and merges in the landmark
+  /// table (entries whose city is missing from the gazetteer are skipped).
+  /// `gazetteer` must outlive the vocabulary.
+  static VenueVocabulary Build(const geo::Gazetteer& gazetteer);
+
+  int size() const { return static_cast<int>(venues_.size()); }
+  const Venue& venue(VenueId id) const { return venues_[id]; }
+
+  std::optional<VenueId> Find(std::string_view name) const;
+
+  /// Longest venue name in tokens (bounds the extractor's window).
+  int max_name_tokens() const { return max_name_tokens_; }
+
+  /// Referent city sets, indexed by VenueId (for candidacy vectors).
+  std::vector<std::vector<geo::CityId>> ReferentTable() const;
+
+  /// The canonical venue id of a city's own name.
+  VenueId CityNameVenue(geo::CityId city) const {
+    return city_name_venue_[city];
+  }
+
+ private:
+  std::vector<Venue> venues_;
+  std::unordered_map<std::string, VenueId> by_name_;
+  std::vector<VenueId> city_name_venue_;
+  int max_name_tokens_ = 1;
+};
+
+}  // namespace text
+}  // namespace mlp
+
+#endif  // MLP_TEXT_VENUE_VOCAB_H_

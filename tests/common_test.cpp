@@ -1,0 +1,366 @@
+// Unit tests for src/common: Status/Result, string utilities, and the
+// Pcg32 generator's distributional properties.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mlp {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, NotFoundPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsIOError());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+Status FailingFunction() { return Status::IOError("disk"); }
+Status PropagatingFunction() {
+  MLP_RETURN_NOT_OK(FailingFunction());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(PropagatingFunction().IsIOError());
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r = 10;
+  EXPECT_EQ(r.ValueOr(-1), 10);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+Result<int> QuarterEven(int x) {
+  MLP_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(QuarterEven(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterEven(3).ok());
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, ToLowerIsAsciiOnly) {
+  EXPECT_EQ(ToLower("Los Angeles, CA"), "los angeles, ca");
+  EXPECT_EQ(ToLower("ABC123xyz"), "abc123xyz");
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, JoinRoundtrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("houston tx", "hou"));
+  EXPECT_FALSE(StartsWith("hou", "houston"));
+  EXPECT_TRUE(EndsWith("houston tx", " tx"));
+  EXPECT_FALSE(EndsWith("tx", "houston tx"));
+}
+
+TEST(StringUtilTest, IsAlpha) {
+  EXPECT_TRUE(IsAlpha("Austin"));
+  EXPECT_FALSE(IsAlpha("Austin1"));
+  EXPECT_FALSE(IsAlpha(""));
+  EXPECT_FALSE(IsAlpha("a b"));
+}
+
+TEST(StringUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(Pcg32Test, DeterministicGivenSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Pcg32Test, UniformU32RespectsBound) {
+  Pcg32 rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t x = rng.UniformU32(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues reached
+}
+
+TEST(Pcg32Test, UniformIntCoversInclusiveRange) {
+  Pcg32 rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int x = rng.UniformInt(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32Test, BernoulliEdgeCases) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Pcg32Test, BernoulliMeanNearP) {
+  Pcg32 rng(5);
+  int hits = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.015);
+}
+
+TEST(Pcg32Test, NormalMomentsMatch) {
+  Pcg32 rng(13);
+  const int n = 50000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Pcg32Test, ExponentialMeanMatches) {
+  Pcg32 rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, GammaMeanMatchesShape) {
+  Pcg32 rng(19);
+  for (double shape : {0.5, 1.0, 3.0, 10.0}) {
+    const int n = 30000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.06) << "shape=" << shape;
+  }
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, SampleMeanNearParameter) {
+  double mean = GetParam();
+  Pcg32 rng(23);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(mean);
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 14.8, 29.0, 60.0));
+
+TEST(Pcg32Test, PoissonZeroMean) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Pcg32Test, CategoricalFollowsWeights) {
+  Pcg32 rng(29);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    int idx = rng.Categorical(w);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 4);
+    counts[idx]++;
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(Pcg32Test, CategoricalDegenerateInputs) {
+  Pcg32 rng(31);
+  EXPECT_EQ(rng.Categorical({}), -1);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0}), -1);
+}
+
+TEST(Pcg32Test, DirichletSumsToOne) {
+  Pcg32 rng(37);
+  auto draw = rng.Dirichlet({0.1, 0.5, 2.0, 10.0});
+  double total = 0.0;
+  for (double x : draw) {
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pcg32Test, DirichletMeanProportionalToAlpha) {
+  Pcg32 rng(41);
+  std::vector<double> alpha = {1.0, 4.0};
+  double sum0 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum0 += rng.Dirichlet(alpha)[0];
+  EXPECT_NEAR(sum0 / n, 0.2, 0.01);
+}
+
+TEST(Pcg32Test, ShuffleIsPermutation) {
+  Pcg32 rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Pcg32Test, ShuffleEmptyAndSingleton) {
+  Pcg32 rng(47);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 9);
+}
+
+TEST(Pcg32Test, ForkDecorrelates) {
+  Pcg32 parent(53);
+  Pcg32 child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU32() == child.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace mlp

@@ -1,0 +1,561 @@
+// Tests for src/core: priors/candidacy (Sec. 4.3), random models
+// (Sec. 4.2), the d^α table, pair-distance machinery (Sec. 4.1), the
+// location profile type, and planted-recovery properties of the full
+// Gibbs model (Sec. 4.5).
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/location_profile.h"
+#include "core/model.h"
+#include "core/pair_distance.h"
+#include "core/pow_table.h"
+#include "core/priors.h"
+#include "core/random_models.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "stats/alias_table.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace core {
+namespace {
+
+// ------------------------------------------------------- location profile
+
+TEST(LocationProfileTest, SortsByProbabilityDescending) {
+  LocationProfile p({{3, 0.2}, {7, 0.5}, {1, 0.3}});
+  EXPECT_EQ(p.Home(), 7);
+  EXPECT_EQ(p.TopK(2), (std::vector<geo::CityId>{7, 1}));
+  EXPECT_EQ(p.TopK(10).size(), 3u);
+}
+
+TEST(LocationProfileTest, TiesBrokenByCityId) {
+  LocationProfile p({{9, 0.5}, {2, 0.5}});
+  EXPECT_EQ(p.Home(), 2);
+}
+
+TEST(LocationProfileTest, EmptyProfile) {
+  LocationProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.Home(), geo::kInvalidCity);
+  EXPECT_TRUE(p.TopK(3).empty());
+  EXPECT_DOUBLE_EQ(p.ProbabilityOf(1), 0.0);
+}
+
+TEST(LocationProfileTest, ThresholdAndLookup) {
+  LocationProfile p({{1, 0.6}, {2, 0.3}, {3, 0.1}});
+  EXPECT_EQ(p.AboveThreshold(0.25), (std::vector<geo::CityId>{1, 2}));
+  EXPECT_EQ(p.AboveThreshold(0.99).size(), 0u);
+  EXPECT_DOUBLE_EQ(p.ProbabilityOf(2), 0.3);
+}
+
+// ------------------------------------------------------------- pow table
+
+TEST(PowTableTest, MatchesStdPow) {
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 1.0);
+  PowTable table(&dist, -0.55);
+  for (geo::CityId a = 0; a < gaz.size(); a += 53) {
+    for (geo::CityId b = 0; b < gaz.size(); b += 47) {
+      double expected = std::pow(dist.miles(a, b), -0.55);
+      EXPECT_NEAR(table.Get(a, b), expected, expected * 1e-5);
+    }
+  }
+}
+
+TEST(PowTableTest, RebuildChangesExponent) {
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 1.0);
+  PowTable table(&dist, -0.55);
+  geo::CityId la = gaz.Find("Los Angeles", "CA");
+  geo::CityId ny = gaz.Find("New York", "NY");
+  double before = table.Get(la, ny);
+  table.Rebuild(-1.0);
+  EXPECT_DOUBLE_EQ(table.alpha(), -1.0);
+  EXPECT_LT(table.Get(la, ny), before);  // steeper decay at long range
+  EXPECT_NEAR(table.Get(la, la), 1.0, 1e-6);  // 1^α = 1 at the floor
+}
+
+// ----------------------------------------------------------- random models
+
+TEST(RandomModelsTest, FollowingProbIsSOverNSquared) {
+  graph::SocialGraph g(2);
+  for (int i = 0; i < 4; ++i) g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddFollowing(2, 3).ok());
+  ASSERT_TRUE(g.AddTweeting(0, 1).ok());
+  ASSERT_TRUE(g.AddTweeting(1, 1).ok());
+  ASSERT_TRUE(g.AddTweeting(2, 0).ok());
+  g.Finalize();
+  RandomModels m = RandomModels::Learn(g);
+  EXPECT_DOUBLE_EQ(m.following_prob, 2.0 / 16.0);
+  ASSERT_EQ(m.venue_prob.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.venue_prob[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.venue_prob[1], 2.0 / 3.0);
+}
+
+TEST(RandomModelsTest, EmptyGraphSafe) {
+  graph::SocialGraph g(3);
+  g.Finalize();
+  RandomModels m = RandomModels::Learn(g);
+  EXPECT_DOUBLE_EQ(m.following_prob, 0.0);
+  for (double p : m.venue_prob) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+// ------------------------------------------------------------ pair distance
+
+TEST(PairDistanceTest, HistogramCountsOrderedPairsByCity) {
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 1.0);
+  geo::CityId austin = gaz.Find("Austin", "TX");
+  geo::CityId rr = gaz.Find("Round Rock", "TX");
+  // 3 users in Austin, 2 in Round Rock.
+  std::vector<geo::CityId> homes = {austin, austin, austin, rr, rr,
+                                    geo::kInvalidCity};
+  std::vector<double> hist = PairDistanceHistogram(homes, dist, 1.0, 100);
+  double total = 0.0;
+  for (double h : hist) total += h;
+  // Ordered pairs: 3·2 (austin-austin) + 2·1 (rr-rr) + 2·3·2 (cross) = 20.
+  EXPECT_DOUBLE_EQ(total, 20.0);
+  // Cross pairs land in the bucket of the Austin–Round Rock distance.
+  int bucket = static_cast<int>(dist.miles(austin, rr));
+  EXPECT_DOUBLE_EQ(hist[bucket], 12.0);
+}
+
+TEST(PairDistanceTest, EdgeHistogramSkipsUnlabeledEndpoints) {
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 1.0);
+  graph::SocialGraph g(0);
+  for (int i = 0; i < 3; ++i) g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddFollowing(1, 2).ok());
+  g.Finalize();
+  geo::CityId austin = gaz.Find("Austin", "TX");
+  std::vector<geo::CityId> homes = {austin, austin, geo::kInvalidCity};
+  std::vector<double> hist = EdgeDistanceHistogram(g, homes, dist, 1.0, 10);
+  double total = 0.0;
+  for (double h : hist) total += h;
+  EXPECT_DOUBLE_EQ(total, 1.0);  // only the 0→1 edge is fully labeled
+}
+
+TEST(PairDistanceTest, FitRecoversPlantedPowerLaw) {
+  // Build a labeled population and wire edges with probability β·d^α; the
+  // fit must recover (α, β) within sampling error.
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 1.0);
+  Pcg32 rng(77);
+  stats::AliasTable pop_alias(gaz.PopulationWeights());
+
+  const int n = 900;
+  graph::SocialGraph g(0);
+  std::vector<geo::CityId> homes(n);
+  for (int u = 0; u < n; ++u) {
+    homes[u] = pop_alias.Sample(&rng);
+    g.AddUser({});
+  }
+  stats::PowerLaw truth{-0.7, 0.3};
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.Bernoulli(truth(dist.miles(homes[i], homes[j])))) {
+        ASSERT_TRUE(g.AddFollowing(i, j).ok());
+      }
+    }
+  }
+  g.Finalize();
+  Result<stats::PowerLaw> fit =
+      FitFollowingPowerLaw(g, homes, dist, 1.0, 3000, 200.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, truth.alpha, 0.12);
+  EXPECT_NEAR(fit->beta, truth.beta, truth.beta * 0.4);
+}
+
+// ----------------------------------------------------------------- priors
+
+class PriorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    distances_ = std::make_unique<geo::CityDistanceMatrix>(gaz_, 1.0);
+    austin_ = gaz_.Find("Austin", "TX");
+    la_ = gaz_.Find("Los Angeles", "CA");
+    ny_ = gaz_.Find("New York", "NY");
+  }
+
+  ModelInput MakeInput(graph::SocialGraph* g,
+                       std::vector<geo::CityId> observed) {
+    ModelInput input;
+    input.gazetteer = &gaz_;
+    input.graph = g;
+    input.distances = distances_.get();
+    input.venue_referents = &referents_;
+    input.observed_home = std::move(observed);
+    return input;
+  }
+
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+  std::unique_ptr<geo::CityDistanceMatrix> distances_;
+  std::vector<std::vector<geo::CityId>> referents_;
+  geo::CityId austin_, la_, ny_;
+};
+
+TEST_F(PriorsTest, CandidatesComeFromNeighborsAndVenues) {
+  graph::SocialGraph g(1);
+  for (int i = 0; i < 3; ++i) g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());  // u0 follows u1 (home: austin)
+  ASSERT_TRUE(g.AddFollowing(2, 0).ok());  // u2 (home: la) follows u0
+  ASSERT_TRUE(g.AddTweeting(0, 0).ok());   // venue 0 refers to ny
+  g.Finalize();
+  referents_ = {{ny_}};
+  ModelInput input =
+      MakeInput(&g, {geo::kInvalidCity, austin_, la_});
+  MlpConfig config;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  // u0's candidates: friend's home (austin), follower's home (la), venue
+  // referent (ny).
+  EXPECT_EQ(priors[0].size(), 3);
+  EXPECT_GE(priors[0].IndexOf(austin_), 0);
+  EXPECT_GE(priors[0].IndexOf(la_), 0);
+  EXPECT_GE(priors[0].IndexOf(ny_), 0);
+  EXPECT_EQ(priors[0].IndexOf(gaz_.Find("Chicago", "IL")), -1);
+}
+
+TEST_F(PriorsTest, SourceFiltersCandidateEvidence) {
+  graph::SocialGraph g(1);
+  for (int i = 0; i < 2; ++i) g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddTweeting(0, 0).ok());
+  g.Finalize();
+  referents_ = {{ny_}};
+  ModelInput input = MakeInput(&g, {geo::kInvalidCity, austin_});
+
+  MlpConfig following_only;
+  following_only.source = ObservationSource::kFollowingOnly;
+  std::vector<UserPrior> pu = BuildPriors(input, following_only);
+  EXPECT_GE(pu[0].IndexOf(austin_), 0);
+  EXPECT_EQ(pu[0].IndexOf(ny_), -1);
+
+  MlpConfig tweeting_only;
+  tweeting_only.source = ObservationSource::kTweetingOnly;
+  std::vector<UserPrior> pc = BuildPriors(input, tweeting_only);
+  EXPECT_EQ(pc[0].IndexOf(austin_), -1);
+  EXPECT_GE(pc[0].IndexOf(ny_), 0);
+}
+
+TEST_F(PriorsTest, SupervisionBoostsObservedHome) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  g.Finalize();
+  ModelInput input = MakeInput(&g, {la_, austin_});
+  MlpConfig config;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  int own = priors[0].IndexOf(la_);
+  int other = priors[0].IndexOf(austin_);
+  ASSERT_GE(own, 0);
+  ASSERT_GE(other, 0);
+  EXPECT_DOUBLE_EQ(priors[0].gamma[own],
+                   config.tau + config.supervision_boost);
+  EXPECT_DOUBLE_EQ(priors[0].gamma[other], config.tau);
+  EXPECT_NEAR(priors[0].gamma_sum,
+              2 * config.tau + config.supervision_boost, 1e-12);
+}
+
+TEST_F(PriorsTest, SupervisionOffLeavesUniformPrior) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  g.Finalize();
+  ModelInput input = MakeInput(&g, {la_, austin_});
+  MlpConfig config;
+  config.use_supervision = false;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  for (double gamma : priors[0].gamma) {
+    EXPECT_DOUBLE_EQ(gamma, config.tau);
+  }
+}
+
+TEST_F(PriorsTest, FallbackToTopCitiesWhenNoEvidence) {
+  graph::SocialGraph g(0);
+  g.AddUser({});  // isolated unlabeled user
+  g.Finalize();
+  ModelInput input = MakeInput(&g, {geo::kInvalidCity});
+  MlpConfig config;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  EXPECT_EQ(priors[0].size(), config.fallback_top_cities);
+  EXPECT_GE(priors[0].IndexOf(ny_), 0);  // NY is the most populous
+}
+
+TEST_F(PriorsTest, CandidacyOffUsesAllLocations) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.Finalize();
+  ModelInput input = MakeInput(&g, {geo::kInvalidCity});
+  MlpConfig config;
+  config.use_candidacy = false;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  EXPECT_EQ(priors[0].size(), gaz_.size());
+}
+
+TEST_F(PriorsTest, IndexOfBinarySearch) {
+  UserPrior prior;
+  prior.candidates = {2, 5, 9, 40};
+  EXPECT_EQ(prior.IndexOf(2), 0);
+  EXPECT_EQ(prior.IndexOf(40), 3);
+  EXPECT_EQ(prior.IndexOf(7), -1);
+  EXPECT_EQ(prior.IndexOf(100), -1);
+}
+
+// ----------------------------------------------------- full model (planted)
+
+class MlpModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldConfig config;
+    config.num_users = 1500;
+    config.seed = 2024;
+    world_ = new synth::SyntheticWorld(
+        std::move(synth::GenerateWorld(config).ValueOrDie()));
+    referents_ = new std::vector<std::vector<geo::CityId>>(
+        world_->vocab->ReferentTable());
+    registered_ = new std::vector<geo::CityId>(
+        eval::RegisteredHomes(*world_->graph));
+    folds_ = new eval::FoldAssignment(
+        eval::MakeKFolds(*registered_, 5, 11));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete referents_;
+    delete registered_;
+    delete folds_;
+  }
+
+  ModelInput MakeInput() const {
+    ModelInput input;
+    input.gazetteer = world_->gazetteer.get();
+    input.graph = world_->graph.get();
+    input.distances = world_->distances.get();
+    input.venue_referents = referents_;
+    input.observed_home = folds_->MaskedHomes(*registered_, 0);
+    return input;
+  }
+
+  MlpConfig FastConfig() const {
+    MlpConfig config;
+    config.burn_in_iterations = 8;
+    config.sampling_iterations = 10;
+    return config;
+  }
+
+  static synth::SyntheticWorld* world_;
+  static std::vector<std::vector<geo::CityId>>* referents_;
+  static std::vector<geo::CityId>* registered_;
+  static eval::FoldAssignment* folds_;
+};
+
+synth::SyntheticWorld* MlpModelTest::world_ = nullptr;
+std::vector<std::vector<geo::CityId>>* MlpModelTest::referents_ = nullptr;
+std::vector<geo::CityId>* MlpModelTest::registered_ = nullptr;
+eval::FoldAssignment* MlpModelTest::folds_ = nullptr;
+
+TEST_F(MlpModelTest, ValidatesInput) {
+  MlpModel model(FastConfig());
+  ModelInput empty;
+  EXPECT_FALSE(model.Fit(empty).ok());
+
+  ModelInput bad_homes = MakeInput();
+  bad_homes.observed_home.pop_back();
+  EXPECT_FALSE(model.Fit(bad_homes).ok());
+
+  ModelInput bad_range = MakeInput();
+  bad_range.observed_home[0] = 99999;
+  EXPECT_FALSE(model.Fit(bad_range).ok());
+
+  MlpConfig bad_rho = FastConfig();
+  bad_rho.rho_f = 1.0;
+  EXPECT_FALSE(MlpModel(bad_rho).Fit(MakeInput()).ok());
+
+  MlpConfig bad_iters = FastConfig();
+  bad_iters.sampling_iterations = 0;
+  EXPECT_FALSE(MlpModel(bad_iters).Fit(MakeInput()).ok());
+
+  MlpConfig needs_referents = FastConfig();
+  ModelInput no_refs = MakeInput();
+  no_refs.venue_referents = nullptr;
+  EXPECT_FALSE(MlpModel(needs_referents).Fit(no_refs).ok());
+  // Following-only does not need referents.
+  needs_referents.source = ObservationSource::kFollowingOnly;
+  EXPECT_TRUE(MlpModel(needs_referents).Fit(no_refs).ok());
+}
+
+TEST_F(MlpModelTest, RecoversHiddenHomesWellAboveFallback) {
+  MlpModel model(FastConfig());
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+  std::vector<graph::UserId> test_users = folds_->TestUsers(0);
+  double acc = eval::AccuracyWithin(result->home, *registered_, test_users,
+                                    *world_->distances, 100.0);
+  EXPECT_GT(acc, 0.6);
+}
+
+TEST_F(MlpModelTest, ProfilesAreNormalizedDistributions) {
+  MlpModel model(FastConfig());
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+  for (const LocationProfile& p : result->profiles) {
+    ASSERT_FALSE(p.empty());
+    double total = 0.0;
+    double last = 1.0;
+    for (const auto& [city, prob] : p.entries()) {
+      EXPECT_GE(prob, 0.0);
+      EXPECT_LE(prob, last + 1e-12);  // sorted descending
+      last = prob;
+      total += prob;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST_F(MlpModelTest, LabeledUsersKeepObservedHome) {
+  // Supervision must anchor visible users at their registered location.
+  MlpModel model(FastConfig());
+  ModelInput input = MakeInput();
+  Result<MlpResult> result = model.Fit(input);
+  ASSERT_TRUE(result.ok());
+  int labeled = 0, kept = 0;
+  for (graph::UserId u = 0; u < world_->graph->num_users(); ++u) {
+    if (input.observed_home[u] == geo::kInvalidCity) continue;
+    ++labeled;
+    if (result->home[u] == input.observed_home[u]) ++kept;
+  }
+  ASSERT_GT(labeled, 0);
+  EXPECT_GT(static_cast<double>(kept) / labeled, 0.95);
+}
+
+TEST_F(MlpModelTest, ConvergenceTraceDecreases) {
+  MlpConfig config = FastConfig();
+  config.burn_in_iterations = 14;
+  MlpModel model(config);
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+  const std::vector<double>& trace = result->home_change_per_sweep;
+  ASSERT_GE(trace.size(), 10u);
+  // Fig. 5: change shrinks by the mid-teens sweeps. Average of the last 3
+  // sweeps must be well under the first sweep's change.
+  double head = trace[0];
+  double tail =
+      (trace[trace.size() - 1] + trace[trace.size() - 2] +
+       trace[trace.size() - 3]) / 3.0;
+  EXPECT_LT(tail, head * 0.5 + 1e-9);
+}
+
+TEST_F(MlpModelTest, NoiseProbIdentifiesCelebrityEdges) {
+  MlpConfig config = FastConfig();
+  // Match ρ_f to the generator's true noise rate so the posterior noise
+  // probabilities are calibrated rather than shrunk toward a mismatched
+  // prior.
+  config.rho_f = world_->config.following_noise_fraction;
+  config.rho_t = world_->config.tweeting_noise_fraction;
+  MlpModel model(config);
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+  double noisy_sum = 0.0, noisy_n = 0.0, clean_sum = 0.0, clean_n = 0.0;
+  for (size_t s = 0; s < world_->truth.following.size(); ++s) {
+    if (world_->truth.following[s].noisy) {
+      noisy_sum += result->following[s].noise_prob;
+      noisy_n += 1.0;
+    } else {
+      clean_sum += result->following[s].noise_prob;
+      clean_n += 1.0;
+    }
+  }
+  ASSERT_GT(noisy_n, 0.0);
+  ASSERT_GT(clean_n, 0.0);
+  // Truly-noisy edges must look materially noisier than location edges.
+  EXPECT_GT(noisy_sum / noisy_n, (clean_sum / clean_n) * 1.25);
+}
+
+TEST_F(MlpModelTest, ExplanationsOutperformHomeAssignmentOnMultiLocUsers) {
+  MlpModel model(FastConfig());
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+
+  // Score only location-based edges whose follower has >= 2 true locations
+  // and whose true x is NOT the follower's home — exactly the cases the
+  // home-based baseline cannot get right.
+  int correct = 0, total = 0;
+  for (size_t s = 0; s < world_->truth.following.size(); ++s) {
+    const synth::FollowingTruth& t = world_->truth.following[s];
+    if (t.noisy) continue;
+    graph::UserId follower = world_->graph->following(s).follower;
+    const synth::TrueProfile& profile = world_->truth.profiles[follower];
+    if (!profile.IsMultiLocation() || t.x == profile.home()) continue;
+    ++total;
+    if (world_->distances->raw_miles(result->following[s].x, t.x) <= 100.0) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(total, 50);
+  // The home baseline scores 0 on these by construction; MLP must catch a
+  // solid fraction.
+  EXPECT_GT(static_cast<double>(correct) / total, 0.2);
+}
+
+TEST_F(MlpModelTest, SourceVariantsRun) {
+  for (ObservationSource source :
+       {ObservationSource::kFollowingOnly, ObservationSource::kTweetingOnly}) {
+    MlpConfig config = FastConfig();
+    config.source = source;
+    MlpModel model(config);
+    Result<MlpResult> result = model.Fit(MakeInput());
+    ASSERT_TRUE(result.ok());
+    std::vector<graph::UserId> test_users = folds_->TestUsers(0);
+    double acc = eval::AccuracyWithin(result->home, *registered_, test_users,
+                                      *world_->distances, 100.0);
+    EXPECT_GT(acc, 0.35) << "source=" << static_cast<int>(source);
+  }
+}
+
+TEST_F(MlpModelTest, DeterministicGivenSeed) {
+  MlpModel model(FastConfig());
+  Result<MlpResult> a = model.Fit(MakeInput());
+  Result<MlpResult> b = model.Fit(MakeInput());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->home, b->home);
+  for (size_t s = 0; s < a->following.size(); ++s) {
+    EXPECT_EQ(a->following[s].x, b->following[s].x);
+    EXPECT_EQ(a->following[s].y, b->following[s].y);
+  }
+}
+
+TEST_F(MlpModelTest, GibbsEmRefinesAlphaTowardTruth) {
+  MlpConfig config = FastConfig();
+  config.gibbs_em_rounds = 1;
+  MlpModel model(config);
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+  // After EM the exponent must remain a sane negative decay.
+  EXPECT_LT(result->alpha, -0.05);
+  EXPECT_GT(result->alpha, -2.0);
+  EXPECT_GT(result->beta, 0.0);
+}
+
+TEST_F(MlpModelTest, FitPowerLawFromDataChangesDefaults) {
+  MlpConfig config = FastConfig();
+  config.fit_power_law_from_data = true;
+  MlpModel model(config);
+  Result<MlpResult> result = model.Fit(MakeInput());
+  ASSERT_TRUE(result.ok());
+  // The synthetic world is denser than Twitter; β must have moved off the
+  // paper default.
+  EXPECT_NE(result->beta, 0.0045);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace mlp

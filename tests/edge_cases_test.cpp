@@ -1,0 +1,204 @@
+// Degenerate and boundary inputs across the public API: tiny graphs,
+// missing observation types, isolated users, fully labeled or fully
+// unlabeled populations. Everything must return cleanly (OK or a precise
+// error Status) — never crash.
+
+#include <gtest/gtest.h>
+
+#include "baselines/base_c.h"
+#include "baselines/base_u.h"
+#include "core/model.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    distances_ = std::make_unique<geo::CityDistanceMatrix>(gaz_, 1.0);
+    austin_ = gaz_.Find("Austin", "TX");
+    la_ = gaz_.Find("Los Angeles", "CA");
+  }
+
+  core::ModelInput InputFor(graph::SocialGraph* g,
+                            std::vector<geo::CityId> homes) {
+    core::ModelInput input;
+    input.gazetteer = &gaz_;
+    input.graph = g;
+    input.distances = distances_.get();
+    input.venue_referents = &referents_;
+    input.observed_home = std::move(homes);
+    return input;
+  }
+
+  core::MlpConfig TinyConfig() {
+    core::MlpConfig config;
+    config.burn_in_iterations = 2;
+    config.sampling_iterations = 2;
+    return config;
+  }
+
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+  std::unique_ptr<geo::CityDistanceMatrix> distances_;
+  std::vector<std::vector<geo::CityId>> referents_;
+  geo::CityId austin_, la_;
+};
+
+TEST_F(EdgeCaseTest, TwoUsersOneEdge) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  g.Finalize();
+  core::ModelInput input = InputFor(&g, {austin_, geo::kInvalidCity});
+  core::MlpConfig config = TinyConfig();
+  config.source = core::ObservationSource::kFollowingOnly;
+  Result<core::MlpResult> result = core::MlpModel(config).Fit(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->home[0], austin_);
+  // The unlabeled friend's only evidence is the Austin neighbor.
+  EXPECT_EQ(result->home[1], austin_);
+}
+
+TEST_F(EdgeCaseTest, NoFollowingEdgesTweetingOnlyWorld) {
+  graph::SocialGraph g(1);
+  referents_ = {{la_}};
+  g.AddUser({});
+  g.AddUser({});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(g.AddTweeting(1, 0).ok());
+  g.Finalize();
+  core::ModelInput input = InputFor(&g, {la_, geo::kInvalidCity});
+  Result<core::MlpResult> result =
+      core::MlpModel(TinyConfig()).Fit(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->home[1], la_);
+  EXPECT_TRUE(result->following.empty());
+}
+
+TEST_F(EdgeCaseTest, NoTweetsWithBothSources) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  g.Finalize();
+  core::ModelInput input = InputFor(&g, {austin_, geo::kInvalidCity});
+  Result<core::MlpResult> result = core::MlpModel(TinyConfig()).Fit(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tweeting.empty());
+}
+
+TEST_F(EdgeCaseTest, IsolatedUserGetsFallbackProfile) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.Finalize();
+  core::ModelInput input = InputFor(&g, {geo::kInvalidCity});
+  Result<core::MlpResult> result = core::MlpModel(TinyConfig()).Fit(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->home[0], geo::kInvalidCity);
+  EXPECT_FALSE(result->profiles[0].empty());
+}
+
+TEST_F(EdgeCaseTest, FullyUnlabeledPopulationStillRuns) {
+  graph::SocialGraph g(0);
+  for (int i = 0; i < 6; ++i) g.AddUser({});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(g.AddFollowing(i, i + 1).ok());
+  g.Finalize();
+  core::ModelInput input =
+      InputFor(&g, std::vector<geo::CityId>(6, geo::kInvalidCity));
+  Result<core::MlpResult> result = core::MlpModel(TinyConfig()).Fit(input);
+  ASSERT_TRUE(result.ok());  // power-law fit fails; defaults kick in
+  for (geo::CityId home : result->home) {
+    EXPECT_NE(home, geo::kInvalidCity);
+  }
+}
+
+TEST_F(EdgeCaseTest, FullyLabeledPopulation) {
+  graph::SocialGraph g(0);
+  for (int i = 0; i < 4; ++i) g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddFollowing(2, 3).ok());
+  g.Finalize();
+  core::ModelInput input =
+      InputFor(&g, {austin_, austin_, la_, la_});
+  Result<core::MlpResult> result = core::MlpModel(TinyConfig()).Fit(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->home[0], austin_);
+  EXPECT_EQ(result->home[3], la_);
+}
+
+TEST_F(EdgeCaseTest, BaselinesHandleEmptyEvidence) {
+  graph::SocialGraph g(0);
+  g.AddUser({});
+  g.Finalize();
+  core::ModelInput input = InputFor(&g, {geo::kInvalidCity});
+  Result<baselines::BaselineResult> u = baselines::BaseU().Fit(input);
+  ASSERT_TRUE(u.ok());
+  EXPECT_NE(u->home[0], geo::kInvalidCity);
+  Result<baselines::BaselineResult> c = baselines::BaseC().Fit(input);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->home[0], geo::kInvalidCity);
+}
+
+TEST_F(EdgeCaseTest, KFoldsOnTinyLabeledSet) {
+  // Fewer labeled users than folds: some folds are empty, none crash.
+  std::vector<geo::CityId> registered = {austin_, geo::kInvalidCity, la_};
+  eval::FoldAssignment folds = eval::MakeKFolds(registered, 5, 2);
+  int total_test = 0;
+  for (int f = 0; f < 5; ++f) {
+    total_test += static_cast<int>(folds.TestUsers(f).size());
+  }
+  EXPECT_EQ(total_test, 2);
+}
+
+TEST_F(EdgeCaseTest, MetricsOnEmptySets) {
+  EXPECT_DOUBLE_EQ(
+      eval::AccuracyWithin({}, {}, {}, *distances_, 100.0), 0.0);
+  eval::MultiLocationScores scores =
+      eval::DistancePrecisionRecall({}, {}, {}, *distances_, 100.0);
+  EXPECT_DOUBLE_EQ(scores.dp, 0.0);
+  EXPECT_DOUBLE_EQ(scores.dr, 0.0);
+  EXPECT_DOUBLE_EQ(
+      eval::RelationshipAccuracy({}, {}, {}, *distances_, 100.0), 0.0);
+}
+
+TEST_F(EdgeCaseTest, MinimalWorldGenerates) {
+  synth::WorldConfig config;
+  config.num_users = 2;
+  config.seed = 3;
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->graph->num_users(), 2);
+  EXPECT_TRUE(world->graph->finalized());
+}
+
+TEST_F(EdgeCaseTest, SingleLocationWorld) {
+  synth::WorldConfig config;
+  config.num_users = 50;
+  config.seed = 4;
+  config.multi_location_fraction = 0.0;
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  ASSERT_TRUE(world.ok());
+  for (const synth::TrueProfile& p : world->truth.profiles) {
+    EXPECT_EQ(p.locations.size(), 1u);
+    EXPECT_DOUBLE_EQ(p.weights[0], 1.0);
+  }
+}
+
+TEST_F(EdgeCaseTest, MaxLocationsOneForcesSingle) {
+  synth::WorldConfig config;
+  config.num_users = 50;
+  config.seed = 5;
+  config.multi_location_fraction = 1.0;
+  config.max_locations = 1;
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  ASSERT_TRUE(world.ok());
+  for (const synth::TrueProfile& p : world->truth.profiles) {
+    EXPECT_EQ(p.locations.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mlp

@@ -1,0 +1,263 @@
+// Tests for src/eval: the paper's measures (ACC@m, AAD, DP/DR@K,
+// relationship accuracy), k-fold machinery, and the method adapters.
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/methods.h"
+#include "eval/metrics.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace eval {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dist_ = std::make_unique<geo::CityDistanceMatrix>(gaz_, 1.0);
+    la_ = gaz_.Find("Los Angeles", "CA");
+    sm_ = gaz_.Find("Santa Monica", "CA");     // ~15 mi from LA
+    sd_ = gaz_.Find("San Diego", "CA");        // ~110 mi from LA
+    ny_ = gaz_.Find("New York", "NY");
+    austin_ = gaz_.Find("Austin", "TX");
+  }
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+  std::unique_ptr<geo::CityDistanceMatrix> dist_;
+  geo::CityId la_, sm_, sd_, ny_, austin_;
+};
+
+// ------------------------------------------------------------------ ACC@m
+
+TEST_F(MetricsTest, ExactMatchesCount) {
+  std::vector<geo::CityId> pred = {la_, ny_};
+  std::vector<geo::CityId> truth = {la_, austin_};
+  EXPECT_DOUBLE_EQ(AccuracyWithin(pred, truth, {0, 1}, *dist_, 100.0), 0.5);
+}
+
+TEST_F(MetricsTest, NearMissWithinThresholdCounts) {
+  std::vector<geo::CityId> pred = {sm_};
+  std::vector<geo::CityId> truth = {la_};
+  EXPECT_DOUBLE_EQ(AccuracyWithin(pred, truth, {0}, *dist_, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyWithin(pred, truth, {0}, *dist_, 5.0), 0.0);
+}
+
+TEST_F(MetricsTest, InvalidPredictionIsWrong) {
+  std::vector<geo::CityId> pred = {geo::kInvalidCity};
+  std::vector<geo::CityId> truth = {la_};
+  EXPECT_DOUBLE_EQ(AccuracyWithin(pred, truth, {0}, *dist_, 1e9), 0.0);
+}
+
+TEST_F(MetricsTest, EmptyUserSetGivesZero) {
+  EXPECT_DOUBLE_EQ(AccuracyWithin({}, {}, {}, *dist_, 100.0), 0.0);
+}
+
+TEST_F(MetricsTest, OnlyListedUsersScored) {
+  std::vector<geo::CityId> pred = {la_, ny_};
+  std::vector<geo::CityId> truth = {la_, austin_};
+  EXPECT_DOUBLE_EQ(AccuracyWithin(pred, truth, {0}, *dist_, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyWithin(pred, truth, {1}, *dist_, 100.0), 0.0);
+}
+
+TEST_F(MetricsTest, AadCurveIsMonotone) {
+  std::vector<geo::CityId> pred = {la_, sm_, sd_, ny_};
+  std::vector<geo::CityId> truth = {la_, la_, la_, la_};
+  std::vector<double> miles = {0.0, 20.0, 50.0, 120.0, 3000.0};
+  std::vector<double> curve =
+      AccumulativeAccuracyCurve(pred, truth, {0, 1, 2, 3}, *dist_, miles);
+  ASSERT_EQ(curve.size(), miles.size());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(curve[0], 0.25);        // exact only
+  EXPECT_DOUBLE_EQ(curve[1], 0.5);         // + Santa Monica
+  EXPECT_DOUBLE_EQ(curve[3], 0.75);        // + San Diego
+  EXPECT_DOUBLE_EQ(curve.back(), 1.0);     // everything
+}
+
+// ------------------------------------------------------------------ DP/DR
+
+TEST_F(MetricsTest, PerfectPredictionScoresOne) {
+  std::vector<std::vector<geo::CityId>> pred = {{la_, austin_}};
+  std::vector<std::vector<geo::CityId>> truth = {{la_, austin_}};
+  MultiLocationScores s =
+      DistancePrecisionRecall(pred, truth, {0}, *dist_, 100.0);
+  EXPECT_DOUBLE_EQ(s.dp, 1.0);
+  EXPECT_DOUBLE_EQ(s.dr, 1.0);
+}
+
+TEST_F(MetricsTest, NearbyPredictionCountsTowardBoth) {
+  // Paper: "a predicted location (Santa Monica) may be different from but
+  // fairly close to a true location (Beverly Hills)".
+  std::vector<std::vector<geo::CityId>> pred = {{sm_}};
+  std::vector<std::vector<geo::CityId>> truth = {{la_}};
+  MultiLocationScores s =
+      DistancePrecisionRecall(pred, truth, {0}, *dist_, 100.0);
+  EXPECT_DOUBLE_EQ(s.dp, 1.0);
+  EXPECT_DOUBLE_EQ(s.dr, 1.0);
+}
+
+TEST_F(MetricsTest, OneRegionPredictionsHalveRecall) {
+  // Predicting LA twice for an {LA, Austin} user: DP=1 (both close to a
+  // truth), DR=0.5 (Austin never covered) — the baselines' failure mode.
+  std::vector<std::vector<geo::CityId>> pred = {{la_, sm_}};
+  std::vector<std::vector<geo::CityId>> truth = {{la_, austin_}};
+  MultiLocationScores s =
+      DistancePrecisionRecall(pred, truth, {0}, *dist_, 100.0);
+  EXPECT_DOUBLE_EQ(s.dp, 1.0);
+  EXPECT_DOUBLE_EQ(s.dr, 0.5);
+}
+
+TEST_F(MetricsTest, WrongPredictionsLowerPrecision) {
+  std::vector<std::vector<geo::CityId>> pred = {{ny_, austin_}};
+  std::vector<std::vector<geo::CityId>> truth = {{la_, austin_}};
+  MultiLocationScores s =
+      DistancePrecisionRecall(pred, truth, {0}, *dist_, 100.0);
+  EXPECT_DOUBLE_EQ(s.dp, 0.5);
+  EXPECT_DOUBLE_EQ(s.dr, 0.5);
+}
+
+TEST_F(MetricsTest, EmptyPredictionScoresZero) {
+  std::vector<std::vector<geo::CityId>> pred = {{}};
+  std::vector<std::vector<geo::CityId>> truth = {{la_}};
+  MultiLocationScores s =
+      DistancePrecisionRecall(pred, truth, {0}, *dist_, 100.0);
+  EXPECT_DOUBLE_EQ(s.dp, 0.0);
+  EXPECT_DOUBLE_EQ(s.dr, 0.0);
+}
+
+TEST_F(MetricsTest, AveragesAcrossUsers) {
+  std::vector<std::vector<geo::CityId>> pred = {{la_}, {ny_}};
+  std::vector<std::vector<geo::CityId>> truth = {{la_}, {la_}};
+  MultiLocationScores s =
+      DistancePrecisionRecall(pred, truth, {0, 1}, *dist_, 100.0);
+  EXPECT_DOUBLE_EQ(s.dp, 0.5);
+  EXPECT_DOUBLE_EQ(s.dr, 0.5);
+}
+
+// ------------------------------------------------- relationship accuracy
+
+TEST_F(MetricsTest, RelationshipNeedsBothEndpointsRight) {
+  std::vector<core::FollowingExplanation> pred(2);
+  pred[0] = {la_, austin_, 0.0};
+  pred[1] = {la_, ny_, 0.0};
+  std::vector<std::pair<geo::CityId, geo::CityId>> truth = {
+      {sm_, austin_},  // x within 100mi, y exact → correct
+      {la_, austin_},  // y wrong → incorrect
+  };
+  EXPECT_DOUBLE_EQ(RelationshipAccuracy(pred, truth, {0, 1}, *dist_, 100.0),
+                   0.5);
+  EXPECT_DOUBLE_EQ(RelationshipAccuracy(pred, truth, {0}, *dist_, 100.0),
+                   1.0);
+  // Tighter threshold: Santa Monica vs LA still inside 20mi.
+  EXPECT_DOUBLE_EQ(RelationshipAccuracy(pred, truth, {0}, *dist_, 20.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelationshipAccuracy(pred, truth, {0}, *dist_, 5.0), 0.0);
+}
+
+TEST_F(MetricsTest, RelationshipInvalidAssignmentWrong) {
+  std::vector<core::FollowingExplanation> pred(1);
+  pred[0] = {geo::kInvalidCity, austin_, 0.0};
+  std::vector<std::pair<geo::CityId, geo::CityId>> truth = {{la_, austin_}};
+  EXPECT_DOUBLE_EQ(RelationshipAccuracy(pred, truth, {0}, *dist_, 1e9), 0.0);
+}
+
+// ------------------------------------------------------- cross validation
+
+TEST(CrossValidationTest, FoldsPartitionLabeledUsers) {
+  std::vector<geo::CityId> registered = {1, 2, geo::kInvalidCity, 3,
+                                         4, 5, geo::kInvalidCity, 6};
+  FoldAssignment folds = MakeKFolds(registered, 3, 42);
+  EXPECT_EQ(folds.num_folds, 3);
+  int assigned = 0;
+  for (size_t u = 0; u < registered.size(); ++u) {
+    if (registered[u] == geo::kInvalidCity) {
+      EXPECT_EQ(folds.fold_of_user[u], -1);
+    } else {
+      EXPECT_GE(folds.fold_of_user[u], 0);
+      EXPECT_LT(folds.fold_of_user[u], 3);
+      ++assigned;
+    }
+  }
+  EXPECT_EQ(assigned, 6);
+  // Folds are near-equal: 2 users each.
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_EQ(folds.TestUsers(f).size(), 2u);
+  }
+}
+
+TEST(CrossValidationTest, MaskedHomesHideExactlyTheFold) {
+  std::vector<geo::CityId> registered = {1, 2, 3, 4, 5};
+  FoldAssignment folds = MakeKFolds(registered, 5, 7);
+  for (int f = 0; f < 5; ++f) {
+    std::vector<geo::CityId> masked = folds.MaskedHomes(registered, f);
+    int hidden = 0;
+    for (size_t u = 0; u < registered.size(); ++u) {
+      if (masked[u] == geo::kInvalidCity) {
+        ++hidden;
+        EXPECT_EQ(folds.fold_of_user[u], f);
+      } else {
+        EXPECT_EQ(masked[u], registered[u]);
+      }
+    }
+    EXPECT_EQ(hidden, 1);
+  }
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed) {
+  std::vector<geo::CityId> registered(100, 1);
+  FoldAssignment a = MakeKFolds(registered, 5, 9);
+  FoldAssignment b = MakeKFolds(registered, 5, 9);
+  EXPECT_EQ(a.fold_of_user, b.fold_of_user);
+  FoldAssignment c = MakeKFolds(registered, 5, 10);
+  EXPECT_NE(a.fold_of_user, c.fold_of_user);
+}
+
+// ----------------------------------------------------------------- methods
+
+TEST(MethodsTest, StandardLineupHasPaperOrder) {
+  std::vector<NamedMethod> lineup = StandardLineup(core::MlpConfig{});
+  ASSERT_EQ(lineup.size(), 5u);
+  EXPECT_EQ(lineup[0].name, "BaseU");
+  EXPECT_EQ(lineup[1].name, "BaseC");
+  EXPECT_EQ(lineup[2].name, "MLP_U");
+  EXPECT_EQ(lineup[3].name, "MLP_C");
+  EXPECT_EQ(lineup[4].name, "MLP");
+}
+
+TEST(MethodsTest, AdaptersProduceConsistentOutput) {
+  synth::WorldConfig config;
+  config.num_users = 600;
+  config.seed = 5;
+  synth::SyntheticWorld world =
+      std::move(synth::GenerateWorld(config).ValueOrDie());
+  auto referents = world.vocab->ReferentTable();
+  std::vector<geo::CityId> registered = RegisteredHomes(*world.graph);
+  FoldAssignment folds = MakeKFolds(registered, 5, 1);
+
+  core::ModelInput input;
+  input.gazetteer = world.gazetteer.get();
+  input.graph = world.graph.get();
+  input.distances = world.distances.get();
+  input.venue_referents = &referents;
+  input.observed_home = folds.MaskedHomes(registered, 0);
+
+  core::MlpConfig mlp_config;
+  mlp_config.burn_in_iterations = 4;
+  mlp_config.sampling_iterations = 4;
+  for (const NamedMethod& nm : StandardLineup(mlp_config)) {
+    Result<MethodOutput> out = nm.method(input);
+    ASSERT_TRUE(out.ok()) << nm.name;
+    EXPECT_EQ(static_cast<int>(out->home.size()), world.graph->num_users())
+        << nm.name;
+    EXPECT_EQ(out->profiles.size(), out->home.size()) << nm.name;
+    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+      if (!out->profiles[u].empty()) {
+        EXPECT_EQ(out->profiles[u].Home(), out->home[u]) << nm.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace mlp

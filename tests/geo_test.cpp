@@ -1,0 +1,287 @@
+// Unit tests for src/geo: haversine math, the embedded gazetteer, state
+// normalization, grid index radius queries, and the distance matrix.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/distance_matrix.h"
+#include "geo/gazetteer.h"
+#include "geo/grid_index.h"
+#include "geo/latlon.h"
+#include "geo/us_states.h"
+
+namespace mlp {
+namespace geo {
+namespace {
+
+// Well-known reference distances (city center to city center, miles).
+constexpr double kLaToSf = 347.0;     // Los Angeles – San Francisco
+constexpr double kNyToLa = 2445.0;    // New York – Los Angeles
+constexpr double kAustinToRr = 17.0;  // Austin – Round Rock
+
+// ---------------------------------------------------------------- latlon
+
+TEST(LatLonTest, ZeroDistanceToSelf) {
+  LatLon p{34.05, -118.24};
+  EXPECT_DOUBLE_EQ(HaversineMiles(p, p), 0.0);
+}
+
+TEST(LatLonTest, HaversineIsSymmetric) {
+  LatLon a{34.05, -118.24}, b{40.71, -74.01};
+  EXPECT_DOUBLE_EQ(HaversineMiles(a, b), HaversineMiles(b, a));
+}
+
+TEST(LatLonTest, KnownDistanceLaToNy) {
+  LatLon la{34.05, -118.24}, ny{40.71, -74.01};
+  EXPECT_NEAR(HaversineMiles(la, ny), kNyToLa, 30.0);
+}
+
+TEST(LatLonTest, OneDegreeLatitudeIsAbout69Miles) {
+  LatLon a{30.0, -97.0}, b{31.0, -97.0};
+  EXPECT_NEAR(HaversineMiles(a, b), 69.1, 0.5);
+}
+
+TEST(LatLonTest, ApproxMilesCloseToHaversineAtShortRange) {
+  LatLon a{34.05, -118.24}, b{34.42, -119.70};  // LA – Santa Barbara
+  double exact = HaversineMiles(a, b);
+  double approx = ApproxMiles(a, b);
+  EXPECT_NEAR(approx, exact, exact * 0.01 + 0.5);
+}
+
+TEST(LatLonTest, MilesToDegreesRoundtrip) {
+  double deg = MilesToLatDegrees(69.1);
+  EXPECT_NEAR(deg, 1.0, 0.01);
+  // Longitude degrees stretch with latitude.
+  EXPECT_GT(MilesToLonDegrees(100.0, 60.0), MilesToLonDegrees(100.0, 10.0));
+}
+
+TEST(LatLonTest, BoundingBoxContainment) {
+  LatLon lo{30.0, -120.0}, hi{40.0, -100.0};
+  EXPECT_TRUE(InBoundingBox(LatLon{35.0, -110.0}, lo, hi));
+  EXPECT_TRUE(InBoundingBox(lo, lo, hi));  // inclusive edges
+  EXPECT_FALSE(InBoundingBox(LatLon{45.0, -110.0}, lo, hi));
+  EXPECT_FALSE(InBoundingBox(LatLon{35.0, -90.0}, lo, hi));
+}
+
+// ---------------------------------------------------------------- states
+
+TEST(UsStatesTest, HasFiftyOneEntries) {
+  int count = 0;
+  AllStates(&count);
+  EXPECT_EQ(count, 51);  // 50 states + DC
+}
+
+TEST(UsStatesTest, NormalizeAcceptsAbbreviationAndName) {
+  EXPECT_EQ(NormalizeState("CA").value(), "CA");
+  EXPECT_EQ(NormalizeState("ca").value(), "CA");
+  EXPECT_EQ(NormalizeState("California").value(), "CA");
+  EXPECT_EQ(NormalizeState(" texas ").value(), "TX");
+}
+
+TEST(UsStatesTest, NormalizeRejectsUnknown) {
+  EXPECT_FALSE(NormalizeState("Narnia").has_value());
+  EXPECT_FALSE(NormalizeState("").has_value());
+  EXPECT_FALSE(NormalizeState("C").has_value());
+  EXPECT_FALSE(NormalizeState("USA").has_value());
+}
+
+TEST(UsStatesTest, IsStateAbbreviation) {
+  EXPECT_TRUE(IsStateAbbreviation("TX"));
+  EXPECT_TRUE(IsStateAbbreviation("tx"));
+  EXPECT_FALSE(IsStateAbbreviation("Texas"));
+  EXPECT_FALSE(IsStateAbbreviation("XX"));
+}
+
+// -------------------------------------------------------------- gazetteer
+
+class GazetteerTest : public ::testing::Test {
+ protected:
+  Gazetteer gaz_ = Gazetteer::FromEmbedded();
+};
+
+TEST_F(GazetteerTest, HasAtLeast300Cities) { EXPECT_GE(gaz_.size(), 300); }
+
+TEST_F(GazetteerTest, FindExactCityState) {
+  CityId austin = gaz_.Find("Austin", "TX");
+  ASSERT_NE(austin, kInvalidCity);
+  EXPECT_EQ(gaz_.city(austin).name, "Austin");
+  EXPECT_EQ(gaz_.city(austin).state, "TX");
+}
+
+TEST_F(GazetteerTest, FindIsCaseInsensitiveAndAcceptsFullStateName) {
+  EXPECT_NE(gaz_.Find("austin", "texas"), kInvalidCity);
+  EXPECT_NE(gaz_.Find("LOS ANGELES", "ca"), kInvalidCity);
+  EXPECT_EQ(gaz_.Find("Austin", "TX"), gaz_.Find("austin", "Texas"));
+}
+
+TEST_F(GazetteerTest, FindRejectsUnknown) {
+  EXPECT_EQ(gaz_.Find("Atlantis", "CA"), kInvalidCity);
+  EXPECT_EQ(gaz_.Find("Austin", "ZZ"), kInvalidCity);
+}
+
+TEST_F(GazetteerTest, PrincetonIsAmbiguous) {
+  // The paper's example: "there are 19 towns named as Princeton".
+  const std::vector<CityId>* hits = gaz_.FindByName("princeton");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GE(hits->size(), 2u);  // NJ and WV at least
+  bool nj = false, wv = false;
+  for (CityId c : *hits) {
+    if (gaz_.city(c).state == "NJ") nj = true;
+    if (gaz_.city(c).state == "WV") wv = true;
+  }
+  EXPECT_TRUE(nj);
+  EXPECT_TRUE(wv);
+}
+
+TEST_F(GazetteerTest, FindByNameUnknownReturnsNull) {
+  EXPECT_EQ(gaz_.FindByName("gotham"), nullptr);
+}
+
+TEST_F(GazetteerTest, DistancesMatchKnownGeography) {
+  CityId la = gaz_.Find("Los Angeles", "CA");
+  CityId sf = gaz_.Find("San Francisco", "CA");
+  CityId ny = gaz_.Find("New York", "NY");
+  CityId austin = gaz_.Find("Austin", "TX");
+  CityId rr = gaz_.Find("Round Rock", "TX");
+  EXPECT_NEAR(gaz_.DistanceMiles(la, sf), kLaToSf, 15.0);
+  EXPECT_NEAR(gaz_.DistanceMiles(la, ny), kNyToLa, 30.0);
+  EXPECT_NEAR(gaz_.DistanceMiles(austin, rr), kAustinToRr, 5.0);
+}
+
+TEST_F(GazetteerTest, FullNameFormat) {
+  CityId austin = gaz_.Find("Austin", "TX");
+  EXPECT_EQ(gaz_.FullName(austin), "Austin, TX");
+}
+
+TEST_F(GazetteerTest, PopulationWeightsMatchCities) {
+  std::vector<double> w = gaz_.PopulationWeights();
+  ASSERT_EQ(static_cast<int>(w.size()), gaz_.size());
+  CityId ny = gaz_.Find("New York", "NY");
+  // New York should carry the largest weight.
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(w[i], w[ny]);
+  }
+  EXPECT_GT(gaz_.TotalPopulation(), 50000000);
+}
+
+TEST_F(GazetteerTest, NearestCityOfCityCenterIsItself) {
+  CityId chicago = gaz_.Find("Chicago", "IL");
+  EXPECT_EQ(gaz_.NearestCity(gaz_.city(chicago).pos), chicago);
+}
+
+TEST_F(GazetteerTest, WithinMilesSortedAndInclusive) {
+  CityId la = gaz_.Find("Los Angeles", "CA");
+  std::vector<CityId> near = gaz_.WithinMiles(la, 30.0);
+  ASSERT_FALSE(near.empty());
+  EXPECT_EQ(near.front(), la);  // distance 0 sorts first
+  double last = 0.0;
+  for (CityId c : near) {
+    double d = gaz_.DistanceMiles(la, c);
+    EXPECT_LE(d, 30.0);
+    EXPECT_GE(d, last);
+    last = d;
+  }
+  // Santa Monica is ~15 miles from LA center.
+  CityId sm = gaz_.Find("Santa Monica", "CA");
+  EXPECT_NE(std::find(near.begin(), near.end(), sm), near.end());
+}
+
+TEST_F(GazetteerTest, FromRecordsValidates) {
+  EXPECT_FALSE(Gazetteer::FromRecords({}).ok());
+  City bad_state{"X", "ZZ", LatLon{0, 0}, 1};
+  EXPECT_FALSE(Gazetteer::FromRecords({bad_state}).ok());
+  City bad_lat{"X", "CA", LatLon{95.0, 0}, 1};
+  EXPECT_FALSE(Gazetteer::FromRecords({bad_lat}).ok());
+  City bad_pop{"X", "CA", LatLon{34, -118}, -5};
+  EXPECT_FALSE(Gazetteer::FromRecords({bad_pop}).ok());
+  City good{"X", "CA", LatLon{34, -118}, 5};
+  EXPECT_TRUE(Gazetteer::FromRecords({good}).ok());
+}
+
+TEST_F(GazetteerTest, AllCitiesHaveValidStatesAndCoordinates) {
+  for (CityId c = 0; c < gaz_.size(); ++c) {
+    const City& city = gaz_.city(c);
+    EXPECT_TRUE(NormalizeState(city.state).has_value()) << city.name;
+    EXPECT_GT(city.pos.lat, 15.0) << city.name;   // south of Key West? no
+    EXPECT_LT(city.pos.lat, 72.0) << city.name;   // north of Alaska? no
+    EXPECT_LT(city.pos.lon, -60.0) << city.name;  // all in the US
+    EXPECT_GT(city.pos.lon, -170.0) << city.name;
+    EXPECT_GT(city.population, 0) << city.name;
+  }
+}
+
+// -------------------------------------------------------------- grid index
+
+class GridIndexTest : public ::testing::Test {
+ protected:
+  Gazetteer gaz_ = Gazetteer::FromEmbedded();
+  CityGridIndex index_{&gaz_};
+};
+
+TEST_F(GridIndexTest, MatchesLinearScan) {
+  CityId austin = gaz_.Find("Austin", "TX");
+  for (double radius : {10.0, 50.0, 150.0, 400.0}) {
+    std::vector<CityId> grid_hits =
+        index_.WithinMiles(gaz_.city(austin).pos, radius);
+    std::vector<CityId> scan_hits = gaz_.WithinMiles(austin, radius);
+    std::sort(grid_hits.begin(), grid_hits.end());
+    std::sort(scan_hits.begin(), scan_hits.end());
+    EXPECT_EQ(grid_hits, scan_hits) << "radius=" << radius;
+  }
+}
+
+TEST_F(GridIndexTest, NegativeRadiusEmpty) {
+  EXPECT_TRUE(index_.WithinMiles(LatLon{30, -97}, -1.0).empty());
+}
+
+TEST_F(GridIndexTest, NearestMatchesGazetteer) {
+  // A point in rural Kansas; nearest embedded city is well-defined.
+  LatLon p{38.5, -98.8};
+  EXPECT_EQ(index_.Nearest(p), gaz_.NearestCity(p));
+}
+
+TEST_F(GridIndexTest, NearestFromRemotePoint) {
+  // Middle of the Pacific — still resolves (expanding ring terminates).
+  LatLon p{30.0, -150.0};
+  EXPECT_NE(index_.Nearest(p), kInvalidCity);
+}
+
+// --------------------------------------------------------- distance matrix
+
+TEST(DistanceMatrixTest, SymmetricAndFloored) {
+  Gazetteer gaz = Gazetteer::FromEmbedded();
+  CityDistanceMatrix m(gaz, 1.0);
+  ASSERT_EQ(m.size(), gaz.size());
+  CityId la = gaz.Find("Los Angeles", "CA");
+  CityId ny = gaz.Find("New York", "NY");
+  EXPECT_DOUBLE_EQ(m.miles(la, ny), m.miles(ny, la));
+  EXPECT_NEAR(m.miles(la, ny), kNyToLa, 30.0);
+  // Diagonal is the floor, raw diagonal is 0.
+  EXPECT_DOUBLE_EQ(m.miles(la, la), 1.0);
+  EXPECT_DOUBLE_EQ(m.raw_miles(la, la), 0.0);
+}
+
+TEST(DistanceMatrixTest, FloorAppliesToVeryClosePairs) {
+  Gazetteer gaz = Gazetteer::FromEmbedded();
+  CityDistanceMatrix m(gaz, 25.0);
+  CityId austin = gaz.Find("Austin", "TX");
+  CityId rr = gaz.Find("Round Rock", "TX");  // ~17 miles
+  EXPECT_DOUBLE_EQ(m.miles(austin, rr), 25.0);
+  EXPECT_NEAR(m.raw_miles(austin, rr), kAustinToRr, 5.0);
+}
+
+TEST(DistanceMatrixTest, AgreesWithGazetteerWithinFloatPrecision) {
+  Gazetteer gaz = Gazetteer::FromEmbedded();
+  CityDistanceMatrix m(gaz, 1.0);
+  for (CityId a = 0; a < gaz.size(); a += 37) {
+    for (CityId b = 0; b < gaz.size(); b += 41) {
+      double exact = std::max(gaz.DistanceMiles(a, b), 1.0);
+      EXPECT_NEAR(m.miles(a, b), exact, exact * 1e-4 + 0.01);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace mlp

@@ -1,0 +1,161 @@
+// Unit tests for src/graph: the observation store, adjacency indexes, and
+// dataset statistics.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace graph {
+namespace {
+
+UserRecord MakeUser(const std::string& handle,
+                    geo::CityId home = geo::kInvalidCity) {
+  UserRecord r;
+  r.handle = handle;
+  r.registered_city = home;
+  return r;
+}
+
+TEST(SocialGraphTest, AddUsersAssignsSequentialIds) {
+  SocialGraph g(5);
+  EXPECT_EQ(g.AddUser(MakeUser("a")), 0);
+  EXPECT_EQ(g.AddUser(MakeUser("b")), 1);
+  EXPECT_EQ(g.num_users(), 2);
+  EXPECT_EQ(g.user(0).handle, "a");
+}
+
+TEST(SocialGraphTest, AddFollowingValidates) {
+  SocialGraph g(0);
+  g.AddUser(MakeUser("a"));
+  g.AddUser(MakeUser("b"));
+  EXPECT_TRUE(g.AddFollowing(0, 1).ok());
+  EXPECT_TRUE(g.AddFollowing(1, 0).ok());
+  EXPECT_FALSE(g.AddFollowing(0, 0).ok());   // self-follow
+  EXPECT_FALSE(g.AddFollowing(0, 5).ok());   // unknown friend
+  EXPECT_FALSE(g.AddFollowing(-1, 1).ok());  // unknown follower
+  EXPECT_EQ(g.num_following(), 2);
+}
+
+TEST(SocialGraphTest, AddTweetingValidates) {
+  SocialGraph g(3);
+  g.AddUser(MakeUser("a"));
+  EXPECT_TRUE(g.AddTweeting(0, 0).ok());
+  EXPECT_TRUE(g.AddTweeting(0, 2).ok());
+  EXPECT_FALSE(g.AddTweeting(0, 3).ok());  // venue out of range
+  EXPECT_FALSE(g.AddTweeting(0, -1).ok());
+  EXPECT_FALSE(g.AddTweeting(9, 0).ok());  // unknown user
+  EXPECT_EQ(g.num_tweeting(), 2);
+}
+
+TEST(SocialGraphTest, RepeatedTweetingEdgesAllowed) {
+  // "As u_i can tweet v_j many times, there could be many tweeting
+  // relationships between u_i and v_j" (Sec. 3).
+  SocialGraph g(1);
+  g.AddUser(MakeUser("a"));
+  EXPECT_TRUE(g.AddTweeting(0, 0).ok());
+  EXPECT_TRUE(g.AddTweeting(0, 0).ok());
+  EXPECT_EQ(g.num_tweeting(), 2);
+}
+
+TEST(SocialGraphTest, AdjacencyAfterFinalize) {
+  SocialGraph g(2);
+  g.AddUser(MakeUser("a"));
+  g.AddUser(MakeUser("b"));
+  g.AddUser(MakeUser("c"));
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());  // edge 0
+  ASSERT_TRUE(g.AddFollowing(0, 2).ok());  // edge 1
+  ASSERT_TRUE(g.AddFollowing(2, 1).ok());  // edge 2
+  ASSERT_TRUE(g.AddTweeting(1, 0).ok());   // tweet 0
+  ASSERT_TRUE(g.AddTweeting(1, 1).ok());   // tweet 1
+  g.Finalize();
+
+  EXPECT_EQ(g.OutEdges(0), (std::vector<EdgeId>{0, 1}));
+  EXPECT_TRUE(g.OutEdges(1).empty());
+  EXPECT_EQ(g.OutEdges(2), (std::vector<EdgeId>{2}));
+  EXPECT_EQ(g.InEdges(1), (std::vector<EdgeId>{0, 2}));
+  EXPECT_EQ(g.InEdges(0).size(), 0u);
+  EXPECT_EQ(g.TweetEdges(1), (std::vector<EdgeId>{0, 1}));
+  EXPECT_TRUE(g.TweetEdges(0).empty());
+}
+
+TEST(SocialGraphTest, LabeledCounting) {
+  SocialGraph g(0);
+  g.AddUser(MakeUser("a", 3));
+  g.AddUser(MakeUser("b"));
+  g.AddUser(MakeUser("c", 9));
+  EXPECT_TRUE(g.is_labeled(0));
+  EXPECT_FALSE(g.is_labeled(1));
+  EXPECT_EQ(g.num_labeled(), 2);
+}
+
+TEST(SocialGraphTest, EdgeAccessors) {
+  SocialGraph g(1);
+  g.AddUser(MakeUser("a"));
+  g.AddUser(MakeUser("b"));
+  ASSERT_TRUE(g.AddFollowing(1, 0).ok());
+  ASSERT_TRUE(g.AddTweeting(1, 0).ok());
+  EXPECT_EQ(g.following(0).follower, 1);
+  EXPECT_EQ(g.following(0).friend_user, 0);
+  EXPECT_EQ(g.tweeting(0).user, 1);
+  EXPECT_EQ(g.tweeting(0).venue, 0);
+}
+
+TEST(GraphStatsTest, AveragesMatchHandComputation) {
+  SocialGraph g(2);
+  for (int i = 0; i < 4; ++i) g.AddUser(MakeUser("u", i < 2 ? i : geo::kInvalidCity));
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddFollowing(1, 2).ok());
+  ASSERT_TRUE(g.AddTweeting(0, 0).ok());
+  ASSERT_TRUE(g.AddTweeting(0, 1).ok());
+  ASSERT_TRUE(g.AddTweeting(3, 1).ok());
+  g.Finalize();
+
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_users, 4);
+  EXPECT_EQ(stats.num_labeled, 2);
+  EXPECT_EQ(stats.num_following, 2);
+  EXPECT_EQ(stats.num_tweeting, 3);
+  EXPECT_DOUBLE_EQ(stats.avg_friends_per_user, 0.5);
+  EXPECT_DOUBLE_EQ(stats.avg_venues_per_user, 0.75);
+  EXPECT_DOUBLE_EQ(stats.labeled_fraction, 0.5);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  SocialGraph g(0);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_users, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_friends_per_user, 0.0);
+}
+
+TEST(NeighborCoverageTest, CountsUsersWhoseHomeAppearsInNeighborhood) {
+  // u0 home=5, friend u1 home=5 → covered via following.
+  // u2 home=7, no labeled neighbors, tweets venue referring to 7 → covered.
+  // u3 home=9, nothing refers to 9 → uncovered.
+  SocialGraph g(1);
+  g.AddUser(MakeUser("u0", 5));
+  g.AddUser(MakeUser("u1", 5));
+  g.AddUser(MakeUser("u2", 7));
+  g.AddUser(MakeUser("u3", 9));
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddTweeting(2, 0).ok());
+  ASSERT_TRUE(g.AddTweeting(3, 0).ok());
+  g.Finalize();
+  std::vector<std::vector<geo::CityId>> referents = {{7}};
+  double coverage = NeighborLocationCoverage(g, referents);
+  // u0 covered (friend at 5), u1 covered (follower at 5), u2 covered
+  // (venue → 7), u3 not (venue → 7 ≠ 9). 3 of 4.
+  EXPECT_DOUBLE_EQ(coverage, 0.75);
+}
+
+TEST(NeighborCoverageTest, NoLabeledUsersIsZero) {
+  SocialGraph g(0);
+  g.AddUser(MakeUser("a"));
+  g.Finalize();
+  EXPECT_DOUBLE_EQ(NeighborLocationCoverage(g, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace mlp

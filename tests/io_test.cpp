@@ -1,0 +1,201 @@
+// Tests for src/io: CSV quoting/roundtrip, the table printer, and dataset
+// save/load with ground truth.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "io/dataset_io.h"
+#include "io/table_printer.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace io {
+namespace {
+
+// --------------------------------------------------------------------- csv
+
+TEST(CsvTest, ParsePlainFields) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto fields = ParseCsvLine(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  auto fields = ParseCsvLine("\"Los Angeles, CA\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "Los Angeles, CA");
+  EXPECT_EQ(fields[1], "x");
+}
+
+TEST(CsvTest, ParseEscapedQuotes) {
+  auto fields = ParseCsvLine("\"say \"\"hi\"\"\",y");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvLine({"Los Angeles, CA"}), "\"Los Angeles, CA\"");
+  EXPECT_EQ(FormatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(FormatCsvLine({" padded "}), "\" padded \"");
+}
+
+class CsvRoundtripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CsvRoundtripTest, FormatThenParseIsIdentity) {
+  std::vector<std::string> row = {GetParam(), "second"};
+  auto parsed = ParseCsvLine(FormatCsvLine(row));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], GetParam());
+  EXPECT_EQ(parsed[1], "second");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CsvRoundtripTest,
+    ::testing::Values("plain", "with, comma", "with \"quote\"", "",
+                      " leading space", "trailing space ", "tab\tinside"));
+
+TEST(CsvTest, FileRoundtrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "mlp_csv_test.csv").string();
+  std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"Austin, TX", "1"}, {"", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileErrors) {
+  auto result = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(CsvTest, TsvSeparatorSupported) {
+  auto fields = ParseCsvLine("a\tb", '\t');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(FormatCsvLine({"a", "b"}, '\t'), "a\tb");
+}
+
+// ------------------------------------------------------------ table printer
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "ACC@100"});
+  table.AddRow({"BaseU", "52.44%"});
+  table.AddRow({"MLP", "62.3%"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("BaseU"), std::string::npos);
+  // Every line where "52.44%" appears must start the column at the same
+  // offset as "62.3%".
+  size_t col_a = out.find("52.44%");
+  size_t col_b = out.find("62.3%");
+  ASSERT_NE(col_a, std::string::npos);
+  ASSERT_NE(col_b, std::string::npos);
+  size_t line_a = out.rfind('\n', col_a);
+  size_t line_b = out.rfind('\n', col_b);
+  EXPECT_EQ(col_a - line_a, col_b - line_b);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter table({"name", "v1", "v2"});
+  table.AddRow("row", {0.5064, 0.47}, 3);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("0.506"), std::string::npos);
+  EXPECT_NE(out.find("0.470"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW(table.ToString());
+}
+
+// -------------------------------------------------------------- dataset io
+
+TEST(DatasetIoTest, RoundtripsGraphAndTruth) {
+  synth::WorldConfig config;
+  config.num_users = 300;
+  config.seed = 77;
+  synth::SyntheticWorld world =
+      std::move(synth::GenerateWorld(config).ValueOrDie());
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "mlp_dataset_test").string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDataset(dir, *world.graph, &world.truth).ok());
+
+  auto loaded = LoadDataset(dir, world.vocab->size());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->has_truth);
+  ASSERT_EQ(loaded->graph.num_users(), world.graph->num_users());
+  ASSERT_EQ(loaded->graph.num_following(), world.graph->num_following());
+  ASSERT_EQ(loaded->graph.num_tweeting(), world.graph->num_tweeting());
+
+  for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+    EXPECT_EQ(loaded->graph.user(u).handle, world.graph->user(u).handle);
+    EXPECT_EQ(loaded->graph.user(u).registered_city,
+              world.graph->user(u).registered_city);
+    EXPECT_EQ(loaded->truth.profiles[u].locations,
+              world.truth.profiles[u].locations);
+  }
+  for (graph::EdgeId s = 0; s < world.graph->num_following(); ++s) {
+    EXPECT_EQ(loaded->graph.following(s).follower,
+              world.graph->following(s).follower);
+    EXPECT_EQ(loaded->truth.following[s].noisy,
+              world.truth.following[s].noisy);
+    EXPECT_EQ(loaded->truth.following[s].x, world.truth.following[s].x);
+  }
+  for (graph::EdgeId k = 0; k < world.graph->num_tweeting(); ++k) {
+    EXPECT_EQ(loaded->graph.tweeting(k).venue,
+              world.graph->tweeting(k).venue);
+    EXPECT_EQ(loaded->truth.tweeting[k].z, world.truth.tweeting[k].z);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, SaveWithoutTruthLoadsWithoutTruth) {
+  graph::SocialGraph g(2);
+  graph::UserRecord r;
+  r.handle = "solo";
+  r.profile_location = "Austin, TX";
+  r.registered_city = 5;
+  g.AddUser(r);
+  g.AddUser({});
+  ASSERT_TRUE(g.AddFollowing(0, 1).ok());
+  ASSERT_TRUE(g.AddTweeting(0, 1).ok());
+  g.Finalize();
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "mlp_dataset_notruth")
+          .string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDataset(dir, g, nullptr).ok());
+  auto loaded = LoadDataset(dir, 2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->has_truth);
+  EXPECT_EQ(loaded->graph.num_users(), 2);
+  EXPECT_EQ(loaded->graph.user(0).profile_location, "Austin, TX");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, LoadFromMissingDirectoryErrors) {
+  EXPECT_FALSE(LoadDataset("/definitely/not/a/dir", 1).ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace mlp

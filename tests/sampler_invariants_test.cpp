@@ -1,0 +1,192 @@
+// Property tests on the Gibbs sampler's internal invariants: the
+// sufficient statistics must stay consistent with the chain state after
+// any number of sweeps, noise flags must obey their priors' edge cases,
+// and the d^α table must honor its floor.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "core/pow_table.h"
+#include "core/priors.h"
+#include "core/random_models.h"
+#include "core/sampler.h"
+#include "eval/cross_validation.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace core {
+namespace {
+
+class SamplerInvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldConfig config;
+    config.num_users = 500;
+    config.seed = 99;
+    world_ = new synth::SyntheticWorld(
+        std::move(synth::GenerateWorld(config).ValueOrDie()));
+    referents_ = new std::vector<std::vector<geo::CityId>>(
+        world_->vocab->ReferentTable());
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete referents_;
+  }
+
+  ModelInput MakeInput() const {
+    ModelInput input;
+    input.gazetteer = world_->gazetteer.get();
+    input.graph = world_->graph.get();
+    input.distances = world_->distances.get();
+    input.venue_referents = referents_;
+    input.observed_home = eval::RegisteredHomes(*world_->graph);
+    return input;
+  }
+
+  static synth::SyntheticWorld* world_;
+  static std::vector<std::vector<geo::CityId>>* referents_;
+};
+
+synth::SyntheticWorld* SamplerInvariantsTest::world_ = nullptr;
+std::vector<std::vector<geo::CityId>>* SamplerInvariantsTest::referents_ =
+    nullptr;
+
+class SweepCountTest : public SamplerInvariantsTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(SweepCountTest, HomesAlwaysValidCandidatesAfterSweeps) {
+  ModelInput input = MakeInput();
+  MlpConfig config;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  RandomModels models = RandomModels::Learn(*input.graph);
+  PowTable pow_table(input.distances, config.alpha);
+  GibbsSampler sampler(&input, &config, &priors, &models, &pow_table);
+  Pcg32 rng(5);
+  sampler.Initialize(&rng);
+  for (int i = 0; i < GetParam(); ++i) sampler.RunSweep(&rng);
+
+  std::vector<geo::CityId> homes = sampler.CurrentHomes();
+  ASSERT_EQ(static_cast<int>(homes.size()), input.num_users());
+  for (graph::UserId u = 0; u < input.num_users(); ++u) {
+    EXPECT_GE(priors[u].IndexOf(homes[u]), 0)
+        << "home of user " << u << " not in its candidate set";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, SweepCountTest, ::testing::Values(0, 1, 5));
+
+TEST_F(SamplerInvariantsTest, ResultExplanationsStayInCandidateSets) {
+  ModelInput input = MakeInput();
+  MlpConfig config;
+  config.burn_in_iterations = 3;
+  config.sampling_iterations = 4;
+  MlpModel model(config);
+  Result<MlpResult> result = model.Fit(input);
+  ASSERT_TRUE(result.ok());
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  for (graph::EdgeId s = 0; s < input.graph->num_following(); ++s) {
+    const graph::FollowingEdge& e = input.graph->following(s);
+    EXPECT_GE(priors[e.follower].IndexOf(result->following[s].x), 0);
+    EXPECT_GE(priors[e.friend_user].IndexOf(result->following[s].y), 0);
+    EXPECT_GE(result->following[s].noise_prob, 0.0);
+    EXPECT_LE(result->following[s].noise_prob, 1.0);
+  }
+  for (graph::EdgeId k = 0; k < input.graph->num_tweeting(); ++k) {
+    const graph::TweetingEdge& e = input.graph->tweeting(k);
+    EXPECT_GE(priors[e.user].IndexOf(result->tweeting[k].z), 0);
+  }
+}
+
+TEST_F(SamplerInvariantsTest, ZeroRhoNeverFlagsNoise) {
+  ModelInput input = MakeInput();
+  MlpConfig config;
+  config.rho_f = 0.0;
+  config.rho_t = 0.0;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 3;
+  MlpModel model(config);
+  Result<MlpResult> result = model.Fit(input);
+  ASSERT_TRUE(result.ok());
+  for (const FollowingExplanation& ex : result->following) {
+    EXPECT_DOUBLE_EQ(ex.noise_prob, 0.0);
+  }
+  for (const TweetExplanation& ex : result->tweeting) {
+    EXPECT_DOUBLE_EQ(ex.noise_prob, 0.0);
+  }
+}
+
+TEST_F(SamplerInvariantsTest, ModelNoiseOffEqualsZeroRho) {
+  ModelInput input = MakeInput();
+  MlpConfig a;
+  a.model_noise = false;
+  a.burn_in_iterations = 2;
+  a.sampling_iterations = 3;
+  MlpConfig b = a;
+  b.model_noise = true;
+  b.rho_f = 0.0;
+  b.rho_t = 0.0;
+  Result<MlpResult> ra = MlpModel(a).Fit(input);
+  Result<MlpResult> rb = MlpModel(b).Fit(input);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->home, rb->home);
+}
+
+TEST_F(SamplerInvariantsTest, AssignmentHistogramBoundedByLabeledEdges) {
+  ModelInput input = MakeInput();
+  MlpConfig config;
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  RandomModels models = RandomModels::Learn(*input.graph);
+  PowTable pow_table(input.distances, config.alpha);
+  GibbsSampler sampler(&input, &config, &priors, &models, &pow_table);
+  Pcg32 rng(7);
+  sampler.Initialize(&rng);
+  for (int i = 0; i < 3; ++i) sampler.RunSweep(&rng);
+  sampler.ResetAccumulators();
+  for (int i = 0; i < 4; ++i) {
+    sampler.RunSweep(&rng);
+    sampler.AccumulateSample();
+  }
+  int labeled_edges = 0;
+  for (graph::EdgeId s = 0; s < input.graph->num_following(); ++s) {
+    const graph::FollowingEdge& e = input.graph->following(s);
+    if (input.IsLabeled(e.follower) && input.IsLabeled(e.friend_user)) {
+      ++labeled_edges;
+    }
+  }
+  std::vector<double> hist = sampler.AssignmentDistanceHistogram(4000);
+  double total = 0.0;
+  for (double h : hist) total += h;
+  // Averaged over samples, at most one count per labeled location-based
+  // edge.
+  EXPECT_LE(total, static_cast<double>(labeled_edges) + 1e-9);
+  EXPECT_GT(total, 0.0);
+}
+
+// ------------------------------------------------------------- pow table
+
+TEST(PowTableFloorTest, FloorRaisesShortDistances) {
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 1.0);
+  PowTable floored(&dist, -0.5, /*floor_miles=*/10.0);
+  geo::CityId austin = gaz.Find("Austin", "TX");
+  geo::CityId rr = gaz.Find("Round Rock", "TX");  // ~17 miles apart
+  // Same city: max(0, 10)^-0.5.
+  EXPECT_NEAR(floored.Get(austin, austin), std::pow(10.0, -0.5), 1e-6);
+  // 17 miles: above the floor, so the true distance applies.
+  EXPECT_NEAR(floored.Get(austin, rr),
+              std::pow(dist.raw_miles(austin, rr), -0.5), 1e-5);
+  EXPECT_DOUBLE_EQ(floored.floor_miles(), 10.0);
+}
+
+TEST(PowTableFloorTest, FloorNeverBelowMatrixFloor) {
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  geo::CityDistanceMatrix dist(gaz, 5.0);
+  PowTable table(&dist, -0.5, /*floor_miles=*/1.0);
+  EXPECT_DOUBLE_EQ(table.floor_miles(), 5.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace mlp

@@ -1,0 +1,344 @@
+// Unit and property tests for src/stats: alias sampling, power-law
+// fitting (the Fig-3a machinery), histograms, and descriptive statistics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/alias_table.h"
+#include "stats/descriptive.h"
+#include "stats/discrete.h"
+#include "stats/histogram.h"
+#include "stats/power_law.h"
+
+namespace mlp {
+namespace stats {
+namespace {
+
+// ------------------------------------------------------------ alias table
+
+TEST(AliasTableTest, EmptyAndZeroWeightsAreUnusable) {
+  EXPECT_FALSE(AliasTable(std::vector<double>{}).ok());
+  EXPECT_FALSE(AliasTable({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasTable().ok());
+}
+
+TEST(AliasTableTest, SingleBucketAlwaysSampled) {
+  AliasTable table({5.0});
+  Pcg32 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0);
+}
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  AliasTable table({1.0, 3.0});
+  EXPECT_NEAR(table.Probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatchWeights) {
+  std::vector<double> weights = {2.0, 0.0, 5.0, 1.0, 2.0};
+  AliasTable table(weights);
+  Pcg32 rng(99);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)]++;
+  EXPECT_EQ(counts[1], 0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double expected = weights[i] / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), expected, 0.01)
+        << "bucket " << i;
+  }
+}
+
+class AliasSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasSizeTest, UniformWeightsGiveUniformDraws) {
+  const int size = GetParam();
+  AliasTable table(std::vector<double>(size, 1.0));
+  Pcg32 rng(7);
+  std::vector<int> counts(size, 0);
+  const int n = 20000 * size;
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)]++;
+  for (int i = 0; i < size; ++i) {
+    EXPECT_NEAR(counts[i] * static_cast<double>(size) / n, 1.0, 0.08);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasSizeTest, ::testing::Values(2, 3, 17));
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable table({1e-6, 1.0});
+  Pcg32 rng(3);
+  int zero_hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table.Sample(&rng) == 0) ++zero_hits;
+  }
+  EXPECT_LT(zero_hits, 20);  // ≈ 1e-6 probability
+}
+
+// -------------------------------------------------------------- power law
+
+TEST(PowerLawTest, EvaluatesBetaDPowAlpha) {
+  PowerLaw law{-0.55, 0.0045};
+  EXPECT_NEAR(law(1.0), 0.0045, 1e-12);
+  EXPECT_NEAR(law(100.0), 0.0045 * std::pow(100.0, -0.55), 1e-9);
+}
+
+TEST(PowerLawTest, ProbabilityClampedToUnit) {
+  PowerLaw law{-1.0, 50.0};
+  EXPECT_DOUBLE_EQ(law(1.0), 1.0);  // 50·1 clamps
+  EXPECT_LT(law(1000.0), 1.0);
+}
+
+TEST(PowerLawTest, LogProbConsistentWithProb) {
+  PowerLaw law{-0.55, 0.0045};
+  EXPECT_NEAR(std::exp(law.LogProb(42.0)), law(42.0), 1e-12);
+}
+
+TEST(FitPowerLawTest, RecoversExactParameters) {
+  PowerLaw truth{-0.55, 0.0045};
+  std::vector<CurvePoint> points;
+  for (double d = 1.0; d <= 2000.0; d *= 1.7) {
+    points.push_back({d, truth(d), 1.0});
+  }
+  Result<PowerLaw> fit = FitPowerLaw(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, truth.alpha, 1e-9);
+  EXPECT_NEAR(fit->beta, truth.beta, 1e-9);
+}
+
+class PowerLawRecoveryTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PowerLawRecoveryTest, RecoversUnderMultiplicativeNoise) {
+  auto [alpha, beta] = GetParam();
+  PowerLaw truth{alpha, beta};
+  Pcg32 rng(11);
+  std::vector<CurvePoint> points;
+  for (double d = 1.0; d <= 3000.0; d *= 1.25) {
+    double noise = std::exp(rng.Normal(0.0, 0.05));
+    points.push_back({d, truth(d) * noise, 1.0});
+  }
+  Result<PowerLaw> fit = FitPowerLaw(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, alpha, 0.05);
+  EXPECT_NEAR(fit->beta, beta, beta * 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, PowerLawRecoveryTest,
+    ::testing::Values(std::make_pair(-0.55, 0.0045),   // paper: Twitter
+                      std::make_pair(-1.0, 0.0019),    // [5]: Facebook
+                      std::make_pair(-1.5, 0.1),
+                      std::make_pair(-0.2, 0.001)));
+
+TEST(FitPowerLawTest, WeightsInfluenceFit) {
+  // Two contradictory halves; upweighting one must pull the fit toward it.
+  std::vector<CurvePoint> points = {
+      {1.0, 0.1, 1000.0}, {10.0, 0.01, 1000.0},    // slope -1 heavy
+      {1.0, 0.1, 1.0},    {10.0, 0.05, 1.0},       // slope ~-0.3 light
+  };
+  Result<PowerLaw> fit = FitPowerLaw(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, -1.0, 0.05);
+}
+
+TEST(FitPowerLawTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitPowerLaw({}).ok());
+  EXPECT_FALSE(FitPowerLaw({{1.0, 0.5, 1.0}}).ok());
+  // Same x twice: no slope.
+  EXPECT_FALSE(FitPowerLaw({{1.0, 0.5, 1.0}, {1.0, 0.25, 1.0}}).ok());
+  // Non-positive values are skipped, leaving too few points.
+  EXPECT_FALSE(FitPowerLaw({{1.0, 0.5, 1.0}, {-2.0, 0.2, 1.0}}).ok());
+  EXPECT_FALSE(FitPowerLaw({{1.0, 0.5, 1.0}, {2.0, 0.0, 1.0}}).ok());
+}
+
+TEST(RatioCurveTest, ComputesRatiosAndDropsSparseBuckets) {
+  std::vector<double> edges = {5.0, 10.0, 0.0, 2.0};
+  std::vector<double> pairs = {100.0, 50.0, 200.0, 2.0};
+  std::vector<CurvePoint> curve = RatioCurve(edges, pairs, /*min_pairs=*/10.0);
+  // Bucket 2 dropped (zero edges), bucket 3 dropped (pairs < 10).
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].y, 0.05);
+  EXPECT_DOUBLE_EQ(curve[1].y, 0.2);
+  EXPECT_DOUBLE_EQ(curve[1].weight, 50.0);
+}
+
+TEST(RatioCurveTest, SizeMismatchUsesCommonPrefix) {
+  std::vector<CurvePoint> curve =
+      RatioCurve({1.0, 2.0, 3.0}, {10.0, 10.0}, 1.0);
+  EXPECT_EQ(curve.size(), 2u);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(HistogramTest, AddAndBucketBoundaries) {
+  Histogram h(1.0, 10);
+  h.Add(0.0);
+  h.Add(0.999);
+  h.Add(1.0);
+  h.Add(9.999);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, OverflowAndNegativeClamp) {
+  Histogram h(1.0, 5);
+  h.Add(100.0);
+  h.Add(-3.0);  // clamps into bucket 0
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(HistogramTest, WeightedAdds) {
+  Histogram h(2.0, 4);
+  h.Add(1.0, 3.5);
+  h.Add(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, BucketCenters) {
+  Histogram h(10.0, 3);
+  EXPECT_DOUBLE_EQ(h.BucketCenter(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.BucketCenter(2), 25.0);
+}
+
+TEST(HistogramTest, NormalizedSumsToOneIncludingOverflowMass) {
+  Histogram h(1.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(10.0);  // overflow
+  std::vector<double> n = h.Normalized();
+  EXPECT_NEAR(n[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(n[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(1.0, 2);
+  h.Add(0.5);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+}
+
+// ------------------------------------------------------------ descriptive
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, EmptyAndSingletonEdgeCases) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(DescriptiveTest, QuantilesInterpolate) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.5), 4.0);  // clamped
+}
+
+TEST(DescriptiveTest, PearsonCorrelationSigns) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> up = {2, 4, 6, 8, 10};
+  std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+  std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, constant), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, {1.0}), 0.0);  // size mismatch
+}
+
+TEST(DescriptiveTest, RSquaredPerfectAndMean) {
+  std::vector<double> actual = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(actual, actual), 1.0);
+  std::vector<double> mean_pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(RSquared(actual, mean_pred), 0.0);
+}
+
+// ---------------------------------------------------------------- discrete
+
+TEST(DiscreteTest, NormalizeInPlaceBasic) {
+  std::vector<double> w = {1.0, 3.0};
+  double sum = NormalizeInPlace(&w);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST(DiscreteTest, NormalizeAllZerosBecomesUniform) {
+  std::vector<double> w = {0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(&w);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(DiscreteTest, EntropyUniformIsLogN) {
+  std::vector<double> u = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(Entropy(u), std::log(4.0), 1e-12);
+  std::vector<double> pointmass = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(Entropy(pointmass), 0.0);
+}
+
+TEST(DiscreteTest, TopKOrdersDescendingWithTiesByIndex) {
+  std::vector<double> w = {0.1, 0.5, 0.5, 0.3};
+  std::vector<int> top = TopK(w, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // tie broken by lower index
+  EXPECT_EQ(top[1], 2);
+  EXPECT_EQ(top[2], 3);
+}
+
+TEST(DiscreteTest, TopKClampsK) {
+  std::vector<double> w = {1.0, 2.0};
+  EXPECT_EQ(TopK(w, 10).size(), 2u);
+  EXPECT_TRUE(TopK(w, 0).empty());
+  EXPECT_TRUE(TopK(w, -3).empty());
+}
+
+TEST(DiscreteTest, AboveThresholdSortedByWeight) {
+  std::vector<double> w = {0.05, 0.6, 0.2, 0.15};
+  std::vector<int> hits = AboveThreshold(w, 0.15);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 2);
+  EXPECT_EQ(hits[2], 3);
+}
+
+TEST(SparseCountsTest, AddGetTotal) {
+  SparseCounts counts;
+  counts.Add(7, 2.0);
+  counts.Add(3, 1.0);
+  counts.Add(7, 1.0);
+  EXPECT_DOUBLE_EQ(counts.Get(7), 3.0);
+  EXPECT_DOUBLE_EQ(counts.Get(3), 1.0);
+  EXPECT_DOUBLE_EQ(counts.Get(99), 0.0);
+  EXPECT_DOUBLE_EQ(counts.total(), 4.0);
+}
+
+TEST(SparseCountsTest, DecrementToZeroAndClear) {
+  SparseCounts counts;
+  counts.Add(1, 2.0);
+  counts.Add(1, -2.0);
+  EXPECT_DOUBLE_EQ(counts.Get(1), 0.0);
+  counts.Clear();
+  EXPECT_DOUBLE_EQ(counts.total(), 0.0);
+  EXPECT_TRUE(counts.entries().empty());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mlp

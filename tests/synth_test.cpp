@@ -1,0 +1,400 @@
+// Tests for src/synth: the synthetic world generator's statistical
+// calibration (paper Sec. 5 data statistics), ground-truth bookkeeping,
+// the true venue model (Fig. 3b shape), and tweet-text roundtripping.
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/pair_distance.h"
+#include "eval/cross_validation.h"
+#include "graph/graph_stats.h"
+#include "synth/tweet_text.h"
+#include "synth/venue_model.h"
+#include "synth/world_generator.h"
+#include "text/venue_extractor.h"
+
+namespace mlp {
+namespace synth {
+namespace {
+
+WorldConfig SmallConfig(uint64_t seed = 42) {
+  WorldConfig config;
+  config.num_users = 1200;
+  config.seed = seed;
+  return config;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new SyntheticWorld(
+        std::move(GenerateWorld(SmallConfig()).ValueOrDie()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static SyntheticWorld* world_;
+};
+
+SyntheticWorld* WorldTest::world_ = nullptr;
+
+TEST_F(WorldTest, SizesAreConsistent) {
+  const SyntheticWorld& w = *world_;
+  EXPECT_EQ(w.graph->num_users(), 1200);
+  EXPECT_EQ(static_cast<int>(w.truth.profiles.size()), 1200);
+  EXPECT_EQ(static_cast<int>(w.truth.following.size()),
+            w.graph->num_following());
+  EXPECT_EQ(static_cast<int>(w.truth.tweeting.size()),
+            w.graph->num_tweeting());
+  EXPECT_TRUE(w.graph->finalized());
+}
+
+TEST_F(WorldTest, DegreeCalibrationMatchesPaper) {
+  // Paper Sec. 5: 14.8 friends and 29.0 tweeted venues per user.
+  graph::GraphStats stats = graph::ComputeGraphStats(*world_->graph);
+  EXPECT_NEAR(stats.avg_friends_per_user, 14.8, 1.5);
+  EXPECT_NEAR(stats.avg_venues_per_user, 29.0, 2.0);
+}
+
+TEST_F(WorldTest, LabeledFractionMatchesParser) {
+  // ~10% of profile strings are unparseable noise.
+  graph::GraphStats stats = graph::ComputeGraphStats(*world_->graph);
+  EXPECT_NEAR(stats.labeled_fraction, 0.9, 0.04);
+}
+
+TEST_F(WorldTest, RegisteredCityMostlyEqualsTrueHome) {
+  // wrong_label_fraction (default 5%) renders a wrong-but-parseable city;
+  // the rest must roundtrip exactly.
+  int labeled = 0, correct = 0;
+  for (graph::UserId u = 0; u < world_->graph->num_users(); ++u) {
+    geo::CityId registered = world_->graph->user(u).registered_city;
+    if (registered == geo::kInvalidCity) continue;
+    ++labeled;
+    if (registered == world_->truth.profiles[u].home()) ++correct;
+  }
+  ASSERT_GT(labeled, 0);
+  double fraction = static_cast<double>(correct) / labeled;
+  EXPECT_NEAR(fraction, 1.0 - world_->config.wrong_label_fraction, 0.03);
+}
+
+TEST_F(WorldTest, TrueProfilesWellFormed) {
+  for (const TrueProfile& p : world_->truth.profiles) {
+    ASSERT_FALSE(p.locations.empty());
+    ASSERT_EQ(p.locations.size(), p.weights.size());
+    double total = 0.0;
+    for (double w : p.weights) {
+      EXPECT_GT(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Home carries the largest weight.
+    for (size_t i = 1; i < p.weights.size(); ++i) {
+      EXPECT_LE(p.weights[i], p.weights[0] + 1e-12);
+    }
+    // No duplicate locations.
+    std::unordered_set<geo::CityId> unique(p.locations.begin(),
+                                           p.locations.end());
+    EXPECT_EQ(unique.size(), p.locations.size());
+  }
+}
+
+TEST_F(WorldTest, MultiLocationFractionNearConfig) {
+  int multi = 0;
+  for (const TrueProfile& p : world_->truth.profiles) {
+    if (p.IsMultiLocation()) ++multi;
+  }
+  double fraction = multi / 1200.0;
+  EXPECT_NEAR(fraction, world_->config.multi_location_fraction, 0.06);
+}
+
+TEST_F(WorldTest, MultiLocationUsersAverageAboutTwoLocations) {
+  // Paper Sec. 5.2: "On average, a user has 2 locations" (multi-loc subset).
+  double total = 0.0;
+  int multi = 0;
+  for (const TrueProfile& p : world_->truth.profiles) {
+    if (p.IsMultiLocation()) {
+      total += static_cast<double>(p.locations.size());
+      ++multi;
+    }
+  }
+  ASSERT_GT(multi, 0);
+  EXPECT_NEAR(total / multi, 2.2, 0.35);
+}
+
+TEST_F(WorldTest, FollowingNoiseFractionNearConfig) {
+  int noisy = 0;
+  for (const FollowingTruth& t : world_->truth.following) {
+    if (t.noisy) ++noisy;
+  }
+  double fraction =
+      noisy / static_cast<double>(world_->truth.following.size());
+  EXPECT_NEAR(fraction, world_->config.following_noise_fraction, 0.03);
+}
+
+TEST_F(WorldTest, LocationBasedEdgesCarryValidAssignments) {
+  for (size_t s = 0; s < world_->truth.following.size(); ++s) {
+    const FollowingTruth& t = world_->truth.following[s];
+    const graph::FollowingEdge& e =
+        world_->graph->following(static_cast<graph::EdgeId>(s));
+    if (t.noisy) {
+      EXPECT_EQ(t.x, geo::kInvalidCity);
+      EXPECT_EQ(t.y, geo::kInvalidCity);
+      continue;
+    }
+    // x must be one of the follower's true locations; y one of the
+    // friend's.
+    const TrueProfile& pi = world_->truth.profiles[e.follower];
+    const TrueProfile& pj = world_->truth.profiles[e.friend_user];
+    EXPECT_NE(std::find(pi.locations.begin(), pi.locations.end(), t.x),
+              pi.locations.end());
+    EXPECT_NE(std::find(pj.locations.begin(), pj.locations.end(), t.y),
+              pj.locations.end());
+  }
+}
+
+TEST_F(WorldTest, TweetAssignmentsComeFromTrueProfiles) {
+  for (size_t k = 0; k < world_->truth.tweeting.size(); ++k) {
+    const TweetingTruth& t = world_->truth.tweeting[k];
+    if (t.noisy) {
+      EXPECT_EQ(t.z, geo::kInvalidCity);
+      continue;
+    }
+    const graph::TweetingEdge& e =
+        world_->graph->tweeting(static_cast<graph::EdgeId>(k));
+    const TrueProfile& p = world_->truth.profiles[e.user];
+    EXPECT_NE(std::find(p.locations.begin(), p.locations.end(), t.z),
+              p.locations.end());
+  }
+}
+
+TEST_F(WorldTest, NoSelfFollowsOrDuplicateEdges) {
+  std::unordered_set<int64_t> seen;
+  for (graph::EdgeId s = 0; s < world_->graph->num_following(); ++s) {
+    const graph::FollowingEdge& e = world_->graph->following(s);
+    EXPECT_NE(e.follower, e.friend_user);
+    int64_t key = static_cast<int64_t>(e.follower) * 1000000 + e.friend_user;
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate edge";
+  }
+}
+
+TEST_F(WorldTest, CelebritiesAttractNoisyFollows) {
+  // In-degree of celebrities must dominate the average.
+  std::vector<int> in_degree(world_->graph->num_users(), 0);
+  for (graph::EdgeId s = 0; s < world_->graph->num_following(); ++s) {
+    in_degree[world_->graph->following(s).friend_user]++;
+  }
+  double celeb_sum = 0.0, celeb_n = 0.0, other_sum = 0.0, other_n = 0.0;
+  for (graph::UserId u = 0; u < world_->graph->num_users(); ++u) {
+    if (world_->truth.is_celebrity[u]) {
+      celeb_sum += in_degree[u];
+      celeb_n += 1.0;
+    } else {
+      other_sum += in_degree[u];
+      other_n += 1.0;
+    }
+  }
+  ASSERT_GT(celeb_n, 0.0);
+  EXPECT_GT(celeb_sum / celeb_n, 3.0 * other_sum / other_n);
+}
+
+TEST_F(WorldTest, NeighborLocationCoverageNearPaper) {
+  // Paper Sec. 4.3: "about 92% users whose locations appear in their
+  // relationships".
+  auto referents = world_->vocab->ReferentTable();
+  double coverage = graph::NeighborLocationCoverage(*world_->graph, referents);
+  EXPECT_GT(coverage, 0.85);
+}
+
+TEST_F(WorldTest, FollowingProbabilityDecaysWithDistance) {
+  // The generator must reproduce Fig. 3a's negative-slope power law.
+  std::vector<geo::CityId> homes = eval::RegisteredHomes(*world_->graph);
+  Result<stats::PowerLaw> fit = core::FitFollowingPowerLaw(
+      *world_->graph, homes, *world_->distances);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->alpha, -0.15);
+  EXPECT_GT(fit->alpha, -1.2);
+  EXPECT_GT(fit->beta, 0.0);
+}
+
+TEST(WorldGeneratorTest, DeterministicGivenSeed) {
+  SyntheticWorld a = std::move(GenerateWorld(SmallConfig(5)).ValueOrDie());
+  SyntheticWorld b = std::move(GenerateWorld(SmallConfig(5)).ValueOrDie());
+  ASSERT_EQ(a.graph->num_following(), b.graph->num_following());
+  for (graph::EdgeId s = 0; s < a.graph->num_following(); ++s) {
+    EXPECT_EQ(a.graph->following(s).follower, b.graph->following(s).follower);
+    EXPECT_EQ(a.graph->following(s).friend_user,
+              b.graph->following(s).friend_user);
+  }
+  ASSERT_EQ(a.truth.profiles.size(), b.truth.profiles.size());
+  for (size_t u = 0; u < a.truth.profiles.size(); ++u) {
+    EXPECT_EQ(a.truth.profiles[u].locations, b.truth.profiles[u].locations);
+  }
+}
+
+TEST(WorldGeneratorTest, DifferentSeedsDiffer) {
+  SyntheticWorld a = std::move(GenerateWorld(SmallConfig(1)).ValueOrDie());
+  SyntheticWorld b = std::move(GenerateWorld(SmallConfig(2)).ValueOrDie());
+  int same = 0;
+  int n = std::min(a.graph->num_following(), b.graph->num_following());
+  for (graph::EdgeId s = 0; s < n; ++s) {
+    if (a.graph->following(s).follower == b.graph->following(s).follower &&
+        a.graph->following(s).friend_user ==
+            b.graph->following(s).friend_user) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, n / 10);
+}
+
+TEST(WorldGeneratorTest, RejectsBadConfigs) {
+  WorldConfig config;
+  config.num_users = 1;
+  EXPECT_FALSE(GenerateWorld(config).ok());
+
+  config = WorldConfig{};
+  config.primary_weight = 0.0;
+  EXPECT_FALSE(GenerateWorld(config).ok());
+
+  config = WorldConfig{};
+  config.local_mass = 0.9;  // mixture no longer sums to 1
+  EXPECT_FALSE(GenerateWorld(config).ok());
+
+  config = WorldConfig{};
+  config.following_alpha = 0.3;
+  EXPECT_FALSE(GenerateWorld(config).ok());
+
+  config = WorldConfig{};
+  config.max_locations = 0;
+  EXPECT_FALSE(GenerateWorld(config).ok());
+}
+
+// ------------------------------------------------------------ venue model
+
+class VenueModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    distances_ = std::make_unique<geo::CityDistanceMatrix>(gaz_, 1.0);
+    model_ = std::make_unique<TrueVenueModel>(gaz_, vocab_, *distances_,
+                                              VenueModelParams{});
+  }
+
+  double CityProbOfVenue(const char* city, const char* state,
+                         const char* venue) {
+    geo::CityId c = gaz_.Find(city, state);
+    auto v = vocab_.Find(venue);
+    return model_->CityDistribution(c)[*v];
+  }
+
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+  std::unique_ptr<geo::CityDistanceMatrix> distances_;
+  text::VenueVocabulary vocab_ = text::VenueVocabulary::Build(gaz_);
+  std::unique_ptr<TrueVenueModel> model_;
+};
+
+TEST_F(VenueModelTest, DistributionsNormalized) {
+  for (geo::CityId c = 0; c < gaz_.size(); c += 29) {
+    const std::vector<double>& psi = model_->CityDistribution(c);
+    double total = 0.0;
+    for (double p : psi) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(VenueModelTest, OwnCityNameDominatesLocally) {
+  // Fig. 3b: users in Austin tweet "austin" much more than "hollywood".
+  EXPECT_GT(CityProbOfVenue("Austin", "TX", "austin"),
+            10.0 * CityProbOfVenue("Austin", "TX", "hollywood"));
+  EXPECT_GT(CityProbOfVenue("Los Angeles", "CA", "hollywood"),
+            10.0 * CityProbOfVenue("Los Angeles", "CA", "austin"));
+}
+
+TEST_F(VenueModelTest, TweetingProbabilitiesDifferAcrossLocations) {
+  // Fig. 3b: "users in Los Angeles are more likely to tweet 'los angeles'
+  // than those in Austin".
+  EXPECT_GT(CityProbOfVenue("Los Angeles", "CA", "los angeles"),
+            CityProbOfVenue("Austin", "TX", "los angeles"));
+}
+
+TEST_F(VenueModelTest, NearbyVenueBeatsFarawayVenueOfSimilarSize) {
+  // Round Rock (17 mi from Austin) must beat a similar-size distant city.
+  EXPECT_GT(CityProbOfVenue("Austin", "TX", "round rock"),
+            CityProbOfVenue("Austin", "TX", "murfreesboro"));
+}
+
+TEST_F(VenueModelTest, FarButPopularVenueStillHasMass) {
+  // Fig. 3b: probability is NOT monotonic in distance — far-but-popular
+  // venues (New York seen from Austin) beat nearer small towns.
+  EXPECT_GT(CityProbOfVenue("Austin", "TX", "new york"),
+            CityProbOfVenue("Austin", "TX", "laramie"));
+  EXPECT_GT(CityProbOfVenue("Austin", "TX", "new york"), 0.0);
+}
+
+TEST_F(VenueModelTest, GlobalPopularityNormalized) {
+  const std::vector<double>& global = model_->GlobalPopularity();
+  double total = 0.0;
+  for (double p : global) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Big-city venues dominate small-town venues by orders of magnitude.
+  auto ny = vocab_.Find("new york");
+  auto laramie = vocab_.Find("laramie");
+  EXPECT_GT(global[*ny], 100.0 * global[*laramie]);
+  // The top venue must refer to New York (its own name or a landmark like
+  // "manhattan", whose referent set adds Manhattan KS on top of NYC).
+  int top = 0;
+  for (int v = 1; v < vocab_.size(); ++v) {
+    if (global[v] > global[top]) top = v;
+  }
+  geo::CityId nyc = gaz_.Find("New York", "NY");
+  const auto& refs = vocab_.venue(top).referents;
+  EXPECT_NE(std::find(refs.begin(), refs.end(), nyc), refs.end())
+      << "top venue: " << vocab_.venue(top).name;
+}
+
+// ------------------------------------------------------------- tweet text
+
+TEST(TweetTextTest, RenderMentionsVenueExactlyOnce) {
+  TweetTextSynthesizer synth(3);
+  geo::Gazetteer gaz = geo::Gazetteer::FromEmbedded();
+  text::VenueVocabulary vocab = text::VenueVocabulary::Build(gaz);
+  text::VenueExtractor extractor(&vocab);
+  for (int i = 0; i < 200; ++i) {
+    std::string tweet = synth.Render("los angeles");
+    auto ids = extractor.ExtractIds(tweet);
+    ASSERT_EQ(ids.size(), 1u) << tweet;
+    EXPECT_EQ(vocab.venue(ids[0]).name, "los angeles") << tweet;
+  }
+}
+
+TEST(TweetTextTest, TimelineRoundtripsThroughExtractor) {
+  // End-to-end text pipeline: rendered tweets → tokenizer → extractor must
+  // recover exactly the venue sequence of the user's tweeting edges.
+  SyntheticWorld world = std::move(GenerateWorld(SmallConfig(9)).ValueOrDie());
+  text::VenueExtractor extractor(world.vocab.get());
+  TweetTextSynthesizer synth(17);
+  int users_checked = 0;
+  for (graph::UserId u = 0; u < world.graph->num_users() && users_checked < 25;
+       ++u) {
+    const auto& edges = world.graph->TweetEdges(u);
+    if (edges.empty()) continue;
+    ++users_checked;
+    std::vector<std::string> tweets = synth.RenderTimeline(world, u);
+    ASSERT_EQ(tweets.size(), edges.size());
+    for (size_t t = 0; t < tweets.size(); ++t) {
+      auto ids = extractor.ExtractIds(tweets[t]);
+      ASSERT_EQ(ids.size(), 1u) << tweets[t];
+      EXPECT_EQ(ids[0], world.graph->tweeting(edges[t]).venue) << tweets[t];
+    }
+  }
+  EXPECT_EQ(users_checked, 25);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace mlp

@@ -1,0 +1,272 @@
+// Unit tests for src/text: tokenizer, the [8]-style profile-location
+// parser, venue vocabulary (with ambiguity), and the extractor.
+
+#include <gtest/gtest.h>
+
+#include "geo/gazetteer.h"
+#include "text/profile_parser.h"
+#include "text/tokenizer.h"
+#include "text/venue_extractor.h"
+#include "text/venue_vocab.h"
+
+namespace mlp {
+namespace text {
+namespace {
+
+// -------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Hello World");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto tokens = Tokenize("wow—austin,texas!is great");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1], "austin");
+  EXPECT_EQ(tokens[2], "texas");
+}
+
+TEST(TokenizerTest, ApostropheAndPeriodInsideTokenDropped) {
+  auto tokens = Tokenize("don't visit St. Louis");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "dont");
+  EXPECT_EQ(tokens[2], "st");
+  EXPECT_EQ(tokens[3], "louis");
+}
+
+TEST(TokenizerTest, MentionsAndHashtagsKeepWordPart) {
+  auto tokens = Tokenize("@carol check #austin");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "carol");
+  EXPECT_EQ(tokens[2], "austin");
+}
+
+TEST(TokenizerTest, UrlsSkipped) {
+  auto tokens = Tokenize("see https://example.com/austin now");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "see");
+  EXPECT_EQ(tokens[1], "now");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, DigitsAreTokens) {
+  auto tokens = Tokenize("route 66 rocks");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "66");
+}
+
+TEST(TokenizerTest, JoinTokens) {
+  std::vector<std::string> tokens = {"los", "angeles", "rocks"};
+  EXPECT_EQ(JoinTokens(tokens, 0, 2), "los angeles");
+  EXPECT_EQ(JoinTokens(tokens, 2, 1), "rocks");
+}
+
+// --------------------------------------------------------- profile parser
+
+class ProfileParserTest : public ::testing::Test {
+ protected:
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+};
+
+TEST_F(ProfileParserTest, AcceptsCityCommaAbbreviation) {
+  auto city = ParseRegisteredLocation("Los Angeles, CA", gaz_);
+  ASSERT_TRUE(city.has_value());
+  EXPECT_EQ(gaz_.FullName(*city), "Los Angeles, CA");
+}
+
+TEST_F(ProfileParserTest, AcceptsCityCommaFullStateName) {
+  auto city = ParseRegisteredLocation("Austin, Texas", gaz_);
+  ASSERT_TRUE(city.has_value());
+  EXPECT_EQ(gaz_.FullName(*city), "Austin, TX");
+}
+
+TEST_F(ProfileParserTest, CaseAndSpacingInsensitive) {
+  EXPECT_TRUE(ParseRegisteredLocation("austin , tx", gaz_).has_value());
+  EXPECT_TRUE(ParseRegisteredLocation("  AUSTIN,TEXAS  ", gaz_).has_value());
+}
+
+TEST_F(ProfileParserTest, RejectsNonsensicalGeneralAndBlank) {
+  // The paper: nonsensical ("my home"), general ("CA"), or blank.
+  EXPECT_FALSE(ParseRegisteredLocation("my home", gaz_).has_value());
+  EXPECT_FALSE(ParseRegisteredLocation("CA", gaz_).has_value());
+  EXPECT_FALSE(ParseRegisteredLocation("", gaz_).has_value());
+  EXPECT_FALSE(ParseRegisteredLocation("   ", gaz_).has_value());
+  EXPECT_FALSE(ParseRegisteredLocation("earth", gaz_).has_value());
+}
+
+TEST_F(ProfileParserTest, RejectsUnknownCityOrState) {
+  EXPECT_FALSE(ParseRegisteredLocation("Gotham, NY", gaz_).has_value());
+  EXPECT_FALSE(ParseRegisteredLocation("Austin, XX", gaz_).has_value());
+  EXPECT_FALSE(ParseRegisteredLocation("Austin, Europe", gaz_).has_value());
+}
+
+TEST_F(ProfileParserTest, RejectsMultiLocationStrings) {
+  // "Augusta, GA/New London, CT" has two commas → free-form, unlabeled.
+  EXPECT_FALSE(
+      ParseRegisteredLocation("Augusta, GA/New London, CT", gaz_).has_value());
+}
+
+TEST_F(ProfileParserTest, StateDisambiguatesCityName) {
+  auto nj = ParseRegisteredLocation("Princeton, NJ", gaz_);
+  auto wv = ParseRegisteredLocation("Princeton, WV", gaz_);
+  ASSERT_TRUE(nj.has_value());
+  ASSERT_TRUE(wv.has_value());
+  EXPECT_NE(*nj, *wv);
+}
+
+// ------------------------------------------------------------- vocabulary
+
+class VenueVocabTest : public ::testing::Test {
+ protected:
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+  VenueVocabulary vocab_ = VenueVocabulary::Build(gaz_);
+};
+
+TEST_F(VenueVocabTest, ContainsEveryCityName) {
+  for (geo::CityId c = 0; c < gaz_.size(); ++c) {
+    VenueId v = vocab_.CityNameVenue(c);
+    ASSERT_GE(v, 0) << gaz_.FullName(c);
+    // That venue must list the city among its referents.
+    const auto& refs = vocab_.venue(v).referents;
+    EXPECT_NE(std::find(refs.begin(), refs.end(), c), refs.end());
+    EXPECT_TRUE(vocab_.venue(v).is_city_name);
+  }
+}
+
+TEST_F(VenueVocabTest, AmbiguousCityNameHasMultipleReferents) {
+  auto princeton = vocab_.Find("princeton");
+  ASSERT_TRUE(princeton.has_value());
+  EXPECT_GE(vocab_.venue(*princeton).referents.size(), 2u);
+}
+
+TEST_F(VenueVocabTest, LandmarksResolveToCities) {
+  auto hollywood = vocab_.Find("hollywood");
+  ASSERT_TRUE(hollywood.has_value());
+  // "hollywood" is both a Florida city and an LA landmark.
+  const auto& refs = vocab_.venue(*hollywood).referents;
+  EXPECT_GE(refs.size(), 2u);
+  bool has_la = false, has_fl = false;
+  for (geo::CityId c : refs) {
+    if (gaz_.FullName(c) == "Los Angeles, CA") has_la = true;
+    if (gaz_.FullName(c) == "Hollywood, FL") has_fl = true;
+  }
+  EXPECT_TRUE(has_la);
+  EXPECT_TRUE(has_fl);
+}
+
+TEST_F(VenueVocabTest, BroadwayIsAmbiguousAcrossCities) {
+  auto broadway = vocab_.Find("broadway");
+  ASSERT_TRUE(broadway.has_value());
+  EXPECT_GE(vocab_.venue(*broadway).referents.size(), 2u);  // NY + Nashville
+}
+
+TEST_F(VenueVocabTest, NormalizesPunctuatedCityNames) {
+  // "St. Louis" must be findable through its tokenized form.
+  auto st_louis = vocab_.Find("st louis");
+  ASSERT_TRUE(st_louis.has_value());
+  EXPECT_FALSE(vocab_.Find("st. louis").has_value() &&
+               vocab_.Find("st. louis") != st_louis);
+}
+
+TEST_F(VenueVocabTest, MaxNameTokensCoversMultiWordNames) {
+  EXPECT_GE(vocab_.max_name_tokens(), 3);  // "madison square garden"
+}
+
+TEST_F(VenueVocabTest, ReferentTableParallelsVocabulary) {
+  auto table = vocab_.ReferentTable();
+  ASSERT_EQ(static_cast<int>(table.size()), vocab_.size());
+  for (int v = 0; v < vocab_.size(); ++v) {
+    EXPECT_EQ(table[v], vocab_.venue(v).referents);
+  }
+}
+
+TEST_F(VenueVocabTest, FindUnknownReturnsNullopt) {
+  EXPECT_FALSE(vocab_.Find("narnia").has_value());
+  EXPECT_FALSE(vocab_.Find("").has_value());
+}
+
+// --------------------------------------------------------------- extractor
+
+class VenueExtractorTest : public ::testing::Test {
+ protected:
+  geo::Gazetteer gaz_ = geo::Gazetteer::FromEmbedded();
+  VenueVocabulary vocab_ = VenueVocabulary::Build(gaz_);
+  VenueExtractor extractor_{&vocab_};
+
+  std::string VenueName(VenueId v) { return vocab_.venue(v).name; }
+};
+
+TEST_F(VenueExtractorTest, ExtractsSingleTokenVenue) {
+  auto ids = extractor_.ExtractIds("good morning austin!");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(VenueName(ids[0]), "austin");
+}
+
+TEST_F(VenueExtractorTest, LongestMatchWins) {
+  // "los angeles" must match as one venue, not "angeles" alone or none.
+  auto ids = extractor_.ExtractIds("see you in Los Angeles tonight");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(VenueName(ids[0]), "los angeles");
+}
+
+TEST_F(VenueExtractorTest, ThreeTokenVenue) {
+  auto ids = extractor_.ExtractIds("flying into Salt Lake City");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(VenueName(ids[0]), "salt lake city");
+}
+
+TEST_F(VenueExtractorTest, MultipleMentionsInOneTweet) {
+  auto ids = extractor_.ExtractIds("from austin to houston and back");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(VenueName(ids[0]), "austin");
+  EXPECT_EQ(VenueName(ids[1]), "houston");
+}
+
+TEST_F(VenueExtractorTest, RepeatedMentionsKeptAsSeparateRelationships) {
+  auto ids = extractor_.ExtractIds("austin austin austin");
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST_F(VenueExtractorTest, LandmarkExtraction) {
+  auto ids = extractor_.ExtractIds("See Gaga in Hollywood.");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(VenueName(ids[0]), "hollywood");
+}
+
+TEST_F(VenueExtractorTest, PaperExampleTweet) {
+  // Fig. 1: "Want to go to Honolulu for Spring vacation!"
+  auto ids = extractor_.ExtractIds("Want to go to Honolulu for Spring vacation!");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(VenueName(ids[0]), "honolulu");
+}
+
+TEST_F(VenueExtractorTest, NoVenuesNoMatches) {
+  EXPECT_TRUE(extractor_.ExtractIds("good morning!").empty());
+  EXPECT_TRUE(extractor_.ExtractIds("").empty());
+}
+
+TEST_F(VenueExtractorTest, MentionPositionsReported) {
+  auto mentions = extractor_.Extract("hello from new york city folks");
+  ASSERT_FALSE(mentions.empty());
+  EXPECT_EQ(mentions[0].token_begin, 2u);
+  EXPECT_GE(mentions[0].token_count, 2u);
+}
+
+TEST_F(VenueExtractorTest, OverlapResolvedLeftToRight) {
+  // "madison square garden" must not additionally emit "madison" (WI city).
+  auto ids = extractor_.ExtractIds("at madison square garden tonight");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(VenueName(ids[0]), "madison square garden");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace mlp

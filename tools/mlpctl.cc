@@ -1,0 +1,195 @@
+// mlpctl — command-line front end for the library.
+//
+//   mlpctl generate --users 4000 --seed 42 --out DIR
+//       Generate a synthetic Twitter world and save it (with ground truth)
+//       as CSV under DIR.
+//   mlpctl stats --data DIR
+//       Print dataset statistics for a saved world.
+//   mlpctl eval --data DIR [--folds 5] [--method MLP]
+//       K-fold home-prediction evaluation of one method (BaseU, BaseC,
+//       MLP_U, MLP_C, MLP) or of the full Table-2 lineup (--method all).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "eval/cross_validation.h"
+#include "eval/methods.h"
+#include "eval/metrics.h"
+#include "graph/graph_stats.h"
+#include "io/dataset_io.h"
+#include "io/table_printer.h"
+#include "synth/world_generator.h"
+#include "text/venue_vocab.h"
+
+namespace {
+
+using namespace mlp;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    std::string value = "1";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    flags[key] = value;
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mlpctl generate --users N [--seed S] --out DIR\n"
+               "  mlpctl stats --data DIR\n"
+               "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n");
+  return 2;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Usage();
+  synth::WorldConfig config;
+  config.num_users = std::atoi(FlagOr(flags, "users", "4000").c_str());
+  config.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  Status saved = io::SaveDataset(out, *world->graph, &world->truth);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %d users, %d following, %d tweeting to %s\n",
+              world->graph->num_users(), world->graph->num_following(),
+              world->graph->num_tweeting(), out.c_str());
+  return 0;
+}
+
+struct LoadedWorld {
+  geo::Gazetteer gazetteer = geo::Gazetteer::FromEmbedded();
+  std::unique_ptr<geo::CityDistanceMatrix> distances;
+  text::VenueVocabulary vocab = text::VenueVocabulary::Build(gazetteer);
+  std::unique_ptr<io::LoadedDataset> data;
+};
+
+Result<LoadedWorld> LoadWorld(const std::string& dir) {
+  LoadedWorld world;
+  world.distances =
+      std::make_unique<geo::CityDistanceMatrix>(world.gazetteer, 1.0);
+  Result<io::LoadedDataset> data = io::LoadDataset(dir, world.vocab.size());
+  if (!data.ok()) return data.status();
+  world.data = std::make_unique<io::LoadedDataset>(std::move(*data));
+  return world;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "data", "");
+  if (dir.empty()) return Usage();
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  graph::GraphStats stats = graph::ComputeGraphStats(world->data->graph);
+  io::TablePrinter table({"statistic", "value"});
+  table.AddRow({"users", std::to_string(stats.num_users)});
+  table.AddRow({"labeled users", std::to_string(stats.num_labeled)});
+  table.AddRow({"following relationships",
+                std::to_string(stats.num_following)});
+  table.AddRow({"tweeting relationships", std::to_string(stats.num_tweeting)});
+  table.AddRow({"avg friends/user",
+                StringPrintf("%.1f", stats.avg_friends_per_user)});
+  table.AddRow({"avg venues/user",
+                StringPrintf("%.1f", stats.avg_venues_per_user)});
+  auto referents = world->vocab.ReferentTable();
+  table.AddRow({"neighbor location coverage",
+                StringPrintf("%.2f", graph::NeighborLocationCoverage(
+                                         world->data->graph, referents))});
+  table.Print();
+  return 0;
+}
+
+int CmdEval(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "data", "");
+  if (dir.empty()) return Usage();
+  int folds = std::atoi(FlagOr(flags, "folds", "5").c_str());
+  std::string method = FlagOr(flags, "method", "all");
+
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  auto referents = world->vocab.ReferentTable();
+  std::vector<geo::CityId> registered =
+      eval::RegisteredHomes(world->data->graph);
+  eval::FoldAssignment assignment = eval::MakeKFolds(registered, 5, 17);
+  if (folds < 1) folds = 1;
+  if (folds > 5) folds = 5;
+
+  core::MlpConfig config;
+  config.burn_in_iterations = 10;
+  config.sampling_iterations = 14;
+  io::TablePrinter table({"method", "ACC@100", "ACC@20"});
+  for (const eval::NamedMethod& nm : eval::StandardLineup(config)) {
+    if (method != "all" && nm.name != method) continue;
+    double acc100 = 0.0, acc20 = 0.0;
+    for (int fold = 0; fold < folds; ++fold) {
+      core::ModelInput input;
+      input.gazetteer = &world->gazetteer;
+      input.graph = &world->data->graph;
+      input.distances = world->distances.get();
+      input.venue_referents = &referents;
+      input.observed_home = assignment.MaskedHomes(registered, fold);
+      Result<eval::MethodOutput> out = nm.method(input);
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", nm.name.c_str(),
+                     out.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<graph::UserId> test_users = assignment.TestUsers(fold);
+      acc100 += eval::AccuracyWithin(out->home, registered, test_users,
+                                     *world->distances, 100.0);
+      acc20 += eval::AccuracyWithin(out->home, registered, test_users,
+                                    *world->distances, 20.0);
+    }
+    table.AddRow({nm.name, StringPrintf("%.2f%%", acc100 / folds * 100.0),
+                  StringPrintf("%.2f%%", acc20 / folds * 100.0)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "eval") return CmdEval(flags);
+  return Usage();
+}
