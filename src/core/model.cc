@@ -8,6 +8,7 @@
 #include "core/priors.h"
 #include "core/pow_table.h"
 #include "core/random_models.h"
+#include "engine/parallel_gibbs.h"
 
 namespace mlp {
 namespace core {
@@ -53,6 +54,10 @@ Status MlpModel::ValidateInput(const ModelInput& input) const {
       config_.rho_t >= 1.0) {
     return Status::InvalidArgument("rho_f/rho_t must be in [0, 1)");
   }
+  if (config_.num_threads < 1 || config_.sync_every_sweeps < 1) {
+    return Status::InvalidArgument(
+        "num_threads and sync_every_sweeps must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -79,16 +84,23 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input) {
 
   Pcg32 rng(config.seed, 0x5bd1e995u);
   GibbsSampler sampler(&input, &config, &priors, &random_models, &pow_table);
-  sampler.Initialize(&rng);
+  // Sweep driver: sequential passthrough at num_threads == 1 (bit-identical
+  // to running the sampler directly), sharded delta-merge sweeps otherwise.
+  engine::ParallelGibbsEngine engine(&sampler, &input, &config);
+  engine.Initialize(&rng);
 
   const int rounds = std::max(0, config.gibbs_em_rounds) + 1;
   for (int round = 0; round < rounds; ++round) {
     for (int it = 0; it < config.burn_in_iterations; ++it) {
-      sampler.RunSweep(&rng);
+      engine.RunSweep(&rng);
     }
+    engine.Synchronize();
     sampler.ResetAccumulators();
     for (int it = 0; it < config.sampling_iterations; ++it) {
-      sampler.RunSweep(&rng);
+      engine.RunSweep(&rng);
+      // Accumulation reads the global counts, so any pending replica
+      // deltas must land first (no-op at sync_every_sweeps == 1).
+      engine.Synchronize();
       sampler.AccumulateSample();
     }
 

@@ -78,6 +78,17 @@ struct MlpConfig {
   /// Distance floor in miles for the power law (the paper buckets at
   /// 1-mile granularity; β·d^α diverges at 0).
   double distance_floor_miles = 1.0;
+
+  // ---- parallel inference (src/engine/) ----
+  /// Gibbs worker threads. 1 runs the exact sequential sampler; N > 1
+  /// shards users across N workers with AD-LDA-style delta merging
+  /// (approximate but deterministic for fixed N; see src/engine/README.md).
+  int num_threads = 1;
+  /// Sweeps between replica merges when num_threads > 1. 1 (the default)
+  /// merges at every sweep barrier; larger values trade statistical
+  /// freshness of the thread-local counts for fewer barriers during
+  /// burn-in. Ignored in the sequential path.
+  int sync_every_sweeps = 1;
 };
 
 }  // namespace core

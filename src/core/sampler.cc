@@ -26,19 +26,20 @@ GibbsSampler::GibbsSampler(const ModelInput* input, const MlpConfig* config,
   MLP_CHECK(static_cast<int>(priors_->size()) == input_->num_users());
 }
 
-double GibbsSampler::ThetaWeight(graph::UserId u, int candidate_idx) const {
+double GibbsSampler::ThetaWeight(graph::UserId u, int candidate_idx,
+                                 const GibbsSuffStats& stats) const {
   // The collapsed P(x = l | rest): (ϕ_{i,l} + γ_{i,l}) up to the constant
   // denominator (ϕ_i + Σγ), which cancels inside a categorical draw but is
   // needed for the μ update — callers divide when required.
-  return phi_[u][candidate_idx] + (*priors_)[u].gamma[candidate_idx];
+  return stats.phi[u][candidate_idx] + (*priors_)[u].gamma[candidate_idx];
 }
 
-double GibbsSampler::VenueProb(geo::CityId location,
-                               graph::VenueId venue) const {
+double GibbsSampler::VenueProb(geo::CityId location, graph::VenueId venue,
+                               const GibbsSuffStats& stats) const {
   const double delta = config_->delta;
   const double v_total = static_cast<double>(input_->num_venues());
-  return (venue_counts_[location][venue] + delta) /
-         (venue_counts_total_[location] + delta * v_total);
+  return (stats.venue_counts[location][venue] + delta) /
+         (stats.venue_counts_total[location] + delta * v_total);
 }
 
 int GibbsSampler::SampleCandidate(const std::vector<double>& weights,
@@ -64,15 +65,15 @@ void GibbsSampler::Initialize(Pcg32* rng) {
   const int num_users = input_->num_users();
   const int num_locations = input_->num_locations();
 
-  phi_.resize(num_users);
+  stats_.phi.resize(num_users);
   for (graph::UserId u = 0; u < num_users; ++u) {
-    phi_[u].assign((*priors_)[u].size(), 0.0);
+    stats_.phi[u].assign((*priors_)[u].size(), 0.0);
   }
-  phi_total_.assign(num_users, 0.0);
+  stats_.phi_total.assign(num_users, 0.0);
   if (UseTweeting()) {
-    venue_counts_.assign(num_locations, {});
-    for (auto& row : venue_counts_) row.assign(input_->num_venues(), 0.0);
-    venue_counts_total_.assign(num_locations, 0.0);
+    stats_.venue_counts.assign(num_locations, {});
+    for (auto& row : stats_.venue_counts) row.assign(input_->num_venues(), 0.0);
+    stats_.venue_counts_total.assign(num_locations, 0.0);
   }
 
   // Seed assignments from the priors (supervised users start mostly at
@@ -95,10 +96,10 @@ void GibbsSampler::Initialize(Pcg32* rng) {
               : 0;
       x_idx_[s] = draw_from_prior(edge.follower);
       y_idx_[s] = draw_from_prior(edge.friend_user);
-      phi_[edge.follower][x_idx_[s]] += 1.0;
-      phi_total_[edge.follower] += 1.0;
-      phi_[edge.friend_user][y_idx_[s]] += 1.0;
-      phi_total_[edge.friend_user] += 1.0;
+      stats_.phi[edge.follower][x_idx_[s]] += 1.0;
+      stats_.phi_total[edge.follower] += 1.0;
+      stats_.phi[edge.friend_user][y_idx_[s]] += 1.0;
+      stats_.phi_total[edge.friend_user] += 1.0;
     }
   }
   if (UseTweeting()) {
@@ -109,10 +110,10 @@ void GibbsSampler::Initialize(Pcg32* rng) {
       const graph::TweetingEdge& edge = graph.tweeting(k);
       z_idx_[k] = draw_from_prior(edge.user);
       geo::CityId z = (*priors_)[edge.user].candidates[z_idx_[k]];
-      phi_[edge.user][z_idx_[k]] += 1.0;
-      phi_total_[edge.user] += 1.0;
-      venue_counts_[z][edge.venue] += 1.0;
-      venue_counts_total_[z] += 1.0;
+      stats_.phi[edge.user][z_idx_[k]] += 1.0;
+      stats_.phi_total[edge.user] += 1.0;
+      stats_.venue_counts[z][edge.venue] += 1.0;
+      stats_.venue_counts_total[z] += 1.0;
     }
   }
 
@@ -121,7 +122,8 @@ void GibbsSampler::Initialize(Pcg32* rng) {
   home_change_per_sweep_.clear();
 }
 
-void GibbsSampler::SampleFollowing(graph::EdgeId s, Pcg32* rng) {
+void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
+                                       GibbsScratch* scratch, Pcg32* rng) {
   const graph::FollowingEdge& edge = input_->graph->following(s);
   const graph::UserId i = edge.follower;
   const graph::UserId j = edge.friend_user;
@@ -132,10 +134,10 @@ void GibbsSampler::SampleFollowing(graph::EdgeId s, Pcg32* rng) {
 
   // --- remove this relationship's contribution ---
   if (mu_[s] == 0) {
-    phi_[i][x_idx_[s]] -= 1.0;
-    phi_total_[i] -= 1.0;
-    phi_[j][y_idx_[s]] -= 1.0;
-    phi_total_[j] -= 1.0;
+    stats->phi[i][x_idx_[s]] -= 1.0;
+    stats->phi_total[i] -= 1.0;
+    stats->phi[j][y_idx_[s]] -= 1.0;
+    stats->phi_total[j] -= 1.0;
   }
 
   // Blocked update for (μ_s, x_s, y_s): the μ branch weights marginalize
@@ -145,30 +147,30 @@ void GibbsSampler::SampleFollowing(graph::EdgeId s, Pcg32* rng) {
   // distribution but mixes poorly (the location branch is penalized by the
   // current pair's prior mass while the random branch carries no matching
   // factor). See DESIGN.md.
-  scratch_a_.resize(ni);
-  for (int l = 0; l < ni; ++l) scratch_a_[l] = ThetaWeight(i, l);
-  scratch_b_.resize(nj);
-  for (int l = 0; l < nj; ++l) scratch_b_[l] = ThetaWeight(j, l);
+  scratch->a.resize(ni);
+  for (int l = 0; l < ni; ++l) scratch->a[l] = ThetaWeight(i, l, *stats);
+  scratch->b.resize(nj);
+  for (int l = 0; l < nj; ++l) scratch->b[l] = ThetaWeight(j, l, *stats);
 
   // row[l1] = Σ_{l2} θ̃_j(l2) · d(c_i[l1], c_j[l2])^α.
-  scratch_row_.assign(ni, 0.0);
+  scratch->row.assign(ni, 0.0);
   for (int l1 = 0; l1 < ni; ++l1) {
     geo::CityId c1 = prior_i.candidates[l1];
     double acc = 0.0;
     for (int l2 = 0; l2 < nj; ++l2) {
-      acc += scratch_b_[l2] * pow_table_->Get(c1, prior_j.candidates[l2]);
+      acc += scratch->b[l2] * pow_table_->Get(c1, prior_j.candidates[l2]);
     }
-    scratch_row_[l1] = acc;
+    scratch->row[l1] = acc;
   }
 
   // --- sample μ_s ---
   if (config_->model_noise && config_->rho_f > 0.0) {
     double pair_mass = 0.0;  // Σ θ̃_i(l1)·row[l1] = (Σθθd^α)·A_i·A_j
     for (int l1 = 0; l1 < ni; ++l1) {
-      pair_mass += scratch_a_[l1] * scratch_row_[l1];
+      pair_mass += scratch->a[l1] * scratch->row[l1];
     }
-    double norm = (phi_total_[i] + prior_i.gamma_sum) *
-                  (phi_total_[j] + prior_j.gamma_sum);
+    double norm = (stats->phi_total[i] + prior_i.gamma_sum) *
+                  (stats->phi_total[j] + prior_j.gamma_sum);
     double w_random = config_->rho_f * random_models_->following_prob;
     double w_location =
         (1.0 - config_->rho_f) * config_->beta * pair_mass / norm;
@@ -181,31 +183,32 @@ void GibbsSampler::SampleFollowing(graph::EdgeId s, Pcg32* rng) {
   // --- sample (x_s, y_s) ---
   if (mu_[s] == 0) {
     // Joint draw from the grid: x ∝ θ̃_i(l1)·row[l1], then y | x.
-    scratch_.resize(ni);
+    scratch->w.resize(ni);
     for (int l1 = 0; l1 < ni; ++l1) {
-      scratch_[l1] = scratch_a_[l1] * scratch_row_[l1];
+      scratch->w[l1] = scratch->a[l1] * scratch->row[l1];
     }
-    x_idx_[s] = SampleCandidate(scratch_, rng);
+    x_idx_[s] = SampleCandidate(scratch->w, rng);
     geo::CityId cx = prior_i.candidates[x_idx_[s]];
-    scratch_.resize(nj);
+    scratch->w.resize(nj);
     for (int l2 = 0; l2 < nj; ++l2) {
-      scratch_[l2] =
-          scratch_b_[l2] * pow_table_->Get(cx, prior_j.candidates[l2]);
+      scratch->w[l2] =
+          scratch->b[l2] * pow_table_->Get(cx, prior_j.candidates[l2]);
     }
-    y_idx_[s] = SampleCandidate(scratch_, rng);
-    phi_[i][x_idx_[s]] += 1.0;
-    phi_total_[i] += 1.0;
-    phi_[j][y_idx_[s]] += 1.0;
-    phi_total_[j] += 1.0;
+    y_idx_[s] = SampleCandidate(scratch->w, rng);
+    stats->phi[i][x_idx_[s]] += 1.0;
+    stats->phi_total[i] += 1.0;
+    stats->phi[j][y_idx_[s]] += 1.0;
+    stats->phi_total[j] += 1.0;
   } else {
     // Noise branch: assignments stay latent, drawn from the count-prior
     // posterior alone (distance term inactive — Eqs. 7–8 with μ=1).
-    x_idx_[s] = SampleCandidate(scratch_a_, rng);
-    y_idx_[s] = SampleCandidate(scratch_b_, rng);
+    x_idx_[s] = SampleCandidate(scratch->a, rng);
+    y_idx_[s] = SampleCandidate(scratch->b, rng);
   }
 }
 
-void GibbsSampler::SampleTweeting(graph::EdgeId k, Pcg32* rng) {
+void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, GibbsSuffStats* stats,
+                                      GibbsScratch* scratch, Pcg32* rng) {
   const graph::TweetingEdge& edge = input_->graph->tweeting(k);
   const graph::UserId i = edge.user;
   const graph::VenueId v = edge.venue;
@@ -214,26 +217,27 @@ void GibbsSampler::SampleTweeting(graph::EdgeId k, Pcg32* rng) {
   // --- remove ---
   if (nu_[k] == 0) {
     geo::CityId z = prior_i.candidates[z_idx_[k]];
-    phi_[i][z_idx_[k]] -= 1.0;
-    phi_total_[i] -= 1.0;
-    venue_counts_[z][v] -= 1.0;
-    venue_counts_total_[z] -= 1.0;
+    stats->phi[i][z_idx_[k]] -= 1.0;
+    stats->phi_total[i] -= 1.0;
+    stats->venue_counts[z][v] -= 1.0;
+    stats->venue_counts_total[z] -= 1.0;
   }
 
   const int ni = prior_i.size();
-  scratch_a_.resize(ni);
-  for (int l = 0; l < ni; ++l) scratch_a_[l] = ThetaWeight(i, l);
+  scratch->a.resize(ni);
+  for (int l = 0; l < ni; ++l) scratch->a[l] = ThetaWeight(i, l, *stats);
   // Location-branch weights per candidate: θ̃_i(l)·ψ_l(v).
-  scratch_.resize(ni);
+  scratch->w.resize(ni);
   for (int l = 0; l < ni; ++l) {
-    scratch_[l] = scratch_a_[l] * VenueProb(prior_i.candidates[l], v);
+    scratch->w[l] =
+        scratch->a[l] * VenueProb(prior_i.candidates[l], v, *stats);
   }
 
   // --- sample ν_k (blocked over z, mirroring the following update) ---
   if (config_->model_noise && config_->rho_t > 0.0) {
     double mass = 0.0;
-    for (int l = 0; l < ni; ++l) mass += scratch_[l];
-    double norm = phi_total_[i] + prior_i.gamma_sum;
+    for (int l = 0; l < ni; ++l) mass += scratch->w[l];
+    double norm = stats->phi_total[i] + prior_i.gamma_sum;
     double w_random = config_->rho_t * random_models_->venue_prob[v];
     double w_location = (1.0 - config_->rho_t) * mass / norm;
     double denom = w_random + w_location;
@@ -244,29 +248,32 @@ void GibbsSampler::SampleTweeting(graph::EdgeId k, Pcg32* rng) {
 
   // --- sample z_{k,i} (Eq. 9) ---
   if (nu_[k] == 0) {
-    z_idx_[k] = SampleCandidate(scratch_, rng);
+    z_idx_[k] = SampleCandidate(scratch->w, rng);
     geo::CityId z = prior_i.candidates[z_idx_[k]];
-    phi_[i][z_idx_[k]] += 1.0;
-    phi_total_[i] += 1.0;
-    venue_counts_[z][v] += 1.0;
-    venue_counts_total_[z] += 1.0;
+    stats->phi[i][z_idx_[k]] += 1.0;
+    stats->phi_total[i] += 1.0;
+    stats->venue_counts[z][v] += 1.0;
+    stats->venue_counts_total[z] += 1.0;
   } else {
-    z_idx_[k] = SampleCandidate(scratch_a_, rng);
+    z_idx_[k] = SampleCandidate(scratch->a, rng);
   }
 }
 
 void GibbsSampler::RunSweep(Pcg32* rng) {
   if (UseFollowing()) {
     for (graph::EdgeId s = 0; s < input_->graph->num_following(); ++s) {
-      SampleFollowing(s, rng);
+      SampleFollowingEdge(s, &stats_, &scratch_, rng);
     }
   }
   if (UseTweeting()) {
     for (graph::EdgeId k = 0; k < input_->graph->num_tweeting(); ++k) {
-      SampleTweeting(k, rng);
+      SampleTweetingEdge(k, &stats_, &scratch_, rng);
     }
   }
+  RecordSweepTrace();
+}
 
+void GibbsSampler::RecordSweepTrace() {
   // Convergence trace: fraction of users whose current home flipped.
   std::vector<geo::CityId> homes = CurrentHomes();
   int changed = 0;
@@ -282,9 +289,9 @@ void GibbsSampler::RunSweep(Pcg32* rng) {
 
 void GibbsSampler::ResetAccumulators() {
   accumulated_samples_ = 0;
-  acc_phi_.resize(phi_.size());
-  for (size_t u = 0; u < phi_.size(); ++u) {
-    acc_phi_[u].assign(phi_[u].size(), 0.0);
+  acc_phi_.resize(stats_.phi.size());
+  for (size_t u = 0; u < stats_.phi.size(); ++u) {
+    acc_phi_[u].assign(stats_.phi[u].size(), 0.0);
   }
   acc_x_.assign(x_idx_.size(), {});
   acc_y_.assign(y_idx_.size(), {});
@@ -296,9 +303,9 @@ void GibbsSampler::ResetAccumulators() {
 
 void GibbsSampler::AccumulateSample() {
   ++accumulated_samples_;
-  for (size_t u = 0; u < phi_.size(); ++u) {
-    for (size_t l = 0; l < phi_[u].size(); ++l) {
-      acc_phi_[u][l] += phi_[u][l];
+  for (size_t u = 0; u < stats_.phi.size(); ++u) {
+    for (size_t l = 0; l < stats_.phi[u].size(); ++l) {
+      acc_phi_[u][l] += stats_.phi[u][l];
     }
   }
   const graph::SocialGraph& graph = *input_->graph;
@@ -339,7 +346,7 @@ std::vector<geo::CityId> GibbsSampler::CurrentHomes() const {
     const UserPrior& prior = (*priors_)[u];
     double best = -1.0;
     for (int l = 0; l < prior.size(); ++l) {
-      double w = phi_[u][l] + prior.gamma[l];
+      double w = stats_.phi[u][l] + prior.gamma[l];
       if (w > best) {
         best = w;
         homes[u] = prior.candidates[l];
@@ -377,12 +384,12 @@ MlpResult GibbsSampler::BuildResult() const {
     double denom = 0.0;
     for (int l = 0; l < prior.size(); ++l) {
       double phi_avg = accumulated_samples_ > 0 ? acc_phi_[u][l] / samples
-                                                : phi_[u][l];
+                                                : stats_.phi[u][l];
       denom += phi_avg + prior.gamma[l];
     }
     for (int l = 0; l < prior.size(); ++l) {
       double phi_avg = accumulated_samples_ > 0 ? acc_phi_[u][l] / samples
-                                                : phi_[u][l];
+                                                : stats_.phi[u][l];
       // Eq. 10: p(l|θ_i) = (ϕ_{i,l} + γ_{i,l}) / (ϕ_i + Σ_l γ_{i,l}).
       entries.emplace_back(prior.candidates[l],
                            (phi_avg + prior.gamma[l]) / denom);

@@ -38,8 +38,33 @@ struct MlpResult {
   double alpha = 0.0;                            // final power-law exponent
   double beta = 0.0;
   /// Per-sweep fraction of users whose home estimate changed (the
-  /// convergence trace behind Fig. 5).
+  /// convergence trace behind Fig. 5). When the parallel engine runs with
+  /// sync_every_sweeps = n > 1 there is one entry per merge barrier (every
+  /// n sweeps), each aggregating that interval's movement.
   std::vector<double> home_change_per_sweep;
+};
+
+/// Sufficient statistics of the collapsed chain: ϕ_{i,l} (per-user
+/// assignment counts over candidates, location-based relationships only)
+/// and φ_{l,v} (per-location venue counts). A plain copyable value so the
+/// parallel engine (engine/parallel_gibbs.h) can keep thread-local replicas
+/// and merge deltas at sweep barriers. All entries are integer-valued
+/// counts stored as doubles, so replica deltas merge exactly.
+struct GibbsSuffStats {
+  std::vector<std::vector<double>> phi;           // [user][candidate]
+  std::vector<double> phi_total;                  // [user]
+  std::vector<std::vector<double>> venue_counts;  // [location][venue]
+  std::vector<double> venue_counts_total;         // [location]
+};
+
+/// Reusable buffers for the per-edge sampling kernels. Each caller (the
+/// sequential sweep, or one engine worker per shard) owns one, which makes
+/// the kernels re-entrant without per-edge allocation.
+struct GibbsScratch {
+  std::vector<double> w;    // categorical weights under construction
+  std::vector<double> a;    // θ̃ weights of the follower / tweeter
+  std::vector<double> b;    // θ̃ weights of the friend
+  std::vector<double> row;  // distance-marginalized row sums
 };
 
 /// Collapsed Gibbs sampler for MLP (Sec. 4.5). θ and ψ are integrated out;
@@ -88,14 +113,32 @@ class GibbsSampler {
 
   int accumulated_samples() const { return accumulated_samples_; }
 
- private:
-  void SampleFollowing(graph::EdgeId s, Pcg32* rng);
-  void SampleTweeting(graph::EdgeId k, Pcg32* rng);
+  // ---- engine API (used by engine::ParallelGibbsEngine) ----
+  //
+  // The per-edge kernels resample one relationship against the given
+  // statistics replica. They write the edge's chain state (μ/ν and the
+  // assignment indices) directly — edges are partitioned across shards, so
+  // concurrent callers never touch the same slot — while all count updates
+  // go to `stats`, which may be a thread-local replica. Passing
+  // `&this->stats()`'s owner (via mutable_stats()) and one scratch
+  // reproduces the sequential sweep exactly.
 
-  double ThetaWeight(graph::UserId u, int candidate_idx) const;
-  double VenueProb(geo::CityId location, graph::VenueId venue) const;
+  /// Resamples (μ_s, x_s, y_s) for one following relationship.
+  void SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
+                           GibbsScratch* scratch, Pcg32* rng);
 
-  int SampleCandidate(const std::vector<double>& weights, Pcg32* rng) const;
+  /// Resamples (ν_k, z_k) for one tweeting relationship.
+  void SampleTweetingEdge(graph::EdgeId k, GibbsSuffStats* stats,
+                          GibbsScratch* scratch, Pcg32* rng);
+
+  /// The global sufficient statistics.
+  const GibbsSuffStats& stats() const { return stats_; }
+  GibbsSuffStats* mutable_stats() { return &stats_; }
+
+  /// Appends one entry to the convergence trace from the current global
+  /// counts. RunSweep calls this itself; the parallel engine calls it after
+  /// each delta merge.
+  void RecordSweepTrace();
 
   bool UseFollowing() const {
     return config_->source != ObservationSource::kTweetingOnly;
@@ -103,6 +146,14 @@ class GibbsSampler {
   bool UseTweeting() const {
     return config_->source != ObservationSource::kFollowingOnly;
   }
+
+ private:
+  double ThetaWeight(graph::UserId u, int candidate_idx,
+                     const GibbsSuffStats& stats) const;
+  double VenueProb(geo::CityId location, graph::VenueId venue,
+                   const GibbsSuffStats& stats) const;
+
+  int SampleCandidate(const std::vector<double>& weights, Pcg32* rng) const;
 
   const ModelInput* input_;
   const MlpConfig* config_;
@@ -117,11 +168,8 @@ class GibbsSampler {
   std::vector<uint8_t> nu_;      // per tweeting edge
   std::vector<int32_t> z_idx_;   // candidate index in tweeter's prior
 
-  // Sufficient statistics.
-  std::vector<std::vector<double>> phi_;  // [user][candidate]
-  std::vector<double> phi_total_;         // [user]
-  std::vector<std::vector<double>> venue_counts_;  // [location][venue]
-  std::vector<double> venue_counts_total_;         // [location]
+  // Global sufficient statistics.
+  GibbsSuffStats stats_;
 
   // Post-burn-in accumulators.
   int accumulated_samples_ = 0;
@@ -138,10 +186,7 @@ class GibbsSampler {
   std::vector<geo::CityId> last_homes_;
   std::vector<double> home_change_per_sweep_;
 
-  mutable std::vector<double> scratch_;
-  mutable std::vector<double> scratch_a_;
-  mutable std::vector<double> scratch_b_;
-  mutable std::vector<double> scratch_row_;
+  GibbsScratch scratch_;
 };
 
 }  // namespace core

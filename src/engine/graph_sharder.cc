@@ -1,0 +1,60 @@
+#include "engine/graph_sharder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mlp {
+namespace engine {
+
+std::vector<Shard> GraphSharder::Partition(const graph::SocialGraph& graph,
+                                           int num_shards) {
+  const int k = std::max(1, num_shards);
+  const int num_users = graph.num_users();
+
+  // Owned-edge count per user, straight off the edge lists (no adjacency
+  // index needed, so unfinalized graphs shard too).
+  std::vector<std::size_t> owned(num_users, 0);
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    ++owned[graph.following(s).follower];
+  }
+  for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
+    ++owned[graph.tweeting(t).user];
+  }
+
+  // Greedy LPT: heaviest user first, into the lightest shard.
+  std::vector<graph::UserId> order(num_users);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&owned](graph::UserId a, graph::UserId b) {
+                     return owned[a] > owned[b];
+                   });
+
+  std::vector<Shard> shards(k);
+  std::vector<std::size_t> load(k, 0);
+  std::vector<int> shard_of_user(num_users, 0);
+  for (graph::UserId u : order) {
+    int lightest = 0;
+    for (int i = 1; i < k; ++i) {
+      if (load[i] < load[lightest]) lightest = i;
+    }
+    shard_of_user[u] = lightest;
+    shards[lightest].users.push_back(u);
+    load[lightest] += owned[u];
+  }
+  for (Shard& shard : shards) {
+    std::sort(shard.users.begin(), shard.users.end());
+  }
+
+  // Edge lists follow their owner; iterating edges in id order keeps each
+  // shard's list ascending, which fixes the within-shard sweep order.
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    shards[shard_of_user[graph.following(s).follower]].following.push_back(s);
+  }
+  for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
+    shards[shard_of_user[graph.tweeting(t).user]].tweeting.push_back(t);
+  }
+  return shards;
+}
+
+}  // namespace engine
+}  // namespace mlp

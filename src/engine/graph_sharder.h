@@ -1,0 +1,47 @@
+#ifndef MLP_ENGINE_GRAPH_SHARDER_H_
+#define MLP_ENGINE_GRAPH_SHARDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace engine {
+
+/// One partition of the observation graph: a set of users plus the
+/// relationships they *own*. A following relationship is owned by its
+/// follower; a tweeting relationship by its tweeter. Ownership decides
+/// which worker resamples an edge — the resampled assignments touch the
+/// counts of BOTH endpoints, but those updates land in the worker's
+/// thread-local statistics replica and merge at the sweep barrier, so
+/// cross-shard endpoints need no locking.
+struct Shard {
+  std::vector<graph::UserId> users;       // ascending
+  std::vector<graph::EdgeId> following;   // owned following edges, ascending
+  std::vector<graph::EdgeId> tweeting;    // owned tweeting edges, ascending
+  /// Sampling work this shard carries per sweep.
+  std::size_t Weight() const { return following.size() + tweeting.size(); }
+};
+
+/// Partitions users (and thereby their owned relationships) into
+/// `num_shards` shards with near-equal per-sweep work.
+///
+/// Deterministic greedy LPT: users sorted by owned-edge count descending
+/// (ties by id ascending) are assigned one at a time to the currently
+/// lightest shard (ties by shard index). LPT guarantees the heaviest shard
+/// carries at most 4/3 of the optimal makespan, so shard weights stay well
+/// within 2x of perfectly balanced whenever any balanced split exists.
+class GraphSharder {
+ public:
+  /// Every user appears in exactly one shard and every relationship in
+  /// exactly one shard's edge list. `num_shards` is clamped to >= 1; with
+  /// fewer users than shards the tail shards are empty.
+  static std::vector<Shard> Partition(const graph::SocialGraph& graph,
+                                      int num_shards);
+};
+
+}  // namespace engine
+}  // namespace mlp
+
+#endif  // MLP_ENGINE_GRAPH_SHARDER_H_

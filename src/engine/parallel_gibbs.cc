@@ -1,0 +1,135 @@
+#include "engine/parallel_gibbs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace engine {
+
+namespace {
+
+/// dst += a - b, elementwise over a suff-stats triple of nested vectors.
+/// All three must have identical shape. Counts are integer-valued doubles,
+/// so the arithmetic is exact.
+void AddDelta(std::vector<std::vector<double>>* dst,
+              const std::vector<std::vector<double>>& a,
+              const std::vector<std::vector<double>>& b) {
+  for (size_t i = 0; i < dst->size(); ++i) {
+    auto& row = (*dst)[i];
+    const auto& ra = a[i];
+    const auto& rb = b[i];
+    for (size_t j = 0; j < row.size(); ++j) row[j] += ra[j] - rb[j];
+  }
+}
+
+void AddDelta(std::vector<double>* dst, const std::vector<double>& a,
+              const std::vector<double>& b) {
+  for (size_t i = 0; i < dst->size(); ++i) (*dst)[i] += a[i] - b[i];
+}
+
+}  // namespace
+
+ParallelGibbsEngine::ParallelGibbsEngine(core::GibbsSampler* sampler,
+                                         const core::ModelInput* input,
+                                         const core::MlpConfig* config)
+    : sampler_(sampler),
+      input_(input),
+      config_(config),
+      num_threads_(std::max(1, config->num_threads)),
+      sync_every_(std::max(1, config->sync_every_sweeps)) {
+  MLP_CHECK(sampler_ != nullptr && input_ != nullptr && config_ != nullptr);
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+    shards_ = GraphSharder::Partition(*input_->graph, num_threads_);
+    shard_rngs_.reserve(num_threads_);
+    for (int k = 0; k < num_threads_; ++k) {
+      // Decorrelated per-shard streams derived from the base seed: distinct
+      // PCG increments give independent sequences, and the derivation is a
+      // pure function of (seed, shard), so a fixed thread count replays the
+      // exact same chain regardless of scheduling.
+      shard_rngs_.emplace_back(
+          config_->seed ^ (0x9e3779b97f4a7c15ULL * (k + 1)),
+          0xda3e39cb94b95bdbULL + 2 * static_cast<uint64_t>(k));
+    }
+    replicas_.resize(num_threads_);
+    scratches_.resize(num_threads_);
+  }
+}
+
+void ParallelGibbsEngine::Initialize(Pcg32* rng) {
+  sampler_->Initialize(rng);
+  replicas_fresh_ = false;
+  sweeps_since_sync_ = 0;
+}
+
+void ParallelGibbsEngine::RefreshReplicas() {
+  snapshot_ = sampler_->stats();
+  for (auto& replica : replicas_) replica = snapshot_;
+  replicas_fresh_ = true;
+  sweeps_since_sync_ = 0;
+}
+
+void ParallelGibbsEngine::MergeReplicas() {
+  // global' = snapshot + Σ_k (replica_k - snapshot), accumulated in shard
+  // order so the merge is deterministic. The global counts are untouched
+  // between refresh and merge (workers only write replicas), so they still
+  // equal the snapshot and the deltas apply onto them in place.
+  core::GibbsSuffStats* global = sampler_->mutable_stats();
+  for (const core::GibbsSuffStats& replica : replicas_) {
+    AddDelta(&global->phi, replica.phi, snapshot_.phi);
+    AddDelta(&global->phi_total, replica.phi_total, snapshot_.phi_total);
+    AddDelta(&global->venue_counts, replica.venue_counts,
+             snapshot_.venue_counts);
+    AddDelta(&global->venue_counts_total, replica.venue_counts_total,
+             snapshot_.venue_counts_total);
+  }
+  replicas_fresh_ = false;
+  sampler_->RecordSweepTrace();
+}
+
+void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
+  if (num_threads_ <= 1) {
+    sampler_->RunSweep(rng);
+    return;
+  }
+  if (!replicas_fresh_) RefreshReplicas();
+
+  const bool use_following = sampler_->UseFollowing();
+  const bool use_tweeting = sampler_->UseTweeting();
+  for (int k = 0; k < num_threads_; ++k) {
+    pool_->Submit([this, k, use_following, use_tweeting] {
+      const Shard& shard = shards_[k];
+      core::GibbsSuffStats* replica = &replicas_[k];
+      core::GibbsScratch* scratch = &scratches_[k];
+      Pcg32* shard_rng = &shard_rngs_[k];
+      if (use_following) {
+        for (graph::EdgeId s : shard.following) {
+          sampler_->SampleFollowingEdge(s, replica, scratch, shard_rng);
+        }
+      }
+      if (use_tweeting) {
+        for (graph::EdgeId t : shard.tweeting) {
+          sampler_->SampleTweetingEdge(t, replica, scratch, shard_rng);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+
+  if (++sweeps_since_sync_ >= sync_every_) MergeReplicas();
+}
+
+void ParallelGibbsEngine::Synchronize() {
+  if (num_threads_ <= 1 || !replicas_fresh_) return;
+  if (sweeps_since_sync_ > 0) {
+    MergeReplicas();
+  } else {
+    // Replicas were refreshed but never swept: they equal the global
+    // counts, so there is nothing to merge.
+    replicas_fresh_ = false;
+  }
+}
+
+}  // namespace engine
+}  // namespace mlp

@@ -1,0 +1,84 @@
+#ifndef MLP_ENGINE_PARALLEL_GIBBS_H_
+#define MLP_ENGINE_PARALLEL_GIBBS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/input.h"
+#include "core/model_config.h"
+#include "core/sampler.h"
+#include "engine/graph_sharder.h"
+#include "engine/thread_pool.h"
+
+namespace mlp {
+namespace engine {
+
+/// Parallel sharded driver for the collapsed Gibbs sampler (AD-LDA-style
+/// approximate collapsed Gibbs; see src/engine/README.md).
+///
+/// Users and the relationships they own are partitioned into one shard per
+/// thread. Each sweep, every worker resamples its shard's relationships
+/// against a thread-local replica of the sufficient statistics (ϕ, φ);
+/// per-edge chain state (μ/ν, x/y/z) is written in place since shards own
+/// disjoint edges. At the sweep barrier the replicas' deltas are merged
+/// back into the sampler's global counts in shard order. Counts are
+/// integer-valued doubles, so the merge is exact and the engine is
+/// run-to-run deterministic for a fixed (seed, num_threads).
+///
+/// With `config->num_threads <= 1` every call delegates to the sequential
+/// `GibbsSampler`, using the caller's RNG — results are bit-for-bit
+/// identical to not using the engine at all. With N threads each shard
+/// draws from its own Pcg32 stream derived from `config->seed`, so the
+/// chain is independent of thread scheduling but differs (as any
+/// approximate parallel chain must) from the sequential one.
+///
+/// `config->sync_every_sweeps > 1` lets replicas run that many sweeps
+/// between merges, trading statistical freshness for fewer barriers —
+/// callers that read global counts mid-run must `Synchronize()` first.
+class ParallelGibbsEngine {
+ public:
+  /// All pointers must outlive the engine. The sampler must belong to the
+  /// same input/config.
+  ParallelGibbsEngine(core::GibbsSampler* sampler,
+                      const core::ModelInput* input,
+                      const core::MlpConfig* config);
+
+  /// Sequential initialization (identical for every thread count).
+  void Initialize(Pcg32* rng);
+
+  /// One full Gibbs sweep over all relationships. `rng` drives the chain
+  /// only in the sequential (num_threads <= 1) path.
+  void RunSweep(Pcg32* rng);
+
+  /// Forces any pending replica deltas into the global counts. No-op when
+  /// already synchronized (always, at sync_every_sweeps == 1).
+  void Synchronize();
+
+  int num_threads() const { return num_threads_; }
+  const std::vector<Shard>& shards() const { return shards_; }
+
+ private:
+  void RefreshReplicas();
+  void MergeReplicas();
+
+  core::GibbsSampler* sampler_;
+  const core::ModelInput* input_;
+  const core::MlpConfig* config_;
+  int num_threads_;
+  int sync_every_;
+
+  std::unique_ptr<ThreadPool> pool_;    // null in the sequential path
+  std::vector<Shard> shards_;
+  std::vector<Pcg32> shard_rngs_;       // one persistent stream per shard
+  std::vector<core::GibbsSuffStats> replicas_;
+  std::vector<core::GibbsScratch> scratches_;
+  core::GibbsSuffStats snapshot_;       // global counts at last refresh
+  int sweeps_since_sync_ = 0;
+  bool replicas_fresh_ = false;
+};
+
+}  // namespace engine
+}  // namespace mlp
+
+#endif  // MLP_ENGINE_PARALLEL_GIBBS_H_

@@ -1,0 +1,55 @@
+#ifndef MLP_ENGINE_THREAD_POOL_H_
+#define MLP_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlp {
+namespace engine {
+
+/// Fixed-size worker pool with a task queue and a join barrier.
+///
+/// Workers are spawned once in the constructor and live until destruction,
+/// so per-sweep dispatch costs one lock + notify per task instead of a
+/// thread spawn. `Wait()` blocks until every submitted task has finished —
+/// the sweep barrier of the parallel Gibbs engine.
+///
+/// Tasks must not throw (the library is exception-free by convention) and
+/// must not call Submit/Wait on their own pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by any worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task available / stop
+  std::condition_variable idle_cv_;  // signals Wait(): pool drained
+  int in_flight_ = 0;                // tasks popped but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace engine
+}  // namespace mlp
+
+#endif  // MLP_ENGINE_THREAD_POOL_H_

@@ -59,5 +59,12 @@ std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config) {
   };
 }
 
+std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config,
+                                        int num_threads) {
+  core::MlpConfig config = mlp_config;
+  config.num_threads = num_threads < 1 ? 1 : num_threads;
+  return StandardLineup(config);
+}
+
 }  // namespace eval
 }  // namespace mlp

@@ -39,6 +39,12 @@ struct NamedMethod {
 };
 std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config);
 
+/// Same lineup with the Gibbs engine parallelism dialed in: the MLP
+/// variants run `num_threads` sharded workers (mlpctl's `--threads`).
+/// The baselines are unaffected.
+std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config,
+                                        int num_threads);
+
 }  // namespace eval
 }  // namespace mlp
 

@@ -1,0 +1,319 @@
+// Tests for src/engine: the thread pool, the graph sharder's partition
+// invariants, and the parallel Gibbs engine's determinism contract —
+// num_threads == 1 is bit-identical to the sequential sampler, and
+// num_threads == N replays the exact same chain run over run.
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/model.h"
+#include "core/pow_table.h"
+#include "core/priors.h"
+#include "core/random_models.h"
+#include "core/sampler.h"
+#include "engine/graph_sharder.h"
+#include "engine/parallel_gibbs.h"
+#include "engine/thread_pool.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace engine {
+namespace {
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsToOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// ---------------------------------------------------------- graph sharder
+
+synth::SyntheticWorld TestWorld(int num_users, uint64_t seed) {
+  synth::WorldConfig config;
+  config.num_users = num_users;
+  config.seed = seed;
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  EXPECT_TRUE(world.ok());
+  return std::move(*world);
+}
+
+TEST(GraphSharderTest, EveryUserAndEdgeAssignedExactlyOnce) {
+  synth::SyntheticWorld world = TestWorld(400, 7);
+  const graph::SocialGraph& graph = *world.graph;
+  for (int k : {1, 2, 3, 8}) {
+    std::vector<Shard> shards = GraphSharder::Partition(graph, k);
+    ASSERT_EQ(static_cast<int>(shards.size()), k);
+
+    std::set<graph::UserId> users;
+    std::set<graph::EdgeId> following, tweeting;
+    std::size_t user_total = 0, follow_total = 0, tweet_total = 0;
+    for (const Shard& shard : shards) {
+      users.insert(shard.users.begin(), shard.users.end());
+      following.insert(shard.following.begin(), shard.following.end());
+      tweeting.insert(shard.tweeting.begin(), shard.tweeting.end());
+      user_total += shard.users.size();
+      follow_total += shard.following.size();
+      tweet_total += shard.tweeting.size();
+    }
+    // Exactly once: no duplicates (set size == summed size) and complete.
+    EXPECT_EQ(user_total, users.size());
+    EXPECT_EQ(follow_total, following.size());
+    EXPECT_EQ(tweet_total, tweeting.size());
+    EXPECT_EQ(static_cast<int>(users.size()), graph.num_users());
+    EXPECT_EQ(static_cast<int>(following.size()), graph.num_following());
+    EXPECT_EQ(static_cast<int>(tweeting.size()), graph.num_tweeting());
+  }
+}
+
+TEST(GraphSharderTest, EdgesFollowTheirOwningUser) {
+  synth::SyntheticWorld world = TestWorld(200, 11);
+  const graph::SocialGraph& graph = *world.graph;
+  std::vector<Shard> shards = GraphSharder::Partition(graph, 4);
+  for (const Shard& shard : shards) {
+    std::set<graph::UserId> members(shard.users.begin(), shard.users.end());
+    for (graph::EdgeId s : shard.following) {
+      EXPECT_TRUE(members.count(graph.following(s).follower));
+    }
+    for (graph::EdgeId t : shard.tweeting) {
+      EXPECT_TRUE(members.count(graph.tweeting(t).user));
+    }
+  }
+}
+
+TEST(GraphSharderTest, ShardWeightsWithinTwiceBalanced) {
+  synth::SyntheticWorld world = TestWorld(600, 3);
+  const graph::SocialGraph& graph = *world.graph;
+  for (int k : {2, 4, 8}) {
+    std::vector<Shard> shards = GraphSharder::Partition(graph, k);
+    std::size_t total = 0;
+    for (const Shard& shard : shards) total += shard.Weight();
+    double balanced = static_cast<double>(total) / k;
+    for (const Shard& shard : shards) {
+      EXPECT_LE(static_cast<double>(shard.Weight()), 2.0 * balanced)
+          << "shard overloaded at k=" << k;
+    }
+  }
+}
+
+// --------------------------------------------------- parallel Gibbs engine
+
+struct FitHarness {
+  explicit FitHarness(const synth::SyntheticWorld& world) {
+    input.gazetteer = world.gazetteer.get();
+    input.graph = world.graph.get();
+    input.distances = world.distances.get();
+    referents = world.vocab->ReferentTable();
+    input.venue_referents = &referents;
+    input.observed_home.reserve(world.graph->num_users());
+    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+      input.observed_home.push_back(world.graph->user(u).registered_city);
+    }
+  }
+  core::ModelInput input;
+  std::vector<std::vector<geo::CityId>> referents;
+};
+
+void ExpectIdenticalResults(const core::MlpResult& a,
+                            const core::MlpResult& b) {
+  ASSERT_EQ(a.home.size(), b.home.size());
+  EXPECT_EQ(a.home, b.home);
+  ASSERT_EQ(a.profiles.size(), b.profiles.size());
+  for (size_t u = 0; u < a.profiles.size(); ++u) {
+    EXPECT_EQ(a.profiles[u].entries(), b.profiles[u].entries()) << "user " << u;
+  }
+  ASSERT_EQ(a.following.size(), b.following.size());
+  for (size_t s = 0; s < a.following.size(); ++s) {
+    EXPECT_EQ(a.following[s].x, b.following[s].x);
+    EXPECT_EQ(a.following[s].y, b.following[s].y);
+    EXPECT_EQ(a.following[s].noise_prob, b.following[s].noise_prob);
+  }
+  ASSERT_EQ(a.tweeting.size(), b.tweeting.size());
+  for (size_t k = 0; k < a.tweeting.size(); ++k) {
+    EXPECT_EQ(a.tweeting[k].z, b.tweeting[k].z);
+    EXPECT_EQ(a.tweeting[k].noise_prob, b.tweeting[k].noise_prob);
+  }
+}
+
+// The engine at num_threads == 1 must consume the caller's RNG exactly like
+// the raw sequential sampler: bit-identical chain, trace and result.
+TEST(ParallelGibbsEngineTest, OneThreadBitIdenticalToSequentialSampler) {
+  synth::SyntheticWorld world = TestWorld(250, 42);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 3;
+  config.sampling_iterations = 4;
+
+  std::vector<core::UserPrior> priors = core::BuildPriors(harness.input, config);
+  core::RandomModels random_models =
+      core::RandomModels::Learn(*harness.input.graph);
+  core::PowTable pow_table(harness.input.distances, config.alpha,
+                           config.distance_floor_miles);
+
+  auto run = [&](bool through_engine) {
+    core::GibbsSampler sampler(&harness.input, &config, &priors,
+                               &random_models, &pow_table);
+    ParallelGibbsEngine engine(&sampler, &harness.input, &config);
+    Pcg32 rng(config.seed, 0x5bd1e995u);
+    if (through_engine) {
+      engine.Initialize(&rng);
+    } else {
+      sampler.Initialize(&rng);
+    }
+    for (int it = 0; it < config.burn_in_iterations; ++it) {
+      through_engine ? engine.RunSweep(&rng) : sampler.RunSweep(&rng);
+    }
+    sampler.ResetAccumulators();
+    for (int it = 0; it < config.sampling_iterations; ++it) {
+      through_engine ? engine.RunSweep(&rng) : sampler.RunSweep(&rng);
+      sampler.AccumulateSample();
+    }
+    return sampler.BuildResult();
+  };
+
+  core::MlpResult sequential = run(false);
+  core::MlpResult engine_one_thread = run(true);
+  ExpectIdenticalResults(sequential, engine_one_thread);
+  EXPECT_EQ(sequential.home_change_per_sweep,
+            engine_one_thread.home_change_per_sweep);
+}
+
+// Whole-model equivalence: Fit with num_threads == 1 equals Fit with the
+// engine fields untouched (the default path).
+TEST(ParallelGibbsEngineTest, FitOneThreadMatchesDefault) {
+  synth::SyntheticWorld world = TestWorld(200, 5);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 3;
+
+  Result<core::MlpResult> base = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(base.ok());
+  config.num_threads = 1;
+  Result<core::MlpResult> one = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(one.ok());
+  ExpectIdenticalResults(*base, *one);
+}
+
+// Same seed and thread count twice -> identical homes and profiles, no
+// matter how the OS schedules the workers.
+TEST(ParallelGibbsEngineTest, MultiThreadRunsAreDeterministic) {
+  synth::SyntheticWorld world = TestWorld(250, 13);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 3;
+  config.sampling_iterations = 3;
+  config.num_threads = 3;
+
+  Result<core::MlpResult> first = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(first.ok());
+  Result<core::MlpResult> second = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalResults(*first, *second);
+}
+
+// The delta merge must keep the global counts exactly consistent: every
+// per-user row sums to its total, and nothing goes negative.
+TEST(ParallelGibbsEngineTest, MergedCountsStayConsistent) {
+  synth::SyntheticWorld world = TestWorld(250, 21);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.num_threads = 4;
+
+  std::vector<core::UserPrior> priors = core::BuildPriors(harness.input, config);
+  core::RandomModels random_models =
+      core::RandomModels::Learn(*harness.input.graph);
+  core::PowTable pow_table(harness.input.distances, config.alpha,
+                           config.distance_floor_miles);
+  core::GibbsSampler sampler(&harness.input, &config, &priors, &random_models,
+                             &pow_table);
+  ParallelGibbsEngine engine(&sampler, &harness.input, &config);
+  Pcg32 rng(config.seed, 0x5bd1e995u);
+  engine.Initialize(&rng);
+  for (int it = 0; it < 4; ++it) engine.RunSweep(&rng);
+  engine.Synchronize();
+
+  const core::GibbsSuffStats& stats = sampler.stats();
+  double phi_mass = 0.0;
+  for (size_t u = 0; u < stats.phi.size(); ++u) {
+    double row = 0.0;
+    for (double c : stats.phi[u]) {
+      EXPECT_GE(c, 0.0);
+      row += c;
+    }
+    EXPECT_DOUBLE_EQ(row, stats.phi_total[u]) << "user " << u;
+    phi_mass += row;
+  }
+  // Location-based relationships contribute two phi counts (following) or
+  // one (tweeting); noise-flagged ones contribute none. The ceiling is
+  // every relationship location-based.
+  EXPECT_LE(phi_mass, 2.0 * harness.input.graph->num_following() +
+                          harness.input.graph->num_tweeting());
+  EXPECT_GT(phi_mass, 0.0);
+
+  double venue_mass = 0.0;
+  for (size_t l = 0; l < stats.venue_counts.size(); ++l) {
+    double row = 0.0;
+    for (double c : stats.venue_counts[l]) {
+      EXPECT_GE(c, 0.0);
+      row += c;
+    }
+    EXPECT_DOUBLE_EQ(row, stats.venue_counts_total[l]) << "location " << l;
+    venue_mass += row;
+  }
+  EXPECT_LE(venue_mass, harness.input.graph->num_tweeting());
+}
+
+// sync_every_sweeps > 1 defers merges; Synchronize() must land them before
+// anyone reads global counts, and Fit must still produce a valid result.
+TEST(ParallelGibbsEngineTest, DeferredSyncStillProducesValidFit) {
+  synth::SyntheticWorld world = TestWorld(200, 33);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 4;
+  config.sampling_iterations = 3;
+  config.num_threads = 2;
+  config.sync_every_sweeps = 3;
+
+  Result<core::MlpResult> result = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(static_cast<int>(result->home.size()),
+            harness.input.graph->num_users());
+  for (geo::CityId home : result->home) {
+    EXPECT_NE(home, geo::kInvalidCity);
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mlp

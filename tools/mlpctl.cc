@@ -30,17 +30,26 @@ namespace {
 
 using namespace mlp;
 
+// Parses "--key value", "--key=value" and bare boolean "--key" flags. A
+// token starting with "--" is never consumed as a value, and "=" binds a
+// value to its own flag explicitly, so a boolean flag directly followed by
+// another "--" flag can no longer steal or shift the next flag's value.
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    std::string key = argv[i] + 2;
+    std::string token = argv[i] + 2;
+    std::string::size_type eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
     std::string value = "1";
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       value = argv[++i];
     }
-    flags[key] = value;
+    flags[token] = value;
   }
   return flags;
 }
@@ -56,7 +65,8 @@ int Usage() {
                "usage:\n"
                "  mlpctl generate --users N [--seed S] --out DIR\n"
                "  mlpctl stats --data DIR\n"
-               "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n");
+               "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n"
+               "              [--threads N]\n");
   return 2;
 }
 
@@ -135,6 +145,8 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   if (dir.empty()) return Usage();
   int folds = std::atoi(FlagOr(flags, "folds", "5").c_str());
   std::string method = FlagOr(flags, "method", "all");
+  int threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
+  if (threads < 1) threads = 1;
 
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
@@ -153,7 +165,7 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   config.burn_in_iterations = 10;
   config.sampling_iterations = 14;
   io::TablePrinter table({"method", "ACC@100", "ACC@20"});
-  for (const eval::NamedMethod& nm : eval::StandardLineup(config)) {
+  for (const eval::NamedMethod& nm : eval::StandardLineup(config, threads)) {
     if (method != "all" && nm.name != method) continue;
     double acc100 = 0.0, acc20 = 0.0;
     for (int fold = 0; fold < folds; ++fold) {
