@@ -1,0 +1,171 @@
+// Snapshot subsystem benchmark (src/io/model_snapshot): save / load
+// throughput of the arena-backed model snapshot, and the warm-start payoff
+// — sweeps a resumed fit still has to run, versus a cold fit, to reach the
+// same final quality (they reach the *identical* result by construction;
+// the saving is every sweep already banked in the checkpoint).
+//
+// MLP_BENCH_SNAPSHOT_USERS overrides the world size; MLP_BENCH_SEED the
+// seed.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/model.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "io/model_snapshot.h"
+#include "io/table_printer.h"
+#include "synth/world_generator.h"
+
+namespace {
+
+using namespace mlp;
+
+long long EnvOr(const char* name, long long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  synth::WorldConfig world_config;
+  world_config.num_users =
+      static_cast<int>(EnvOr("MLP_BENCH_SNAPSHOT_USERS", 20000));
+  world_config.seed = static_cast<uint64_t>(EnvOr("MLP_BENCH_SEED", 20120827));
+
+  std::printf("generating %d-user world...\n", world_config.num_users);
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(world_config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+
+  core::ModelInput input;
+  input.gazetteer = world->gazetteer.get();
+  input.graph = world->graph.get();
+  input.distances = world->distances.get();
+  std::vector<std::vector<geo::CityId>> referents =
+      world->vocab->ReferentTable();
+  input.venue_referents = &referents;
+  input.observed_home.reserve(world->graph->num_users());
+  for (graph::UserId u = 0; u < world->graph->num_users(); ++u) {
+    input.observed_home.push_back(world->graph->user(u).registered_city);
+  }
+
+  core::MlpConfig config;
+  config.burn_in_iterations = 6;
+  config.sampling_iterations = 8;
+  const int total_sweeps =
+      config.burn_in_iterations + config.sampling_iterations;
+  const int checkpoint_at = config.burn_in_iterations;  // end of burn-in
+
+  // ---- cold fit to completion, checkpointing nothing ----
+  auto start = std::chrono::steady_clock::now();
+  core::FitCheckpoint full_checkpoint;
+  core::FitOptions full_opts;
+  full_opts.checkpoint_out = &full_checkpoint;
+  Result<core::MlpResult> cold = core::MlpModel(config).Fit(input, full_opts);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", cold.status().ToString().c_str());
+    return 1;
+  }
+  const double cold_seconds = Seconds(start);
+
+  // ---- interrupted fit: stop at the checkpoint and persist it ----
+  core::FitCheckpoint checkpoint;
+  core::FitOptions cold_half;
+  cold_half.max_total_sweeps = checkpoint_at;
+  cold_half.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> partial =
+      core::MlpModel(config).Fit(input, cold_half);
+  if (!partial.ok()) {
+    std::fprintf(stderr, "partial fit failed: %s\n",
+                 partial.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mlp_bench_roundtrip.snap")
+          .string();
+  io::ModelSnapshot snapshot =
+      io::MakeModelSnapshot(input, checkpoint, *partial);
+
+  start = std::chrono::steady_clock::now();
+  Status saved = io::SaveModelSnapshot(path, snapshot);
+  const double save_seconds = Seconds(start);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const double size_mb =
+      static_cast<double>(std::filesystem::file_size(path)) / (1024.0 * 1024.0);
+
+  start = std::chrono::steady_clock::now();
+  Result<io::ModelSnapshot> loaded = io::LoadModelSnapshot(path);
+  const double load_seconds = Seconds(start);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- warm-start resume from the loaded snapshot ----
+  start = std::chrono::steady_clock::now();
+  core::FitOptions warm;
+  warm.warm_start = &loaded->checkpoint;
+  Result<core::MlpResult> resumed = core::MlpModel(config).Fit(input, warm);
+  const double resume_seconds = Seconds(start);
+  if (!resumed.ok()) {
+    std::fprintf(stderr, "resume failed: %s\n",
+                 resumed.status().ToString().c_str());
+    return 1;
+  }
+
+  // Quality check: identical homes is the warm-start contract.
+  std::vector<geo::CityId> registered =
+      eval::RegisteredHomes(*world->graph);
+  std::vector<graph::UserId> all_users;
+  for (graph::UserId u = 0; u < world->graph->num_users(); ++u) {
+    all_users.push_back(u);
+  }
+  const double cold_acc = eval::AccuracyWithin(cold->home, registered,
+                                               all_users, *world->distances,
+                                               100.0);
+  const double warm_acc = eval::AccuracyWithin(resumed->home, registered,
+                                               all_users, *world->distances,
+                                               100.0);
+  const bool identical = cold->home == resumed->home;
+
+  io::TablePrinter table({"metric", "value"});
+  table.AddRow({"snapshot size", StringPrintf("%.1f MB", size_mb)});
+  table.AddRow({"save throughput",
+                StringPrintf("%.0f MB/s", size_mb / save_seconds)});
+  table.AddRow({"load throughput",
+                StringPrintf("%.0f MB/s", size_mb / load_seconds)});
+  table.AddRow({"cold fit sweeps", std::to_string(total_sweeps)});
+  table.AddRow({"warm resume sweeps",
+                std::to_string(total_sweeps - checkpoint_at)});
+  table.AddRow({"cold fit time", StringPrintf("%.2f s", cold_seconds)});
+  table.AddRow({"warm resume time", StringPrintf("%.2f s", resume_seconds)});
+  table.AddRow({"cold ACC@100", StringPrintf("%.2f%%", cold_acc * 100.0)});
+  table.AddRow({"warm ACC@100", StringPrintf("%.2f%%", warm_acc * 100.0)});
+  table.AddRow({"results identical", identical ? "yes" : "NO (bug!)"});
+  table.Print();
+
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+# Drives the real mlpctl binary through the full snapshot workflow:
+# generate a tiny world, fit with an early checkpoint, resume the fit to
+# completion from the saved file, and evaluate the persisted model. Runs
+# as a ctest (registered in CMakeLists.txt), so any drift in the on-disk
+# model-snapshot format breaks the build even without GTest installed.
+#
+# Usage: cmake -DMLPCTL=<path> -DWORK_DIR=<dir> -P snapshot_smoke.cmake
+
+if(NOT DEFINED MLPCTL OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DMLPCTL=<mlpctl binary> -DWORK_DIR=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "snapshot smoke step failed (exit ${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+run_step(${MLPCTL} generate --users 300 --seed 7 --out ${WORK_DIR}/data)
+# Checkpoint mid-fit so resume actually has sweeps left to run.
+run_step(${MLPCTL} fit --data ${WORK_DIR}/data --save ${WORK_DIR}/model.snap
+         --burn 2 --sampling 2 --max-sweeps 2)
+run_step(${MLPCTL} resume --data ${WORK_DIR}/data
+         --load ${WORK_DIR}/model.snap --save ${WORK_DIR}/final.snap)
+run_step(${MLPCTL} eval --data ${WORK_DIR}/data --load ${WORK_DIR}/final.snap)
+
+# The resumed snapshot must be complete and loadable; a second resume of a
+# finished model is a no-op fit that must still succeed (serving reload).
+run_step(${MLPCTL} resume --data ${WORK_DIR}/data --load ${WORK_DIR}/final.snap)

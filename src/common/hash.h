@@ -1,0 +1,46 @@
+#ifndef MLP_COMMON_HASH_H_
+#define MLP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace mlp {
+
+/// Incremental FNV-1a 64. Used both for the model-fit fingerprint
+/// (core/model.cc) and the snapshot payload checksum (io/model_snapshot.cc)
+/// — one implementation so the constants can never drift apart. Feed it
+/// field by field, never whole structs (padding bytes are indeterminate).
+struct Fnv1a64 {
+  uint64_t hash = 1469598103934665603ULL;
+
+  void Bytes(const void* data, size_t size) {
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash = (hash ^ bytes[i]) * 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void Value(T v) {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    Bytes(&v, sizeof(v));
+  }
+  template <typename T>
+  void Span(const std::vector<T>& v) {
+    static_assert(std::is_arithmetic<T>::value, "no padding allowed");
+    Value<uint64_t>(v.size());
+    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
+  }
+};
+
+/// One-shot convenience over a contiguous buffer.
+inline uint64_t HashFnv1a64(const void* data, size_t size) {
+  Fnv1a64 h;
+  h.Bytes(data, size);
+  return h.hash;
+}
+
+}  // namespace mlp
+
+#endif  // MLP_COMMON_HASH_H_

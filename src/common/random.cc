@@ -167,4 +167,20 @@ Pcg32 Pcg32::Fork() {
   return Pcg32(seed, stream);
 }
 
+Pcg32State Pcg32::SaveState() const {
+  Pcg32State s;
+  s.state = state_;
+  s.inc = inc_;
+  s.has_cached_normal = has_cached_normal_ ? 1 : 0;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Pcg32::RestoreState(const Pcg32State& state) {
+  state_ = state.state;
+  inc_ = state.inc;
+  has_cached_normal_ = state.has_cached_normal != 0;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace mlp

@@ -8,6 +8,18 @@
 
 namespace mlp {
 
+/// Complete serializable state of a Pcg32 — the generator resumed from a
+/// saved state continues its stream exactly (io/model_snapshot.{h,cc}
+/// persists these for warm-started fits). The Box–Muller cache is part of
+/// the state: Normal() alternates between drawing two uniforms and
+/// replaying the cached second deviate.
+struct Pcg32State {
+  uint64_t state = 0;
+  uint64_t inc = 0;
+  uint8_t has_cached_normal = 0;
+  double cached_normal = 0.0;
+};
+
 /// PCG-XSH-RR 64/32 pseudo-random generator (O'Neill 2014).
 ///
 /// Deterministic given a seed, fast, and with a tiny state — every sampler,
@@ -78,6 +90,10 @@ class Pcg32 {
   /// Child generator with a decorrelated stream; use to give each component
   /// its own RNG derived from one master seed.
   Pcg32 Fork();
+
+  /// Snapshot / resume of the exact generator position.
+  Pcg32State SaveState() const;
+  void RestoreState(const Pcg32State& state);
 
  private:
   uint64_t state_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "core/pair_distance.h"
 #include "core/priors.h"
@@ -19,6 +20,60 @@ constexpr double kEmMinPairs = 50.0;
 constexpr double kAlphaMin = -2.0;
 constexpr double kAlphaMax = -0.05;
 }  // namespace
+
+uint64_t FitFingerprint(const ModelInput& input, const MlpConfig& config,
+                        const std::vector<UserPrior>& priors) {
+  Fnv1a64 f;
+  // Config — every field, so a checkpoint can only resume the exact same
+  // sweep program (thread count and seed included).
+  f.Value<int32_t>(static_cast<int32_t>(config.source));
+  f.Value(config.alpha);
+  f.Value(config.beta);
+  f.Value<uint8_t>(config.fit_power_law_from_data);
+  f.Value(config.rho_f);
+  f.Value(config.rho_t);
+  f.Value<uint8_t>(config.model_noise);
+  f.Value(config.tau);
+  f.Value(config.supervision_boost);
+  f.Value(config.delta);
+  f.Value<uint8_t>(config.use_candidacy);
+  f.Value<uint8_t>(config.use_supervision);
+  f.Value<int32_t>(config.fallback_top_cities);
+  f.Value<int32_t>(config.max_candidates);
+  f.Value<int32_t>(config.burn_in_iterations);
+  f.Value<int32_t>(config.sampling_iterations);
+  f.Value<int32_t>(config.gibbs_em_rounds);
+  f.Value(config.em_damping);
+  f.Value(config.seed);
+  f.Value(config.distance_floor_miles);
+  f.Value<int32_t>(config.num_threads);
+  f.Value<int32_t>(config.sync_every_sweeps);
+
+  // Observations.
+  const graph::SocialGraph& graph = *input.graph;
+  f.Value<int32_t>(graph.num_users());
+  f.Value<int32_t>(input.num_locations());
+  f.Value<int32_t>(graph.num_venues());
+  f.Value<int32_t>(graph.num_following());
+  f.Value<int32_t>(graph.num_tweeting());
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    f.Value(graph.following(s).follower);
+    f.Value(graph.following(s).friend_user);
+  }
+  for (graph::EdgeId k = 0; k < graph.num_tweeting(); ++k) {
+    f.Value(graph.tweeting(k).user);
+    f.Value(graph.tweeting(k).venue);
+  }
+  f.Span(input.observed_home);
+
+  // Derived priors — the candidate-set layout the arena is built over.
+  f.Value<uint64_t>(priors.size());
+  for (const UserPrior& prior : priors) {
+    f.Span(prior.candidates);
+    f.Span(prior.gamma);
+  }
+  return f.hash;
+}
 
 Status MlpModel::ValidateInput(const ModelInput& input) const {
   if (input.gazetteer == nullptr || input.graph == nullptr ||
@@ -62,22 +117,52 @@ Status MlpModel::ValidateInput(const ModelInput& input) const {
 }
 
 Result<MlpResult> MlpModel::Fit(const ModelInput& input) {
+  return Fit(input, FitOptions());
+}
+
+Result<MlpResult> MlpModel::Fit(const ModelInput& input,
+                                const FitOptions& opts) {
   MLP_RETURN_NOT_OK(ValidateInput(input));
   MlpConfig config = config_;  // mutable: (α, β) evolve during Gibbs-EM
 
-  // Sec. 4.1: learn the location-based following model from labeled pairs.
-  if (config.fit_power_law_from_data &&
-      config.source != ObservationSource::kTweetingOnly) {
-    Result<stats::PowerLaw> fit = FitFollowingPowerLaw(
-        *input.graph, input.observed_home, *input.distances);
-    if (fit.ok()) {
-      config.alpha = std::clamp(fit->alpha, kAlphaMin, kAlphaMax);
-      config.beta = std::clamp(fit->beta, 1e-9, 1.0);
+  std::vector<UserPrior> priors = BuildPriors(input, config);
+  // The fingerprint pass walks every edge and prior; skip it for plain
+  // fits that neither resume nor export a checkpoint.
+  const bool needs_fingerprint =
+      opts.warm_start != nullptr || opts.checkpoint_out != nullptr;
+  const uint64_t fingerprint =
+      needs_fingerprint ? FitFingerprint(input, config_, priors) : 0;
+
+  FitProgress progress;
+  if (opts.warm_start != nullptr) {
+    if (opts.warm_start->fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "warm-start checkpoint does not match this input/config "
+          "(fingerprint mismatch)");
     }
-    // Too little supervision to fit: keep the paper's defaults.
+    progress = opts.warm_start->progress;
+    // Resume the evolved (α, β) instead of re-fitting from labeled pairs —
+    // the initial fit is deterministic from the input, so the restored
+    // values already embed it.
+    config.alpha = progress.alpha;
+    config.beta = progress.beta;
+  } else {
+    // Sec. 4.1: learn the location-based following model from labeled
+    // pairs.
+    if (config.fit_power_law_from_data &&
+        config.source != ObservationSource::kTweetingOnly) {
+      Result<stats::PowerLaw> fit = FitFollowingPowerLaw(
+          *input.graph, input.observed_home, *input.distances);
+      if (fit.ok()) {
+        config.alpha = std::clamp(fit->alpha, kAlphaMin, kAlphaMax);
+        config.beta = std::clamp(fit->beta, 1e-9, 1.0);
+      }
+      // Too little supervision to fit: keep the paper's defaults.
+    }
+    progress.alpha = config.alpha;
+    progress.beta = config.beta;
   }
 
-  std::vector<UserPrior> priors = BuildPriors(input, config);
   RandomModels random_models = RandomModels::Learn(*input.graph);
   PowTable pow_table(input.distances, config.alpha,
                      config.distance_floor_miles);
@@ -87,24 +172,62 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input) {
   // Sweep driver: sequential passthrough at num_threads == 1 (bit-identical
   // to running the sampler directly), sharded delta-merge sweeps otherwise.
   engine::ParallelGibbsEngine engine(&sampler, &input, &config);
-  engine.Initialize(&rng);
+  if (opts.warm_start != nullptr) {
+    MLP_RETURN_NOT_OK(sampler.RestoreState(opts.warm_start->sampler));
+    rng.RestoreState(opts.warm_start->master_rng);
+    MLP_RETURN_NOT_OK(
+        engine.RestoreShardRngStates(opts.warm_start->shard_rngs));
+  } else {
+    engine.Initialize(&rng);
+  }
 
   const int rounds = std::max(0, config.gibbs_em_rounds) + 1;
-  for (int round = 0; round < rounds; ++round) {
-    for (int it = 0; it < config.burn_in_iterations; ++it) {
+  const int burn = config.burn_in_iterations;
+  const int sampling = config.sampling_iterations;
+  const int per_round = burn + sampling;
+  // Budget accounting is global over the program, so a resumed fit counts
+  // the checkpointed sweeps as already spent.
+  auto sweeps_done = [&]() {
+    return progress.round * per_round + progress.burn_in_done +
+           progress.sampling_done;
+  };
+  auto budget_exhausted = [&]() {
+    return opts.max_total_sweeps >= 0 &&
+           sweeps_done() >= opts.max_total_sweeps;
+  };
+
+  bool budget_hit = false;
+  while (progress.round < rounds && !budget_hit) {
+    while (progress.burn_in_done < burn) {
+      // Checkpoints are only cut at merged barriers: with
+      // sync_every_sweeps > 1 the stop rolls forward to the next merge, so
+      // the saved state is exactly the state an uninterrupted run has at
+      // that barrier.
+      if (budget_exhausted() && engine.IsSynchronized()) {
+        budget_hit = true;
+        break;
+      }
       engine.RunSweep(&rng);
+      ++progress.burn_in_done;
     }
+    if (budget_hit) break;
     engine.Synchronize();
-    sampler.ResetAccumulators();
-    for (int it = 0; it < config.sampling_iterations; ++it) {
+    if (progress.sampling_done == 0) sampler.ResetAccumulators();
+    while (progress.sampling_done < sampling) {
+      if (budget_exhausted()) {  // always synchronized in this phase
+        budget_hit = true;
+        break;
+      }
       engine.RunSweep(&rng);
       // Accumulation reads the global counts, so any pending replica
       // deltas must land first (no-op at sync_every_sweeps == 1).
       engine.Synchronize();
       sampler.AccumulateSample();
+      ++progress.sampling_done;
     }
+    if (budget_hit) break;
 
-    if (round + 1 < rounds &&
+    if (progress.round + 1 < rounds &&
         config.source != ObservationSource::kTweetingOnly) {
       // Gibbs-EM M-step (Sec. 4.5): rebuild the Fig-3a curve with the
       // expected assignment distances as the numerator and the OBSERVED
@@ -140,6 +263,22 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input) {
         pow_table.Rebuild(config.alpha);
       }
     }
+    ++progress.round;
+    progress.burn_in_done = 0;
+    progress.sampling_done = 0;
+  }
+
+  progress.alpha = config.alpha;
+  progress.beta = config.beta;
+  if (opts.checkpoint_out != nullptr) {
+    FitCheckpoint* ck = opts.checkpoint_out;
+    ck->config = config_;
+    ck->fingerprint = fingerprint;
+    ck->complete = progress.round >= rounds;
+    ck->progress = progress;
+    sampler.SaveState(&ck->sampler);
+    ck->master_rng = rng.SaveState();
+    ck->shard_rngs = engine.ShardRngStates();
   }
 
   MlpResult result = sampler.BuildResult();

@@ -1,13 +1,68 @@
 #ifndef MLP_CORE_MODEL_H_
 #define MLP_CORE_MODEL_H_
 
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
 #include "common/result.h"
 #include "core/input.h"
 #include "core/model_config.h"
+#include "core/priors.h"
 #include "core/sampler.h"
 
 namespace mlp {
 namespace core {
+
+/// Position inside Fit's sweep program (rounds × (burn-in + sampling))
+/// plus the evolved (α, β). A checkpoint cut at progress P resumed on the
+/// same (input, config) replays the exact chain an uninterrupted fit runs.
+struct FitProgress {
+  int32_t round = 0;          // Gibbs-EM round currently in (0-based)
+  int32_t burn_in_done = 0;   // burn-in sweeps finished in this round
+  int32_t sampling_done = 0;  // sampling sweeps finished in this round
+  double alpha = 0.0;         // evolved power-law slope at the cut
+  double beta = 0.0;
+};
+
+/// Everything needed to resume a fit exactly where it stopped: the sampler
+/// state, the program position, and every RNG stream's exact position.
+/// `fingerprint` binds the checkpoint to its (input, config, priors) — Fit
+/// refuses to warm-start from a checkpoint taken over different data, a
+/// different config (including num_threads) or a different seed.
+/// io/model_snapshot.{h,cc} serializes this as the on-disk format.
+struct FitCheckpoint {
+  MlpConfig config;           // the config the fit was started with
+  uint64_t fingerprint = 0;
+  bool complete = false;      // the whole sweep program finished
+  FitProgress progress;
+  SamplerState sampler;
+  Pcg32State master_rng;
+  std::vector<Pcg32State> shard_rngs;  // one per thread; empty sequential
+};
+
+/// Optional controls for Fit.
+struct FitOptions {
+  /// Global sweep budget over the whole program (burn-in + sampling,
+  /// summed across Gibbs-EM rounds and across warm-started continuations).
+  /// Negative means run to completion. Fit stops at the first merged sweep
+  /// barrier at or after the budget, fills `checkpoint_out` (if given)
+  /// with `complete == false`, and still returns a best-effort result.
+  int max_total_sweeps = -1;
+  /// Resume from this checkpoint instead of initializing from the priors.
+  /// Must match the model's (input, config); validated by fingerprint.
+  const FitCheckpoint* warm_start = nullptr;
+  /// When non-null, filled with the end-of-run state — complete or not —
+  /// so the caller can persist it (io::SaveModelSnapshot) or resume later.
+  FitCheckpoint* checkpoint_out = nullptr;
+};
+
+/// Identity hash binding a fit to its inputs: every MlpConfig field, the
+/// graph's users/edges, the observed-home mask and the derived per-user
+/// candidate sets + priors. Two calls agree iff a checkpoint from one fit
+/// can be resumed by the other.
+uint64_t FitFingerprint(const ModelInput& input, const MlpConfig& config,
+                        const std::vector<UserPrior>& priors);
 
 /// The multiple location profiling model — the paper's contribution.
 ///
@@ -22,6 +77,12 @@ namespace core {
 /// F_R/T_R, run collapsed Gibbs (burn-in + averaged sampling sweeps), and
 /// optionally alternate with Gibbs-EM rounds that refit (α, β) from the
 /// expected assignment distances.
+///
+/// The FitOptions overload adds checkpoint/warm-start: a fit stopped by
+/// `max_total_sweeps` hands back a FitCheckpoint, and a later Fit with
+/// `warm_start` pointing at it resumes the chain exactly — the
+/// concatenation reproduces the uninterrupted fit bit for bit (same seed,
+/// same thread count; see src/io/README.md).
 class MlpModel {
  public:
   explicit MlpModel(MlpConfig config) : config_(config) {}
@@ -29,6 +90,7 @@ class MlpModel {
   const MlpConfig& config() const { return config_; }
 
   Result<MlpResult> Fit(const ModelInput& input);
+  Result<MlpResult> Fit(const ModelInput& input, const FitOptions& options);
 
  private:
   Status ValidateInput(const ModelInput& input) const;

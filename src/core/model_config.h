@@ -18,6 +18,13 @@ enum class ObservationSource {
 /// α=-0.55, β=0.0045 learned in Sec. 4.1; τ=0.1 ("previous studies show
 /// hyper parameters below 1 prefer sparse distributions"); Gibbs converges
 /// in ~14 iterations (Fig. 5).
+///
+/// Snapshot contract: every field below is (a) serialized verbatim by
+/// io/model_snapshot.{h,cc} and (b) mixed into core::FitFingerprint, which
+/// gates warm-starting a checkpoint. Adding a field means bumping
+/// io::kModelSnapshotVersion and extending both functions — a field left
+/// out of the fingerprint would let a checkpoint silently resume under a
+/// different sweep program.
 struct MlpConfig {
   ObservationSource source = ObservationSource::kBoth;
 

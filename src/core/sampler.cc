@@ -26,19 +26,11 @@ GibbsSampler::GibbsSampler(const ModelInput* input, const MlpConfig* config,
   MLP_CHECK(static_cast<int>(priors_->size()) == input_->num_users());
 }
 
-double GibbsSampler::ThetaWeight(graph::UserId u, int candidate_idx,
-                                 const GibbsSuffStats& stats) const {
-  // The collapsed P(x = l | rest): (ϕ_{i,l} + γ_{i,l}) up to the constant
-  // denominator (ϕ_i + Σγ), which cancels inside a categorical draw but is
-  // needed for the μ update — callers divide when required.
-  return stats.phi[u][candidate_idx] + (*priors_)[u].gamma[candidate_idx];
-}
-
 double GibbsSampler::VenueProb(geo::CityId location, graph::VenueId venue,
-                               const GibbsSuffStats& stats) const {
+                               const SuffStatsArena& stats) const {
   const double delta = config_->delta;
   const double v_total = static_cast<double>(input_->num_venues());
-  return (stats.venue_counts[location][venue] + delta) /
+  return (stats.venue_row(location)[venue] + delta) /
          (stats.venue_counts_total[location] + delta * v_total);
 }
 
@@ -60,21 +52,29 @@ int GibbsSampler::SampleCandidate(const std::vector<double>& weights,
   return static_cast<int>(weights.size()) - 1;
 }
 
+void GibbsSampler::PrepareBuffers() {
+  const graph::SocialGraph& graph = *input_->graph;
+  layout_ = SuffStatsLayout::Build(*priors_, input_->num_locations(),
+                                   UseTweeting() ? input_->num_venues() : 0);
+  stats_.Reset(&layout_);
+  if (UseFollowing()) {
+    const int s_total = graph.num_following();
+    edge_both_labeled_.assign(s_total, 0);
+    for (graph::EdgeId s = 0; s < s_total; ++s) {
+      const graph::FollowingEdge& edge = graph.following(s);
+      edge_both_labeled_[s] =
+          input_->IsLabeled(edge.follower) && input_->IsLabeled(edge.friend_user)
+              ? 1
+              : 0;
+    }
+  } else {
+    edge_both_labeled_.clear();
+  }
+}
+
 void GibbsSampler::Initialize(Pcg32* rng) {
   const graph::SocialGraph& graph = *input_->graph;
-  const int num_users = input_->num_users();
-  const int num_locations = input_->num_locations();
-
-  stats_.phi.resize(num_users);
-  for (graph::UserId u = 0; u < num_users; ++u) {
-    stats_.phi[u].assign((*priors_)[u].size(), 0.0);
-  }
-  stats_.phi_total.assign(num_users, 0.0);
-  if (UseTweeting()) {
-    stats_.venue_counts.assign(num_locations, {});
-    for (auto& row : stats_.venue_counts) row.assign(input_->num_venues(), 0.0);
-    stats_.venue_counts_total.assign(num_locations, 0.0);
-  }
+  PrepareBuffers();
 
   // Seed assignments from the priors (supervised users start mostly at
   // their observed home because of the γ boost), all location-based.
@@ -87,18 +87,13 @@ void GibbsSampler::Initialize(Pcg32* rng) {
     mu_.assign(s_total, 0);
     x_idx_.assign(s_total, 0);
     y_idx_.assign(s_total, 0);
-    edge_both_labeled_.assign(s_total, 0);
     for (graph::EdgeId s = 0; s < s_total; ++s) {
       const graph::FollowingEdge& edge = graph.following(s);
-      edge_both_labeled_[s] =
-          input_->IsLabeled(edge.follower) && input_->IsLabeled(edge.friend_user)
-              ? 1
-              : 0;
       x_idx_[s] = draw_from_prior(edge.follower);
       y_idx_[s] = draw_from_prior(edge.friend_user);
-      stats_.phi[edge.follower][x_idx_[s]] += 1.0;
+      stats_.phi_row(edge.follower)[x_idx_[s]] += 1.0;
       stats_.phi_total[edge.follower] += 1.0;
-      stats_.phi[edge.friend_user][y_idx_[s]] += 1.0;
+      stats_.phi_row(edge.friend_user)[y_idx_[s]] += 1.0;
       stats_.phi_total[edge.friend_user] += 1.0;
     }
   }
@@ -110,9 +105,9 @@ void GibbsSampler::Initialize(Pcg32* rng) {
       const graph::TweetingEdge& edge = graph.tweeting(k);
       z_idx_[k] = draw_from_prior(edge.user);
       geo::CityId z = (*priors_)[edge.user].candidates[z_idx_[k]];
-      stats_.phi[edge.user][z_idx_[k]] += 1.0;
+      stats_.phi_row(edge.user)[z_idx_[k]] += 1.0;
       stats_.phi_total[edge.user] += 1.0;
-      stats_.venue_counts[z][edge.venue] += 1.0;
+      stats_.venue_row(z)[edge.venue] += 1.0;
       stats_.venue_counts_total[z] += 1.0;
     }
   }
@@ -122,7 +117,7 @@ void GibbsSampler::Initialize(Pcg32* rng) {
   home_change_per_sweep_.clear();
 }
 
-void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
+void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, SuffStatsArena* stats,
                                        GibbsScratch* scratch, Pcg32* rng) {
   const graph::FollowingEdge& edge = input_->graph->following(s);
   const graph::UserId i = edge.follower;
@@ -131,12 +126,14 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
   const UserPrior& prior_j = (*priors_)[j];
   const int ni = prior_i.size();
   const int nj = prior_j.size();
+  double* phi_i = stats->phi_row(i);
+  double* phi_j = stats->phi_row(j);
 
   // --- remove this relationship's contribution ---
   if (mu_[s] == 0) {
-    stats->phi[i][x_idx_[s]] -= 1.0;
+    phi_i[x_idx_[s]] -= 1.0;
     stats->phi_total[i] -= 1.0;
-    stats->phi[j][y_idx_[s]] -= 1.0;
+    phi_j[y_idx_[s]] -= 1.0;
     stats->phi_total[j] -= 1.0;
   }
 
@@ -147,10 +144,14 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
   // distribution but mixes poorly (the location branch is penalized by the
   // current pair's prior mass while the random branch carries no matching
   // factor). See DESIGN.md.
+  //
+  // The collapsed P(x = l | rest) weight is (ϕ_{i,l} + γ_{i,l}) up to the
+  // constant denominator (ϕ_i + Σγ), which cancels inside a categorical
+  // draw but is needed for the μ update — divided out below.
   scratch->a.resize(ni);
-  for (int l = 0; l < ni; ++l) scratch->a[l] = ThetaWeight(i, l, *stats);
+  for (int l = 0; l < ni; ++l) scratch->a[l] = phi_i[l] + prior_i.gamma[l];
   scratch->b.resize(nj);
-  for (int l = 0; l < nj; ++l) scratch->b[l] = ThetaWeight(j, l, *stats);
+  for (int l = 0; l < nj; ++l) scratch->b[l] = phi_j[l] + prior_j.gamma[l];
 
   // row[l1] = Σ_{l2} θ̃_j(l2) · d(c_i[l1], c_j[l2])^α.
   scratch->row.assign(ni, 0.0);
@@ -195,9 +196,9 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
           scratch->b[l2] * pow_table_->Get(cx, prior_j.candidates[l2]);
     }
     y_idx_[s] = SampleCandidate(scratch->w, rng);
-    stats->phi[i][x_idx_[s]] += 1.0;
+    phi_i[x_idx_[s]] += 1.0;
     stats->phi_total[i] += 1.0;
-    stats->phi[j][y_idx_[s]] += 1.0;
+    phi_j[y_idx_[s]] += 1.0;
     stats->phi_total[j] += 1.0;
   } else {
     // Noise branch: assignments stay latent, drawn from the count-prior
@@ -207,25 +208,26 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
   }
 }
 
-void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, GibbsSuffStats* stats,
+void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
                                       GibbsScratch* scratch, Pcg32* rng) {
   const graph::TweetingEdge& edge = input_->graph->tweeting(k);
   const graph::UserId i = edge.user;
   const graph::VenueId v = edge.venue;
   const UserPrior& prior_i = (*priors_)[i];
+  double* phi_i = stats->phi_row(i);
 
   // --- remove ---
   if (nu_[k] == 0) {
     geo::CityId z = prior_i.candidates[z_idx_[k]];
-    stats->phi[i][z_idx_[k]] -= 1.0;
+    phi_i[z_idx_[k]] -= 1.0;
     stats->phi_total[i] -= 1.0;
-    stats->venue_counts[z][v] -= 1.0;
+    stats->venue_row(z)[v] -= 1.0;
     stats->venue_counts_total[z] -= 1.0;
   }
 
   const int ni = prior_i.size();
   scratch->a.resize(ni);
-  for (int l = 0; l < ni; ++l) scratch->a[l] = ThetaWeight(i, l, *stats);
+  for (int l = 0; l < ni; ++l) scratch->a[l] = phi_i[l] + prior_i.gamma[l];
   // Location-branch weights per candidate: θ̃_i(l)·ψ_l(v).
   scratch->w.resize(ni);
   for (int l = 0; l < ni; ++l) {
@@ -250,9 +252,9 @@ void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, GibbsSuffStats* stats,
   if (nu_[k] == 0) {
     z_idx_[k] = SampleCandidate(scratch->w, rng);
     geo::CityId z = prior_i.candidates[z_idx_[k]];
-    stats->phi[i][z_idx_[k]] += 1.0;
+    phi_i[z_idx_[k]] += 1.0;
     stats->phi_total[i] += 1.0;
-    stats->venue_counts[z][v] += 1.0;
+    stats->venue_row(z)[v] += 1.0;
     stats->venue_counts_total[z] += 1.0;
   } else {
     z_idx_[k] = SampleCandidate(scratch->a, rng);
@@ -289,10 +291,7 @@ void GibbsSampler::RecordSweepTrace() {
 
 void GibbsSampler::ResetAccumulators() {
   accumulated_samples_ = 0;
-  acc_phi_.resize(stats_.phi.size());
-  for (size_t u = 0; u < stats_.phi.size(); ++u) {
-    acc_phi_[u].assign(stats_.phi[u].size(), 0.0);
-  }
+  acc_phi_.assign(layout_.phi_size(), 0.0);
   acc_x_.assign(x_idx_.size(), {});
   acc_y_.assign(y_idx_.size(), {});
   acc_mu_.assign(mu_.size(), 0.0);
@@ -303,11 +302,12 @@ void GibbsSampler::ResetAccumulators() {
 
 void GibbsSampler::AccumulateSample() {
   ++accumulated_samples_;
-  for (size_t u = 0; u < stats_.phi.size(); ++u) {
-    for (size_t l = 0; l < stats_.phi[u].size(); ++l) {
-      acc_phi_[u][l] += stats_.phi[u][l];
-    }
-  }
+  // Both buffers share the arena layout: one flat fused pass.
+  const double* phi = stats_.phi.data();
+  double* acc = acc_phi_.data();
+  const int64_t n = layout_.phi_size();
+  for (int64_t idx = 0; idx < n; ++idx) acc[idx] += phi[idx];
+
   const graph::SocialGraph& graph = *input_->graph;
   for (size_t s = 0; s < mu_.size(); ++s) {
     const graph::FollowingEdge& edge =
@@ -344,9 +344,10 @@ std::vector<geo::CityId> GibbsSampler::CurrentHomes() const {
   std::vector<geo::CityId> homes(input_->num_users(), geo::kInvalidCity);
   for (graph::UserId u = 0; u < input_->num_users(); ++u) {
     const UserPrior& prior = (*priors_)[u];
+    const double* phi_u = stats_.phi_row(u);
     double best = -1.0;
     for (int l = 0; l < prior.size(); ++l) {
-      double w = stats_.phi[u][l] + prior.gamma[l];
+      double w = phi_u[l] + prior.gamma[l];
       if (w > best) {
         best = w;
         homes[u] = prior.candidates[l];
@@ -379,17 +380,19 @@ MlpResult GibbsSampler::BuildResult() const {
   result.home.resize(num_users);
   for (graph::UserId u = 0; u < num_users; ++u) {
     const UserPrior& prior = (*priors_)[u];
+    const double* phi_u = stats_.phi_row(u);
+    const double* acc_u = acc_phi_.data() + layout_.phi_offset[u];
     std::vector<std::pair<geo::CityId, double>> entries;
     entries.reserve(prior.size());
     double denom = 0.0;
     for (int l = 0; l < prior.size(); ++l) {
-      double phi_avg = accumulated_samples_ > 0 ? acc_phi_[u][l] / samples
-                                                : stats_.phi[u][l];
+      double phi_avg =
+          accumulated_samples_ > 0 ? acc_u[l] / samples : phi_u[l];
       denom += phi_avg + prior.gamma[l];
     }
     for (int l = 0; l < prior.size(); ++l) {
-      double phi_avg = accumulated_samples_ > 0 ? acc_phi_[u][l] / samples
-                                                : stats_.phi[u][l];
+      double phi_avg =
+          accumulated_samples_ > 0 ? acc_u[l] / samples : phi_u[l];
       // Eq. 10: p(l|θ_i) = (ϕ_{i,l} + γ_{i,l}) / (ϕ_i + Σ_l γ_{i,l}).
       entries.emplace_back(prior.candidates[l],
                            (phi_avg + prior.gamma[l]) / denom);
@@ -446,6 +449,104 @@ MlpResult GibbsSampler::BuildResult() const {
   result.beta = config_->beta;
   result.home_change_per_sweep = home_change_per_sweep_;
   return result;
+}
+
+void GibbsSampler::SaveState(SamplerState* state) const {
+  state->mu = mu_;
+  state->x_idx = x_idx_;
+  state->y_idx = y_idx_;
+  state->nu = nu_;
+  state->z_idx = z_idx_;
+  state->phi = stats_.phi;
+  state->phi_total = stats_.phi_total;
+  state->venue_counts = stats_.venue_counts;
+  state->venue_counts_total = stats_.venue_counts_total;
+  state->accumulated_samples = accumulated_samples_;
+  state->acc_phi = acc_phi_;
+  state->acc_x = acc_x_;
+  state->acc_y = acc_y_;
+  state->acc_mu = acc_mu_;
+  state->acc_z = acc_z_;
+  state->acc_nu = acc_nu_;
+  state->acc_edge_distance = acc_edge_distance_;
+  state->last_homes = last_homes_;
+  state->home_change_per_sweep = home_change_per_sweep_;
+}
+
+Status GibbsSampler::RestoreState(const SamplerState& state) {
+  const graph::SocialGraph& graph = *input_->graph;
+  const size_t s_total = UseFollowing() ? graph.num_following() : 0;
+  const size_t k_total = UseTweeting() ? graph.num_tweeting() : 0;
+
+  // Validate against a freshly built layout before mutating anything.
+  SuffStatsLayout layout = SuffStatsLayout::Build(
+      *priors_, input_->num_locations(),
+      UseTweeting() ? input_->num_venues() : 0);
+  if (state.mu.size() != s_total || state.x_idx.size() != s_total ||
+      state.y_idx.size() != s_total || state.nu.size() != k_total ||
+      state.z_idx.size() != k_total) {
+    return Status::InvalidArgument(
+        "sampler state does not match the graph's relationship counts");
+  }
+  if (static_cast<int64_t>(state.phi.size()) != layout.phi_size() ||
+      state.phi_total.size() != static_cast<size_t>(layout.num_users) ||
+      static_cast<int64_t>(state.venue_counts.size()) != layout.venue_size() ||
+      state.venue_counts_total.size() !=
+          static_cast<size_t>(layout.num_venues > 0 ? layout.num_locations
+                                                    : 0)) {
+    return Status::InvalidArgument(
+        "sampler state does not match the arena layout of these priors");
+  }
+  if (state.acc_edge_distance.size() !=
+      static_cast<size_t>(kEdgeDistanceBuckets)) {
+    return Status::InvalidArgument("sampler state histogram malformed");
+  }
+  if (state.acc_phi.size() != state.phi.size() ||
+      state.acc_x.size() != s_total || state.acc_y.size() != s_total ||
+      state.acc_mu.size() != s_total || state.acc_z.size() != k_total ||
+      state.acc_nu.size() != k_total ||
+      state.last_homes.size() != static_cast<size_t>(layout.num_users)) {
+    return Status::InvalidArgument("sampler state accumulators malformed");
+  }
+  for (size_t s = 0; s < s_total; ++s) {
+    const graph::FollowingEdge& edge =
+        graph.following(static_cast<graph::EdgeId>(s));
+    if (state.x_idx[s] < 0 ||
+        state.x_idx[s] >= (*priors_)[edge.follower].size() ||
+        state.y_idx[s] < 0 ||
+        state.y_idx[s] >= (*priors_)[edge.friend_user].size()) {
+      return Status::InvalidArgument("assignment index out of candidate range");
+    }
+  }
+  for (size_t k = 0; k < k_total; ++k) {
+    const graph::TweetingEdge& edge =
+        graph.tweeting(static_cast<graph::EdgeId>(k));
+    if (state.z_idx[k] < 0 || state.z_idx[k] >= (*priors_)[edge.user].size()) {
+      return Status::InvalidArgument("assignment index out of candidate range");
+    }
+  }
+
+  PrepareBuffers();
+  mu_ = state.mu;
+  x_idx_ = state.x_idx;
+  y_idx_ = state.y_idx;
+  nu_ = state.nu;
+  z_idx_ = state.z_idx;
+  stats_.phi = state.phi;
+  stats_.phi_total = state.phi_total;
+  stats_.venue_counts = state.venue_counts;
+  stats_.venue_counts_total = state.venue_counts_total;
+  accumulated_samples_ = state.accumulated_samples;
+  acc_phi_ = state.acc_phi;
+  acc_x_ = state.acc_x;
+  acc_y_ = state.acc_y;
+  acc_mu_ = state.acc_mu;
+  acc_z_ = state.acc_z;
+  acc_nu_ = state.acc_nu;
+  acc_edge_distance_ = state.acc_edge_distance;
+  last_homes_ = state.last_homes;
+  home_change_per_sweep_ = state.home_change_per_sweep;
+  return Status::OK();
 }
 
 }  // namespace core

@@ -4,12 +4,14 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "core/input.h"
 #include "core/location_profile.h"
 #include "core/model_config.h"
 #include "core/pow_table.h"
 #include "core/priors.h"
 #include "core/random_models.h"
+#include "core/suff_stats.h"
 
 namespace mlp {
 namespace core {
@@ -44,19 +46,6 @@ struct MlpResult {
   std::vector<double> home_change_per_sweep;
 };
 
-/// Sufficient statistics of the collapsed chain: ϕ_{i,l} (per-user
-/// assignment counts over candidates, location-based relationships only)
-/// and φ_{l,v} (per-location venue counts). A plain copyable value so the
-/// parallel engine (engine/parallel_gibbs.h) can keep thread-local replicas
-/// and merge deltas at sweep barriers. All entries are integer-valued
-/// counts stored as doubles, so replica deltas merge exactly.
-struct GibbsSuffStats {
-  std::vector<std::vector<double>> phi;           // [user][candidate]
-  std::vector<double> phi_total;                  // [user]
-  std::vector<std::vector<double>> venue_counts;  // [location][venue]
-  std::vector<double> venue_counts_total;         // [location]
-};
-
 /// Reusable buffers for the per-edge sampling kernels. Each caller (the
 /// sequential sweep, or one engine worker per shard) owns one, which makes
 /// the kernels re-entrant without per-edge allocation.
@@ -67,11 +56,44 @@ struct GibbsScratch {
   std::vector<double> row;  // distance-marginalized row sums
 };
 
+/// The sampler's complete restorable state: chain assignments, arena
+/// values, post-burn-in accumulators and the convergence trace. Everything
+/// here plus (input, config, priors) reproduces the chain exactly —
+/// io/model_snapshot.{h,cc} serializes it for checkpoint / warm-start.
+/// Buffers derivable from the input (edge_both_labeled_, scratch, the
+/// layout prefix itself) are rebuilt by RestoreState instead of stored.
+struct SamplerState {
+  // Chain state.
+  std::vector<uint8_t> mu;
+  std::vector<int32_t> x_idx;
+  std::vector<int32_t> y_idx;
+  std::vector<uint8_t> nu;
+  std::vector<int32_t> z_idx;
+  // Arena values (flat, in layout order).
+  std::vector<double> phi;
+  std::vector<double> phi_total;
+  std::vector<double> venue_counts;
+  std::vector<double> venue_counts_total;
+  // Post-burn-in accumulators.
+  int32_t accumulated_samples = 0;
+  std::vector<double> acc_phi;  // flat, layout order
+  std::vector<std::vector<float>> acc_x;
+  std::vector<std::vector<float>> acc_y;
+  std::vector<double> acc_mu;
+  std::vector<std::vector<float>> acc_z;
+  std::vector<double> acc_nu;
+  std::vector<double> acc_edge_distance;
+  // Convergence trace.
+  std::vector<geo::CityId> last_homes;
+  std::vector<double> home_change_per_sweep;
+};
+
 /// Collapsed Gibbs sampler for MLP (Sec. 4.5). θ and ψ are integrated out;
 /// the chain state is the model selectors (μ, ν) and location assignments
 /// (x, y, z) of every relationship, with sufficient statistics
 /// ϕ_{i,l} (per-user assignment counts over candidates, location-based
-/// relationships only) and φ_{l,v} (per-location venue counts).
+/// relationships only) and φ_{l,v} (per-location venue counts), both held
+/// in a flat SuffStatsArena.
 ///
 /// One sweep resamples, for each following relationship, μ_s (Eq. 5) then
 /// x_{s,i} (Eq. 7) then y_{s,j} (Eq. 8), and for each tweeting relationship
@@ -113,6 +135,17 @@ class GibbsSampler {
 
   int accumulated_samples() const { return accumulated_samples_; }
 
+  // ---- checkpoint / warm-start API (used by core::MlpModel and io/) ----
+
+  /// Copies the complete restorable state out of the sampler.
+  void SaveState(SamplerState* state) const;
+
+  /// Restores a state captured by SaveState on a sampler built over the
+  /// same (input, config, priors). Replaces Initialize — no RNG draws.
+  /// Fails (without touching *this) when any piece of the state disagrees
+  /// with the current layout or graph shape.
+  Status RestoreState(const SamplerState& state);
+
   // ---- engine API (used by engine::ParallelGibbsEngine) ----
   //
   // The per-edge kernels resample one relationship against the given
@@ -124,16 +157,19 @@ class GibbsSampler {
   // reproduces the sequential sweep exactly.
 
   /// Resamples (μ_s, x_s, y_s) for one following relationship.
-  void SampleFollowingEdge(graph::EdgeId s, GibbsSuffStats* stats,
+  void SampleFollowingEdge(graph::EdgeId s, SuffStatsArena* stats,
                            GibbsScratch* scratch, Pcg32* rng);
 
   /// Resamples (ν_k, z_k) for one tweeting relationship.
-  void SampleTweetingEdge(graph::EdgeId k, GibbsSuffStats* stats,
+  void SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
                           GibbsScratch* scratch, Pcg32* rng);
 
+  /// The shared arena shape (valid after Initialize or RestoreState).
+  const SuffStatsLayout& layout() const { return layout_; }
+
   /// The global sufficient statistics.
-  const GibbsSuffStats& stats() const { return stats_; }
-  GibbsSuffStats* mutable_stats() { return &stats_; }
+  const SuffStatsArena& stats() const { return stats_; }
+  SuffStatsArena* mutable_stats() { return &stats_; }
 
   /// Appends one entry to the convergence trace from the current global
   /// counts. RunSweep calls this itself; the parallel engine calls it after
@@ -148,10 +184,12 @@ class GibbsSampler {
   }
 
  private:
-  double ThetaWeight(graph::UserId u, int candidate_idx,
-                     const GibbsSuffStats& stats) const;
+  /// Builds the arena layout and the input-derived per-edge buffers —
+  /// everything Initialize sets up that does not consume randomness.
+  void PrepareBuffers();
+
   double VenueProb(geo::CityId location, graph::VenueId venue,
-                   const GibbsSuffStats& stats) const;
+                   const SuffStatsArena& stats) const;
 
   int SampleCandidate(const std::vector<double>& weights, Pcg32* rng) const;
 
@@ -169,11 +207,12 @@ class GibbsSampler {
   std::vector<int32_t> z_idx_;   // candidate index in tweeter's prior
 
   // Global sufficient statistics.
-  GibbsSuffStats stats_;
+  SuffStatsLayout layout_;
+  SuffStatsArena stats_;
 
-  // Post-burn-in accumulators.
+  // Post-burn-in accumulators. acc_phi_ shares the arena layout.
   int accumulated_samples_ = 0;
-  std::vector<std::vector<double>> acc_phi_;
+  std::vector<double> acc_phi_;
   std::vector<std::vector<float>> acc_x_;   // [edge][candidate of follower]
   std::vector<std::vector<float>> acc_y_;
   std::vector<double> acc_mu_;

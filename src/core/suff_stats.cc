@@ -1,0 +1,74 @@
+#include "core/suff_stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mlp {
+namespace core {
+
+SuffStatsLayout SuffStatsLayout::Build(const std::vector<UserPrior>& priors,
+                                       int num_locations, int num_venues) {
+  SuffStatsLayout layout;
+  layout.num_users = static_cast<int32_t>(priors.size());
+  layout.num_locations = num_locations;
+  layout.num_venues = num_venues;
+  layout.phi_offset.resize(priors.size() + 1);
+  int64_t offset = 0;
+  for (size_t u = 0; u < priors.size(); ++u) {
+    layout.phi_offset[u] = offset;
+    offset += priors[u].size();
+  }
+  layout.phi_offset[priors.size()] = offset;
+  return layout;
+}
+
+void SuffStatsArena::Reset(const SuffStatsLayout* new_layout) {
+  MLP_CHECK(new_layout != nullptr);
+  layout = new_layout;
+  phi.assign(layout->phi_size(), 0.0);
+  phi_total.assign(layout->num_users, 0.0);
+  venue_counts.assign(layout->venue_size(), 0.0);
+  venue_counts_total.assign(layout->num_venues > 0 ? layout->num_locations : 0,
+                            0.0);
+}
+
+void SuffStatsArena::CopyValuesFrom(const SuffStatsArena& other) {
+  MLP_CHECK(other.layout != nullptr);
+  if (layout != other.layout) Reset(other.layout);
+  // assign() into vectors of identical size copies in place — no
+  // reallocation after the first bind, which is what keeps the engine's
+  // per-sync replica refresh allocation-free.
+  phi.assign(other.phi.begin(), other.phi.end());
+  phi_total.assign(other.phi_total.begin(), other.phi_total.end());
+  venue_counts.assign(other.venue_counts.begin(), other.venue_counts.end());
+  venue_counts_total.assign(other.venue_counts_total.begin(),
+                            other.venue_counts_total.end());
+}
+
+namespace {
+/// dst[i] += a[i] − b[i] over one flat buffer. The whole merge is three or
+/// four of these over contiguous memory — trivially vectorizable.
+inline void AddDeltaFlat(std::vector<double>* dst,
+                         const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double* d = dst->data();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const size_t n = dst->size();
+  for (size_t i = 0; i < n; ++i) d[i] += pa[i] - pb[i];
+}
+}  // namespace
+
+void SuffStatsArena::AccumulateDelta(const SuffStatsArena& a,
+                                     const SuffStatsArena& b) {
+  MLP_CHECK(layout != nullptr && a.layout == layout && b.layout == layout);
+  AddDeltaFlat(&phi, a.phi, b.phi);
+  AddDeltaFlat(&phi_total, a.phi_total, b.phi_total);
+  AddDeltaFlat(&venue_counts, a.venue_counts, b.venue_counts);
+  AddDeltaFlat(&venue_counts_total, a.venue_counts_total,
+               b.venue_counts_total);
+}
+
+}  // namespace core
+}  // namespace mlp

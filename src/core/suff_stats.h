@@ -1,0 +1,96 @@
+#ifndef MLP_CORE_SUFF_STATS_H_
+#define MLP_CORE_SUFF_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/priors.h"
+
+namespace mlp {
+namespace core {
+
+/// Shape of the sufficient-statistics arena: a CSR-style prefix over every
+/// user's candidate list plus the dense venue-count rectangle. Built once
+/// per fit from the priors and shared (by pointer) between the sampler's
+/// global counts, the engine's per-shard replicas and its snapshot — the
+/// shape never changes during a fit, only the values do.
+struct SuffStatsLayout {
+  /// phi_offset[u] .. phi_offset[u+1] is user u's slice of the flat ϕ
+  /// buffer, one slot per candidate location (size num_users + 1).
+  std::vector<int64_t> phi_offset;
+  int32_t num_users = 0;
+  int32_t num_locations = 0;
+  /// 0 when tweeting observations are unused (no venue buffers at all).
+  int32_t num_venues = 0;
+
+  int64_t phi_size() const {
+    return phi_offset.empty() ? 0 : phi_offset.back();
+  }
+  int64_t venue_size() const {
+    return static_cast<int64_t>(num_locations) * num_venues;
+  }
+  int candidate_count(int32_t u) const {
+    return static_cast<int>(phi_offset[u + 1] - phi_offset[u]);
+  }
+
+  /// Builds the prefix from the per-user candidate lists. Pass
+  /// num_venues = 0 to omit the venue rectangle (following-only runs).
+  static SuffStatsLayout Build(const std::vector<UserPrior>& priors,
+                               int num_locations, int num_venues);
+
+  bool SameShape(const SuffStatsLayout& other) const {
+    return phi_offset == other.phi_offset &&
+           num_locations == other.num_locations &&
+           num_venues == other.num_venues;
+  }
+};
+
+/// Sufficient statistics of the collapsed chain in one contiguous arena:
+/// ϕ_{i,l} (per-user assignment counts over candidates, location-based
+/// relationships only) flattened over the layout's prefix, and φ_{l,v}
+/// (per-location venue counts) as a dense row-major rectangle. All entries
+/// are integer-valued counts stored as doubles, so replica deltas merge
+/// exactly. A plain copyable value: the parallel engine
+/// (engine/parallel_gibbs.h) keeps one replica per shard and snapshots /
+/// delta-merges them with flat std::copy / fused loops instead of the
+/// per-row walks the old vector-of-vectors layout forced.
+struct SuffStatsArena {
+  /// Not owned; outlives the arena (the sampler holds it for the fit).
+  const SuffStatsLayout* layout = nullptr;
+
+  std::vector<double> phi;                 // flat, layout->phi_size()
+  std::vector<double> phi_total;           // [num_users]
+  std::vector<double> venue_counts;        // flat, layout->venue_size()
+  std::vector<double> venue_counts_total;  // [num_locations]
+
+  /// Binds to `layout` and zeroes every buffer (allocating on first use,
+  /// reusing capacity afterwards).
+  void Reset(const SuffStatsLayout* new_layout);
+
+  /// Value copy that never reallocates once shapes match — the engine's
+  /// per-sync replica refresh. Rebinds (and allocates) only when this arena
+  /// is unbound or bound to a different layout.
+  void CopyValuesFrom(const SuffStatsArena& other);
+
+  /// this += a − b over every buffer, fused flat loops. All three arenas
+  /// must share a layout. Counts are integer-valued doubles, so the
+  /// arithmetic is exact.
+  void AccumulateDelta(const SuffStatsArena& a, const SuffStatsArena& b);
+
+  // ---- hot-path row access ----
+  double* phi_row(int32_t u) { return phi.data() + layout->phi_offset[u]; }
+  const double* phi_row(int32_t u) const {
+    return phi.data() + layout->phi_offset[u];
+  }
+  double* venue_row(int32_t l) {
+    return venue_counts.data() + static_cast<int64_t>(l) * layout->num_venues;
+  }
+  const double* venue_row(int32_t l) const {
+    return venue_counts.data() + static_cast<int64_t>(l) * layout->num_venues;
+  }
+};
+
+}  // namespace core
+}  // namespace mlp
+
+#endif  // MLP_CORE_SUFF_STATS_H_

@@ -7,29 +7,6 @@
 namespace mlp {
 namespace engine {
 
-namespace {
-
-/// dst += a - b, elementwise over a suff-stats triple of nested vectors.
-/// All three must have identical shape. Counts are integer-valued doubles,
-/// so the arithmetic is exact.
-void AddDelta(std::vector<std::vector<double>>* dst,
-              const std::vector<std::vector<double>>& a,
-              const std::vector<std::vector<double>>& b) {
-  for (size_t i = 0; i < dst->size(); ++i) {
-    auto& row = (*dst)[i];
-    const auto& ra = a[i];
-    const auto& rb = b[i];
-    for (size_t j = 0; j < row.size(); ++j) row[j] += ra[j] - rb[j];
-  }
-}
-
-void AddDelta(std::vector<double>* dst, const std::vector<double>& a,
-              const std::vector<double>& b) {
-  for (size_t i = 0; i < dst->size(); ++i) (*dst)[i] += a[i] - b[i];
-}
-
-}  // namespace
-
 ParallelGibbsEngine::ParallelGibbsEngine(core::GibbsSampler* sampler,
                                          const core::ModelInput* input,
                                          const core::MlpConfig* config)
@@ -64,8 +41,11 @@ void ParallelGibbsEngine::Initialize(Pcg32* rng) {
 }
 
 void ParallelGibbsEngine::RefreshReplicas() {
-  snapshot_ = sampler_->stats();
-  for (auto& replica : replicas_) replica = snapshot_;
+  // Flat value copies into buffers that persist across syncs: after the
+  // first refresh binds every arena to the sampler's layout, this is pure
+  // std::copy traffic with zero allocation.
+  snapshot_.CopyValuesFrom(sampler_->stats());
+  for (auto& replica : replicas_) replica.CopyValuesFrom(snapshot_);
   replicas_fresh_ = true;
   sweeps_since_sync_ = 0;
 }
@@ -74,15 +54,11 @@ void ParallelGibbsEngine::MergeReplicas() {
   // global' = snapshot + Σ_k (replica_k - snapshot), accumulated in shard
   // order so the merge is deterministic. The global counts are untouched
   // between refresh and merge (workers only write replicas), so they still
-  // equal the snapshot and the deltas apply onto them in place.
-  core::GibbsSuffStats* global = sampler_->mutable_stats();
-  for (const core::GibbsSuffStats& replica : replicas_) {
-    AddDelta(&global->phi, replica.phi, snapshot_.phi);
-    AddDelta(&global->phi_total, replica.phi_total, snapshot_.phi_total);
-    AddDelta(&global->venue_counts, replica.venue_counts,
-             snapshot_.venue_counts);
-    AddDelta(&global->venue_counts_total, replica.venue_counts_total,
-             snapshot_.venue_counts_total);
+  // equal the snapshot and the deltas apply onto them in place. Each
+  // AccumulateDelta is a few fused passes over contiguous buffers.
+  core::SuffStatsArena* global = sampler_->mutable_stats();
+  for (const core::SuffStatsArena& replica : replicas_) {
+    global->AccumulateDelta(replica, snapshot_);
   }
   replicas_fresh_ = false;
   sampler_->RecordSweepTrace();
@@ -100,7 +76,7 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
   for (int k = 0; k < num_threads_; ++k) {
     pool_->Submit([this, k, use_following, use_tweeting] {
       const Shard& shard = shards_[k];
-      core::GibbsSuffStats* replica = &replicas_[k];
+      core::SuffStatsArena* replica = &replicas_[k];
       core::GibbsScratch* scratch = &scratches_[k];
       Pcg32* shard_rng = &shard_rngs_[k];
       if (use_following) {
@@ -129,6 +105,27 @@ void ParallelGibbsEngine::Synchronize() {
     // counts, so there is nothing to merge.
     replicas_fresh_ = false;
   }
+}
+
+std::vector<Pcg32State> ParallelGibbsEngine::ShardRngStates() const {
+  std::vector<Pcg32State> states;
+  states.reserve(shard_rngs_.size());
+  for (const Pcg32& rng : shard_rngs_) states.push_back(rng.SaveState());
+  return states;
+}
+
+Status ParallelGibbsEngine::RestoreShardRngStates(
+    const std::vector<Pcg32State>& states) {
+  if (states.size() != shard_rngs_.size()) {
+    return Status::InvalidArgument(
+        "shard RNG state count does not match num_threads");
+  }
+  for (size_t k = 0; k < states.size(); ++k) {
+    shard_rngs_[k].RestoreState(states[k]);
+  }
+  replicas_fresh_ = false;
+  sweeps_since_sync_ = 0;
+  return Status::OK();
 }
 
 }  // namespace engine

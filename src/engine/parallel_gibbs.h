@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "core/input.h"
 #include "core/model_config.h"
 #include "core/sampler.h"
@@ -22,9 +23,13 @@ namespace engine {
 /// against a thread-local replica of the sufficient statistics (ϕ, φ);
 /// per-edge chain state (μ/ν, x/y/z) is written in place since shards own
 /// disjoint edges. At the sweep barrier the replicas' deltas are merged
-/// back into the sampler's global counts in shard order. Counts are
-/// integer-valued doubles, so the merge is exact and the engine is
-/// run-to-run deterministic for a fixed (seed, num_threads).
+/// back into the sampler's global counts in shard order. Replicas, the
+/// snapshot and the global counts are flat SuffStatsArena buffers sharing
+/// one layout, so refresh is a straight value copy and the merge is a
+/// handful of fused flat loops; all buffers are allocated once and reused
+/// across syncs. Counts are integer-valued doubles, so the merge is exact
+/// and the engine is run-to-run deterministic for a fixed
+/// (seed, num_threads).
 ///
 /// With `config->num_threads <= 1` every call delegates to the sequential
 /// `GibbsSampler`, using the caller's RNG — results are bit-for-bit
@@ -55,6 +60,24 @@ class ParallelGibbsEngine {
   /// already synchronized (always, at sync_every_sweeps == 1).
   void Synchronize();
 
+  /// True when the global counts reflect every sweep run so far — i.e. no
+  /// replica holds unmerged deltas. Checkpoints may only be cut here;
+  /// always true in the sequential path and at sync_every_sweeps == 1.
+  bool IsSynchronized() const {
+    return num_threads_ <= 1 || !replicas_fresh_ || sweeps_since_sync_ == 0;
+  }
+
+  // ---- checkpoint / warm-start API (used by core::MlpModel) ----
+
+  /// Exact positions of the per-shard RNG streams (empty when sequential).
+  std::vector<Pcg32State> ShardRngStates() const;
+
+  /// Resumes after the sampler's state was restored from a snapshot: shard
+  /// streams continue where they left off and replicas are marked stale so
+  /// the next sweep re-snapshots the restored global counts. `states` must
+  /// have one entry per thread (empty for the sequential path).
+  Status RestoreShardRngStates(const std::vector<Pcg32State>& states);
+
   int num_threads() const { return num_threads_; }
   const std::vector<Shard>& shards() const { return shards_; }
 
@@ -71,9 +94,9 @@ class ParallelGibbsEngine {
   std::unique_ptr<ThreadPool> pool_;    // null in the sequential path
   std::vector<Shard> shards_;
   std::vector<Pcg32> shard_rngs_;       // one persistent stream per shard
-  std::vector<core::GibbsSuffStats> replicas_;
+  std::vector<core::SuffStatsArena> replicas_;
   std::vector<core::GibbsScratch> scratches_;
-  core::GibbsSuffStats snapshot_;       // global counts at last refresh
+  core::SuffStatsArena snapshot_;       // global counts at last refresh
   int sweeps_since_sync_ = 0;
   bool replicas_fresh_ = false;
 };

@@ -19,6 +19,26 @@ Method MakeMlpMethod(core::MlpConfig config) {
   };
 }
 
+Method MakeWarmResumeMlpMethod(core::MlpConfig config) {
+  return [config](const core::ModelInput& input) -> Result<MethodOutput> {
+    core::MlpModel model(config);
+    core::FitCheckpoint checkpoint;
+    core::FitOptions cold;
+    cold.max_total_sweeps = config.burn_in_iterations;
+    cold.checkpoint_out = &checkpoint;
+    Result<core::MlpResult> partial = model.Fit(input, cold);
+    if (!partial.ok()) return partial.status();
+    core::FitOptions warm;
+    warm.warm_start = &checkpoint;
+    Result<core::MlpResult> result = model.Fit(input, warm);
+    if (!result.ok()) return result.status();
+    MethodOutput out;
+    out.profiles = std::move(result->profiles);
+    out.home = std::move(result->home);
+    return out;
+  };
+}
+
 Method MakeBaseUMethod() {
   return [](const core::ModelInput& input) -> Result<MethodOutput> {
     baselines::BaseU base;
@@ -60,10 +80,17 @@ std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config) {
 }
 
 std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config,
-                                        int num_threads) {
+                                        int num_threads,
+                                        bool include_warm_resume) {
   core::MlpConfig config = mlp_config;
   config.num_threads = num_threads < 1 ? 1 : num_threads;
-  return StandardLineup(config);
+  std::vector<NamedMethod> lineup = StandardLineup(config);
+  if (include_warm_resume) {
+    core::MlpConfig full_config = config;
+    full_config.source = core::ObservationSource::kBoth;
+    lineup.push_back({"MLP_WS", MakeWarmResumeMlpMethod(full_config)});
+  }
+  return lineup;
 }
 
 }  // namespace eval

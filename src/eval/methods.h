@@ -31,6 +31,13 @@ Method MakeMlpMethod(core::MlpConfig config);
 Method MakeBaseUMethod();
 Method MakeBaseCMethod();
 
+/// MLP run in two stages through the checkpoint machinery: a cold fit cut
+/// at the end of burn-in, then a warm-start resume to completion. By the
+/// warm-start contract this produces the exact MlpResult of
+/// MakeMlpMethod(config) — the lineup entry exists as a continuous
+/// self-check that snapshot/resume inference is lossless.
+Method MakeWarmResumeMlpMethod(core::MlpConfig config);
+
 /// Name → method for the standard lineup, in the paper's column order:
 /// BaseU, BaseC, MLP_U, MLP_C, MLP.
 struct NamedMethod {
@@ -41,9 +48,12 @@ std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config);
 
 /// Same lineup with the Gibbs engine parallelism dialed in: the MLP
 /// variants run `num_threads` sharded workers (mlpctl's `--threads`).
-/// The baselines are unaffected.
+/// The baselines are unaffected. With `include_warm_resume` the lineup
+/// gains MLP_WS, the checkpoint-and-resume variant of MLP (mlpctl's
+/// `--warm`).
 std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config,
-                                        int num_threads);
+                                        int num_threads,
+                                        bool include_warm_resume = false);
 
 }  // namespace eval
 }  // namespace mlp

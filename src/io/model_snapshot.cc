@@ -1,0 +1,431 @@
+#include "io/model_snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+#include <utility>
+
+#include "common/hash.h"
+#include "core/priors.h"
+
+namespace mlp {
+namespace io {
+
+namespace {
+
+// Eight magic bytes + version + endian marker head every snapshot. The
+// payload after the header is covered by an FNV-1a 64 checksum, so torn
+// writes, truncation and bit flips are all detected before any field is
+// interpreted.
+constexpr char kMagic[8] = {'M', 'L', 'P', 'S', 'N', 'A', 'P', 'B'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+
+class BinaryWriter {
+ public:
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    const char* p = reinterpret_cast<const char*>(&value);
+    buffer_.append(p, sizeof(T));
+  }
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_arithmetic<T>::value, "no padding allowed");
+    Put<uint64_t>(v.size());
+    if (!v.empty()) {
+      buffer_.append(reinterpret_cast<const char*>(v.data()),
+                     v.size() * sizeof(T));
+    }
+  }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader: any overrun latches `failed()` and every later
+/// read returns zeros, so one end-of-parse check suffices.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    T value{};
+    if (failed_ || size_ - pos_ < sizeof(T)) {
+      failed_ = true;
+      return value;
+    }
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+  template <typename T>
+  void GetVector(std::vector<T>* out) {
+    static_assert(std::is_arithmetic<T>::value, "no padding allowed");
+    uint64_t count = Get<uint64_t>();
+    if (failed_ || count > (size_ - pos_) / sizeof(T)) {
+      failed_ = true;
+      out->clear();
+      return;
+    }
+    out->resize(count);
+    if (count > 0) {
+      std::memcpy(out->data(), data_ + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+  }
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void PutConfig(BinaryWriter* w, const core::MlpConfig& c) {
+  w->Put<int32_t>(static_cast<int32_t>(c.source));
+  w->Put(c.alpha);
+  w->Put(c.beta);
+  w->Put<uint8_t>(c.fit_power_law_from_data);
+  w->Put(c.rho_f);
+  w->Put(c.rho_t);
+  w->Put<uint8_t>(c.model_noise);
+  w->Put(c.tau);
+  w->Put(c.supervision_boost);
+  w->Put(c.delta);
+  w->Put<uint8_t>(c.use_candidacy);
+  w->Put<uint8_t>(c.use_supervision);
+  w->Put<int32_t>(c.fallback_top_cities);
+  w->Put<int32_t>(c.max_candidates);
+  w->Put<int32_t>(c.burn_in_iterations);
+  w->Put<int32_t>(c.sampling_iterations);
+  w->Put<int32_t>(c.gibbs_em_rounds);
+  w->Put(c.em_damping);
+  w->Put(c.seed);
+  w->Put(c.distance_floor_miles);
+  w->Put<int32_t>(c.num_threads);
+  w->Put<int32_t>(c.sync_every_sweeps);
+}
+
+core::MlpConfig GetConfig(BinaryReader* r) {
+  core::MlpConfig c;
+  c.source = static_cast<core::ObservationSource>(r->Get<int32_t>());
+  c.alpha = r->Get<double>();
+  c.beta = r->Get<double>();
+  c.fit_power_law_from_data = r->Get<uint8_t>() != 0;
+  c.rho_f = r->Get<double>();
+  c.rho_t = r->Get<double>();
+  c.model_noise = r->Get<uint8_t>() != 0;
+  c.tau = r->Get<double>();
+  c.supervision_boost = r->Get<double>();
+  c.delta = r->Get<double>();
+  c.use_candidacy = r->Get<uint8_t>() != 0;
+  c.use_supervision = r->Get<uint8_t>() != 0;
+  c.fallback_top_cities = r->Get<int32_t>();
+  c.max_candidates = r->Get<int32_t>();
+  c.burn_in_iterations = r->Get<int32_t>();
+  c.sampling_iterations = r->Get<int32_t>();
+  c.gibbs_em_rounds = r->Get<int32_t>();
+  c.em_damping = r->Get<double>();
+  c.seed = r->Get<uint64_t>();
+  c.distance_floor_miles = r->Get<double>();
+  c.num_threads = r->Get<int32_t>();
+  c.sync_every_sweeps = r->Get<int32_t>();
+  return c;
+}
+
+void PutRng(BinaryWriter* w, const Pcg32State& s) {
+  w->Put(s.state);
+  w->Put(s.inc);
+  w->Put(s.has_cached_normal);
+  w->Put(s.cached_normal);
+}
+
+Pcg32State GetRng(BinaryReader* r) {
+  Pcg32State s;
+  s.state = r->Get<uint64_t>();
+  s.inc = r->Get<uint64_t>();
+  s.has_cached_normal = r->Get<uint8_t>();
+  s.cached_normal = r->Get<double>();
+  return s;
+}
+
+void PutRagged(BinaryWriter* w, const std::vector<std::vector<float>>& rows) {
+  w->Put<uint64_t>(rows.size());
+  for (const std::vector<float>& row : rows) w->PutVector(row);
+}
+
+void GetRagged(BinaryReader* r, std::vector<std::vector<float>>* rows) {
+  uint64_t count = r->Get<uint64_t>();
+  rows->clear();
+  for (uint64_t i = 0; i < count && !r->failed(); ++i) {
+    rows->emplace_back();
+    r->GetVector(&rows->back());
+  }
+}
+
+void PutSamplerState(BinaryWriter* w, const core::SamplerState& s) {
+  w->PutVector(s.mu);
+  w->PutVector(s.x_idx);
+  w->PutVector(s.y_idx);
+  w->PutVector(s.nu);
+  w->PutVector(s.z_idx);
+  w->PutVector(s.phi);
+  w->PutVector(s.phi_total);
+  w->PutVector(s.venue_counts);
+  w->PutVector(s.venue_counts_total);
+  w->Put(s.accumulated_samples);
+  w->PutVector(s.acc_phi);
+  PutRagged(w, s.acc_x);
+  PutRagged(w, s.acc_y);
+  w->PutVector(s.acc_mu);
+  PutRagged(w, s.acc_z);
+  w->PutVector(s.acc_nu);
+  w->PutVector(s.acc_edge_distance);
+  w->PutVector(s.last_homes);
+  w->PutVector(s.home_change_per_sweep);
+}
+
+void GetSamplerState(BinaryReader* r, core::SamplerState* s) {
+  r->GetVector(&s->mu);
+  r->GetVector(&s->x_idx);
+  r->GetVector(&s->y_idx);
+  r->GetVector(&s->nu);
+  r->GetVector(&s->z_idx);
+  r->GetVector(&s->phi);
+  r->GetVector(&s->phi_total);
+  r->GetVector(&s->venue_counts);
+  r->GetVector(&s->venue_counts_total);
+  s->accumulated_samples = r->Get<int32_t>();
+  r->GetVector(&s->acc_phi);
+  GetRagged(r, &s->acc_x);
+  GetRagged(r, &s->acc_y);
+  r->GetVector(&s->acc_mu);
+  GetRagged(r, &s->acc_z);
+  r->GetVector(&s->acc_nu);
+  r->GetVector(&s->acc_edge_distance);
+  r->GetVector(&s->last_homes);
+  r->GetVector(&s->home_change_per_sweep);
+}
+
+void PutResult(BinaryWriter* w, const core::MlpResult& result) {
+  w->Put<uint64_t>(result.profiles.size());
+  for (const core::LocationProfile& profile : result.profiles) {
+    w->Put<uint64_t>(profile.entries().size());
+    for (const auto& entry : profile.entries()) {
+      w->Put(entry.first);
+      w->Put(entry.second);
+    }
+  }
+  w->PutVector(result.home);
+  w->Put<uint64_t>(result.following.size());
+  for (const core::FollowingExplanation& ex : result.following) {
+    w->Put(ex.x);
+    w->Put(ex.y);
+    w->Put(ex.noise_prob);
+  }
+  w->Put<uint64_t>(result.tweeting.size());
+  for (const core::TweetExplanation& ex : result.tweeting) {
+    w->Put(ex.z);
+    w->Put(ex.noise_prob);
+  }
+  w->Put(result.alpha);
+  w->Put(result.beta);
+  w->PutVector(result.home_change_per_sweep);
+}
+
+void GetResult(BinaryReader* r, core::MlpResult* result) {
+  uint64_t num_profiles = r->Get<uint64_t>();
+  result->profiles.clear();
+  for (uint64_t u = 0; u < num_profiles && !r->failed(); ++u) {
+    uint64_t num_entries = r->Get<uint64_t>();
+    std::vector<std::pair<geo::CityId, double>> entries;
+    for (uint64_t l = 0; l < num_entries && !r->failed(); ++l) {
+      geo::CityId city = r->Get<geo::CityId>();
+      double p = r->Get<double>();
+      entries.emplace_back(city, p);
+    }
+    result->profiles.emplace_back(std::move(entries));
+  }
+  r->GetVector(&result->home);
+  uint64_t num_following = r->Get<uint64_t>();
+  result->following.clear();
+  for (uint64_t s = 0; s < num_following && !r->failed(); ++s) {
+    core::FollowingExplanation ex;
+    ex.x = r->Get<geo::CityId>();
+    ex.y = r->Get<geo::CityId>();
+    ex.noise_prob = r->Get<double>();
+    result->following.push_back(ex);
+  }
+  uint64_t num_tweeting = r->Get<uint64_t>();
+  result->tweeting.clear();
+  for (uint64_t k = 0; k < num_tweeting && !r->failed(); ++k) {
+    core::TweetExplanation ex;
+    ex.z = r->Get<geo::CityId>();
+    ex.noise_prob = r->Get<double>();
+    result->tweeting.push_back(ex);
+  }
+  result->alpha = r->Get<double>();
+  result->beta = r->Get<double>();
+  r->GetVector(&result->home_change_per_sweep);
+}
+
+}  // namespace
+
+ModelSnapshot MakeModelSnapshot(const core::ModelInput& input,
+                                const core::FitCheckpoint& checkpoint,
+                                const core::MlpResult& result) {
+  ModelSnapshot snapshot;
+  snapshot.checkpoint = checkpoint;
+  snapshot.result = result;
+  // The candidate layout is a pure function of (input, config) — rebuild
+  // it through the same SuffStatsLayout::Build the sampler's arena was
+  // allocated with, so the stored offsets can never drift from the flat ϕ
+  // buffer they index.
+  std::vector<core::UserPrior> priors =
+      core::BuildPriors(input, checkpoint.config);
+  const int num_venues =
+      checkpoint.config.source == core::ObservationSource::kFollowingOnly
+          ? 0
+          : input.num_venues();
+  core::SuffStatsLayout layout =
+      core::SuffStatsLayout::Build(priors, input.num_locations(), num_venues);
+  snapshot.phi_offset = std::move(layout.phi_offset);
+  snapshot.candidates.reserve(snapshot.phi_offset.back());
+  for (const core::UserPrior& prior : priors) {
+    snapshot.candidates.insert(snapshot.candidates.end(),
+                               prior.candidates.begin(),
+                               prior.candidates.end());
+  }
+  snapshot.num_locations = layout.num_locations;
+  snapshot.num_venues = layout.num_venues;
+  return snapshot;
+}
+
+Status SaveModelSnapshot(const std::string& path,
+                         const ModelSnapshot& snapshot) {
+  BinaryWriter payload;
+  PutConfig(&payload, snapshot.checkpoint.config);
+  payload.Put(snapshot.checkpoint.fingerprint);
+  payload.Put<uint8_t>(snapshot.checkpoint.complete);
+  payload.Put(snapshot.checkpoint.progress.round);
+  payload.Put(snapshot.checkpoint.progress.burn_in_done);
+  payload.Put(snapshot.checkpoint.progress.sampling_done);
+  payload.Put(snapshot.checkpoint.progress.alpha);
+  payload.Put(snapshot.checkpoint.progress.beta);
+  PutSamplerState(&payload, snapshot.checkpoint.sampler);
+  PutRng(&payload, snapshot.checkpoint.master_rng);
+  payload.Put<uint64_t>(snapshot.checkpoint.shard_rngs.size());
+  for (const Pcg32State& s : snapshot.checkpoint.shard_rngs) {
+    PutRng(&payload, s);
+  }
+  payload.PutVector(snapshot.phi_offset);
+  payload.PutVector(snapshot.candidates);
+  payload.Put(snapshot.num_locations);
+  payload.Put(snapshot.num_venues);
+  PutResult(&payload, snapshot.result);
+
+  BinaryWriter header;
+  for (char c : kMagic) header.Put(c);
+  header.Put(kModelSnapshotVersion);
+  header.Put(kEndianMarker);
+  header.Put<uint64_t>(payload.buffer().size());
+  header.Put<uint64_t>(
+      HashFnv1a64(payload.buffer().data(), payload.buffer().size()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out.write(header.buffer().data(),
+            static_cast<std::streamsize>(header.buffer().size()));
+  out.write(payload.buffer().data(),
+            static_cast<std::streamsize>(payload.buffer().size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open snapshot " + path);
+  }
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(file_size));
+  if (file_size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), file_size);
+  }
+  if (!in.good()) {
+    return Status::IOError("cannot read snapshot " + path);
+  }
+
+  constexpr size_t kHeaderSize =
+      sizeof(kMagic) + sizeof(uint32_t) * 2 + sizeof(uint64_t) * 2;
+  if (bytes.size() < kHeaderSize) {
+    return Status::IOError("snapshot truncated: " + path);
+  }
+  BinaryReader header(bytes.data(), kHeaderSize);
+  char magic[8];
+  for (char& c : magic) c = header.Get<char>();
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an MLP model snapshot: " + path);
+  }
+  const uint32_t version = header.Get<uint32_t>();
+  if (version != kModelSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot version " + std::to_string(version) +
+        " unsupported (this build reads version " +
+        std::to_string(kModelSnapshotVersion) + "): " + path);
+  }
+  if (header.Get<uint32_t>() != kEndianMarker) {
+    return Status::InvalidArgument(
+        "snapshot written on an incompatible-endianness machine: " + path);
+  }
+  const uint64_t payload_size = header.Get<uint64_t>();
+  const uint64_t checksum = header.Get<uint64_t>();
+  if (payload_size != bytes.size() - kHeaderSize) {
+    return Status::IOError("snapshot payload size mismatch: " + path);
+  }
+  const uint8_t* payload_bytes = bytes.data() + kHeaderSize;
+  if (HashFnv1a64(payload_bytes, payload_size) != checksum) {
+    return Status::IOError("snapshot checksum mismatch (corrupt): " + path);
+  }
+
+  BinaryReader r(payload_bytes, payload_size);
+  ModelSnapshot snapshot;
+  snapshot.checkpoint.config = GetConfig(&r);
+  snapshot.checkpoint.fingerprint = r.Get<uint64_t>();
+  snapshot.checkpoint.complete = r.Get<uint8_t>() != 0;
+  snapshot.checkpoint.progress.round = r.Get<int32_t>();
+  snapshot.checkpoint.progress.burn_in_done = r.Get<int32_t>();
+  snapshot.checkpoint.progress.sampling_done = r.Get<int32_t>();
+  snapshot.checkpoint.progress.alpha = r.Get<double>();
+  snapshot.checkpoint.progress.beta = r.Get<double>();
+  GetSamplerState(&r, &snapshot.checkpoint.sampler);
+  snapshot.checkpoint.master_rng = GetRng(&r);
+  uint64_t num_shard_rngs = r.Get<uint64_t>();
+  for (uint64_t k = 0; k < num_shard_rngs && !r.failed(); ++k) {
+    snapshot.checkpoint.shard_rngs.push_back(GetRng(&r));
+  }
+  r.GetVector(&snapshot.phi_offset);
+  r.GetVector(&snapshot.candidates);
+  snapshot.num_locations = r.Get<int32_t>();
+  snapshot.num_venues = r.Get<int32_t>();
+  GetResult(&r, &snapshot.result);
+
+  if (r.failed() || !r.AtEnd()) {
+    return Status::IOError("snapshot payload malformed: " + path);
+  }
+  return snapshot;
+}
+
+}  // namespace io
+}  // namespace mlp

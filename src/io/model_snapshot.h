@@ -1,0 +1,62 @@
+#ifndef MLP_IO_MODEL_SNAPSHOT_H_
+#define MLP_IO_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/input.h"
+#include "core/model.h"
+#include "core/sampler.h"
+#include "core/suff_stats.h"
+
+namespace mlp {
+namespace io {
+
+/// On-disk format version. Bump on ANY layout change (including new
+/// MlpConfig fields) — readers reject every version they were not built
+/// for. See src/io/README.md for the byte layout.
+inline constexpr uint32_t kModelSnapshotVersion = 1;
+
+/// A fitted (or mid-fit) MLP model, persistable and resumable:
+///   - the FitCheckpoint (config, fingerprint, program position, sampler
+///     chain + arena + accumulators, every RNG stream),
+///   - the candidate-set layout the arena is indexed by (offsets +
+///     candidate city ids, so a serving layer can interpret ϕ without
+///     rebuilding priors),
+///   - the MlpResult built when the snapshot was cut.
+struct ModelSnapshot {
+  core::FitCheckpoint checkpoint;
+
+  /// CSR prefix over users, size num_users + 1; candidates holds the
+  /// concatenated candidate CityIds in the same order as the arena's ϕ.
+  std::vector<int64_t> phi_offset;
+  std::vector<geo::CityId> candidates;
+  int32_t num_locations = 0;
+  int32_t num_venues = 0;
+
+  core::MlpResult result;
+};
+
+/// Assembles a snapshot from a finished Fit call: derives the candidate
+/// layout from (input, checkpoint.config) exactly as Fit did.
+ModelSnapshot MakeModelSnapshot(const core::ModelInput& input,
+                                const core::FitCheckpoint& checkpoint,
+                                const core::MlpResult& result);
+
+/// Writes `snapshot` to `path` as one versioned, checksummed binary blob.
+/// The write is atomic-ish: a partially written file never passes the
+/// checksum, so readers can't consume a torn snapshot.
+Status SaveModelSnapshot(const std::string& path,
+                         const ModelSnapshot& snapshot);
+
+/// Reads a snapshot back. Fails with InvalidArgument on a foreign or
+/// version-mismatched file and IOError on a corrupt one (bad checksum,
+/// truncation, out-of-bounds section) — never crashes on malformed input.
+Result<ModelSnapshot> LoadModelSnapshot(const std::string& path);
+
+}  // namespace io
+}  // namespace mlp
+
+#endif  // MLP_IO_MODEL_SNAPSHOT_H_

@@ -263,13 +263,15 @@ TEST(ParallelGibbsEngineTest, MergedCountsStayConsistent) {
   for (int it = 0; it < 4; ++it) engine.RunSweep(&rng);
   engine.Synchronize();
 
-  const core::GibbsSuffStats& stats = sampler.stats();
+  const core::SuffStatsArena& stats = sampler.stats();
+  const core::SuffStatsLayout& layout = sampler.layout();
   double phi_mass = 0.0;
-  for (size_t u = 0; u < stats.phi.size(); ++u) {
+  for (graph::UserId u = 0; u < layout.num_users; ++u) {
+    const double* phi_u = stats.phi_row(u);
     double row = 0.0;
-    for (double c : stats.phi[u]) {
-      EXPECT_GE(c, 0.0);
-      row += c;
+    for (int l = 0; l < layout.candidate_count(u); ++l) {
+      EXPECT_GE(phi_u[l], 0.0);
+      row += phi_u[l];
     }
     EXPECT_DOUBLE_EQ(row, stats.phi_total[u]) << "user " << u;
     phi_mass += row;
@@ -282,11 +284,12 @@ TEST(ParallelGibbsEngineTest, MergedCountsStayConsistent) {
   EXPECT_GT(phi_mass, 0.0);
 
   double venue_mass = 0.0;
-  for (size_t l = 0; l < stats.venue_counts.size(); ++l) {
+  for (int32_t l = 0; l < layout.num_locations; ++l) {
+    const double* venues = stats.venue_row(l);
     double row = 0.0;
-    for (double c : stats.venue_counts[l]) {
-      EXPECT_GE(c, 0.0);
-      row += c;
+    for (int v = 0; v < layout.num_venues; ++v) {
+      EXPECT_GE(venues[v], 0.0);
+      row += venues[v];
     }
     EXPECT_DOUBLE_EQ(row, stats.venue_counts_total[l]) << "location " << l;
     venue_mass += row;

@@ -1,0 +1,379 @@
+// Tests for the model snapshot / warm-start subsystem: byte-exact
+// round-trips of the arena through src/io/model_snapshot, rejection of
+// corrupt / foreign / version-skewed files, and the core warm-start
+// contract — an interrupted fit resumed from its checkpoint reproduces
+// the uninterrupted fit exactly, sequential and sharded.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "eval/methods.h"
+#include "io/model_snapshot.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace io {
+namespace {
+
+synth::SyntheticWorld TestWorld(int num_users, uint64_t seed) {
+  synth::WorldConfig config;
+  config.num_users = num_users;
+  config.seed = seed;
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  EXPECT_TRUE(world.ok());
+  return std::move(*world);
+}
+
+struct FitHarness {
+  explicit FitHarness(const synth::SyntheticWorld& world) {
+    input.gazetteer = world.gazetteer.get();
+    input.graph = world.graph.get();
+    input.distances = world.distances.get();
+    referents = world.vocab->ReferentTable();
+    input.venue_referents = &referents;
+    input.observed_home.reserve(world.graph->num_users());
+    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+      input.observed_home.push_back(world.graph->user(u).registered_city);
+    }
+  }
+  core::ModelInput input;
+  std::vector<std::vector<geo::CityId>> referents;
+};
+
+void ExpectIdenticalResults(const core::MlpResult& a,
+                            const core::MlpResult& b) {
+  ASSERT_EQ(a.home.size(), b.home.size());
+  EXPECT_EQ(a.home, b.home);
+  ASSERT_EQ(a.profiles.size(), b.profiles.size());
+  for (size_t u = 0; u < a.profiles.size(); ++u) {
+    EXPECT_EQ(a.profiles[u].entries(), b.profiles[u].entries()) << "user " << u;
+  }
+  ASSERT_EQ(a.following.size(), b.following.size());
+  for (size_t s = 0; s < a.following.size(); ++s) {
+    EXPECT_EQ(a.following[s].x, b.following[s].x);
+    EXPECT_EQ(a.following[s].y, b.following[s].y);
+    EXPECT_EQ(a.following[s].noise_prob, b.following[s].noise_prob);
+  }
+  ASSERT_EQ(a.tweeting.size(), b.tweeting.size());
+  for (size_t k = 0; k < a.tweeting.size(); ++k) {
+    EXPECT_EQ(a.tweeting[k].z, b.tweeting[k].z);
+    EXPECT_EQ(a.tweeting[k].noise_prob, b.tweeting[k].noise_prob);
+  }
+  EXPECT_EQ(a.home_change_per_sweep, b.home_change_per_sweep);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.beta, b.beta);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------- format round-trip
+
+TEST(ModelSnapshotTest, RoundTripIsBitIdentical) {
+  synth::SyntheticWorld world = TestWorld(200, 42);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 3;
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> result =
+      core::MlpModel(config).Fit(harness.input, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(checkpoint.complete);
+
+  ModelSnapshot snapshot =
+      MakeModelSnapshot(harness.input, checkpoint, *result);
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(SaveModelSnapshot(path, snapshot).ok());
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The arena and every other double must survive bit-for-bit: vector
+  // equality on doubles is exact, no tolerance.
+  EXPECT_EQ(loaded->checkpoint.sampler.phi, checkpoint.sampler.phi);
+  EXPECT_EQ(loaded->checkpoint.sampler.phi_total,
+            checkpoint.sampler.phi_total);
+  EXPECT_EQ(loaded->checkpoint.sampler.venue_counts,
+            checkpoint.sampler.venue_counts);
+  EXPECT_EQ(loaded->checkpoint.sampler.venue_counts_total,
+            checkpoint.sampler.venue_counts_total);
+  EXPECT_EQ(loaded->checkpoint.sampler.mu, checkpoint.sampler.mu);
+  EXPECT_EQ(loaded->checkpoint.sampler.x_idx, checkpoint.sampler.x_idx);
+  EXPECT_EQ(loaded->checkpoint.sampler.y_idx, checkpoint.sampler.y_idx);
+  EXPECT_EQ(loaded->checkpoint.sampler.nu, checkpoint.sampler.nu);
+  EXPECT_EQ(loaded->checkpoint.sampler.z_idx, checkpoint.sampler.z_idx);
+  EXPECT_EQ(loaded->checkpoint.sampler.acc_phi, checkpoint.sampler.acc_phi);
+  EXPECT_EQ(loaded->checkpoint.sampler.acc_x, checkpoint.sampler.acc_x);
+  EXPECT_EQ(loaded->checkpoint.sampler.acc_mu, checkpoint.sampler.acc_mu);
+  EXPECT_EQ(loaded->checkpoint.sampler.accumulated_samples,
+            checkpoint.sampler.accumulated_samples);
+  EXPECT_EQ(loaded->checkpoint.fingerprint, checkpoint.fingerprint);
+  EXPECT_EQ(loaded->checkpoint.complete, checkpoint.complete);
+  EXPECT_EQ(loaded->checkpoint.master_rng.state, checkpoint.master_rng.state);
+  EXPECT_EQ(loaded->checkpoint.master_rng.inc, checkpoint.master_rng.inc);
+  EXPECT_EQ(loaded->checkpoint.config.seed, config.seed);
+  EXPECT_EQ(loaded->checkpoint.config.num_threads, config.num_threads);
+  EXPECT_EQ(loaded->phi_offset, snapshot.phi_offset);
+  EXPECT_EQ(loaded->candidates, snapshot.candidates);
+  EXPECT_EQ(loaded->num_locations, snapshot.num_locations);
+  EXPECT_EQ(loaded->num_venues, snapshot.num_venues);
+  ExpectIdenticalResults(*result, loaded->result);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------- corruption rejection
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synth::SyntheticWorld world = TestWorld(120, 9);
+    FitHarness harness(world);
+    core::MlpConfig config;
+    config.burn_in_iterations = 1;
+    config.sampling_iterations = 2;
+    core::FitCheckpoint checkpoint;
+    core::FitOptions opts;
+    opts.checkpoint_out = &checkpoint;
+    Result<core::MlpResult> result =
+        core::MlpModel(config).Fit(harness.input, opts);
+    ASSERT_TRUE(result.ok());
+    path_ = TempPath("corrupt.snap");
+    ASSERT_TRUE(
+        SaveModelSnapshot(
+            path_, MakeModelSnapshot(harness.input, checkpoint, *result))
+            .ok());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 200u);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteBytes(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(CorruptionTest, FlippedPayloadByteFailsChecksum) {
+  std::vector<char> corrupt = bytes_;
+  corrupt[corrupt.size() / 2] ^= 0x5a;
+  WriteBytes(corrupt);
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(CorruptionTest, TruncatedFileRejected) {
+  std::vector<char> truncated(bytes_.begin(),
+                              bytes_.begin() + bytes_.size() / 3);
+  WriteBytes(truncated);
+  EXPECT_FALSE(LoadModelSnapshot(path_).ok());
+  // Even losing a single trailing byte must fail.
+  std::vector<char> short_one(bytes_.begin(), bytes_.end() - 1);
+  WriteBytes(short_one);
+  EXPECT_FALSE(LoadModelSnapshot(path_).ok());
+}
+
+TEST_F(CorruptionTest, ForeignMagicRejected) {
+  std::vector<char> foreign = bytes_;
+  foreign[0] = 'X';
+  WriteBytes(foreign);
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(CorruptionTest, FutureVersionRejected) {
+  std::vector<char> future = bytes_;
+  future[8] = static_cast<char>(kModelSnapshotVersion + 1);  // version u32
+  WriteBytes(future);
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelSnapshotTest, MissingFileIsNotFound) {
+  Result<ModelSnapshot> loaded =
+      LoadModelSnapshot(TempPath("does-not-exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+// ------------------------------------------------ warm-start determinism
+
+void ExpectInterruptedEqualsUninterrupted(const core::MlpConfig& config,
+                                          const FitHarness& harness,
+                                          int stop_after) {
+  Result<core::MlpResult> uninterrupted =
+      core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(uninterrupted.ok());
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions cold;
+  cold.max_total_sweeps = stop_after;
+  cold.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> partial =
+      core::MlpModel(config).Fit(harness.input, cold);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_FALSE(checkpoint.complete);
+
+  // Round-trip the checkpoint through the on-disk format so the test
+  // covers resume-from-file, not just resume-from-memory.
+  const std::string path = TempPath("warmstart.snap");
+  ASSERT_TRUE(
+      SaveModelSnapshot(
+          path, MakeModelSnapshot(harness.input, checkpoint, *partial))
+          .ok());
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  core::FitCheckpoint final_checkpoint;
+  core::FitOptions warm;
+  warm.warm_start = &loaded->checkpoint;
+  warm.checkpoint_out = &final_checkpoint;
+  Result<core::MlpResult> resumed =
+      core::MlpModel(config).Fit(harness.input, warm);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(final_checkpoint.complete);
+  ExpectIdenticalResults(*uninterrupted, *resumed);
+}
+
+TEST(WarmStartTest, SequentialResumeMatchesUninterrupted) {
+  synth::SyntheticWorld world = TestWorld(250, 42);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 3;
+  config.sampling_iterations = 4;
+  // Stop mid-burn-in and mid-sampling.
+  ExpectInterruptedEqualsUninterrupted(config, harness, 2);
+  ExpectInterruptedEqualsUninterrupted(config, harness, 5);
+}
+
+TEST(WarmStartTest, GibbsEmResumeMatchesUninterrupted) {
+  synth::SyntheticWorld world = TestWorld(200, 17);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 2;
+  config.gibbs_em_rounds = 1;
+  // Stop inside round 0's sampling and inside round 1 (after the M-step).
+  ExpectInterruptedEqualsUninterrupted(config, harness, 3);
+  ExpectInterruptedEqualsUninterrupted(config, harness, 5);
+}
+
+TEST(WarmStartTest, ShardedResumeMatchesUninterrupted) {
+  synth::SyntheticWorld world = TestWorld(250, 13);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 4;
+  config.sampling_iterations = 3;
+  config.num_threads = 3;
+  ExpectInterruptedEqualsUninterrupted(config, harness, 2);
+  // Deferred sync: the requested stop rolls forward to the next merge
+  // barrier, which is exactly where the uninterrupted chain merges too.
+  config.sync_every_sweeps = 2;
+  ExpectInterruptedEqualsUninterrupted(config, harness, 3);
+}
+
+TEST(WarmStartTest, FingerprintMismatchIsRejected) {
+  synth::SyntheticWorld world = TestWorld(150, 5);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 2;
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions cold;
+  cold.max_total_sweeps = 1;
+  cold.checkpoint_out = &checkpoint;
+  ASSERT_TRUE(core::MlpModel(config).Fit(harness.input, cold).ok());
+
+  core::FitOptions warm;
+  warm.warm_start = &checkpoint;
+  // Different seed — a different chain; resuming must be refused.
+  core::MlpConfig other_seed = config;
+  other_seed.seed = config.seed + 1;
+  Result<core::MlpResult> r1 =
+      core::MlpModel(other_seed).Fit(harness.input, warm);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_TRUE(r1.status().IsInvalidArgument());
+  // Different thread count — a different (equally valid) chain; refused.
+  core::MlpConfig other_threads = config;
+  other_threads.num_threads = 2;
+  Result<core::MlpResult> r2 =
+      core::MlpModel(other_threads).Fit(harness.input, warm);
+  ASSERT_FALSE(r2.ok());
+  // Different data — masked homes change the priors; refused.
+  core::ModelInput masked = harness.input;
+  for (size_t u = 0; u < masked.observed_home.size() && u < 10; ++u) {
+    masked.observed_home[u] = geo::kInvalidCity;
+  }
+  Result<core::MlpResult> r3 = core::MlpModel(config).Fit(masked, warm);
+  ASSERT_FALSE(r3.ok());
+}
+
+TEST(WarmStartTest, CompletedCheckpointResumesToSameResult) {
+  synth::SyntheticWorld world = TestWorld(150, 23);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 2;
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> first =
+      core::MlpModel(config).Fit(harness.input, opts);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(checkpoint.complete);
+
+  // Warm-starting a finished fit runs zero sweeps and rebuilds the same
+  // result — the serving reload path.
+  core::FitOptions warm;
+  warm.warm_start = &checkpoint;
+  Result<core::MlpResult> reloaded =
+      core::MlpModel(config).Fit(harness.input, warm);
+  ASSERT_TRUE(reloaded.ok());
+  ExpectIdenticalResults(*first, *reloaded);
+}
+
+// The MLP_WS lineup entry must be indistinguishable from MLP.
+TEST(WarmStartTest, WarmResumeLineupVariantMatchesMlp) {
+  synth::SyntheticWorld world = TestWorld(200, 31);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 2;
+  config.sampling_iterations = 3;
+
+  Result<eval::MethodOutput> direct =
+      eval::MakeMlpMethod(config)(harness.input);
+  ASSERT_TRUE(direct.ok());
+  Result<eval::MethodOutput> warm =
+      eval::MakeWarmResumeMlpMethod(config)(harness.input);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(direct->home, warm->home);
+  ASSERT_EQ(direct->profiles.size(), warm->profiles.size());
+  for (size_t u = 0; u < direct->profiles.size(); ++u) {
+    EXPECT_EQ(direct->profiles[u].entries(), warm->profiles[u].entries());
+  }
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace mlp

@@ -5,10 +5,23 @@
 //       as CSV under DIR.
 //   mlpctl stats --data DIR
 //       Print dataset statistics for a saved world.
-//   mlpctl eval --data DIR [--folds 5] [--method MLP]
+//   mlpctl eval --data DIR [--folds 5] [--method MLP] [--warm]
 //       K-fold home-prediction evaluation of one method (BaseU, BaseC,
-//       MLP_U, MLP_C, MLP) or of the full Table-2 lineup (--method all).
+//       MLP_U, MLP_C, MLP, or MLP_WS with --warm) or of the full Table-2
+//       lineup (--method all).
+//   mlpctl eval --data DIR --load MODEL.snap
+//       Serving-style evaluation of an already-fitted model snapshot: no
+//       refit, scores the stored home estimates against the dataset.
+//   mlpctl fit --data DIR --save MODEL.snap [--max-sweeps K]
+//       Fit MLP on the full dataset (every registered home observed) and
+//       persist the model — sufficient statistics, chain state, RNG
+//       streams and result — as a versioned snapshot. With --max-sweeps
+//       the fit checkpoints early and the snapshot is resumable.
+//   mlpctl resume --data DIR --load MODEL.snap [--save MODEL2.snap]
+//       Continue an interrupted fit from a snapshot to completion. The
+//       combined fit+resume reproduces an uninterrupted fit exactly.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,11 +30,13 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "core/model.h"
 #include "eval/cross_validation.h"
 #include "eval/methods.h"
 #include "eval/metrics.h"
 #include "graph/graph_stats.h"
 #include "io/dataset_io.h"
+#include "io/model_snapshot.h"
 #include "io/table_printer.h"
 #include "synth/world_generator.h"
 #include "text/venue_vocab.h"
@@ -66,7 +81,13 @@ int Usage() {
                "  mlpctl generate --users N [--seed S] --out DIR\n"
                "  mlpctl stats --data DIR\n"
                "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n"
-               "              [--threads N]\n");
+               "              [--threads N] [--warm]\n"
+               "  mlpctl eval --data DIR --load MODEL.snap\n"
+               "  mlpctl fit --data DIR --save MODEL.snap [--burn N]\n"
+               "             [--sampling N] [--threads N] [--seed S]\n"
+               "             [--em-rounds R] [--max-sweeps K]\n"
+               "  mlpctl resume --data DIR --load MODEL.snap\n"
+               "             [--save MODEL2.snap] [--max-sweeps K]\n");
   return 2;
 }
 
@@ -140,6 +161,192 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Full-supervision ModelInput over a loaded world (every registered home
+// observed) — the fit / resume / serving workflow, as opposed to the
+// masked per-fold inputs of CV evaluation.
+core::ModelInput FullInput(
+    const LoadedWorld& world,
+    const std::vector<std::vector<geo::CityId>>& referents) {
+  core::ModelInput input;
+  input.gazetteer = &world.gazetteer;
+  input.graph = &world.data->graph;
+  input.distances = world.distances.get();
+  input.venue_referents = &referents;
+  input.observed_home = eval::RegisteredHomes(world.data->graph);
+  return input;
+}
+
+int SweepsDone(const core::FitCheckpoint& checkpoint) {
+  int per_round = checkpoint.config.burn_in_iterations +
+                  checkpoint.config.sampling_iterations;
+  return checkpoint.progress.round * per_round +
+         checkpoint.progress.burn_in_done +
+         checkpoint.progress.sampling_done;
+}
+
+int TotalSweeps(const core::MlpConfig& config) {
+  return (std::max(0, config.gibbs_em_rounds) + 1) *
+         (config.burn_in_iterations + config.sampling_iterations);
+}
+
+void PrintFitSummary(const core::FitCheckpoint& checkpoint,
+                     const core::MlpResult& result) {
+  std::printf("%s after %d/%d sweeps: alpha=%.4f beta=%.6f threads=%d\n",
+              checkpoint.complete ? "fit complete" : "fit checkpointed",
+              SweepsDone(checkpoint), TotalSweeps(checkpoint.config),
+              result.alpha, result.beta, checkpoint.config.num_threads);
+}
+
+int SaveSnapshotTo(const std::string& path, const core::ModelInput& input,
+                   const core::FitCheckpoint& checkpoint,
+                   const core::MlpResult& result) {
+  io::ModelSnapshot snapshot = io::MakeModelSnapshot(input, checkpoint, result);
+  Status saved = io::SaveModelSnapshot(path, snapshot);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::error_code ec;
+  auto bytes = std::filesystem::file_size(path, ec);
+  std::printf("snapshot -> %s (%llu bytes)\n", path.c_str(),
+              ec ? 0ULL : static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+int CmdFit(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "data", "");
+  std::string save = FlagOr(flags, "save", "");
+  if (dir.empty() || save.empty()) return Usage();
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  auto referents = world->vocab.ReferentTable();
+  core::ModelInput input = FullInput(*world, referents);
+
+  core::MlpConfig config;
+  config.burn_in_iterations = std::atoi(FlagOr(flags, "burn", "10").c_str());
+  config.sampling_iterations =
+      std::atoi(FlagOr(flags, "sampling", "14").c_str());
+  config.num_threads = std::max(1, std::atoi(FlagOr(flags, "threads", "1").c_str()));
+  config.sync_every_sweeps =
+      std::max(1, std::atoi(FlagOr(flags, "sync-every", "1").c_str()));
+  config.gibbs_em_rounds = std::atoi(FlagOr(flags, "em-rounds", "0").c_str());
+  config.seed =
+      std::strtoull(FlagOr(flags, "seed", "1234").c_str(), nullptr, 10);
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
+  opts.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  PrintFitSummary(checkpoint, *result);
+  return SaveSnapshotTo(save, input, checkpoint, *result);
+}
+
+int CmdResume(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "data", "");
+  std::string load = FlagOr(flags, "load", "");
+  if (dir.empty() || load.empty()) return Usage();
+  Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(load);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  auto referents = world->vocab.ReferentTable();
+  core::ModelInput input = FullInput(*world, referents);
+
+  // The snapshot carries the config the fit was started with; resuming
+  // under anything else would change the sweep program, so no CLI
+  // overrides here.
+  core::MlpConfig config = snapshot->checkpoint.config;
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
+  opts.warm_start = &snapshot->checkpoint;
+  opts.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "resume failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  PrintFitSummary(checkpoint, *result);
+  std::string save = FlagOr(flags, "save", "");
+  if (!save.empty()) {
+    return SaveSnapshotTo(save, input, checkpoint, *result);
+  }
+  return 0;
+}
+
+// Serving-style evaluation of a persisted model: score the stored home
+// estimates against the dataset's registered homes, no refit.
+int EvalSnapshot(const LoadedWorld& world, const std::string& path) {
+  Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<geo::CityId> registered =
+      eval::RegisteredHomes(world.data->graph);
+  if (snapshot->result.home.size() != registered.size()) {
+    std::fprintf(stderr,
+                 "snapshot has %zu users but dataset has %zu — wrong data "
+                 "directory?\n",
+                 snapshot->result.home.size(), registered.size());
+    return 1;
+  }
+  // Same guard resume uses: the stored fingerprint must match the priors
+  // derived from this dataset, or the accuracy table would silently score
+  // the model against an unrelated world.
+  auto referents = world.vocab.ReferentTable();
+  core::ModelInput input = FullInput(world, referents);
+  std::vector<core::UserPrior> priors =
+      core::BuildPriors(input, snapshot->checkpoint.config);
+  if (core::FitFingerprint(input, snapshot->checkpoint.config, priors) !=
+      snapshot->checkpoint.fingerprint) {
+    std::fprintf(stderr,
+                 "snapshot does not match this dataset (fingerprint "
+                 "mismatch) — wrong --data directory?\n");
+    return 1;
+  }
+  std::vector<graph::UserId> labeled;
+  for (graph::UserId u = 0; u < static_cast<graph::UserId>(registered.size());
+       ++u) {
+    if (registered[u] != geo::kInvalidCity) labeled.push_back(u);
+  }
+  PrintFitSummary(snapshot->checkpoint, snapshot->result);
+  io::TablePrinter table({"method", "ACC@100", "ACC@20"});
+  table.AddRow(
+      {"snapshot",
+       StringPrintf("%.2f%%", eval::AccuracyWithin(snapshot->result.home,
+                                                   registered, labeled,
+                                                   *world.distances, 100.0) *
+                                  100.0),
+       StringPrintf("%.2f%%", eval::AccuracyWithin(snapshot->result.home,
+                                                   registered, labeled,
+                                                   *world.distances, 20.0) *
+                                  100.0)});
+  table.Print();
+  return 0;
+}
+
 int CmdEval(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   if (dir.empty()) return Usage();
@@ -147,6 +354,7 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   std::string method = FlagOr(flags, "method", "all");
   int threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
   if (threads < 1) threads = 1;
+  bool warm = FlagOr(flags, "warm", "0") != "0";
 
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
@@ -154,6 +362,8 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
                  world.status().ToString().c_str());
     return 1;
   }
+  std::string load = FlagOr(flags, "load", "");
+  if (!load.empty()) return EvalSnapshot(*world, load);
   auto referents = world->vocab.ReferentTable();
   std::vector<geo::CityId> registered =
       eval::RegisteredHomes(world->data->graph);
@@ -165,7 +375,8 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   config.burn_in_iterations = 10;
   config.sampling_iterations = 14;
   io::TablePrinter table({"method", "ACC@100", "ACC@20"});
-  for (const eval::NamedMethod& nm : eval::StandardLineup(config, threads)) {
+  for (const eval::NamedMethod& nm :
+       eval::StandardLineup(config, threads, warm)) {
     if (method != "all" && nm.name != method) continue;
     double acc100 = 0.0, acc20 = 0.0;
     for (int fold = 0; fold < folds; ++fold) {
@@ -203,5 +414,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "eval") return CmdEval(flags);
+  if (command == "fit") return CmdFit(flags);
+  if (command == "resume") return CmdResume(flags);
   return Usage();
 }
