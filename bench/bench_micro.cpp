@@ -143,10 +143,10 @@ void BM_GibbsSweep(benchmark::State& state) {
     return in;
   }();
   static core::MlpConfig model_config;
-  static auto priors = core::BuildPriors(input, model_config);
+  static auto space = core::CandidateSpace::Build(input, model_config);
   static auto random_models = core::RandomModels::Learn(*world.graph);
   static core::PowTable pow_table(world.distances.get(), -0.55);
-  core::GibbsSampler sampler(&input, &model_config, &priors, &random_models,
+  core::GibbsSampler sampler(&input, &model_config, &space, &random_models,
                              &pow_table);
   Pcg32 rng(23);
   sampler.Initialize(&rng);

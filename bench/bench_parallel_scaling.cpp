@@ -10,8 +10,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "core/pow_table.h"
 #include "core/priors.h"
@@ -67,7 +69,7 @@ int main() {
               input.graph->num_tweeting(), relationships_per_sweep);
 
   core::MlpConfig base_config;
-  std::vector<core::UserPrior> priors = core::BuildPriors(input, base_config);
+  core::CandidateSpace space = core::CandidateSpace::Build(input, base_config);
   core::RandomModels random_models = core::RandomModels::Learn(*input.graph);
   core::PowTable pow_table(input.distances, base_config.alpha,
                            base_config.distance_floor_miles);
@@ -76,11 +78,18 @@ int main() {
   const int timed_sweeps = 5;
   io::TablePrinter table(
       {"threads", "sweep ms", "relationships/sec", "speedup"});
+  bench::BenchJson json;
+  json.Set("bench", std::string("parallel_scaling"));
+  json.Set("users", static_cast<int64_t>(input.graph->num_users()));
+  json.Set("relationships_per_sweep",
+           static_cast<int64_t>(relationships_per_sweep));
+  json.Set("seed", static_cast<int64_t>(world_config.seed));
+  json.Set("timed_sweeps", static_cast<int64_t>(timed_sweeps));
   double base_rate = 0.0;
   for (int threads : {1, 2, 4, 8}) {
     core::MlpConfig config = base_config;
     config.num_threads = threads;
-    core::GibbsSampler sampler(&input, &config, &priors, &random_models,
+    core::GibbsSampler sampler(&input, &config, &space, &random_models,
                                &pow_table);
     engine::ParallelGibbsEngine engine(&sampler, &input, &config);
     Pcg32 rng(config.seed, 0x5bd1e995u);
@@ -100,8 +109,13 @@ int main() {
     table.AddRow({std::to_string(threads), StringPrintf("%.1f", sweep_ms),
                   StringPrintf("%.0f", rate),
                   StringPrintf("%.2fx", base_rate > 0 ? rate / base_rate : 0)});
+    const std::string prefix = "threads_" + std::to_string(threads);
+    json.Set(prefix + "_sweep_ms", sweep_ms);
+    json.Set(prefix + "_relationships_per_sec", rate);
+    json.Set(prefix + "_speedup", base_rate > 0 ? rate / base_rate : 0.0);
   }
   table.Print();
+  json.WriteTo(bench::BenchJsonPath("BENCH_parallel.json"));
   std::printf(
       "note: speedup requires real cores; inside a 1-core container the\n"
       "multi-thread rows only measure sharding + barrier overhead.\n");

@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -112,6 +113,62 @@ void PrintHeader(const std::string& experiment, const std::string& paper_ref,
       stats.num_users, stats.num_labeled, stats.num_following,
       stats.num_tweeting,
       static_cast<unsigned long long>(context.world().config.seed));
+}
+
+void BenchJson::Set(const std::string& key, double value) {
+  if (!std::isfinite(value)) {
+    // Bare nan/inf tokens are not JSON; null keeps the artifact parseable.
+    entries_.emplace_back(key, "null");
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  entries_.emplace_back(key, buffer);
+}
+
+void BenchJson::Set(const std::string& key, int64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::Set(const std::string& key, const std::string& value) {
+  // Keys/values are bench-controlled identifiers and numbers; escape the
+  // two characters that could break the quoting anyway.
+  std::string escaped;
+  for (char c : value) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  entries_.emplace_back(key, "\"" + escaped + "\"");
+}
+
+std::string BenchJson::ToString() const {
+  std::string out = "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string BenchJsonPath(const std::string& filename) {
+  const char* dir = std::getenv("MLP_BENCH_JSON_DIR");
+  return std::string(dir != nullptr && dir[0] != '\0' ? dir : ".") + "/" +
+         filename;
+}
+
+bool BenchJson::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = ToString();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace bench

@@ -1,8 +1,10 @@
 #ifndef MLP_BENCH_BENCH_UTIL_H_
 #define MLP_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/input.h"
@@ -69,6 +71,31 @@ class BenchContext {
 /// Prints the standard bench header (world size, seed, paper reference).
 void PrintHeader(const std::string& experiment, const std::string& paper_ref,
                  const BenchContext& context);
+
+/// Minimal flat-object JSON emitter for machine-readable bench artifacts
+/// (the BENCH_*.json files CI uploads so the perf trajectory is tracked
+/// PR-over-PR). Insertion order is preserved; numbers are emitted with
+/// enough precision to round-trip.
+class BenchJson {
+ public:
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, int64_t value);
+  void Set(const std::string& key, const std::string& value);
+
+  std::string ToString() const;
+  /// Writes the object to `path` (and logs the path). Returns false on I/O
+  /// failure — benches report it but don't abort, so a read-only CWD never
+  /// kills a perf run.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // key, literal
+};
+
+/// Resolves the artifact path for a BENCH_*.json file: MLP_BENCH_JSON_DIR
+/// when set, the current directory otherwise. One place for the CI
+/// artifact-dir convention, shared by every JSON-emitting bench.
+std::string BenchJsonPath(const std::string& filename);
 
 }  // namespace bench
 }  // namespace mlp

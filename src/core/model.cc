@@ -5,8 +5,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "core/candidate_space.h"
 #include "core/pair_distance.h"
-#include "core/priors.h"
 #include "core/pow_table.h"
 #include "core/random_models.h"
 #include "engine/parallel_gibbs.h"
@@ -22,10 +22,13 @@ constexpr double kAlphaMax = -0.05;
 }  // namespace
 
 uint64_t FitFingerprint(const ModelInput& input, const MlpConfig& config,
-                        const std::vector<UserPrior>& priors) {
+                        const CandidateSpace& space) {
   Fnv1a64 f;
-  // Config — every field, so a checkpoint can only resume the exact same
-  // sweep program (thread count and seed included).
+  // Config — every pre-pruning field, so a checkpoint can only resume the
+  // exact same sweep program (thread count and seed included). The pruning
+  // knobs stay out: they are sweep-time policy over this same universe,
+  // and the byte stream below must stay identical to the pre-pruning
+  // format so v1 snapshots keep verifying.
   f.Value<int32_t>(static_cast<int32_t>(config.source));
   f.Value(config.alpha);
   f.Value(config.beta);
@@ -66,11 +69,20 @@ uint64_t FitFingerprint(const ModelInput& input, const MlpConfig& config,
   }
   f.Span(input.observed_home);
 
-  // Derived priors — the candidate-set layout the arena is built over.
-  f.Value<uint64_t>(priors.size());
-  for (const UserPrior& prior : priors) {
-    f.Span(prior.candidates);
-    f.Span(prior.gamma);
+  // Derived candidate universe — the FULL per-user rows (never the pruned
+  // view), hashed with the same per-row length prefixes Fnv1a64::Span
+  // emitted when these lived in per-user vectors.
+  f.Value<uint64_t>(static_cast<uint64_t>(space.num_users()));
+  for (graph::UserId u = 0; u < space.num_users(); ++u) {
+    const uint64_t count = static_cast<uint64_t>(space.full_count(u));
+    f.Value<uint64_t>(count);
+    if (count > 0) {
+      f.Bytes(space.full_row(u), count * sizeof(geo::CityId));
+    }
+    f.Value<uint64_t>(count);
+    if (count > 0) {
+      f.Bytes(space.full_gamma_row(u), count * sizeof(double));
+    }
   }
   return f.hash;
 }
@@ -113,6 +125,12 @@ Status MlpModel::ValidateInput(const ModelInput& input) const {
     return Status::InvalidArgument(
         "num_threads and sync_every_sweeps must be >= 1");
   }
+  if (config_.prune_floor < 0.0 || config_.prune_floor >= 1.0) {
+    return Status::InvalidArgument("prune_floor must be in [0, 1)");
+  }
+  if (config_.prune_floor > 0.0 && config_.prune_patience < 1) {
+    return Status::InvalidArgument("prune_patience must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -125,13 +143,16 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
   MLP_RETURN_NOT_OK(ValidateInput(input));
   MlpConfig config = config_;  // mutable: (α, β) evolve during Gibbs-EM
 
-  std::vector<UserPrior> priors = BuildPriors(input, config);
-  // The fingerprint pass walks every edge and prior; skip it for plain
-  // fits that neither resume nor export a checkpoint.
+  // The single owner of the candidate universe for this fit: the sampler,
+  // the arena layout, the engine's shard costs and the snapshot all read
+  // through it (see src/core/README.md).
+  CandidateSpace space = CandidateSpace::Build(input, config);
+  // The fingerprint pass walks every edge and candidate row; skip it for
+  // plain fits that neither resume nor export a checkpoint.
   const bool needs_fingerprint =
       opts.warm_start != nullptr || opts.checkpoint_out != nullptr;
   const uint64_t fingerprint =
-      needs_fingerprint ? FitFingerprint(input, config_, priors) : 0;
+      needs_fingerprint ? FitFingerprint(input, config_, space) : 0;
 
   FitProgress progress;
   if (opts.warm_start != nullptr) {
@@ -168,15 +189,24 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
                      config.distance_floor_miles);
 
   Pcg32 rng(config.seed, 0x5bd1e995u);
-  GibbsSampler sampler(&input, &config, &priors, &random_models, &pow_table);
+  GibbsSampler sampler(&input, &config, &space, &random_models, &pow_table);
   // Sweep driver: sequential passthrough at num_threads == 1 (bit-identical
   // to running the sampler directly), sharded delta-merge sweeps otherwise.
-  engine::ParallelGibbsEngine engine(&sampler, &input, &config);
+  // The engine also owns the sweep-time pruning barrier (MaybePrune).
+  engine::ParallelGibbsEngine engine(&sampler, &input, &config, &space);
   if (opts.warm_start != nullptr) {
+    // The activation state must land before the sampler state: RestoreState
+    // validates every buffer against the space's (possibly compacted)
+    // active layout.
+    MLP_RETURN_NOT_OK(space.RestoreActivation(opts.warm_start->activation));
     MLP_RETURN_NOT_OK(sampler.RestoreState(opts.warm_start->sampler));
     rng.RestoreState(opts.warm_start->master_rng);
     MLP_RETURN_NOT_OK(
         engine.RestoreShardRngStates(opts.warm_start->shard_rngs));
+    // A pruned fit resharded by candidate-product cost after each
+    // compaction; re-deriving the shards from the restored space replays
+    // the exact partition the uninterrupted run was using at the cut.
+    engine.OnActivationRestored();
   } else {
     engine.Initialize(&rng);
   }
@@ -209,6 +239,10 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
       }
       engine.RunSweep(&rng);
       ++progress.burn_in_done;
+      // Adaptive candidate pruning fires only at merged burn-in barriers,
+      // so the sampled posterior (and the accumulators) always run over one
+      // fixed support. No-op unless config.prune_floor > 0.
+      engine.MaybePrune(sweeps_done());
     }
     if (budget_hit) break;
     engine.Synchronize();
@@ -279,6 +313,7 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
     sampler.SaveState(&ck->sampler);
     ck->master_rng = rng.SaveState();
     ck->shard_rngs = engine.ShardRngStates();
+    ck->activation = space.SaveActivation();
   }
 
   MlpResult result = sampler.BuildResult();

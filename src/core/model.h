@@ -6,9 +6,9 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "core/candidate_space.h"
 #include "core/input.h"
 #include "core/model_config.h"
-#include "core/priors.h"
 #include "core/sampler.h"
 
 namespace mlp {
@@ -39,6 +39,10 @@ struct FitCheckpoint {
   SamplerState sampler;
   Pcg32State master_rng;
   std::vector<Pcg32State> shard_rngs;  // one per thread; empty sequential
+  /// Candidate-space activation at the cut (sweep-time pruning state). An
+  /// empty mask means fully active — the state of every fit that never
+  /// pruned, and of every snapshot-v1 checkpoint.
+  CandidateActivation activation;
 };
 
 /// Optional controls for Fit.
@@ -57,12 +61,15 @@ struct FitOptions {
   FitCheckpoint* checkpoint_out = nullptr;
 };
 
-/// Identity hash binding a fit to its inputs: every MlpConfig field, the
-/// graph's users/edges, the observed-home mask and the derived per-user
-/// candidate sets + priors. Two calls agree iff a checkpoint from one fit
-/// can be resumed by the other.
+/// Identity hash binding a fit to its inputs: every pre-pruning MlpConfig
+/// field, the graph's users/edges, the observed-home mask and the derived
+/// FULL candidate universe (candidates + γ). Two calls agree iff a
+/// checkpoint from one fit can be resumed by the other. The sweep-time
+/// pruning knobs are deliberately excluded (see MlpConfig) — the byte
+/// stream is unchanged from the pre-CandidateSpace implementation, so v1
+/// snapshots keep verifying.
 uint64_t FitFingerprint(const ModelInput& input, const MlpConfig& config,
-                        const std::vector<UserPrior>& priors);
+                        const CandidateSpace& space);
 
 /// The multiple location profiling model — the paper's contribution.
 ///

@@ -24,7 +24,12 @@ enum class ObservationSource {
 /// gates warm-starting a checkpoint. Adding a field means bumping
 /// io::kModelSnapshotVersion and extending both functions — a field left
 /// out of the fingerprint would let a checkpoint silently resume under a
-/// different sweep program.
+/// different sweep program. Deliberate exception: the sweep-time pruning
+/// knobs (prune_floor, prune_patience) are serialized but NOT
+/// fingerprinted — they are a runtime policy over the same candidate
+/// universe, and excluding them is what lets v1 (pre-pruning) snapshots
+/// resume and lets a resume turn pruning on/off mid-program
+/// (mlpctl resume --prune_floor / --no_prune).
 struct MlpConfig {
   ObservationSource source = ObservationSource::kBoth;
 
@@ -96,6 +101,18 @@ struct MlpConfig {
   /// freshness of the thread-local counts for fewer barriers during
   /// burn-in. Ignored in the sequential path.
   int sync_every_sweeps = 1;
+
+  // ---- adaptive candidate pruning (core/candidate_space.h) ----
+  /// Posterior-mass floor for sweep-time candidate pruning: at every merged
+  /// sync barrier during burn-in, an active candidate whose posterior mass
+  /// (ϕ+γ)/(ϕ_total+Σγ) has stayed below this floor for `prune_patience`
+  /// consecutive barriers is deactivated and the arena compacted, shrinking
+  /// the blocked update's O(|cand_i|·|cand_j|) inner loop. 0 (the default)
+  /// disables pruning entirely — the fit is then bit-identical to the
+  /// pre-pruning code path.
+  double prune_floor = 0.0;
+  /// Consecutive below-floor barriers before a candidate is deactivated.
+  int prune_patience = 3;
 };
 
 }  // namespace core

@@ -9,12 +9,6 @@
 namespace mlp {
 namespace core {
 
-int UserPrior::IndexOf(geo::CityId city) const {
-  auto it = std::lower_bound(candidates.begin(), candidates.end(), city);
-  if (it == candidates.end() || *it != city) return -1;
-  return static_cast<int>(it - candidates.begin());
-}
-
 std::vector<UserPrior> BuildPriors(const ModelInput& input,
                                    const MlpConfig& config) {
   const graph::SocialGraph& graph = *input.graph;

@@ -1,6 +1,7 @@
 #ifndef MLP_CORE_PRIORS_H_
 #define MLP_CORE_PRIORS_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "core/input.h"
@@ -9,9 +10,26 @@
 namespace mlp {
 namespace core {
 
+/// THE candidate→slot lookup: binary search over one sorted candidate row.
+/// Every caller — UserPrior::IndexOf, CandidateSpace::SlotOf and the view
+/// accessors — delegates here, so there is exactly one implementation to
+/// keep correct (no per-file linear probes or re-rolled searches).
+inline int FindCandidateSlot(const geo::CityId* sorted, int count,
+                             geo::CityId city) {
+  const geo::CityId* end = sorted + count;
+  const geo::CityId* it = std::lower_bound(sorted, end, city);
+  if (it == end || *it != city) return -1;
+  return static_cast<int>(it - sorted);
+}
+
 /// Per-user prior derived in Sec. 4.3: the candidacy vector λ_i (which
 /// locations are candidates at all) and the Dirichlet parameter
 /// γ_i = η_i × Λ × γ + τ·λ_i restricted to those candidates.
+///
+/// This is the CONSTRUCTION-TIME artifact of BuildPriors. During a fit the
+/// single owner of the candidate universe is core::CandidateSpace
+/// (candidate_space.h), which flattens these rows into its CSR and hands
+/// out views; the sampler, arena and engine never touch UserPrior again.
 struct UserPrior {
   /// Candidate locations, sorted ascending by CityId.
   std::vector<geo::CityId> candidates;
@@ -21,8 +39,10 @@ struct UserPrior {
 
   int size() const { return static_cast<int>(candidates.size()); }
 
-  /// Index of `city` in `candidates`, or -1. Binary search.
-  int IndexOf(geo::CityId city) const;
+  /// Index of `city` in `candidates`, or -1. Delegates to FindCandidateSlot.
+  int IndexOf(geo::CityId city) const {
+    return FindCandidateSlot(candidates.data(), size(), city);
+  }
 };
 
 /// Builds candidacy vectors and priors for every user.

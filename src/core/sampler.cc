@@ -13,17 +13,17 @@ constexpr int kEdgeDistanceBuckets = 4000;  // 1-mile buckets, CONUS scale
 }
 
 GibbsSampler::GibbsSampler(const ModelInput* input, const MlpConfig* config,
-                           const std::vector<UserPrior>* priors,
+                           const CandidateSpace* space,
                            const RandomModels* random_models,
                            const PowTable* pow_table)
     : input_(input),
       config_(config),
-      priors_(priors),
+      space_(space),
       random_models_(random_models),
       pow_table_(pow_table) {
-  MLP_CHECK(input_ != nullptr && config_ != nullptr && priors_ != nullptr);
+  MLP_CHECK(input_ != nullptr && config_ != nullptr && space_ != nullptr);
   MLP_CHECK(random_models_ != nullptr && pow_table_ != nullptr);
-  MLP_CHECK(static_cast<int>(priors_->size()) == input_->num_users());
+  MLP_CHECK(space_->num_users() == input_->num_users());
 }
 
 double GibbsSampler::VenueProb(geo::CityId location, graph::VenueId venue,
@@ -34,29 +34,26 @@ double GibbsSampler::VenueProb(geo::CityId location, graph::VenueId venue,
          (stats.venue_counts_total[location] + delta * v_total);
 }
 
-int GibbsSampler::SampleCandidate(const std::vector<double>& weights,
+int GibbsSampler::SampleCandidate(const double* weights, int count,
                                   Pcg32* rng) const {
   double total = 0.0;
-  for (double w : weights) total += w;
+  for (int i = 0; i < count; ++i) total += weights[i];
   if (total <= 0.0) {
     // All weights underflowed; fall back to uniform.
-    return static_cast<int>(
-        rng->UniformU32(static_cast<uint32_t>(weights.size())));
+    return static_cast<int>(rng->UniformU32(static_cast<uint32_t>(count)));
   }
   double target = rng->NextDouble() * total;
   double acc = 0.0;
-  for (size_t i = 0; i < weights.size(); ++i) {
+  for (int i = 0; i < count; ++i) {
     acc += weights[i];
-    if (target < acc) return static_cast<int>(i);
+    if (target < acc) return i;
   }
-  return static_cast<int>(weights.size()) - 1;
+  return count - 1;
 }
 
 void GibbsSampler::PrepareBuffers() {
   const graph::SocialGraph& graph = *input_->graph;
-  layout_ = SuffStatsLayout::Build(*priors_, input_->num_locations(),
-                                   UseTweeting() ? input_->num_venues() : 0);
-  stats_.Reset(&layout_);
+  stats_.Reset(&space_->layout());
   if (UseFollowing()) {
     const int s_total = graph.num_following();
     edge_both_labeled_.assign(s_total, 0);
@@ -79,7 +76,8 @@ void GibbsSampler::Initialize(Pcg32* rng) {
   // Seed assignments from the priors (supervised users start mostly at
   // their observed home because of the γ boost), all location-based.
   auto draw_from_prior = [&](graph::UserId u) -> int {
-    return SampleCandidate((*priors_)[u].gamma, rng);
+    const CandidateView& view = space_->view(u);
+    return SampleCandidate(view.gamma, view.count, rng);
   };
 
   if (UseFollowing()) {
@@ -104,7 +102,7 @@ void GibbsSampler::Initialize(Pcg32* rng) {
     for (graph::EdgeId k = 0; k < k_total; ++k) {
       const graph::TweetingEdge& edge = graph.tweeting(k);
       z_idx_[k] = draw_from_prior(edge.user);
-      geo::CityId z = (*priors_)[edge.user].candidates[z_idx_[k]];
+      geo::CityId z = space_->view(edge.user).candidates[z_idx_[k]];
       stats_.phi_row(edge.user)[z_idx_[k]] += 1.0;
       stats_.phi_total[edge.user] += 1.0;
       stats_.venue_row(z)[edge.venue] += 1.0;
@@ -122,8 +120,8 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, SuffStatsArena* stats,
   const graph::FollowingEdge& edge = input_->graph->following(s);
   const graph::UserId i = edge.follower;
   const graph::UserId j = edge.friend_user;
-  const UserPrior& prior_i = (*priors_)[i];
-  const UserPrior& prior_j = (*priors_)[j];
+  const CandidateView& prior_i = space_->view(i);
+  const CandidateView& prior_j = space_->view(j);
   const int ni = prior_i.size();
   const int nj = prior_j.size();
   double* phi_i = stats->phi_row(i);
@@ -188,14 +186,14 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, SuffStatsArena* stats,
     for (int l1 = 0; l1 < ni; ++l1) {
       scratch->w[l1] = scratch->a[l1] * scratch->row[l1];
     }
-    x_idx_[s] = SampleCandidate(scratch->w, rng);
+    x_idx_[s] = SampleCandidate(scratch->w.data(), ni, rng);
     geo::CityId cx = prior_i.candidates[x_idx_[s]];
     scratch->w.resize(nj);
     for (int l2 = 0; l2 < nj; ++l2) {
       scratch->w[l2] =
           scratch->b[l2] * pow_table_->Get(cx, prior_j.candidates[l2]);
     }
-    y_idx_[s] = SampleCandidate(scratch->w, rng);
+    y_idx_[s] = SampleCandidate(scratch->w.data(), nj, rng);
     phi_i[x_idx_[s]] += 1.0;
     stats->phi_total[i] += 1.0;
     phi_j[y_idx_[s]] += 1.0;
@@ -203,8 +201,8 @@ void GibbsSampler::SampleFollowingEdge(graph::EdgeId s, SuffStatsArena* stats,
   } else {
     // Noise branch: assignments stay latent, drawn from the count-prior
     // posterior alone (distance term inactive — Eqs. 7–8 with μ=1).
-    x_idx_[s] = SampleCandidate(scratch->a, rng);
-    y_idx_[s] = SampleCandidate(scratch->b, rng);
+    x_idx_[s] = SampleCandidate(scratch->a.data(), ni, rng);
+    y_idx_[s] = SampleCandidate(scratch->b.data(), nj, rng);
   }
 }
 
@@ -213,7 +211,7 @@ void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
   const graph::TweetingEdge& edge = input_->graph->tweeting(k);
   const graph::UserId i = edge.user;
   const graph::VenueId v = edge.venue;
-  const UserPrior& prior_i = (*priors_)[i];
+  const CandidateView& prior_i = space_->view(i);
   double* phi_i = stats->phi_row(i);
 
   // --- remove ---
@@ -250,14 +248,14 @@ void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
 
   // --- sample z_{k,i} (Eq. 9) ---
   if (nu_[k] == 0) {
-    z_idx_[k] = SampleCandidate(scratch->w, rng);
+    z_idx_[k] = SampleCandidate(scratch->w.data(), ni, rng);
     geo::CityId z = prior_i.candidates[z_idx_[k]];
     phi_i[z_idx_[k]] += 1.0;
     stats->phi_total[i] += 1.0;
     stats->venue_row(z)[v] += 1.0;
     stats->venue_counts_total[z] += 1.0;
   } else {
-    z_idx_[k] = SampleCandidate(scratch->a, rng);
+    z_idx_[k] = SampleCandidate(scratch->a.data(), ni, rng);
   }
 }
 
@@ -291,7 +289,7 @@ void GibbsSampler::RecordSweepTrace() {
 
 void GibbsSampler::ResetAccumulators() {
   accumulated_samples_ = 0;
-  acc_phi_.assign(layout_.phi_size(), 0.0);
+  acc_phi_.assign(space_->layout().phi_size(), 0.0);
   acc_x_.assign(x_idx_.size(), {});
   acc_y_.assign(y_idx_.size(), {});
   acc_mu_.assign(mu_.size(), 0.0);
@@ -305,7 +303,7 @@ void GibbsSampler::AccumulateSample() {
   // Both buffers share the arena layout: one flat fused pass.
   const double* phi = stats_.phi.data();
   double* acc = acc_phi_.data();
-  const int64_t n = layout_.phi_size();
+  const int64_t n = space_->layout().phi_size();
   for (int64_t idx = 0; idx < n; ++idx) acc[idx] += phi[idx];
 
   const graph::SocialGraph& graph = *input_->graph;
@@ -313,15 +311,15 @@ void GibbsSampler::AccumulateSample() {
     const graph::FollowingEdge& edge =
         graph.following(static_cast<graph::EdgeId>(s));
     if (acc_x_[s].empty()) {
-      acc_x_[s].assign((*priors_)[edge.follower].size(), 0.0f);
-      acc_y_[s].assign((*priors_)[edge.friend_user].size(), 0.0f);
+      acc_x_[s].assign(space_->view(edge.follower).size(), 0.0f);
+      acc_y_[s].assign(space_->view(edge.friend_user).size(), 0.0f);
     }
     acc_x_[s][x_idx_[s]] += 1.0f;
     acc_y_[s][y_idx_[s]] += 1.0f;
     acc_mu_[s] += mu_[s];
     if (mu_[s] == 0 && edge_both_labeled_[s]) {
-      geo::CityId cx = (*priors_)[edge.follower].candidates[x_idx_[s]];
-      geo::CityId cy = (*priors_)[edge.friend_user].candidates[y_idx_[s]];
+      geo::CityId cx = space_->view(edge.follower).candidates[x_idx_[s]];
+      geo::CityId cy = space_->view(edge.friend_user).candidates[y_idx_[s]];
       double d = input_->distances->miles(cx, cy);
       int bucket = static_cast<int>(d);
       if (bucket >= 0 && bucket < kEdgeDistanceBuckets) {
@@ -333,7 +331,7 @@ void GibbsSampler::AccumulateSample() {
     const graph::TweetingEdge& edge =
         graph.tweeting(static_cast<graph::EdgeId>(k));
     if (acc_z_[k].empty()) {
-      acc_z_[k].assign((*priors_)[edge.user].size(), 0.0f);
+      acc_z_[k].assign(space_->view(edge.user).size(), 0.0f);
     }
     acc_z_[k][z_idx_[k]] += 1.0f;
     acc_nu_[k] += nu_[k];
@@ -343,7 +341,7 @@ void GibbsSampler::AccumulateSample() {
 std::vector<geo::CityId> GibbsSampler::CurrentHomes() const {
   std::vector<geo::CityId> homes(input_->num_users(), geo::kInvalidCity);
   for (graph::UserId u = 0; u < input_->num_users(); ++u) {
-    const UserPrior& prior = (*priors_)[u];
+    const CandidateView& prior = space_->view(u);
     const double* phi_u = stats_.phi_row(u);
     double best = -1.0;
     for (int l = 0; l < prior.size(); ++l) {
@@ -379,9 +377,9 @@ MlpResult GibbsSampler::BuildResult() const {
   result.profiles.reserve(num_users);
   result.home.resize(num_users);
   for (graph::UserId u = 0; u < num_users; ++u) {
-    const UserPrior& prior = (*priors_)[u];
+    const CandidateView& prior = space_->view(u);
     const double* phi_u = stats_.phi_row(u);
-    const double* acc_u = acc_phi_.data() + layout_.phi_offset[u];
+    const double* acc_u = acc_phi_.data() + space_->layout().phi_offset[u];
     std::vector<std::pair<geo::CityId, double>> entries;
     entries.reserve(prior.size());
     double denom = 0.0;
@@ -408,8 +406,8 @@ MlpResult GibbsSampler::BuildResult() const {
     const graph::FollowingEdge& edge =
         graph.following(static_cast<graph::EdgeId>(s));
     FollowingExplanation& ex = result.following[s];
-    const UserPrior& prior_i = (*priors_)[edge.follower];
-    const UserPrior& prior_j = (*priors_)[edge.friend_user];
+    const CandidateView& prior_i = space_->view(edge.follower);
+    const CandidateView& prior_j = space_->view(edge.friend_user);
     if (accumulated_samples_ > 0 && !acc_x_[s].empty()) {
       int bx = static_cast<int>(std::max_element(acc_x_[s].begin(),
                                                  acc_x_[s].end()) -
@@ -432,7 +430,7 @@ MlpResult GibbsSampler::BuildResult() const {
     const graph::TweetingEdge& edge =
         graph.tweeting(static_cast<graph::EdgeId>(k));
     TweetExplanation& ex = result.tweeting[k];
-    const UserPrior& prior_i = (*priors_)[edge.user];
+    const CandidateView& prior_i = space_->view(edge.user);
     if (accumulated_samples_ > 0 && !acc_z_[k].empty()) {
       int bz = static_cast<int>(std::max_element(acc_z_[k].begin(),
                                                  acc_z_[k].end()) -
@@ -449,6 +447,76 @@ MlpResult GibbsSampler::BuildResult() const {
   result.beta = config_->beta;
   result.home_change_per_sweep = home_change_per_sweep_;
   return result;
+}
+
+void GibbsSampler::ApplyCompaction(const CompactionPlan& plan) {
+  const SuffStatsLayout& layout = space_->layout();  // already compacted
+  const int num_users = input_->num_users();
+  MLP_CHECK(static_cast<int>(plan.old_offset.size()) == num_users + 1);
+  MLP_CHECK(plan.remap.size() == stats_.phi.size());
+
+  // Move ϕ into the compacted layout. Pruned slots are guaranteed empty by
+  // CandidateSpace::PruneStep, so no mass is lost and phi_total stands.
+  std::vector<double> new_phi(layout.phi_size(), 0.0);
+  for (graph::UserId u = 0; u < num_users; ++u) {
+    const int64_t old_off = plan.old_offset[u];
+    const int old_n = static_cast<int>(plan.old_offset[u + 1] - old_off);
+    const int64_t new_off = layout.phi_offset[u];
+    for (int l = 0; l < old_n; ++l) {
+      const int32_t nl = plan.remap[old_off + l];
+      if (nl >= 0) {
+        new_phi[new_off + nl] = stats_.phi[old_off + l];
+      } else {
+        MLP_CHECK(stats_.phi[old_off + l] == 0.0);
+      }
+    }
+  }
+  stats_.phi = std::move(new_phi);
+  // phi_total and the venue buffers are slot-independent: untouched.
+
+  // Latent (noise-flagged) assignments may reference a pruned slot; they
+  // carry no counts, so redirect them to the user's best surviving slot.
+  // Deterministic: argmax of (ϕ+γ) over the new row, lowest slot on ties.
+  std::vector<int32_t> fallback(num_users, -1);
+  auto fallback_slot = [&](graph::UserId u) -> int32_t {
+    if (fallback[u] >= 0) return fallback[u];
+    const CandidateView& view = space_->view(u);
+    const double* phi_u = stats_.phi_row(u);
+    int best_l = 0;
+    double best = -1.0;
+    for (int l = 0; l < view.size(); ++l) {
+      const double w = phi_u[l] + view.gamma[l];
+      if (w > best) {
+        best = w;
+        best_l = l;
+      }
+    }
+    fallback[u] = best_l;
+    return best_l;
+  };
+  auto remap_idx = [&](graph::UserId u, int32_t old_local) -> int32_t {
+    const int32_t nl = plan.remap[plan.old_offset[u] + old_local];
+    return nl >= 0 ? nl : fallback_slot(u);
+  };
+
+  const graph::SocialGraph& graph = *input_->graph;
+  for (size_t s = 0; s < mu_.size(); ++s) {
+    const graph::FollowingEdge& edge =
+        graph.following(static_cast<graph::EdgeId>(s));
+    x_idx_[s] = remap_idx(edge.follower, x_idx_[s]);
+    y_idx_[s] = remap_idx(edge.friend_user, y_idx_[s]);
+  }
+  for (size_t k = 0; k < nu_.size(); ++k) {
+    const graph::TweetingEdge& edge =
+        graph.tweeting(static_cast<graph::EdgeId>(k));
+    z_idx_[k] = remap_idx(edge.user, z_idx_[k]);
+  }
+
+  // The averaged posterior must be over one fixed support: compaction
+  // happens at burn-in barriers, and any partially filled accumulators
+  // (possible only for a Gibbs-EM round already consumed by the M-step)
+  // are re-zeroed onto the new layout.
+  ResetAccumulators();
 }
 
 void GibbsSampler::SaveState(SamplerState* state) const {
@@ -478,10 +546,10 @@ Status GibbsSampler::RestoreState(const SamplerState& state) {
   const size_t s_total = UseFollowing() ? graph.num_following() : 0;
   const size_t k_total = UseTweeting() ? graph.num_tweeting() : 0;
 
-  // Validate against a freshly built layout before mutating anything.
-  SuffStatsLayout layout = SuffStatsLayout::Build(
-      *priors_, input_->num_locations(),
-      UseTweeting() ? input_->num_venues() : 0);
+  // Validate against the space's active layout before mutating anything —
+  // the caller restores the space's activation state first, so this is the
+  // exact layout the saved arena was laid out over.
+  const SuffStatsLayout& layout = space_->layout();
   if (state.mu.size() != s_total || state.x_idx.size() != s_total ||
       state.y_idx.size() != s_total || state.nu.size() != k_total ||
       state.z_idx.size() != k_total) {
@@ -495,7 +563,7 @@ Status GibbsSampler::RestoreState(const SamplerState& state) {
           static_cast<size_t>(layout.num_venues > 0 ? layout.num_locations
                                                     : 0)) {
     return Status::InvalidArgument(
-        "sampler state does not match the arena layout of these priors");
+        "sampler state does not match the candidate space's active layout");
   }
   if (state.acc_edge_distance.size() !=
       static_cast<size_t>(kEdgeDistanceBuckets)) {
@@ -512,16 +580,17 @@ Status GibbsSampler::RestoreState(const SamplerState& state) {
     const graph::FollowingEdge& edge =
         graph.following(static_cast<graph::EdgeId>(s));
     if (state.x_idx[s] < 0 ||
-        state.x_idx[s] >= (*priors_)[edge.follower].size() ||
+        state.x_idx[s] >= space_->view(edge.follower).size() ||
         state.y_idx[s] < 0 ||
-        state.y_idx[s] >= (*priors_)[edge.friend_user].size()) {
+        state.y_idx[s] >= space_->view(edge.friend_user).size()) {
       return Status::InvalidArgument("assignment index out of candidate range");
     }
   }
   for (size_t k = 0; k < k_total; ++k) {
     const graph::TweetingEdge& edge =
         graph.tweeting(static_cast<graph::EdgeId>(k));
-    if (state.z_idx[k] < 0 || state.z_idx[k] >= (*priors_)[edge.user].size()) {
+    if (state.z_idx[k] < 0 ||
+        state.z_idx[k] >= space_->view(edge.user).size()) {
       return Status::InvalidArgument("assignment index out of candidate range");
     }
   }

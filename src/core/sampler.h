@@ -5,11 +5,11 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/candidate_space.h"
 #include "core/input.h"
 #include "core/location_profile.h"
 #include "core/model_config.h"
 #include "core/pow_table.h"
-#include "core/priors.h"
 #include "core/random_models.h"
 #include "core/suff_stats.h"
 
@@ -48,7 +48,9 @@ struct MlpResult {
 
 /// Reusable buffers for the per-edge sampling kernels. Each caller (the
 /// sequential sweep, or one engine worker per shard) owns one, which makes
-/// the kernels re-entrant without per-edge allocation.
+/// the kernels re-entrant without per-edge allocation — every categorical
+/// draw samples straight out of these buffers (SampleCandidate takes a raw
+/// span), so the hot path never constructs a weights vector.
 struct GibbsScratch {
   std::vector<double> w;    // categorical weights under construction
   std::vector<double> a;    // θ̃ weights of the follower / tweeter
@@ -58,10 +60,11 @@ struct GibbsScratch {
 
 /// The sampler's complete restorable state: chain assignments, arena
 /// values, post-burn-in accumulators and the convergence trace. Everything
-/// here plus (input, config, priors) reproduces the chain exactly —
-/// io/model_snapshot.{h,cc} serializes it for checkpoint / warm-start.
-/// Buffers derivable from the input (edge_both_labeled_, scratch, the
-/// layout prefix itself) are rebuilt by RestoreState instead of stored.
+/// here plus (input, config, candidate space incl. its activation state)
+/// reproduces the chain exactly — io/model_snapshot.{h,cc} serializes it
+/// for checkpoint / warm-start. Buffers derivable from the input
+/// (edge_both_labeled_, scratch, the layout prefix itself) are rebuilt by
+/// RestoreState instead of stored.
 struct SamplerState {
   // Chain state.
   std::vector<uint8_t> mu;
@@ -95,6 +98,12 @@ struct SamplerState {
 /// relationships only) and φ_{l,v} (per-location venue counts), both held
 /// in a flat SuffStatsArena.
 ///
+/// The candidate universe (which locations a user can be assigned to, and
+/// their γ priors) is owned by core::CandidateSpace; the sampler holds
+/// views into its ACTIVE layout and follows compactions via
+/// ApplyCompaction. Assignment indices (x/y/z) are always local slots of
+/// the active row of their user.
+///
 /// One sweep resamples, for each following relationship, μ_s (Eq. 5) then
 /// x_{s,i} (Eq. 7) then y_{s,j} (Eq. 8), and for each tweeting relationship
 /// ν_k (Eq. 6) then z_{k,i} (Eq. 9). Assignments of noise-flagged
@@ -102,10 +111,11 @@ struct SamplerState {
 /// (Eq. 4) where their generation terms carry exponent (1-μ).
 class GibbsSampler {
  public:
-  /// All pointers must outlive the sampler.
+  /// All pointers must outlive the sampler. `space` must be built over the
+  /// same (input, config).
   GibbsSampler(const ModelInput* input, const MlpConfig* config,
-               const std::vector<UserPrior>* priors,
-               const RandomModels* random_models, const PowTable* pow_table);
+               const CandidateSpace* space, const RandomModels* random_models,
+               const PowTable* pow_table);
 
   /// Draws initial assignments from the priors and builds the counts.
   void Initialize(Pcg32* rng);
@@ -141,10 +151,22 @@ class GibbsSampler {
   void SaveState(SamplerState* state) const;
 
   /// Restores a state captured by SaveState on a sampler built over the
-  /// same (input, config, priors). Replaces Initialize — no RNG draws.
-  /// Fails (without touching *this) when any piece of the state disagrees
-  /// with the current layout or graph shape.
+  /// same (input, config, candidate space) — the space's activation state
+  /// must already be restored, since every size below is validated against
+  /// its active layout. Replaces Initialize — no RNG draws. Fails (without
+  /// touching *this) when any piece of the state disagrees with the current
+  /// layout or graph shape.
   Status RestoreState(const SamplerState& state);
+
+  // ---- candidate-space compaction (used by engine::ParallelGibbsEngine) --
+
+  /// Follows a CandidateSpace::PruneStep compaction: moves the arena's ϕ
+  /// values into the compacted layout (pruned slots are guaranteed to hold
+  /// zero counts), remaps every assignment index, redirects latent
+  /// (noise-flagged) assignments whose slot was pruned to the user's best
+  /// surviving slot, and resets the post-burn-in accumulators to the new
+  /// layout. Only call at a merged sync barrier.
+  void ApplyCompaction(const CompactionPlan& plan);
 
   // ---- engine API (used by engine::ParallelGibbsEngine) ----
   //
@@ -164,8 +186,12 @@ class GibbsSampler {
   void SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
                           GibbsScratch* scratch, Pcg32* rng);
 
-  /// The shared arena shape (valid after Initialize or RestoreState).
-  const SuffStatsLayout& layout() const { return layout_; }
+  /// The shared arena shape — a reference into the candidate space, which
+  /// owns it (stable address across compactions).
+  const SuffStatsLayout& layout() const { return space_->layout(); }
+
+  /// The candidate space this sampler reads through.
+  const CandidateSpace& space() const { return *space_; }
 
   /// The global sufficient statistics.
   const SuffStatsArena& stats() const { return stats_; }
@@ -184,30 +210,32 @@ class GibbsSampler {
   }
 
  private:
-  /// Builds the arena layout and the input-derived per-edge buffers —
+  /// Builds the arena binding and the input-derived per-edge buffers —
   /// everything Initialize sets up that does not consume randomness.
   void PrepareBuffers();
 
   double VenueProb(geo::CityId location, graph::VenueId venue,
                    const SuffStatsArena& stats) const;
 
-  int SampleCandidate(const std::vector<double>& weights, Pcg32* rng) const;
+  /// Categorical draw over `weights[0..count)`. Raw span so the hot path
+  /// (and prior rows living inside CandidateSpace) sample without building
+  /// a vector per draw; callers reuse GibbsScratch buffers.
+  int SampleCandidate(const double* weights, int count, Pcg32* rng) const;
 
   const ModelInput* input_;
   const MlpConfig* config_;
-  const std::vector<UserPrior>* priors_;
+  const CandidateSpace* space_;
   const RandomModels* random_models_;
   const PowTable* pow_table_;
 
   // Chain state.
   std::vector<uint8_t> mu_;      // per following edge
-  std::vector<int32_t> x_idx_;   // candidate index in follower's prior
-  std::vector<int32_t> y_idx_;   // candidate index in friend's prior
+  std::vector<int32_t> x_idx_;   // active slot in follower's candidate row
+  std::vector<int32_t> y_idx_;   // active slot in friend's candidate row
   std::vector<uint8_t> nu_;      // per tweeting edge
-  std::vector<int32_t> z_idx_;   // candidate index in tweeter's prior
+  std::vector<int32_t> z_idx_;   // active slot in tweeter's candidate row
 
-  // Global sufficient statistics.
-  SuffStatsLayout layout_;
+  // Global sufficient statistics (bound to space_->layout()).
   SuffStatsArena stats_;
 
   // Post-burn-in accumulators. acc_phi_ shares the arena layout.

@@ -10,10 +10,15 @@ namespace mlp {
 namespace core {
 
 /// Shape of the sufficient-statistics arena: a CSR-style prefix over every
-/// user's candidate list plus the dense venue-count rectangle. Built once
-/// per fit from the priors and shared (by pointer) between the sampler's
-/// global counts, the engine's per-shard replicas and its snapshot — the
-/// shape never changes during a fit, only the values do.
+/// user's ACTIVE candidate list plus the dense venue-count rectangle.
+/// Owned by core::CandidateSpace (the single owner of the candidate
+/// universe) and shared by pointer between the sampler's global counts,
+/// the engine's per-shard replicas and its snapshot. Sweep-time pruning
+/// compacts the offsets IN PLACE at sync barriers — the object's address
+/// is stable for the whole fit, so bound arenas stay bound; their value
+/// buffers are rebuilt by GibbsSampler::ApplyCompaction /
+/// SuffStatsArena::CopyValuesFrom. Consumers that cache derived sizes
+/// should key them on CandidateSpace::layout_version().
 struct SuffStatsLayout {
   /// phi_offset[u] .. phi_offset[u+1] is user u's slice of the flat ϕ
   /// buffer, one slot per candidate location (size num_users + 1).

@@ -3,34 +3,32 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
+
 namespace mlp {
 namespace engine {
 
-std::vector<Shard> GraphSharder::Partition(const graph::SocialGraph& graph,
-                                           int num_shards) {
+namespace {
+
+/// Shared deterministic greedy LPT over per-user costs. Unit costs are
+/// small integers, and double sums of small integers are exact, so routing
+/// the legacy overload through here reproduces its historical partitions
+/// bit for bit.
+std::vector<Shard> LptPartition(const graph::SocialGraph& graph, int num_shards,
+                                const std::vector<double>& cost) {
   const int k = std::max(1, num_shards);
   const int num_users = graph.num_users();
 
-  // Owned-edge count per user, straight off the edge lists (no adjacency
-  // index needed, so unfinalized graphs shard too).
-  std::vector<std::size_t> owned(num_users, 0);
-  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
-    ++owned[graph.following(s).follower];
-  }
-  for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
-    ++owned[graph.tweeting(t).user];
-  }
-
-  // Greedy LPT: heaviest user first, into the lightest shard.
+  // Greedy LPT: costliest user first, into the lightest shard.
   std::vector<graph::UserId> order(num_users);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
-                   [&owned](graph::UserId a, graph::UserId b) {
-                     return owned[a] > owned[b];
+                   [&cost](graph::UserId a, graph::UserId b) {
+                     return cost[a] > cost[b];
                    });
 
   std::vector<Shard> shards(k);
-  std::vector<std::size_t> load(k, 0);
+  std::vector<double> load(k, 0.0);
   std::vector<int> shard_of_user(num_users, 0);
   for (graph::UserId u : order) {
     int lightest = 0;
@@ -39,7 +37,7 @@ std::vector<Shard> GraphSharder::Partition(const graph::SocialGraph& graph,
     }
     shard_of_user[u] = lightest;
     shards[lightest].users.push_back(u);
-    load[lightest] += owned[u];
+    load[lightest] += cost[u];
   }
   for (Shard& shard : shards) {
     std::sort(shard.users.begin(), shard.users.end());
@@ -54,6 +52,29 @@ std::vector<Shard> GraphSharder::Partition(const graph::SocialGraph& graph,
     shards[shard_of_user[graph.tweeting(t).user]].tweeting.push_back(t);
   }
   return shards;
+}
+
+}  // namespace
+
+std::vector<Shard> GraphSharder::Partition(const graph::SocialGraph& graph,
+                                           int num_shards) {
+  // Owned-edge count per user, straight off the edge lists (no adjacency
+  // index needed, so unfinalized graphs shard too).
+  std::vector<double> owned(graph.num_users(), 0.0);
+  for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+    owned[graph.following(s).follower] += 1.0;
+  }
+  for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
+    owned[graph.tweeting(t).user] += 1.0;
+  }
+  return LptPartition(graph, num_shards, owned);
+}
+
+std::vector<Shard> GraphSharder::Partition(
+    const graph::SocialGraph& graph, int num_shards,
+    const std::vector<double>& user_cost) {
+  MLP_CHECK(static_cast<int>(user_cost.size()) == graph.num_users());
+  return LptPartition(graph, num_shards, user_cost);
 }
 
 }  // namespace engine

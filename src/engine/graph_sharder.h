@@ -20,14 +20,15 @@ struct Shard {
   std::vector<graph::UserId> users;       // ascending
   std::vector<graph::EdgeId> following;   // owned following edges, ascending
   std::vector<graph::EdgeId> tweeting;    // owned tweeting edges, ascending
-  /// Sampling work this shard carries per sweep.
+  /// Sampling work this shard carries per sweep (edge count; see the
+  /// cost-weighted Partition overload for the candidate-product measure).
   std::size_t Weight() const { return following.size() + tweeting.size(); }
 };
 
 /// Partitions users (and thereby their owned relationships) into
 /// `num_shards` shards with near-equal per-sweep work.
 ///
-/// Deterministic greedy LPT: users sorted by owned-edge count descending
+/// Deterministic greedy LPT: users sorted by per-user cost descending
 /// (ties by id ascending) are assigned one at a time to the currently
 /// lightest shard (ties by shard index). LPT guarantees the heaviest shard
 /// carries at most 4/3 of the optimal makespan, so shard weights stay well
@@ -36,9 +37,21 @@ class GraphSharder {
  public:
   /// Every user appears in exactly one shard and every relationship in
   /// exactly one shard's edge list. `num_shards` is clamped to >= 1; with
-  /// fewer users than shards the tail shards are empty.
+  /// fewer users than shards the tail shards are empty. Cost measure:
+  /// owned-edge count per user (every edge weighs 1).
   static std::vector<Shard> Partition(const graph::SocialGraph& graph,
                                       int num_shards);
+
+  /// Cost-weighted variant: `user_cost[u]` is user u's total per-sweep
+  /// sampling cost (e.g. Σ over owned following edges of
+  /// |cand_follower|·|cand_friend| plus Σ over owned tweets of |cand| —
+  /// the blocked update's real inner-loop work). Used by
+  /// ParallelGibbsEngine to re-estimate the LPT balance after candidate
+  /// pruning shrinks some users' inner loops much more than others'.
+  /// Same determinism guarantees as the unit-cost overload.
+  static std::vector<Shard> Partition(const graph::SocialGraph& graph,
+                                      int num_shards,
+                                      const std::vector<double>& user_cost);
 };
 
 }  // namespace engine

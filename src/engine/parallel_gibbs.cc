@@ -9,10 +9,12 @@ namespace engine {
 
 ParallelGibbsEngine::ParallelGibbsEngine(core::GibbsSampler* sampler,
                                          const core::ModelInput* input,
-                                         const core::MlpConfig* config)
+                                         const core::MlpConfig* config,
+                                         core::CandidateSpace* space)
     : sampler_(sampler),
       input_(input),
       config_(config),
+      space_(space),
       num_threads_(std::max(1, config->num_threads)),
       sync_every_(std::max(1, config->sync_every_sweeps)) {
   MLP_CHECK(sampler_ != nullptr && input_ != nullptr && config_ != nullptr);
@@ -94,6 +96,55 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
   pool_->Wait();
 
   if (++sweeps_since_sync_ >= sync_every_) MergeReplicas();
+}
+
+void ParallelGibbsEngine::ReshardByCost() {
+  // Per-user cost = the blocked update's real inner-loop work over the
+  // ACTIVE candidate rows: |cand_i|·|cand_j| per owned following edge,
+  // |cand_i| per owned tweet. Recomputed from scratch each compaction —
+  // pruning is rare (a handful of barriers per fit) and the pass is linear
+  // in the edge lists.
+  const graph::SocialGraph& graph = *input_->graph;
+  std::vector<double> cost(graph.num_users(), 0.0);
+  if (sampler_->UseFollowing()) {
+    for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+      const graph::FollowingEdge& edge = graph.following(s);
+      cost[edge.follower] +=
+          static_cast<double>(space_->view(edge.follower).size()) *
+          static_cast<double>(space_->view(edge.friend_user).size());
+    }
+  }
+  if (sampler_->UseTweeting()) {
+    for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
+      const graph::TweetingEdge& edge = graph.tweeting(t);
+      cost[edge.user] += static_cast<double>(space_->view(edge.user).size());
+    }
+  }
+  shards_ = GraphSharder::Partition(graph, num_threads_, cost);
+}
+
+bool ParallelGibbsEngine::MaybePrune(int32_t sweep_index) {
+  if (space_ == nullptr || config_->prune_floor <= 0.0) return false;
+  if (!IsSynchronized()) return false;
+  core::CompactionPlan plan;
+  if (!space_->PruneStep(sampler_->stats(), *config_, sweep_index, &plan)) {
+    return false;
+  }
+  sampler_->ApplyCompaction(plan);
+  if (num_threads_ > 1) {
+    // Replicas and the snapshot are stale in both shape and values; the
+    // next sweep's refresh re-binds them to the compacted arena. Shard
+    // costs changed non-uniformly, so re-balance.
+    replicas_fresh_ = false;
+    ReshardByCost();
+  }
+  return true;
+}
+
+void ParallelGibbsEngine::OnActivationRestored() {
+  if (space_ != nullptr && space_->layout_version() > 0 && num_threads_ > 1) {
+    ReshardByCost();
+  }
 }
 
 void ParallelGibbsEngine::Synchronize() {

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/candidate_space.h"
 #include "core/input.h"
 #include "core/model_config.h"
 #include "core/sampler.h"
@@ -44,10 +45,13 @@ namespace engine {
 class ParallelGibbsEngine {
  public:
   /// All pointers must outlive the engine. The sampler must belong to the
-  /// same input/config.
+  /// same input/config. `space` is the candidate space the sampler reads
+  /// through — required for sweep-time pruning (MaybePrune) and shard-cost
+  /// re-estimation; pass nullptr only for drivers that never prune.
   ParallelGibbsEngine(core::GibbsSampler* sampler,
                       const core::ModelInput* input,
-                      const core::MlpConfig* config);
+                      const core::MlpConfig* config,
+                      core::CandidateSpace* space = nullptr);
 
   /// Sequential initialization (identical for every thread count).
   void Initialize(Pcg32* rng);
@@ -67,6 +71,25 @@ class ParallelGibbsEngine {
     return num_threads_ <= 1 || !replicas_fresh_ || sweeps_since_sync_ == 0;
   }
 
+  // ---- adaptive candidate pruning (used by core::MlpModel::Fit) ----
+
+  /// One sweep-time pruning barrier: no-op unless pruning is configured
+  /// (config->prune_floor > 0, a space was given) and the engine is at a
+  /// merged sync barrier. Otherwise runs CandidateSpace::PruneStep against
+  /// the global counts; if anything was deactivated, drives the sampler's
+  /// arena/chain compaction, re-estimates per-user costs (active candidate
+  /// products) and re-partitions the shards so the LPT balance tracks the
+  /// shrinking inner loops. Returns true iff a compaction happened.
+  /// Deterministic: pure function of the merged counts, so fixed
+  /// (seed, num_threads) still replays the exact same chain.
+  bool MaybePrune(int32_t sweep_index);
+
+  /// After a warm start restored the space's activation state: re-derives
+  /// the cost-based shards a pruned fit was running with at the checkpoint
+  /// cut (no-op when nothing was ever pruned, keeping the unit-cost
+  /// partition — and its bit-exact-resume guarantee — untouched).
+  void OnActivationRestored();
+
   // ---- checkpoint / warm-start API (used by core::MlpModel) ----
 
   /// Exact positions of the per-shard RNG streams (empty when sequential).
@@ -84,10 +107,14 @@ class ParallelGibbsEngine {
  private:
   void RefreshReplicas();
   void MergeReplicas();
+  /// Re-partitions shards with per-user costs = Σ active-candidate products
+  /// of owned relationships. Parallel path only.
+  void ReshardByCost();
 
   core::GibbsSampler* sampler_;
   const core::ModelInput* input_;
   const core::MlpConfig* config_;
+  core::CandidateSpace* space_;
   int num_threads_;
   int sync_every_;
 

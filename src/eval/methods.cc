@@ -39,6 +39,11 @@ Method MakeWarmResumeMlpMethod(core::MlpConfig config) {
   };
 }
 
+Method MakePrunedMlpMethod(core::MlpConfig config) {
+  if (config.prune_floor <= 0.0) config.prune_floor = kDefaultPruneFloor;
+  return MakeMlpMethod(config);
+}
+
 Method MakeBaseUMethod() {
   return [](const core::ModelInput& input) -> Result<MethodOutput> {
     baselines::BaseU base;
@@ -81,14 +86,25 @@ std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config) {
 
 std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config,
                                         int num_threads,
-                                        bool include_warm_resume) {
+                                        bool include_warm_resume,
+                                        bool include_pruned) {
   core::MlpConfig config = mlp_config;
   config.num_threads = num_threads < 1 ? 1 : num_threads;
-  std::vector<NamedMethod> lineup = StandardLineup(config);
+  // The base MLP rows stay unpruned regardless of the caller's prune
+  // fields so the paper lineup is untouched; MLP_PR isolates the pruning
+  // policy's accuracy cost (the BENCH_pruning.json "AAD delta").
+  core::MlpConfig unpruned = config;
+  unpruned.prune_floor = 0.0;
+  std::vector<NamedMethod> lineup = StandardLineup(unpruned);
   if (include_warm_resume) {
-    core::MlpConfig full_config = config;
+    core::MlpConfig full_config = unpruned;
     full_config.source = core::ObservationSource::kBoth;
     lineup.push_back({"MLP_WS", MakeWarmResumeMlpMethod(full_config)});
+  }
+  if (include_pruned) {
+    core::MlpConfig pruned = config;
+    pruned.source = core::ObservationSource::kBoth;
+    lineup.push_back({"MLP_PR", MakePrunedMlpMethod(pruned)});
   }
   return lineup;
 }

@@ -38,6 +38,18 @@ Method MakeBaseCMethod();
 /// self-check that snapshot/resume inference is lossless.
 Method MakeWarmResumeMlpMethod(core::MlpConfig config);
 
+/// Posterior-mass floor MakePrunedMlpMethod falls back to when the caller's
+/// config leaves pruning off. Matches the bench_candidate_pruning default:
+/// large enough to deactivate the dead tail of high-degree users' candidate
+/// rows (≥1.5x sweep-time speedup on the power-law bench world), small
+/// enough to keep Table-2 accuracy within 1% of unpruned.
+inline constexpr double kDefaultPruneFloor = 0.003;
+
+/// MLP with adaptive sweep-time candidate pruning enabled
+/// (core::CandidateSpace) — the "MLP_PR" lineup row. Uses the config's own
+/// prune_floor/prune_patience when set, kDefaultPruneFloor otherwise.
+Method MakePrunedMlpMethod(core::MlpConfig config);
+
 /// Name → method for the standard lineup, in the paper's column order:
 /// BaseU, BaseC, MLP_U, MLP_C, MLP.
 struct NamedMethod {
@@ -50,10 +62,12 @@ std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config);
 /// variants run `num_threads` sharded workers (mlpctl's `--threads`).
 /// The baselines are unaffected. With `include_warm_resume` the lineup
 /// gains MLP_WS, the checkpoint-and-resume variant of MLP (mlpctl's
-/// `--warm`).
+/// `--warm`); with `include_pruned` it gains MLP_PR, the sweep-time
+/// candidate-pruned variant (mlpctl's `--prune`).
 std::vector<NamedMethod> StandardLineup(const core::MlpConfig& mlp_config,
                                         int num_threads,
-                                        bool include_warm_resume = false);
+                                        bool include_warm_resume = false,
+                                        bool include_pruned = false);
 
 }  // namespace eval
 }  // namespace mlp

@@ -1,12 +1,14 @@
 #include "io/model_snapshot.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <type_traits>
 #include <utility>
 
 #include "common/hash.h"
-#include "core/priors.h"
+#include "common/logging.h"
+#include "core/candidate_space.h"
 
 namespace mlp {
 namespace io {
@@ -86,7 +88,7 @@ class BinaryReader {
   bool failed_ = false;
 };
 
-void PutConfig(BinaryWriter* w, const core::MlpConfig& c) {
+void PutConfig(BinaryWriter* w, const core::MlpConfig& c, uint32_t version) {
   w->Put<int32_t>(static_cast<int32_t>(c.source));
   w->Put(c.alpha);
   w->Put(c.beta);
@@ -109,9 +111,13 @@ void PutConfig(BinaryWriter* w, const core::MlpConfig& c) {
   w->Put(c.distance_floor_miles);
   w->Put<int32_t>(c.num_threads);
   w->Put<int32_t>(c.sync_every_sweeps);
+  if (version >= 2) {
+    w->Put(c.prune_floor);
+    w->Put<int32_t>(c.prune_patience);
+  }
 }
 
-core::MlpConfig GetConfig(BinaryReader* r) {
+core::MlpConfig GetConfig(BinaryReader* r, uint32_t version) {
   core::MlpConfig c;
   c.source = static_cast<core::ObservationSource>(r->Get<int32_t>());
   c.alpha = r->Get<double>();
@@ -135,7 +141,38 @@ core::MlpConfig GetConfig(BinaryReader* r) {
   c.distance_floor_miles = r->Get<double>();
   c.num_threads = r->Get<int32_t>();
   c.sync_every_sweeps = r->Get<int32_t>();
+  if (version >= 2) {
+    c.prune_floor = r->Get<double>();
+    c.prune_patience = r->Get<int32_t>();
+  }
+  // version 1 predates pruning: the defaults (prune_floor = 0, i.e. off)
+  // already describe the program that fit ran.
   return c;
+}
+
+void PutActivation(BinaryWriter* w, const core::CandidateActivation& a) {
+  w->PutVector(a.active);
+  w->PutVector(a.cold_streak);
+  w->Put(a.layout_version);
+  w->Put<uint64_t>(a.history.size());
+  for (const core::PruneEvent& event : a.history) {
+    w->Put(event.sweep);
+    w->Put(event.deactivated);
+  }
+}
+
+void GetActivation(BinaryReader* r, core::CandidateActivation* a) {
+  r->GetVector(&a->active);
+  r->GetVector(&a->cold_streak);
+  a->layout_version = r->Get<uint64_t>();
+  uint64_t history = r->Get<uint64_t>();
+  a->history.clear();
+  for (uint64_t i = 0; i < history && !r->failed(); ++i) {
+    core::PruneEvent event;
+    event.sweep = r->Get<int32_t>();
+    event.deactivated = r->Get<int32_t>();
+    a->history.push_back(event);
+  }
 }
 
 void PutRng(BinaryWriter* w, const Pcg32State& s) {
@@ -282,34 +319,41 @@ ModelSnapshot MakeModelSnapshot(const core::ModelInput& input,
   ModelSnapshot snapshot;
   snapshot.checkpoint = checkpoint;
   snapshot.result = result;
-  // The candidate layout is a pure function of (input, config) — rebuild
-  // it through the same SuffStatsLayout::Build the sampler's arena was
-  // allocated with, so the stored offsets can never drift from the flat ϕ
+  // The candidate universe is a pure function of (input, config); the
+  // stored layout is its ACTIVE view under the checkpoint's activation
+  // mask — rebuilt through the same CandidateSpace the sampler's arena was
+  // laid out over, so the stored offsets can never drift from the flat ϕ
   // buffer they index.
-  std::vector<core::UserPrior> priors =
-      core::BuildPriors(input, checkpoint.config);
-  const int num_venues =
-      checkpoint.config.source == core::ObservationSource::kFollowingOnly
-          ? 0
-          : input.num_venues();
-  core::SuffStatsLayout layout =
-      core::SuffStatsLayout::Build(priors, input.num_locations(), num_venues);
-  snapshot.phi_offset = std::move(layout.phi_offset);
-  snapshot.candidates.reserve(snapshot.phi_offset.back());
-  for (const core::UserPrior& prior : priors) {
-    snapshot.candidates.insert(snapshot.candidates.end(),
-                               prior.candidates.begin(),
-                               prior.candidates.end());
+  core::CandidateSpace space =
+      core::CandidateSpace::Build(input, checkpoint.config);
+  // The checkpoint came out of a fit over this same universe; a mismatch
+  // means the caller paired a checkpoint with foreign data, and writing it
+  // out would persist a corrupt-by-construction file (fully-active layout
+  // indexing compacted-size arena buffers) — fail loudly here instead.
+  Status restored = space.RestoreActivation(checkpoint.activation);
+  MLP_CHECK_MSG(restored.ok(),
+                "checkpoint activation does not match the candidate universe "
+                "derived from this input/config");
+  const core::SuffStatsLayout& layout = space.layout();
+  snapshot.phi_offset = layout.phi_offset;
+  snapshot.candidates.reserve(layout.phi_size());
+  for (graph::UserId u = 0; u < space.num_users(); ++u) {
+    const core::CandidateView& view = space.view(u);
+    snapshot.candidates.insert(snapshot.candidates.end(), view.candidates,
+                               view.candidates + view.size());
   }
   snapshot.num_locations = layout.num_locations;
   snapshot.num_venues = layout.num_venues;
   return snapshot;
 }
 
-Status SaveModelSnapshot(const std::string& path,
-                         const ModelSnapshot& snapshot) {
+namespace {
+
+Status SaveModelSnapshotAtVersion(const std::string& path,
+                                  const ModelSnapshot& snapshot,
+                                  uint32_t version) {
   BinaryWriter payload;
-  PutConfig(&payload, snapshot.checkpoint.config);
+  PutConfig(&payload, snapshot.checkpoint.config, version);
   payload.Put(snapshot.checkpoint.fingerprint);
   payload.Put<uint8_t>(snapshot.checkpoint.complete);
   payload.Put(snapshot.checkpoint.progress.round);
@@ -323,19 +367,32 @@ Status SaveModelSnapshot(const std::string& path,
   for (const Pcg32State& s : snapshot.checkpoint.shard_rngs) {
     PutRng(&payload, s);
   }
+  if (version >= 2) {
+    PutActivation(&payload, snapshot.checkpoint.activation);
+  }
   payload.PutVector(snapshot.phi_offset);
   payload.PutVector(snapshot.candidates);
   payload.Put(snapshot.num_locations);
   payload.Put(snapshot.num_venues);
   PutResult(&payload, snapshot.result);
 
+  // v2 folds the (un-checksummed, pre-checksum) header words into the
+  // checksum: a flipped version byte must read as corruption, not as an
+  // instruction to reinterpret the payload under the other version's
+  // layout. v1 keeps its historical payload-only checksum.
+  Fnv1a64 checksum;
+  if (version >= 2) {
+    checksum.Value<uint32_t>(version);
+    checksum.Value<uint32_t>(kEndianMarker);
+  }
+  checksum.Bytes(payload.buffer().data(), payload.buffer().size());
+
   BinaryWriter header;
   for (char c : kMagic) header.Put(c);
-  header.Put(kModelSnapshotVersion);
+  header.Put(version);
   header.Put(kEndianMarker);
   header.Put<uint64_t>(payload.buffer().size());
-  header.Put<uint64_t>(
-      HashFnv1a64(payload.buffer().data(), payload.buffer().size()));
+  header.Put<uint64_t>(checksum.hash);
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
@@ -350,6 +407,36 @@ Status SaveModelSnapshot(const std::string& path,
     return Status::IOError("short write to " + path);
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveModelSnapshot(const std::string& path,
+                         const ModelSnapshot& snapshot) {
+  return SaveModelSnapshotAtVersion(path, snapshot, kModelSnapshotVersion);
+}
+
+Status SaveModelSnapshotV1(const std::string& path,
+                           const ModelSnapshot& snapshot) {
+  const core::CandidateActivation& a = snapshot.checkpoint.activation;
+  const bool mask_trivial =
+      a.active.empty() ||
+      std::all_of(a.active.begin(), a.active.end(),
+                  [](uint8_t v) { return v != 0; });
+  const bool streaks_trivial =
+      a.cold_streak.empty() ||
+      std::all_of(a.cold_streak.begin(), a.cold_streak.end(),
+                  [](int32_t c) { return c == 0; });
+  if (!mask_trivial || !streaks_trivial || a.layout_version != 0 ||
+      !a.history.empty() || snapshot.checkpoint.config.prune_floor != 0.0 ||
+      snapshot.checkpoint.config.prune_patience !=
+          core::MlpConfig().prune_patience) {
+    return Status::InvalidArgument(
+        "snapshot carries candidate-pruning state the v1 format cannot "
+        "express — save as v" +
+        std::to_string(kModelSnapshotVersion) + " instead");
+  }
+  return SaveModelSnapshotAtVersion(path, snapshot, 1);
 }
 
 Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
@@ -379,10 +466,11 @@ Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
     return Status::InvalidArgument("not an MLP model snapshot: " + path);
   }
   const uint32_t version = header.Get<uint32_t>();
-  if (version != kModelSnapshotVersion) {
+  if (version < kMinModelSnapshotVersion || version > kModelSnapshotVersion) {
     return Status::InvalidArgument(
         "snapshot version " + std::to_string(version) +
-        " unsupported (this build reads version " +
+        " unsupported (this build reads versions " +
+        std::to_string(kMinModelSnapshotVersion) + ".." +
         std::to_string(kModelSnapshotVersion) + "): " + path);
   }
   if (header.Get<uint32_t>() != kEndianMarker) {
@@ -395,13 +483,19 @@ Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
     return Status::IOError("snapshot payload size mismatch: " + path);
   }
   const uint8_t* payload_bytes = bytes.data() + kHeaderSize;
-  if (HashFnv1a64(payload_bytes, payload_size) != checksum) {
+  Fnv1a64 expected;
+  if (version >= 2) {
+    expected.Value<uint32_t>(version);
+    expected.Value<uint32_t>(kEndianMarker);
+  }
+  expected.Bytes(payload_bytes, payload_size);
+  if (expected.hash != checksum) {
     return Status::IOError("snapshot checksum mismatch (corrupt): " + path);
   }
 
   BinaryReader r(payload_bytes, payload_size);
   ModelSnapshot snapshot;
-  snapshot.checkpoint.config = GetConfig(&r);
+  snapshot.checkpoint.config = GetConfig(&r, version);
   snapshot.checkpoint.fingerprint = r.Get<uint64_t>();
   snapshot.checkpoint.complete = r.Get<uint8_t>() != 0;
   snapshot.checkpoint.progress.round = r.Get<int32_t>();
@@ -415,6 +509,11 @@ Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
   for (uint64_t k = 0; k < num_shard_rngs && !r.failed(); ++k) {
     snapshot.checkpoint.shard_rngs.push_back(GetRng(&r));
   }
+  if (version >= 2) {
+    GetActivation(&r, &snapshot.checkpoint.activation);
+  }
+  // version 1: activation stays default-constructed — empty mask, i.e.
+  // fully active, which is exactly the state those fits ran with.
   r.GetVector(&snapshot.phi_offset);
   r.GetVector(&snapshot.candidates);
   snapshot.num_locations = r.Get<int32_t>();

@@ -15,22 +15,33 @@ namespace mlp {
 namespace io {
 
 /// On-disk format version. Bump on ANY layout change (including new
-/// MlpConfig fields) — readers reject every version they were not built
-/// for. See src/io/README.md for the byte layout.
-inline constexpr uint32_t kModelSnapshotVersion = 1;
+/// MlpConfig fields) and extend the reader's back-compat path — the reader
+/// accepts every version back to kMinModelSnapshotVersion and rejects the
+/// rest. See src/io/README.md for the byte layout.
+///
+/// v2 (candidate pruning): appends the MlpConfig pruning knobs
+/// (prune_floor, prune_patience) to the config section and the
+/// CandidateActivation (active mask over the full candidate universe,
+/// per-slot cold streaks, layout_version, compaction history) after the
+/// shard RNG streams. A v1 file loads with an empty mask — i.e. fully
+/// active — and resumes bit-exactly under --no_prune.
+inline constexpr uint32_t kModelSnapshotVersion = 2;
+inline constexpr uint32_t kMinModelSnapshotVersion = 1;
 
 /// A fitted (or mid-fit) MLP model, persistable and resumable:
 ///   - the FitCheckpoint (config, fingerprint, program position, sampler
-///     chain + arena + accumulators, every RNG stream),
-///   - the candidate-set layout the arena is indexed by (offsets +
+///     chain + arena + accumulators, every RNG stream, and the candidate
+///     activation state),
+///   - the ACTIVE candidate-set layout the arena is indexed by (offsets +
 ///     candidate city ids, so a serving layer can interpret ϕ without
-///     rebuilding priors),
+///     rebuilding priors — after pruning this is the compacted layout),
 ///   - the MlpResult built when the snapshot was cut.
 struct ModelSnapshot {
   core::FitCheckpoint checkpoint;
 
   /// CSR prefix over users, size num_users + 1; candidates holds the
-  /// concatenated candidate CityIds in the same order as the arena's ϕ.
+  /// concatenated ACTIVE candidate CityIds in the same order as the
+  /// arena's ϕ (identical to the full universe until a prune fires).
   std::vector<int64_t> phi_offset;
   std::vector<geo::CityId> candidates;
   int32_t num_locations = 0;
@@ -50,6 +61,14 @@ ModelSnapshot MakeModelSnapshot(const core::ModelInput& input,
 /// checksum, so readers can't consume a torn snapshot.
 Status SaveModelSnapshot(const std::string& path,
                          const ModelSnapshot& snapshot);
+
+/// Writes the legacy v1 (pre-pruning) byte layout — for downgrade interop
+/// with older readers and for the v1→v2 compatibility tests. Fails with
+/// InvalidArgument when the snapshot carries pruning state a v1 file
+/// cannot express (a non-trivial activation mask or non-default prune
+/// config fields).
+Status SaveModelSnapshotV1(const std::string& path,
+                           const ModelSnapshot& snapshot);
 
 /// Reads a snapshot back. Fails with InvalidArgument on a foreign or
 /// version-mismatched file and IOError on a corrupt one (bad checksum,

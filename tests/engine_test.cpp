@@ -3,6 +3,7 @@
 // num_threads == 1 is bit-identical to the sequential sampler, and
 // num_threads == N replays the exact same chain run over run.
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <vector>
@@ -10,9 +11,9 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/candidate_space.h"
 #include "core/model.h"
 #include "core/pow_table.h"
-#include "core/priors.h"
 #include "core/random_models.h"
 #include "core/sampler.h"
 #include "engine/graph_sharder.h"
@@ -67,6 +68,22 @@ synth::SyntheticWorld TestWorld(int num_users, uint64_t seed) {
   EXPECT_TRUE(world.ok());
   return std::move(*world);
 }
+
+struct FitHarness {
+  explicit FitHarness(const synth::SyntheticWorld& world) {
+    input.gazetteer = world.gazetteer.get();
+    input.graph = world.graph.get();
+    input.distances = world.distances.get();
+    referents = world.vocab->ReferentTable();
+    input.venue_referents = &referents;
+    input.observed_home.reserve(world.graph->num_users());
+    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+      input.observed_home.push_back(world.graph->user(u).registered_city);
+    }
+  }
+  core::ModelInput input;
+  std::vector<std::vector<geo::CityId>> referents;
+};
 
 TEST(GraphSharderTest, EveryUserAndEdgeAssignedExactlyOnce) {
   synth::SyntheticWorld world = TestWorld(400, 7);
@@ -126,23 +143,92 @@ TEST(GraphSharderTest, ShardWeightsWithinTwiceBalanced) {
   }
 }
 
-// --------------------------------------------------- parallel Gibbs engine
+// Max shard cost relative to the mean shard cost under a given per-user
+// cost vector.
+double MaxOverMeanCost(const std::vector<Shard>& shards,
+                       const std::vector<double>& cost) {
+  double total = 0.0, worst = 0.0;
+  for (const Shard& shard : shards) {
+    double load = 0.0;
+    for (graph::UserId u : shard.users) load += cost[u];
+    total += load;
+    worst = std::max(worst, load);
+  }
+  return total > 0.0 ? worst / (total / shards.size()) : 1.0;
+}
 
-struct FitHarness {
-  explicit FitHarness(const synth::SyntheticWorld& world) {
-    input.gazetteer = world.gazetteer.get();
-    input.graph = world.graph.get();
-    input.distances = world.distances.get();
-    referents = world.vocab->ReferentTable();
-    input.venue_referents = &referents;
-    input.observed_home.reserve(world.graph->num_users());
-    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
-      input.observed_home.push_back(world.graph->user(u).registered_city);
+// Cost-weighted LPT under a power-law degree distribution: per-user costs
+// spanning several orders of magnitude (celebrity users dominate, like the
+// blocked update's |cand_i|·|cand_j| inner loops) must still land within
+// 1.25x of the mean shard cost.
+TEST(GraphSharderTest, PowerLawCostsBalanceWithin125PercentOfMean) {
+  synth::SyntheticWorld world = TestWorld(600, 19);
+  const graph::SocialGraph& graph = *world.graph;
+  // Deterministic Zipf-ish synthetic cost: heavy head, long tail.
+  std::vector<double> cost(graph.num_users());
+  for (graph::UserId u = 0; u < graph.num_users(); ++u) {
+    cost[u] = 1.0 + 50000.0 / static_cast<double>(1 + u);
+  }
+  for (int k : {2, 4, 8}) {
+    std::vector<Shard> shards = GraphSharder::Partition(graph, k, cost);
+    EXPECT_LE(MaxOverMeanCost(shards, cost), 1.25)
+        << "power-law shard imbalance at k=" << k;
+  }
+}
+
+// Mid-fit cost re-estimation: after a prune shrinks some users' candidate
+// rows (and thereby their sampling cost) far more than others', the shards
+// derived from the OLD costs can be arbitrarily unbalanced — re-running
+// the sharder over the new costs must restore <= 1.25x of the mean.
+TEST(GraphSharderTest, CostReestimationAfterPruneRebalances) {
+  synth::SyntheticWorld world = TestWorld(500, 23);
+  FitHarness harness(world);
+  const graph::SocialGraph& graph = *harness.input.graph;
+  core::MlpConfig config;
+  core::CandidateSpace space =
+      core::CandidateSpace::Build(harness.input, config);
+
+  auto edge_costs = [&](const core::CandidateSpace& s) {
+    std::vector<double> cost(graph.num_users(), 0.0);
+    for (graph::EdgeId e = 0; e < graph.num_following(); ++e) {
+      const graph::FollowingEdge& edge = graph.following(e);
+      cost[edge.follower] +=
+          static_cast<double>(s.view(edge.follower).size()) *
+          static_cast<double>(s.view(edge.friend_user).size());
+    }
+    for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
+      cost[graph.tweeting(t).user] +=
+          static_cast<double>(s.view(graph.tweeting(t).user).size());
+    }
+    return cost;
+  };
+
+  const int k = 4;
+  std::vector<double> cost_before = edge_costs(space);
+  std::vector<Shard> shards = GraphSharder::Partition(graph, k, cost_before);
+  EXPECT_LE(MaxOverMeanCost(shards, cost_before), 1.25);
+
+  // Simulate a mid-fit prune: keep only the first two candidates of every
+  // even-id user (their inner loops collapse; odd users keep full rows).
+  core::CandidateActivation activation;
+  activation.active.assign(space.full_size(), 1);
+  activation.layout_version = 1;
+  int64_t slot = 0;
+  for (graph::UserId u = 0; u < space.num_users(); ++u) {
+    for (int l = 0; l < space.full_count(u); ++l, ++slot) {
+      if (u % 2 == 0 && l >= 2) activation.active[slot] = 0;
     }
   }
-  core::ModelInput input;
-  std::vector<std::vector<geo::CityId>> referents;
-};
+  ASSERT_TRUE(space.RestoreActivation(activation).ok());
+  std::vector<double> cost_after = edge_costs(space);
+
+  // Re-estimated shards track the shrunken inner loops.
+  std::vector<Shard> resharded = GraphSharder::Partition(graph, k, cost_after);
+  EXPECT_LE(MaxOverMeanCost(resharded, cost_after), 1.25)
+      << "re-estimated LPT lost balance after the prune";
+}
+
+// --------------------------------------------------- parallel Gibbs engine
 
 void ExpectIdenticalResults(const core::MlpResult& a,
                             const core::MlpResult& b) {
@@ -174,14 +260,14 @@ TEST(ParallelGibbsEngineTest, OneThreadBitIdenticalToSequentialSampler) {
   config.burn_in_iterations = 3;
   config.sampling_iterations = 4;
 
-  std::vector<core::UserPrior> priors = core::BuildPriors(harness.input, config);
+  core::CandidateSpace space = core::CandidateSpace::Build(harness.input, config);
   core::RandomModels random_models =
       core::RandomModels::Learn(*harness.input.graph);
   core::PowTable pow_table(harness.input.distances, config.alpha,
                            config.distance_floor_miles);
 
   auto run = [&](bool through_engine) {
-    core::GibbsSampler sampler(&harness.input, &config, &priors,
+    core::GibbsSampler sampler(&harness.input, &config, &space,
                                &random_models, &pow_table);
     ParallelGibbsEngine engine(&sampler, &harness.input, &config);
     Pcg32 rng(config.seed, 0x5bd1e995u);
@@ -250,12 +336,12 @@ TEST(ParallelGibbsEngineTest, MergedCountsStayConsistent) {
   core::MlpConfig config;
   config.num_threads = 4;
 
-  std::vector<core::UserPrior> priors = core::BuildPriors(harness.input, config);
+  core::CandidateSpace space = core::CandidateSpace::Build(harness.input, config);
   core::RandomModels random_models =
       core::RandomModels::Learn(*harness.input.graph);
   core::PowTable pow_table(harness.input.distances, config.alpha,
                            config.distance_floor_miles);
-  core::GibbsSampler sampler(&harness.input, &config, &priors, &random_models,
+  core::GibbsSampler sampler(&harness.input, &config, &space, &random_models,
                              &pow_table);
   ParallelGibbsEngine engine(&sampler, &harness.input, &config);
   Pcg32 rng(config.seed, 0x5bd1e995u);

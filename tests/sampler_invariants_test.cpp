@@ -59,10 +59,10 @@ class SweepCountTest : public SamplerInvariantsTest,
 TEST_P(SweepCountTest, HomesAlwaysValidCandidatesAfterSweeps) {
   ModelInput input = MakeInput();
   MlpConfig config;
-  std::vector<UserPrior> priors = BuildPriors(input, config);
+  CandidateSpace space = CandidateSpace::Build(input, config);
   RandomModels models = RandomModels::Learn(*input.graph);
   PowTable pow_table(input.distances, config.alpha);
-  GibbsSampler sampler(&input, &config, &priors, &models, &pow_table);
+  GibbsSampler sampler(&input, &config, &space, &models, &pow_table);
   Pcg32 rng(5);
   sampler.Initialize(&rng);
   for (int i = 0; i < GetParam(); ++i) sampler.RunSweep(&rng);
@@ -70,7 +70,7 @@ TEST_P(SweepCountTest, HomesAlwaysValidCandidatesAfterSweeps) {
   std::vector<geo::CityId> homes = sampler.CurrentHomes();
   ASSERT_EQ(static_cast<int>(homes.size()), input.num_users());
   for (graph::UserId u = 0; u < input.num_users(); ++u) {
-    EXPECT_GE(priors[u].IndexOf(homes[u]), 0)
+    EXPECT_GE(space.SlotOf(u, homes[u]), 0)
         << "home of user " << u << " not in its candidate set";
   }
 }
@@ -85,17 +85,17 @@ TEST_F(SamplerInvariantsTest, ResultExplanationsStayInCandidateSets) {
   MlpModel model(config);
   Result<MlpResult> result = model.Fit(input);
   ASSERT_TRUE(result.ok());
-  std::vector<UserPrior> priors = BuildPriors(input, config);
+  CandidateSpace space = CandidateSpace::Build(input, config);
   for (graph::EdgeId s = 0; s < input.graph->num_following(); ++s) {
     const graph::FollowingEdge& e = input.graph->following(s);
-    EXPECT_GE(priors[e.follower].IndexOf(result->following[s].x), 0);
-    EXPECT_GE(priors[e.friend_user].IndexOf(result->following[s].y), 0);
+    EXPECT_GE(space.SlotOf(e.follower, result->following[s].x), 0);
+    EXPECT_GE(space.SlotOf(e.friend_user, result->following[s].y), 0);
     EXPECT_GE(result->following[s].noise_prob, 0.0);
     EXPECT_LE(result->following[s].noise_prob, 1.0);
   }
   for (graph::EdgeId k = 0; k < input.graph->num_tweeting(); ++k) {
     const graph::TweetingEdge& e = input.graph->tweeting(k);
-    EXPECT_GE(priors[e.user].IndexOf(result->tweeting[k].z), 0);
+    EXPECT_GE(space.SlotOf(e.user, result->tweeting[k].z), 0);
   }
 }
 
@@ -136,10 +136,10 @@ TEST_F(SamplerInvariantsTest, ModelNoiseOffEqualsZeroRho) {
 TEST_F(SamplerInvariantsTest, AssignmentHistogramBoundedByLabeledEdges) {
   ModelInput input = MakeInput();
   MlpConfig config;
-  std::vector<UserPrior> priors = BuildPriors(input, config);
+  CandidateSpace space = CandidateSpace::Build(input, config);
   RandomModels models = RandomModels::Learn(*input.graph);
   PowTable pow_table(input.distances, config.alpha);
-  GibbsSampler sampler(&input, &config, &priors, &models, &pow_table);
+  GibbsSampler sampler(&input, &config, &space, &models, &pow_table);
   Pcg32 rng(7);
   sampler.Initialize(&rng);
   for (int i = 0; i < 3; ++i) sampler.RunSweep(&rng);

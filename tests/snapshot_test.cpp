@@ -188,6 +188,20 @@ TEST_F(CorruptionTest, TruncatedFileRejected) {
   EXPECT_FALSE(LoadModelSnapshot(path_).ok());
 }
 
+TEST_F(CorruptionTest, DowngradedVersionByteFailsChecksum) {
+  // The v2 checksum covers the header's version word: flipping a v2 file's
+  // version down to 1 must read as corruption, never as an instruction to
+  // reparse the payload under the v1 layout.
+  std::vector<char> downgraded = bytes_;
+  ASSERT_EQ(downgraded[8], 2);  // version u32 LSB
+  downgraded[8] = 1;
+  WriteBytes(downgraded);
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
 TEST_F(CorruptionTest, ForeignMagicRejected) {
   std::vector<char> foreign = bytes_;
   foreign[0] = 'X';
@@ -351,6 +365,121 @@ TEST(WarmStartTest, CompletedCheckpointResumesToSameResult) {
       core::MlpModel(config).Fit(harness.input, warm);
   ASSERT_TRUE(reloaded.ok());
   ExpectIdenticalResults(*first, *reloaded);
+}
+
+// -------------------------------------------- pruning & v1 compatibility
+
+// A pruned fit interrupted at a barrier and resumed from its snapshot must
+// replay the uninterrupted pruned fit exactly — activation mask, cold
+// streaks, compaction history and cost-resharding all round-trip.
+TEST(WarmStartTest, PrunedResumeMatchesUninterrupted) {
+  synth::SyntheticWorld world = TestWorld(300, 47);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 5;
+  config.sampling_iterations = 3;
+  config.prune_floor = 0.02;
+  config.prune_patience = 2;
+  // Stop before pruning can fire (sweep 1), right around the first
+  // possible compaction (sweep 3) and mid-sampling (sweep 6).
+  ExpectInterruptedEqualsUninterrupted(config, harness, 1);
+  ExpectInterruptedEqualsUninterrupted(config, harness, 3);
+  ExpectInterruptedEqualsUninterrupted(config, harness, 6);
+  // Sharded: the resumed engine must re-derive the cost-based shards.
+  config.num_threads = 3;
+  ExpectInterruptedEqualsUninterrupted(config, harness, 3);
+}
+
+// v1→v2 compatibility (the format-evolution contract): a v1 snapshot —
+// written by this build's legacy writer, byte-identical to PR-2 files —
+// loads with an all-active mask and resumes bit-exactly with pruning off.
+TEST(WarmStartTest, V1SnapshotLoadsFullyActiveAndResumesBitExactly) {
+  synth::SyntheticWorld world = TestWorld(250, 53);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 3;
+  config.sampling_iterations = 4;  // prune_floor stays 0 (--no_prune)
+
+  Result<core::MlpResult> uninterrupted =
+      core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(uninterrupted.ok());
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions cold;
+  cold.max_total_sweeps = 2;
+  cold.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> partial =
+      core::MlpModel(config).Fit(harness.input, cold);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_FALSE(checkpoint.complete);
+  // An unpruned checkpoint is v1-expressible: canonical empty mask.
+  ASSERT_TRUE(checkpoint.activation.active.empty());
+
+  const std::string path = TempPath("v1compat.snap");
+  ASSERT_TRUE(
+      SaveModelSnapshotV1(
+          path, MakeModelSnapshot(harness.input, checkpoint, *partial))
+          .ok());
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  // The v1 reader leaves the activation fully active and pruning off.
+  EXPECT_TRUE(loaded->checkpoint.activation.active.empty());
+  EXPECT_EQ(loaded->checkpoint.activation.layout_version, 0u);
+  EXPECT_EQ(loaded->checkpoint.config.prune_floor, 0.0);
+  EXPECT_EQ(loaded->checkpoint.fingerprint, checkpoint.fingerprint);
+
+  core::FitOptions warm;
+  warm.warm_start = &loaded->checkpoint;
+  Result<core::MlpResult> resumed =
+      core::MlpModel(config).Fit(harness.input, warm);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdenticalResults(*uninterrupted, *resumed);
+}
+
+// The v1 writer must refuse state it cannot express.
+TEST(WarmStartTest, V1WriterRejectsPrunedState) {
+  synth::SyntheticWorld world = TestWorld(300, 59);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 5;
+  config.sampling_iterations = 2;
+  config.prune_floor = 0.02;
+  config.prune_patience = 1;
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> result =
+      core::MlpModel(config).Fit(harness.input, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(checkpoint.activation.layout_version, 0u)
+      << "expected the aggressive floor to prune something";
+  const std::string path = TempPath("v1reject.snap");
+  Status saved = SaveModelSnapshotV1(
+      path, MakeModelSnapshot(harness.input, checkpoint, *result));
+  EXPECT_TRUE(saved.IsInvalidArgument()) << saved.ToString();
+  // The v2 writer handles it, round-trips the activation, and the stored
+  // candidate section is the COMPACTED layout the arena is indexed by.
+  ModelSnapshot snapshot =
+      MakeModelSnapshot(harness.input, checkpoint, *result);
+  ASSERT_TRUE(SaveModelSnapshot(path, snapshot).ok());
+  Result<ModelSnapshot> loaded = LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded->checkpoint.activation.active,
+            checkpoint.activation.active);
+  EXPECT_EQ(loaded->checkpoint.activation.cold_streak,
+            checkpoint.activation.cold_streak);
+  EXPECT_EQ(loaded->checkpoint.activation.layout_version,
+            checkpoint.activation.layout_version);
+  ASSERT_EQ(loaded->checkpoint.activation.history.size(),
+            checkpoint.activation.history.size());
+  EXPECT_EQ(static_cast<int64_t>(loaded->candidates.size()),
+            loaded->phi_offset.back());
+  EXPECT_EQ(loaded->candidates.size(),
+            loaded->checkpoint.sampler.phi.size());
+  EXPECT_LT(loaded->candidates.size(), checkpoint.activation.active.size());
 }
 
 // The MLP_WS lineup entry must be indistinguishable from MLP.

@@ -13,13 +13,19 @@
 //       Serving-style evaluation of an already-fitted model snapshot: no
 //       refit, scores the stored home estimates against the dataset.
 //   mlpctl fit --data DIR --save MODEL.snap [--max-sweeps K]
+//              [--prune_floor F] [--prune_patience K] [--no_prune]
 //       Fit MLP on the full dataset (every registered home observed) and
 //       persist the model — sufficient statistics, chain state, RNG
-//       streams and result — as a versioned snapshot. With --max-sweeps
-//       the fit checkpoints early and the snapshot is resumable.
+//       streams, candidate activation and result — as a versioned
+//       snapshot. With --max-sweeps the fit checkpoints early and the
+//       snapshot is resumable. --prune_floor enables adaptive sweep-time
+//       candidate pruning (see src/core/README.md).
 //   mlpctl resume --data DIR --load MODEL.snap [--save MODEL2.snap]
 //       Continue an interrupted fit from a snapshot to completion. The
 //       combined fit+resume reproduces an uninterrupted fit exactly.
+//       --prune_floor / --prune_patience / --no_prune override the stored
+//       pruning policy (and only that) for the remaining sweeps, so
+//       warm-started and pruned fits compose.
 
 #include <algorithm>
 #include <cstdio>
@@ -81,13 +87,18 @@ int Usage() {
                "  mlpctl generate --users N [--seed S] --out DIR\n"
                "  mlpctl stats --data DIR\n"
                "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n"
-               "              [--threads N] [--warm]\n"
+               "              [--threads N] [--warm] [--prune]\n"
+               "              [--prune_floor F] [--prune_patience K]\n"
                "  mlpctl eval --data DIR --load MODEL.snap\n"
                "  mlpctl fit --data DIR --save MODEL.snap [--burn N]\n"
                "             [--sampling N] [--threads N] [--seed S]\n"
                "             [--em-rounds R] [--max-sweeps K]\n"
+               "             [--prune_floor F] [--prune_patience K]\n"
+               "             [--no_prune]\n"
                "  mlpctl resume --data DIR --load MODEL.snap\n"
-               "             [--save MODEL2.snap] [--max-sweeps K]\n");
+               "             [--save MODEL2.snap] [--max-sweeps K]\n"
+               "             [--prune_floor F] [--prune_patience K]\n"
+               "             [--no_prune]\n");
   return 2;
 }
 
@@ -176,6 +187,22 @@ core::ModelInput FullInput(
   return input;
 }
 
+// Applies the pruning flags onto `config`. Absent flags leave the config
+// untouched (fit: the MlpConfig defaults; resume: the stored policy), and
+// an explicit --no_prune always wins.
+void ApplyPruneFlags(const std::map<std::string, std::string>& flags,
+                     core::MlpConfig* config) {
+  auto floor_flag = flags.find("prune_floor");
+  if (floor_flag != flags.end()) {
+    config->prune_floor = std::atof(floor_flag->second.c_str());
+  }
+  auto patience_flag = flags.find("prune_patience");
+  if (patience_flag != flags.end()) {
+    config->prune_patience = std::atoi(patience_flag->second.c_str());
+  }
+  if (FlagOr(flags, "no_prune", "0") != "0") config->prune_floor = 0.0;
+}
+
 int SweepsDone(const core::FitCheckpoint& checkpoint) {
   int per_round = checkpoint.config.burn_in_iterations +
                   checkpoint.config.sampling_iterations;
@@ -237,6 +264,7 @@ int CmdFit(const std::map<std::string, std::string>& flags) {
   config.gibbs_em_rounds = std::atoi(FlagOr(flags, "em-rounds", "0").c_str());
   config.seed =
       std::strtoull(FlagOr(flags, "seed", "1234").c_str(), nullptr, 10);
+  ApplyPruneFlags(flags, &config);
 
   core::FitCheckpoint checkpoint;
   core::FitOptions opts;
@@ -272,9 +300,13 @@ int CmdResume(const std::map<std::string, std::string>& flags) {
   core::ModelInput input = FullInput(*world, referents);
 
   // The snapshot carries the config the fit was started with; resuming
-  // under anything else would change the sweep program, so no CLI
-  // overrides here.
+  // under anything else would change the sweep program, so the only CLI
+  // overrides are the pruning knobs — sweep-time policy that is
+  // deliberately outside the fingerprint (so e.g. a v1 or unpruned
+  // snapshot can resume WITH pruning, or a pruned one finish without).
   core::MlpConfig config = snapshot->checkpoint.config;
+  ApplyPruneFlags(flags, &config);
+  snapshot->checkpoint.config = config;
   core::FitCheckpoint checkpoint;
   core::FitOptions opts;
   opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
@@ -317,9 +349,9 @@ int EvalSnapshot(const LoadedWorld& world, const std::string& path) {
   // the model against an unrelated world.
   auto referents = world.vocab.ReferentTable();
   core::ModelInput input = FullInput(world, referents);
-  std::vector<core::UserPrior> priors =
-      core::BuildPriors(input, snapshot->checkpoint.config);
-  if (core::FitFingerprint(input, snapshot->checkpoint.config, priors) !=
+  core::CandidateSpace space =
+      core::CandidateSpace::Build(input, snapshot->checkpoint.config);
+  if (core::FitFingerprint(input, snapshot->checkpoint.config, space) !=
       snapshot->checkpoint.fingerprint) {
     std::fprintf(stderr,
                  "snapshot does not match this dataset (fingerprint "
@@ -374,9 +406,18 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   core::MlpConfig config;
   config.burn_in_iterations = 10;
   config.sampling_iterations = 14;
+  ApplyPruneFlags(flags, &config);
+  // The MLP_PR row appears when pruning is requested AND actually on: an
+  // explicit --prune_floor 0 or --no_prune means no pruned variant at all
+  // (MakePrunedMlpMethod would otherwise resurrect the default floor).
+  const bool disabled = FlagOr(flags, "no_prune", "0") != "0" ||
+                        (flags.count("prune_floor") && config.prune_floor <= 0.0);
+  const bool prune =
+      !disabled &&
+      (FlagOr(flags, "prune", "0") != "0" || config.prune_floor > 0.0);
   io::TablePrinter table({"method", "ACC@100", "ACC@20"});
   for (const eval::NamedMethod& nm :
-       eval::StandardLineup(config, threads, warm)) {
+       eval::StandardLineup(config, threads, warm, prune)) {
     if (method != "all" && nm.name != method) continue;
     double acc100 = 0.0, acc20 = 0.0;
     for (int fold = 0; fold < folds; ++fold) {
