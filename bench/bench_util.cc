@@ -10,13 +10,11 @@
 namespace mlp {
 namespace bench {
 
-namespace {
 int64_t EnvInt(const char* name, int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') return fallback;
   return std::atoll(raw);
 }
-}  // namespace
 
 synth::WorldConfig BenchWorldConfig() {
   synth::WorldConfig config;

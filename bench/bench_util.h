@@ -30,6 +30,10 @@ core::MlpConfig BenchMlpConfig();
 /// `default_folds`); the split itself is always 5-fold like the paper.
 int BenchFoldCount(int default_folds);
 
+/// Integer environment override with a fallback — the one parser behind
+/// every MLP_BENCH_* size/seed knob. Empty or unset returns `fallback`.
+int64_t EnvInt(const char* name, int64_t fallback);
+
 /// One generated world plus everything the experiments share: referent
 /// table, registered homes, the 5-fold split, and cached method outputs.
 class BenchContext {

@@ -1,0 +1,47 @@
+# Exit-code and usage-message contract of the mlpctl CLI (registered as
+# the `mlpctl_cli_usage` ctest): 2 for a missing/unknown subcommand (global
+# usage printed), 3 for a known subcommand with missing required flags
+# (that subcommand's usage printed) — so wrapper scripts can tell a typo
+# from a bad invocation from a real failure.
+#
+# Usage: cmake -DMLPCTL=<path> -P cli_usage.cmake
+
+if(NOT DEFINED MLPCTL)
+  message(FATAL_ERROR "pass -DMLPCTL=<mlpctl binary>")
+endif()
+
+function(expect_exit code)
+  execute_process(COMMAND ${MLPCTL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${code})
+    message(FATAL_ERROR
+            "mlpctl ${ARGN}: expected exit ${code}, got ${rc}\n${err}")
+  endif()
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "mlpctl ${ARGN}: no usage message on stderr:\n${err}")
+  endif()
+  set(last_stderr "${err}" PARENT_SCOPE)
+endfunction()
+
+# No subcommand / unknown subcommand -> 2, global usage.
+expect_exit(2)
+expect_exit(2 frobnicate)
+if(NOT last_stderr MATCHES "unknown subcommand 'frobnicate'")
+  message(FATAL_ERROR "unknown subcommand not named in:\n${last_stderr}")
+endif()
+
+# Known subcommand, missing required flags -> 3, per-subcommand usage only.
+expect_exit(3 fit)
+if(NOT last_stderr MATCHES "mlpctl fit" OR last_stderr MATCHES "mlpctl serve")
+  message(FATAL_ERROR "fit usage should show only fit:\n${last_stderr}")
+endif()
+expect_exit(3 serve --port 80)
+if(NOT last_stderr MATCHES "mlpctl serve" OR last_stderr MATCHES "mlpctl fit")
+  message(FATAL_ERROR "serve usage should show only serve:\n${last_stderr}")
+endif()
+expect_exit(3 generate --users 10)
+expect_exit(3 stats)
+expect_exit(3 eval)
+expect_exit(3 resume --data somewhere)

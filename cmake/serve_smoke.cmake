@@ -1,0 +1,38 @@
+# End-to-end smoke of the serving subsystem through the real mlpctl
+# binary: generate a tiny world, fit and persist a model, then run
+# `mlpctl serve --selfcheck`, which starts the HTTP server on an ephemeral
+# port and round-trips /healthz, /v1/user, /v1/edge, /v1/batch and /statsz
+# through the built-in socket client (no curl), asserting 200s, valid JSON
+# and home parity against the snapshot. Registered as the
+# `mlpctl_serve_smoke` ctest in CMakeLists.txt.
+#
+# Usage: cmake -DMLPCTL=<path> -DWORK_DIR=<dir> -P serve_smoke.cmake
+
+if(NOT DEFINED MLPCTL OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DMLPCTL=<mlpctl binary> -DWORK_DIR=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serve smoke step failed (exit ${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+run_step(${MLPCTL} generate --users 300 --seed 11 --out ${WORK_DIR}/data)
+run_step(${MLPCTL} fit --data ${WORK_DIR}/data --save ${WORK_DIR}/model.snap
+         --burn 2 --sampling 2)
+run_step(${MLPCTL} serve --data ${WORK_DIR}/data
+         --load ${WORK_DIR}/model.snap --threads 2 --selfcheck)
+
+# A fingerprint-mismatched pairing must be rejected, not served.
+run_step(${MLPCTL} generate --users 200 --seed 12 --out ${WORK_DIR}/other)
+execute_process(COMMAND ${MLPCTL} serve --data ${WORK_DIR}/other
+                --load ${WORK_DIR}/model.snap --selfcheck
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "serve accepted a snapshot from a different dataset")
+endif()

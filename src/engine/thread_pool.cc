@@ -23,17 +23,30 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (draining_ || stop_) return false;
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+bool ThreadPool::draining() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return draining_;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -29,11 +29,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution by any worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution by any worker. Returns false (and drops
+  /// the task) once Drain() has been called — long-lived callers like the
+  /// serving layer use this to reject work during shutdown instead of
+  /// racing the pool teardown.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no task is running.
   void Wait();
+
+  /// Graceful shutdown: stops admitting new tasks (Submit returns false
+  /// from the moment Drain is entered) and blocks until every already
+  /// queued and in-flight task has finished. One-way and idempotent; the
+  /// workers stay parked for the destructor, which remains the only place
+  /// that joins them.
+  void Drain();
+
+  bool draining() const;
 
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -42,11 +54,12 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: task available / stop
   std::condition_variable idle_cv_;  // signals Wait(): pool drained
   int in_flight_ = 0;                // tasks popped but not yet finished
   bool stop_ = false;
+  bool draining_ = false;            // no new tasks; finish what's queued
 };
 
 }  // namespace engine

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
+#include "io/csv.h"
 
 namespace mlp {
 namespace io {
@@ -26,10 +28,37 @@ void TablePrinter::AddRow(const std::string& label,
   AddRow(std::move(row));
 }
 
+namespace {
+
+/// "12", "-3.5", "62.30%", "1e-4" — numbers, optionally percent-suffixed.
+bool IsNumericCell(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::string body = cell;
+  if (body.back() == '%') body.pop_back();
+  if (body.empty()) return false;
+  char* end = nullptr;
+  std::strtod(body.c_str(), &end);
+  return end == body.c_str() + body.size();
+}
+
+}  // namespace
+
+bool TablePrinter::ColumnIsNumeric(size_t c) const {
+  bool any = false;
+  for (const auto& row : rows_) {
+    if (c >= row.size() || row[c].empty()) continue;
+    if (!IsNumericCell(row[c])) return false;
+    any = true;
+  }
+  return any;
+}
+
 std::string TablePrinter::ToString() const {
   std::vector<size_t> widths(header_.size(), 0);
+  std::vector<bool> numeric(header_.size(), false);
   for (size_t c = 0; c < header_.size(); ++c) {
     widths[c] = header_[c].size();
+    numeric[c] = ColumnIsNumeric(c);
   }
   for (const auto& row : rows_) {
     for (size_t c = 0; c < row.size(); ++c) {
@@ -40,8 +69,10 @@ std::string TablePrinter::ToString() const {
     std::string line;
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) line += "  ";
+      size_t pad = widths[c] - row[c].size();
+      if (numeric[c]) line.append(pad, ' ');
       line += row[c];
-      line.append(widths[c] - row[c].size(), ' ');
+      if (!numeric[c]) line.append(pad, ' ');
     }
     while (!line.empty() && line.back() == ' ') line.pop_back();
     return line + "\n";
@@ -53,6 +84,14 @@ std::string TablePrinter::ToString() const {
   }
   out += std::string(underline, '-') + "\n";
   for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out = FormatCsvLine(header_) + "\n";
+  for (const auto& row : rows_) {
+    out += FormatCsvLine(row) + "\n";
+  }
   return out;
 }
 

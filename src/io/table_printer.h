@@ -20,12 +20,26 @@ class TablePrinter {
               int precision = 2);
 
   /// Renders with a header underline; columns padded to the widest cell.
+  /// Columns whose data cells are all numeric (ints, floats, percentages
+  /// like "62.30%") are right-aligned so magnitudes line up; everything
+  /// else stays left-aligned.
   std::string ToString() const;
+
+  /// RFC-4180-style CSV rendering (header line + one line per row):
+  /// fields containing commas, quotes or leading/trailing whitespace are
+  /// quoted with doubled-quote escaping. The machine-readable twin of
+  /// ToString — the serving layer's /statsz?format=csv and the eval tables
+  /// share it.
+  std::string ToCsv() const;
 
   /// Prints to stdout.
   void Print() const;
 
  private:
+  /// True when every non-empty data cell of column `c` parses as a number
+  /// (an optional trailing '%' is ignored).
+  bool ColumnIsNumeric(size_t c) const;
+
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };

@@ -1,0 +1,296 @@
+#include "serve/model_server.h"
+
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/string_util.h"
+#include "io/table_printer.h"
+
+namespace mlp {
+namespace serve {
+
+namespace {
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.String(message);
+  w.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+/// Parses a non-negative decimal id occupying all of `text`; -1 otherwise.
+int64_t ParseId(const std::string& text) {
+  if (text.empty() || text.size() > 18) return -1;
+  int64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+/// Narrows an id to graph::UserId without wrap-around: anything outside
+/// [0, INT32_MAX] becomes kInvalidUser, which every lookup rejects —
+/// /v1/user/4294967296 must be a 404, not user 0.
+graph::UserId NarrowUserId(int64_t id) {
+  if (id < 0 || id > std::numeric_limits<int32_t>::max()) {
+    return graph::kInvalidUser;
+  }
+  return static_cast<graph::UserId>(id);
+}
+
+}  // namespace
+
+ModelServer::ModelServer(ReadModel model, const ServeOptions& options)
+    : model_(std::move(model)),
+      options_(options),
+      cache_(static_cast<size_t>(std::max(0, options.cache_mb)) * 1024 * 1024),
+      conn_pool_(std::max(1, options.threads)),
+      batch_pool_(std::max(1, options.threads)),
+      batcher_(&model_, &batch_pool_),
+      http_(&conn_pool_) {}
+
+ModelServer::~ModelServer() { Stop(); }
+
+Status ModelServer::Start() {
+  start_time_ = std::chrono::steady_clock::now();
+  return http_.Start(options_.port,
+                     [this](const HttpRequest& request) {
+                       return Handle(request);
+                     });
+}
+
+void ModelServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  http_.Stop();
+  batch_pool_.Drain();
+  conn_pool_.Drain();
+}
+
+// --------------------------------------------------------------- routing
+
+HttpResponse ModelServer::CachedGet(
+    const std::string& target,
+    HttpResponse (ModelServer::*render)(const std::string&),
+    const std::string& arg) {
+  HttpResponse response;
+  if (cache_.Get(target, &response.body)) {
+    return response;  // cached bodies are always 200/application/json
+  }
+  response = (this->*render)(arg);
+  if (response.status == 200) cache_.Put(target, response.body);
+  return response;
+}
+
+HttpResponse ModelServer::HandleUser(const std::string& rest) {
+  user_queries_.fetch_add(1);
+  int64_t id = ParseId(rest);
+  if (id < 0) {
+    errors_.fetch_add(1);
+    return ErrorResponse(400, "user id must be a non-negative integer");
+  }
+  std::string_view fragment = model_.UserJson(NarrowUserId(id));
+  if (fragment.empty()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(404, StringPrintf("no user %lld",
+                                           static_cast<long long>(id)));
+  }
+  HttpResponse response;
+  response.body.assign(fragment.data(), fragment.size());
+  return response;
+}
+
+HttpResponse ModelServer::HandleEdge(const std::string& rest) {
+  edge_queries_.fetch_add(1);
+  size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    errors_.fetch_add(1);
+    return ErrorResponse(400, "expected /v1/edge/{src}/{dst}");
+  }
+  int64_t src = ParseId(rest.substr(0, slash));
+  int64_t dst = ParseId(rest.substr(slash + 1));
+  if (src < 0 || dst < 0) {
+    errors_.fetch_add(1);
+    return ErrorResponse(400, "edge endpoints must be non-negative integers");
+  }
+  std::string_view fragment = model_.EdgeJson(
+      model_.FindEdge(NarrowUserId(src), NarrowUserId(dst)));
+  if (fragment.empty()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(
+        404, StringPrintf("no following relationship %lld -> %lld",
+                          static_cast<long long>(src),
+                          static_cast<long long>(dst)));
+  }
+  HttpResponse response;
+  response.body.assign(fragment.data(), fragment.size());
+  return response;
+}
+
+HttpResponse ModelServer::HandleBatch(const HttpRequest& request) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(400, parsed.status().message());
+  }
+  if (!parsed->is_object()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(400, "batch body must be a JSON object");
+  }
+  BatchRequest batch;
+  if (const JsonValue* users = parsed->Find("users")) {
+    if (!users->is_array()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(400, "\"users\" must be an array of ids");
+    }
+    batch.users.reserve(users->items.size());
+    for (const JsonValue& item : users->items) {
+      batch.users.push_back(NarrowUserId(item.AsInt(-1)));
+    }
+  }
+  if (const JsonValue* edges = parsed->Find("edges")) {
+    if (!edges->is_array()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(400, "\"edges\" must be an array of [src,dst]");
+    }
+    batch.edges.reserve(edges->items.size());
+    for (const JsonValue& item : edges->items) {
+      if (!item.is_array() || item.items.size() != 2) {
+        errors_.fetch_add(1);
+        return ErrorResponse(400, "each edge must be a [src,dst] pair");
+      }
+      batch.edges.emplace_back(NarrowUserId(item.items[0].AsInt(-1)),
+                               NarrowUserId(item.items[1].AsInt(-1)));
+    }
+  }
+  batch_queries_.fetch_add(batch.users.size() + batch.edges.size());
+
+  HttpResponse response;
+  response.body = batcher_.ExecuteJson(batch);
+  return response;
+}
+
+HttpResponse ModelServer::HandleStats(const std::string& query) {
+  const ResponseCache::Stats cache = cache_.GetStats();
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  std::vector<std::pair<std::string, std::string>> rows;
+  auto add = [&](const std::string& key, const std::string& value) {
+    rows.emplace_back(key, value);
+  };
+  add("users", std::to_string(model_.num_users()));
+  add("following_edges", std::to_string(model_.num_edges()));
+  add("active_candidate_slots",
+      std::to_string(model_.active_candidate_slots()));
+  add("candidate_layout_version",
+      std::to_string(model_.candidate_layout_version()));
+  add("mean_profile_entries",
+      StringPrintf("%.2f", model_.mean_profile_entries()));
+  add("alpha", StringPrintf("%.4f", model_.alpha()));
+  add("beta", StringPrintf("%.6f", model_.beta()));
+  add("fit_complete", model_.fit_complete() ? "1" : "0");
+  add("threads", std::to_string(conn_pool_.size()));
+  add("uptime_seconds", StringPrintf("%.1f", uptime));
+  add("requests_served", std::to_string(http_.requests_served()));
+  add("connections_accepted", std::to_string(http_.connections_accepted()));
+  add("user_queries", std::to_string(user_queries_.load()));
+  add("edge_queries", std::to_string(edge_queries_.load()));
+  add("batch_lookups", std::to_string(batch_queries_.load()));
+  add("batches_executed", std::to_string(batcher_.batches_executed()));
+  add("errors", std::to_string(errors_.load()));
+  add("cache_hits", std::to_string(cache.hits));
+  add("cache_misses", std::to_string(cache.misses));
+  add("cache_evictions", std::to_string(cache.evictions));
+  add("cache_entries", std::to_string(cache.entries));
+  add("cache_bytes", std::to_string(cache.bytes));
+  add("cache_capacity_bytes", std::to_string(cache.capacity_bytes));
+
+  HttpResponse response;
+  if (query == "format=csv" || query == "format=table") {
+    io::TablePrinter table({"stat", "value"});
+    for (const auto& [key, value] : rows) table.AddRow({key, value});
+    const bool csv = query == "format=csv";
+    response.content_type = csv ? "text/csv" : "text/plain";
+    response.body = csv ? table.ToCsv() : table.ToString();
+    return response;
+  }
+  // Default: the same rows as a flat JSON object (values kept as the
+  // strings the table renders — /statsz is an operator surface, not an API
+  // contract).
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [key, value] : rows) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse ModelServer::Handle(const HttpRequest& request) {
+  const std::string& target = request.target;
+  std::string path = target;
+  std::string query;
+  size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  if (path == "/healthz") {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("status");
+    w.String("ok");
+    w.Key("model");
+    w.String("loaded");
+    w.Key("users");
+    w.Int(model_.num_users());
+    w.EndObject();
+    HttpResponse response;
+    response.body = std::move(w).Take();
+    return response;
+  }
+  if (path == "/statsz") return HandleStats(query);
+
+  constexpr char kUserPrefix[] = "/v1/user/";
+  constexpr char kEdgePrefix[] = "/v1/edge/";
+  if (path.rfind(kUserPrefix, 0) == 0) {
+    if (request.method != "GET") {
+      errors_.fetch_add(1);
+      return ErrorResponse(405, "use GET");
+    }
+    return CachedGet(path, &ModelServer::HandleUser,
+                     path.substr(sizeof(kUserPrefix) - 1));
+  }
+  if (path.rfind(kEdgePrefix, 0) == 0) {
+    if (request.method != "GET") {
+      errors_.fetch_add(1);
+      return ErrorResponse(405, "use GET");
+    }
+    return CachedGet(path, &ModelServer::HandleEdge,
+                     path.substr(sizeof(kEdgePrefix) - 1));
+  }
+  if (path == "/v1/batch") {
+    if (request.method != "POST") {
+      errors_.fetch_add(1);
+      return ErrorResponse(405, "use POST");
+    }
+    return HandleBatch(request);
+  }
+  errors_.fetch_add(1);
+  return ErrorResponse(404, "unknown endpoint " + path);
+}
+
+}  // namespace serve
+}  // namespace mlp

@@ -1,0 +1,106 @@
+#ifndef MLP_SERVE_MODEL_SERVER_H_
+#define MLP_SERVE_MODEL_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "engine/thread_pool.h"
+#include "serve/http_server.h"
+#include "serve/json.h"
+#include "serve/read_model.h"
+#include "serve/request_batcher.h"
+#include "serve/response_cache.h"
+
+namespace mlp {
+namespace serve {
+
+/// Server knobs (the `mlpctl serve` flags map 1:1 onto these).
+struct ServeOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port.
+  int port = 8080;
+  /// Worker threads serving connections; a second pool of the same size
+  /// fans out large batch requests.
+  int threads = 4;
+  /// Response-cache budget; 0 disables caching.
+  int cache_mb = 16;
+  /// Profile entries served per user (ReadModelOptions::top_k).
+  int top_k = 10;
+};
+
+/// The online query front end over one fitted model (ISSUE 4 / ROADMAP
+/// "serving layer"): an immutable ReadModel behind a minimal HTTP/1.1
+/// server, with a sharded LRU response cache on the GET endpoints and a
+/// RequestBatcher turning POST /v1/batch payloads into vectorized scans.
+///
+/// Endpoints (all JSON; see src/serve/README.md for shapes):
+///   GET  /v1/user/{id}         posterior location profile + home of a user
+///   GET  /v1/edge/{src}/{dst}  following-relationship explanation
+///   POST /v1/batch             {"users":[...],"edges":[[s,d],...]}
+///   GET  /healthz              liveness
+///   GET  /statsz               server/model counters (?format=csv for CSV)
+///
+/// Threading: connections run on `conn_pool_`, batch fan-out on
+/// `batch_pool_` (two pools because ThreadPool tasks must not block on
+/// their own pool). The read model is immutable after Build, so handlers
+/// never lock around model state — only the cache shards synchronize.
+class ModelServer {
+ public:
+  ModelServer(ReadModel model, const ServeOptions& options);
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+  ~ModelServer();
+
+  /// Binds and starts serving. Returns the bound port via port().
+  Status Start();
+  int port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  /// Graceful shutdown: stop accepting, finish in-flight requests, drain
+  /// both pools. Safe to call from a signal-driven main loop; idempotent.
+  void Stop();
+
+  const ReadModel& model() const { return model_; }
+  uint64_t requests_served() const { return http_.requests_served(); }
+  uint64_t connections_accepted() const {
+    return http_.connections_accepted();
+  }
+
+  /// The request router — exposed so tests can exercise routing and
+  /// rendering without sockets.
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleUser(const std::string& rest);
+  HttpResponse HandleEdge(const std::string& rest);
+  HttpResponse HandleBatch(const HttpRequest& request);
+  HttpResponse HandleStats(const std::string& query);
+  /// GET-endpoint cache wrapper: serves `target` from the cache or renders
+  /// via `render` and inserts.
+  HttpResponse CachedGet(const std::string& target,
+                         HttpResponse (ModelServer::*render)(const std::string&),
+                         const std::string& arg);
+
+  ReadModel model_;
+  ServeOptions options_;
+  ResponseCache cache_;
+  engine::ThreadPool conn_pool_;
+  engine::ThreadPool batch_pool_;
+  RequestBatcher batcher_;
+  HttpServer http_;
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<uint64_t> user_queries_{0};
+  std::atomic<uint64_t> edge_queries_{0};
+  std::atomic<uint64_t> batch_queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace serve
+}  // namespace mlp
+
+#endif  // MLP_SERVE_MODEL_SERVER_H_

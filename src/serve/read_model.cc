@@ -1,0 +1,276 @@
+#include "serve/read_model.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/priors.h"
+#include "serve/json.h"
+
+namespace mlp {
+namespace serve {
+
+namespace {
+
+uint64_t EdgeKey(graph::UserId src, graph::UserId dst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+         static_cast<uint32_t>(dst);
+}
+
+void WriteCity(const ReadModel& model, const char* key, geo::CityId id,
+               JsonWriter* w) {
+  w->Key(key);
+  if (id == geo::kInvalidCity) {
+    w->Null();
+    return;
+  }
+  w->BeginObject();
+  w->Key("city_id");
+  w->Int(id);
+  w->Key("name");
+  w->String(model.CityName(id));
+  w->EndObject();
+}
+
+void WriteUserJson(const ReadModel& model, const UserAnswer& answer,
+                   JsonWriter* w) {
+  w->BeginObject();
+  w->Key("user");
+  w->Int(answer.user);
+  WriteCity(model, "home", answer.home, w);
+  w->Key("profile");
+  w->BeginArray();
+  for (int i = 0; i < answer.entry_count; ++i) {
+    const ProfileEntry& entry = answer.entries[i];
+    w->BeginObject();
+    w->Key("city_id");
+    w->Int(entry.city);
+    w->Key("name");
+    w->String(model.CityName(entry.city));
+    w->Key("p");
+    w->Double(entry.prob);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("friends");
+  w->Int(answer.num_friends);
+  w->Key("followers");
+  w->Int(answer.num_followers);
+  w->Key("tweets");
+  w->Int(answer.num_tweets);
+  w->EndObject();
+}
+
+void WriteEdgeJson(const ReadModel& model, const EdgeAnswer& answer,
+                   JsonWriter* w) {
+  w->BeginObject();
+  w->Key("src");
+  w->Int(answer.src);
+  w->Key("dst");
+  w->Int(answer.dst);
+  w->Key("edge");
+  w->Int(answer.edge);
+  w->Key("explanation");
+  w->BeginObject();
+  WriteCity(model, "x", answer.x, w);
+  WriteCity(model, "y", answer.y, w);
+  w->Key("noise_prob");
+  w->Double(answer.noise_prob);
+  w->Key("location_based_prob");
+  w->Double(1.0 - answer.noise_prob);
+  w->Key("x_support");
+  w->Double(answer.x_support);
+  w->Key("y_support");
+  w->Double(answer.y_support);
+  w->Key("distance_miles");
+  w->Double(answer.distance_miles);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+Result<ReadModel> ReadModel::Build(const io::ModelSnapshot& snapshot,
+                                   const graph::SocialGraph& graph,
+                                   const geo::Gazetteer* gazetteer,
+                                   const ReadModelOptions& options) {
+  const core::MlpResult& result = snapshot.result;
+  const int num_users = graph.num_users();
+  if (static_cast<int>(result.home.size()) != num_users ||
+      static_cast<int>(result.profiles.size()) != num_users) {
+    return Status::InvalidArgument(
+        "snapshot result covers " + std::to_string(result.home.size()) +
+        " users but the dataset has " + std::to_string(num_users) +
+        " — wrong data directory?");
+  }
+  if (static_cast<int>(result.following.size()) != graph.num_following()) {
+    return Status::InvalidArgument(
+        "snapshot explains " + std::to_string(result.following.size()) +
+        " following relationships but the dataset has " +
+        std::to_string(graph.num_following()));
+  }
+  if (snapshot.phi_offset.size() != static_cast<size_t>(num_users) + 1 ||
+      snapshot.candidates.size() !=
+          static_cast<size_t>(snapshot.phi_offset.back())) {
+    return Status::InvalidArgument(
+        "snapshot candidate layout is inconsistent with its user count");
+  }
+  const core::SamplerState& sampler = snapshot.checkpoint.sampler;
+  const bool have_arena =
+      sampler.phi.size() == snapshot.candidates.size() &&
+      sampler.phi_total.size() == static_cast<size_t>(num_users);
+
+  ReadModel model;
+  model.gazetteer_ = gazetteer;
+  model.alpha_ = result.alpha;
+  model.beta_ = result.beta;
+  model.fit_complete_ = snapshot.checkpoint.complete;
+  model.active_slots_ = snapshot.phi_offset.back();
+  model.layout_version_ = snapshot.checkpoint.activation.layout_version;
+
+  // ---- flat top-K profiles (posteriors copied verbatim) ----
+  model.home_ = result.home;
+  model.profile_offset_.reserve(num_users + 1);
+  model.profile_offset_.push_back(0);
+  for (graph::UserId u = 0; u < num_users; ++u) {
+    const auto& entries = result.profiles[u].entries();
+    int keep = static_cast<int>(entries.size());
+    if (options.top_k > 0) keep = std::min(keep, options.top_k);
+    for (int i = 0; i < keep; ++i) {
+      model.entries_.push_back({entries[i].first, entries[i].second});
+    }
+    model.profile_offset_.push_back(
+        static_cast<int64_t>(model.entries_.size()));
+  }
+
+  // ---- per-user degrees ----
+  model.num_friends_.resize(num_users);
+  model.num_followers_.resize(num_users);
+  model.num_tweets_.resize(num_users);
+  for (graph::UserId u = 0; u < num_users; ++u) {
+    model.num_friends_[u] = static_cast<int32_t>(graph.OutEdges(u).size());
+    model.num_followers_[u] = static_cast<int32_t>(graph.InEdges(u).size());
+    model.num_tweets_[u] = static_cast<int32_t>(graph.TweetEdges(u).size());
+  }
+
+  // ---- per-edge explanations + arena support scores ----
+  const int num_edges = graph.num_following();
+  model.edge_src_.resize(num_edges);
+  model.edge_dst_.resize(num_edges);
+  model.edge_x_.resize(num_edges);
+  model.edge_y_.resize(num_edges);
+  model.edge_noise_.resize(num_edges);
+  model.edge_x_support_.assign(num_edges, 0.0);
+  model.edge_y_support_.assign(num_edges, 0.0);
+  model.edge_distance_.assign(num_edges, 0.0);
+  model.edge_index_.reserve(num_edges);
+
+  // ϕ_u[city] / ϕ_u total against the stored (compacted) candidate layout:
+  // the fraction of u's location-based relationship assignments sitting on
+  // `city` in the final chain state — the sufficient-statistics view of how
+  // much evidence backs an explanation endpoint.
+  auto support = [&](graph::UserId u, geo::CityId city) -> double {
+    if (!have_arena || city == geo::kInvalidCity) return 0.0;
+    const int64_t begin = snapshot.phi_offset[u];
+    const int count = static_cast<int>(snapshot.phi_offset[u + 1] - begin);
+    const int slot =
+        core::FindCandidateSlot(snapshot.candidates.data() + begin, count, city);
+    if (slot < 0) return 0.0;
+    const double total = sampler.phi_total[u];
+    return total > 0.0 ? sampler.phi[begin + slot] / total : 0.0;
+  };
+
+  for (graph::EdgeId s = 0; s < num_edges; ++s) {
+    const graph::FollowingEdge& edge = graph.following(s);
+    const core::FollowingExplanation& ex = result.following[s];
+    model.edge_src_[s] = edge.follower;
+    model.edge_dst_[s] = edge.friend_user;
+    model.edge_x_[s] = ex.x;
+    model.edge_y_[s] = ex.y;
+    model.edge_noise_[s] = ex.noise_prob;
+    model.edge_x_support_[s] = support(edge.follower, ex.x);
+    model.edge_y_support_[s] = support(edge.friend_user, ex.y);
+    if (gazetteer != nullptr && ex.x != geo::kInvalidCity &&
+        ex.y != geo::kInvalidCity) {
+      model.edge_distance_[s] = gazetteer->DistanceMiles(ex.x, ex.y);
+    }
+    model.edge_index_.emplace(EdgeKey(edge.follower, edge.friend_user), s);
+  }
+
+  // ---- pre-rendered JSON fragments ----
+  // Rendering is hoisted out of the request path entirely: the model is
+  // immutable, so every answer body is known at build time. Point queries
+  // become substring copies and batch responses a concatenation scan.
+  model.user_json_offset_.reserve(num_users + 1);
+  model.user_json_offset_.push_back(0);
+  for (graph::UserId u = 0; u < num_users; ++u) {
+    UserAnswer answer;
+    model.GetUser(u, &answer);
+    JsonWriter w;
+    WriteUserJson(model, answer, &w);
+    model.user_json_ += w.str();
+    model.user_json_offset_.push_back(
+        static_cast<int64_t>(model.user_json_.size()));
+  }
+  model.edge_json_offset_.reserve(num_edges + 1);
+  model.edge_json_offset_.push_back(0);
+  for (graph::EdgeId s = 0; s < num_edges; ++s) {
+    EdgeAnswer answer;
+    model.GetEdgeById(s, &answer);
+    JsonWriter w;
+    WriteEdgeJson(model, answer, &w);
+    model.edge_json_ += w.str();
+    model.edge_json_offset_.push_back(
+        static_cast<int64_t>(model.edge_json_.size()));
+  }
+
+  return model;
+}
+
+bool ReadModel::GetUser(graph::UserId u, UserAnswer* out) const {
+  if (u < 0 || u >= num_users()) return false;
+  out->user = u;
+  out->home = home_[u];
+  out->entries = entries_.data() + profile_offset_[u];
+  out->entry_count = static_cast<int>(profile_offset_[u + 1] - profile_offset_[u]);
+  out->num_friends = num_friends_[u];
+  out->num_followers = num_followers_[u];
+  out->num_tweets = num_tweets_[u];
+  return true;
+}
+
+graph::EdgeId ReadModel::FindEdge(graph::UserId src, graph::UserId dst) const {
+  auto it = edge_index_.find(EdgeKey(src, dst));
+  return it == edge_index_.end() ? -1 : it->second;
+}
+
+bool ReadModel::GetEdgeById(graph::EdgeId s, EdgeAnswer* out) const {
+  if (s < 0 || s >= num_edges()) return false;
+  out->src = edge_src_[s];
+  out->dst = edge_dst_[s];
+  out->edge = s;
+  out->x = edge_x_[s];
+  out->y = edge_y_[s];
+  out->noise_prob = edge_noise_[s];
+  out->x_support = edge_x_support_[s];
+  out->y_support = edge_y_support_[s];
+  out->distance_miles = edge_distance_[s];
+  return true;
+}
+
+bool ReadModel::GetEdge(graph::UserId src, graph::UserId dst,
+                        EdgeAnswer* out) const {
+  return GetEdgeById(FindEdge(src, dst), out);
+}
+
+std::string ReadModel::CityName(geo::CityId id) const {
+  if (gazetteer_ == nullptr || id < 0 || id >= gazetteer_->size()) return "";
+  return gazetteer_->FullName(id);
+}
+
+double ReadModel::mean_profile_entries() const {
+  return home_.empty() ? 0.0
+                       : static_cast<double>(entries_.size()) / home_.size();
+}
+
+}  // namespace serve
+}  // namespace mlp

@@ -1,0 +1,168 @@
+#ifndef MLP_SERVE_READ_MODEL_H_
+#define MLP_SERVE_READ_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/gazetteer.h"
+#include "graph/social_graph.h"
+#include "io/model_snapshot.h"
+
+namespace mlp {
+namespace serve {
+
+/// One (city, probability) line of a served location profile.
+struct ProfileEntry {
+  geo::CityId city = geo::kInvalidCity;
+  double prob = 0.0;
+};
+
+/// Answer to GET /v1/user/{id}. `entries` aliases the read model's flat
+/// profile storage (valid for the model's lifetime).
+struct UserAnswer {
+  graph::UserId user = graph::kInvalidUser;
+  geo::CityId home = geo::kInvalidCity;
+  const ProfileEntry* entries = nullptr;
+  int entry_count = 0;
+  int32_t num_friends = 0;    // out-degree (accounts this user follows)
+  int32_t num_followers = 0;  // in-degree
+  int32_t num_tweets = 0;     // tweeting relationships
+};
+
+/// Answer to GET /v1/edge/{src}/{dst}: the Sec-3 following-relationship
+/// explanation — the posterior-mode assignment pair (x̂, ŷ), the noise
+/// posterior, and support scores recomputed from the arena's sufficient
+/// statistics (the final chain's ϕ counts), which say how strongly each
+/// endpoint's own assignments back the explanation.
+struct EdgeAnswer {
+  graph::UserId src = graph::kInvalidUser;
+  graph::UserId dst = graph::kInvalidUser;
+  graph::EdgeId edge = -1;
+  geo::CityId x = geo::kInvalidCity;  // follower's assigned location
+  geo::CityId y = geo::kInvalidCity;  // friend's assigned location
+  double noise_prob = 0.0;
+  double x_support = 0.0;  // ϕ_src[x̂] / ϕ_src total, from the arena
+  double y_support = 0.0;  // ϕ_dst[ŷ] / ϕ_dst total
+  double distance_miles = 0.0;  // d(x̂, ŷ); 0 when either side is invalid
+};
+
+/// Tuning for ReadModel::Build.
+struct ReadModelOptions {
+  /// Profile entries kept per user (posterior top-K). <= 0 keeps all.
+  int top_k = 10;
+};
+
+/// Immutable, query-optimized view of one fitted model snapshot: flat
+/// top-K posterior profiles (CSR over users, probabilities copied verbatim
+/// from MlpResult so served values are byte-consistent with the fit),
+/// per-edge explanations with arena-derived support scores, an O(1)
+/// (src, dst) → edge index, and per-user degrees. Everything is built once
+/// by Build(); afterwards the model is read-only and safe to share across
+/// server threads without locking.
+///
+/// The snapshot carries the model but not the observation graph, which is
+/// why Build also takes the dataset's SocialGraph (edge endpoints, degrees)
+/// — callers are expected to have fingerprint-checked the pair, as
+/// `mlpctl serve` does.
+class ReadModel {
+ public:
+  /// Validates shape agreement between snapshot and graph, then builds the
+  /// flat read-side structures. The gazetteer is retained (not owned) for
+  /// city names in rendered responses.
+  static Result<ReadModel> Build(const io::ModelSnapshot& snapshot,
+                                 const graph::SocialGraph& graph,
+                                 const geo::Gazetteer* gazetteer,
+                                 const ReadModelOptions& options = {});
+
+  ReadModel() = default;
+  ReadModel(ReadModel&&) = default;
+  ReadModel& operator=(ReadModel&&) = default;
+  ReadModel(const ReadModel&) = delete;
+  ReadModel& operator=(const ReadModel&) = delete;
+
+  int num_users() const { return static_cast<int>(home_.size()); }
+  int num_edges() const { return static_cast<int>(edge_x_.size()); }
+
+  /// Point lookups. Return false when the id is out of range / the edge
+  /// does not exist; `out` is untouched in that case.
+  bool GetUser(graph::UserId u, UserAnswer* out) const;
+  bool GetEdge(graph::UserId src, graph::UserId dst, EdgeAnswer* out) const;
+  /// Edge lookup by id (the batch scan path after index resolution).
+  bool GetEdgeById(graph::EdgeId s, EdgeAnswer* out) const;
+  /// (src, dst) → edge id, or -1.
+  graph::EdgeId FindEdge(graph::UserId src, graph::UserId dst) const;
+
+  /// Pre-rendered JSON value of one user / edge answer — rendered once at
+  /// Build time into a flat blob (CSR over entities), so a point query is
+  /// a substring copy and a batch response a sequential concatenation scan
+  /// instead of per-request JSON assembly. Empty view when out of range.
+  std::string_view UserJson(graph::UserId u) const {
+    if (u < 0 || u >= num_users()) return {};
+    return std::string_view(user_json_).substr(
+        user_json_offset_[u], user_json_offset_[u + 1] - user_json_offset_[u]);
+  }
+  std::string_view EdgeJson(graph::EdgeId s) const {
+    if (s < 0 || s >= num_edges()) return {};
+    return std::string_view(edge_json_).substr(
+        edge_json_offset_[s], edge_json_offset_[s + 1] - edge_json_offset_[s]);
+  }
+
+  const geo::Gazetteer* gazetteer() const { return gazetteer_; }
+  std::string CityName(geo::CityId id) const;
+
+  // ---- model metadata served by /statsz ----
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  bool fit_complete() const { return fit_complete_; }
+  int64_t active_candidate_slots() const { return active_slots_; }
+  uint64_t candidate_layout_version() const { return layout_version_; }
+  double mean_profile_entries() const;
+
+ private:
+  const geo::Gazetteer* gazetteer_ = nullptr;
+
+  // Flat top-K profiles: CSR prefix over users into entries_.
+  std::vector<int64_t> profile_offset_;
+  std::vector<ProfileEntry> entries_;
+  std::vector<geo::CityId> home_;
+
+  // Per-user degrees.
+  std::vector<int32_t> num_friends_;
+  std::vector<int32_t> num_followers_;
+  std::vector<int32_t> num_tweets_;
+
+  // Per-edge explanation columns (struct-of-arrays; the batch path scans
+  // them sequentially).
+  std::vector<graph::UserId> edge_src_;
+  std::vector<graph::UserId> edge_dst_;
+  std::vector<geo::CityId> edge_x_;
+  std::vector<geo::CityId> edge_y_;
+  std::vector<double> edge_noise_;
+  std::vector<double> edge_x_support_;
+  std::vector<double> edge_y_support_;
+  std::vector<double> edge_distance_;
+
+  // (src << 32 | dst) → first matching edge id.
+  std::unordered_map<uint64_t, graph::EdgeId> edge_index_;
+
+  // Pre-rendered response fragments (flat blob + CSR prefix per entity).
+  std::string user_json_;
+  std::vector<int64_t> user_json_offset_;
+  std::string edge_json_;
+  std::vector<int64_t> edge_json_offset_;
+
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+  bool fit_complete_ = false;
+  int64_t active_slots_ = 0;
+  uint64_t layout_version_ = 0;
+};
+
+}  // namespace serve
+}  // namespace mlp
+
+#endif  // MLP_SERVE_READ_MODEL_H_

@@ -1,0 +1,74 @@
+#ifndef MLP_SERVE_REQUEST_BATCHER_H_
+#define MLP_SERVE_REQUEST_BATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "serve/read_model.h"
+
+namespace mlp {
+namespace serve {
+
+/// A coalesced set of point lookups (the POST /v1/batch payload).
+struct BatchRequest {
+  std::vector<graph::UserId> users;
+  std::vector<std::pair<graph::UserId, graph::UserId>> edges;
+};
+
+/// Answers aligned 1:1 with the request vectors; `found` is false for
+/// out-of-range users / absent edges (the matching answer slot is then
+/// default-constructed).
+struct BatchResult {
+  std::vector<UserAnswer> users;
+  std::vector<uint8_t> user_found;
+  std::vector<EdgeAnswer> edges;
+  std::vector<uint8_t> edge_found;
+};
+
+/// Turns N point lookups into vectorized scans over the read model's flat
+/// arrays. Two levers over per-request point queries:
+///   - lookups are executed sorted by user id (original order restored on
+///     output), so the profile CSR and degree arrays are walked mostly
+///     sequentially instead of randomly; and
+///   - batches past `min_parallel_items` are chunked across the batch
+///     ThreadPool, each chunk writing disjoint output slots, with a
+///     per-batch completion latch (no pool-wide Wait, so concurrent
+///     batches never serialize each other).
+///
+/// The pool must NOT be the one the caller itself runs on (ThreadPool
+/// tasks must not block on their own pool) — ModelServer hands the batcher
+/// a dedicated batch pool for exactly this reason.
+class RequestBatcher {
+ public:
+  /// `model` and `pool` are borrowed. `pool` may be null: every batch then
+  /// runs inline on the calling thread (still sorted/vectorized).
+  RequestBatcher(const ReadModel* model, engine::ThreadPool* pool,
+                 int min_parallel_items = 512);
+
+  BatchResult Execute(const BatchRequest& request) const;
+
+  /// The POST /v1/batch hot path: assembles the full response body
+  /// ({"users":[...],"edges":[...]}, `null` for missing entries) directly
+  /// from the read model's pre-rendered fragments — per chunk a sequential
+  /// concatenation scan, chunks across the batch pool. No per-request JSON
+  /// rendering at all.
+  std::string ExecuteJson(const BatchRequest& request) const;
+
+  uint64_t batches_executed() const { return batches_; }
+  uint64_t lookups_executed() const { return lookups_; }
+
+ private:
+  const ReadModel* model_;
+  engine::ThreadPool* pool_;
+  int min_parallel_items_;
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> lookups_{0};
+};
+
+}  // namespace serve
+}  // namespace mlp
+
+#endif  // MLP_SERVE_REQUEST_BATCHER_H_

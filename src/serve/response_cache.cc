@@ -1,0 +1,93 @@
+#include "serve/response_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mlp {
+namespace serve {
+
+ResponseCache::ResponseCache(size_t capacity_bytes, int num_shards) {
+  int n = std::max(1, num_shards);
+  shard_capacity_ = capacity_bytes / n;
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ResponseCache::Shard& ResponseCache::ShardFor(const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+size_t ResponseCache::EntryCost(const std::string& key,
+                                const std::string& value) {
+  // Strings plus list/map node overhead; 64 is a round approximation that
+  // keeps the budget honest without per-allocator introspection.
+  return key.size() + value.size() + 64;
+}
+
+bool ResponseCache::Get(const std::string& key, std::string* value) {
+  if (shard_capacity_ == 0) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  *value = it->second->second;
+  return true;
+}
+
+void ResponseCache::Put(const std::string& key, std::string value) {
+  if (shard_capacity_ == 0) return;
+  const size_t cost = EntryCost(key, value);
+  if (cost > shard_capacity_) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= EntryCost(key, it->second->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->second = std::move(value);
+    shard.bytes += cost;
+  } else {
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += cost;
+  }
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= EntryCost(victim.first, victim.second);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResponseCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResponseCache::Stats ResponseCache::GetStats() const {
+  Stats stats;
+  stats.capacity_bytes = shard_capacity_ * shards_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->index.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace mlp

@@ -1,0 +1,74 @@
+#ifndef MLP_SERVE_RESPONSE_CACHE_H_
+#define MLP_SERVE_RESPONSE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mlp {
+namespace serve {
+
+/// Sharded LRU cache for rendered response bodies, keyed by request target.
+/// Shards are independent (key-hash routed), so concurrent server threads
+/// only contend when they hit the same shard; eviction is per shard by
+/// byte budget. Capacity 0 disables the cache entirely (every Get misses,
+/// Put is a no-op) — the hot path stays branch-cheap either way.
+class ResponseCache {
+ public:
+  /// `capacity_bytes` is the total budget split evenly across
+  /// `num_shards` (clamped to >= 1).
+  ResponseCache(size_t capacity_bytes, int num_shards = 8);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// On hit copies the cached body into `*value` and refreshes recency.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts or refreshes `key`. Entries larger than a whole shard's
+  /// budget are not cached.
+  void Put(const std::string& key, std::string value);
+
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t capacity_bytes = 0;
+  };
+  /// Aggregated over shards (locks each shard briefly).
+  Stats GetStats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recent. unordered_map points into the list.
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  static size_t EntryCost(const std::string& key, const std::string& value);
+
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace mlp
+
+#endif  // MLP_SERVE_RESPONSE_CACHE_H_

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -56,6 +58,43 @@ TEST(ThreadPoolTest, ClampsToOneWorker) {
   pool.Submit([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DrainFinishesQueuedAndInFlightWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    }));
+  }
+  pool.Drain();
+  // Everything admitted before Drain completed; nothing was dropped.
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_TRUE(pool.draining());
+}
+
+TEST(ThreadPoolTest, SubmitAfterDrainIsRejected) {
+  ThreadPool pool(2);
+  pool.Drain();
+  std::atomic<int> counter{0};
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  // The rejected task never runs, and a second Drain is a safe no-op.
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, DrainIsSafeFromMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  std::thread other([&pool] { pool.Drain(); });
+  pool.Drain();
+  other.join();
+  EXPECT_EQ(counter.load(), 100);
 }
 
 // ---------------------------------------------------------- graph sharder

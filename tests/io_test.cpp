@@ -99,15 +99,57 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(out.find("Method"), std::string::npos);
   EXPECT_NE(out.find("-----"), std::string::npos);
   EXPECT_NE(out.find("BaseU"), std::string::npos);
-  // Every line where "52.44%" appears must start the column at the same
-  // offset as "62.3%".
+  // The ACC column is numeric, so it is right-aligned: "52.44%" and
+  // "62.3%" must END at the same offset within their lines.
   size_t col_a = out.find("52.44%");
   size_t col_b = out.find("62.3%");
   ASSERT_NE(col_a, std::string::npos);
   ASSERT_NE(col_b, std::string::npos);
   size_t line_a = out.rfind('\n', col_a);
   size_t line_b = out.rfind('\n', col_b);
-  EXPECT_EQ(col_a - line_a, col_b - line_b);
+  EXPECT_EQ(col_a + 6 - line_a, col_b + 5 - line_b);
+  // The label column is text and stays left-aligned: both labels start
+  // right after their newline.
+  size_t base_u = out.find("BaseU");
+  size_t mlp = out.find("MLP");
+  EXPECT_EQ(base_u - out.rfind('\n', base_u), mlp - out.rfind('\n', mlp));
+}
+
+TEST(TablePrinterTest, NumericColumnsRightAligned) {
+  TablePrinter table({"n", "count"});
+  table.AddRow({"a", "7"});
+  table.AddRow({"b", "1234"});
+  std::string out = table.ToString();
+  // Right-aligned final column: "7" is padded out to the width of "1234",
+  // so both data lines end at the same column (trailing pad is trimmed,
+  // which under left-alignment would leave the lines ragged).
+  EXPECT_NE(out.find("a      7\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("b   1234\n"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, MixedColumnStaysLeftAligned) {
+  TablePrinter table({"n", "value"});
+  table.AddRow({"a", "12"});
+  table.AddRow({"b", "n/a"});  // not numeric -> whole column left-aligned
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("a  12\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("b  n/a\n"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, ToCsvEscapesSeparatorsAndQuotes) {
+  TablePrinter table({"stat", "value"});
+  table.AddRow({"city", "Austin, TX"});
+  table.AddRow({"quote", "say \"hi\""});
+  table.AddRow({"plain", "42"});
+  std::string csv = table.ToCsv();
+  EXPECT_EQ(csv.rfind("stat,value\n", 0), 0u) << csv;
+  EXPECT_NE(csv.find("city,\"Austin, TX\"\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("quote,\"say \"\"hi\"\"\"\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("plain,42\n"), std::string::npos) << csv;
+  // Round-trips through the CSV parser.
+  auto fields = ParseCsvLine("city,\"Austin, TX\"");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "Austin, TX");
 }
 
 TEST(TablePrinterTest, NumericRowFormatting) {

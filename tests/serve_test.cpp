@@ -1,0 +1,573 @@
+// Tests for the online query subsystem (src/serve/): JSON round-trips,
+// LRU cache behavior, snapshot → ReadModel parity (v1 and v2/pruned
+// formats), the request batcher, and full HTTP round trips against a
+// ModelServer on an ephemeral port — including the acceptance contract
+// that served posteriors are byte-consistent with MlpResult.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "io/model_snapshot.h"
+#include "serve/http_server.h"
+#include "serve/json.h"
+#include "serve/model_server.h"
+#include "serve/read_model.h"
+#include "serve/request_batcher.h"
+#include "serve/response_cache.h"
+#include "synth/world_generator.h"
+
+namespace mlp {
+namespace serve {
+namespace {
+
+// ------------------------------------------------------------------- json
+
+TEST(JsonTest, WriterEmitsValidNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("Austin \"ATX\", TX\n");
+  w.Key("ids");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("p");
+  w.Double(0.25);
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("none");
+  w.Null();
+  w.EndObject();
+  w.EndObject();
+  const std::string text = w.str();
+  EXPECT_EQ(text,
+            "{\"name\":\"Austin \\\"ATX\\\", TX\\n\",\"ids\":[1,2],"
+            "\"nested\":{\"p\":0.25,\"flag\":true,\"none\":null}}");
+  Result<JsonValue> parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("name")->string_value, "Austin \"ATX\", TX\n");
+  EXPECT_EQ(parsed->Find("ids")->items.size(), 2u);
+  EXPECT_EQ(parsed->Find("nested")->Find("p")->AsDouble(), 0.25);
+}
+
+TEST(JsonTest, DoubleRenderingRoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-17, 123456789.123456789, -0.0,
+                   0.9999999999999999}) {
+    std::string text = JsonDouble(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(JsonTest, ParserHandlesEscapesAndNumbers) {
+  Result<JsonValue> v = ParseJson(" { \"a\" : [ -1.5e2 , \"\\u0041\" ] } ");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 2u);
+  EXPECT_EQ(a->items[0].AsDouble(), -150.0);
+  EXPECT_EQ(a->items[1].string_value, "A");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,2,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  // Nesting bomb stays bounded instead of overflowing the stack.
+  EXPECT_FALSE(ParseJson(std::string(5000, '[')).ok());
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(ResponseCacheTest, HitMissAndLruEviction) {
+  // One shard, tiny budget, so eviction order is observable.
+  ResponseCache cache(3 * 70, 1);
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Put("c", "3");
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_EQ(value, "1");
+  // "b" is now least recent; inserting "d" evicts it.
+  cache.Put("d", "4");
+  EXPECT_FALSE(cache.Get("b", &value));
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_TRUE(cache.Get("d", &value));
+  ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 3u);  // a, a, d
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_GE(stats.evictions, 1u);
+}
+
+TEST(ResponseCacheTest, ZeroCapacityDisablesCaching) {
+  ResponseCache cache(0);
+  cache.Put("a", "1");
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+}
+
+TEST(ResponseCacheTest, OversizedEntriesAreNotCached) {
+  ResponseCache cache(128, 1);
+  cache.Put("big", std::string(4096, 'x'));
+  std::string value;
+  EXPECT_FALSE(cache.Get("big", &value));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+// -------------------------------------------------- fit/snapshot fixtures
+
+synth::SyntheticWorld TestWorld(int num_users, uint64_t seed) {
+  synth::WorldConfig config;
+  config.num_users = num_users;
+  config.seed = seed;
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+  EXPECT_TRUE(world.ok());
+  return std::move(*world);
+}
+
+struct FitHarness {
+  explicit FitHarness(const synth::SyntheticWorld& world) {
+    input.gazetteer = world.gazetteer.get();
+    input.graph = world.graph.get();
+    input.distances = world.distances.get();
+    referents = world.vocab->ReferentTable();
+    input.venue_referents = &referents;
+    input.observed_home.reserve(world.graph->num_users());
+    for (graph::UserId u = 0; u < world.graph->num_users(); ++u) {
+      input.observed_home.push_back(world.graph->user(u).registered_city);
+    }
+  }
+  core::ModelInput input;
+  std::vector<std::vector<geo::CityId>> referents;
+};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Fits a small model and returns its snapshot (written+reloaded when
+/// `path` is non-empty, so the on-disk format is part of the loop).
+io::ModelSnapshot FitSnapshot(const synth::SyntheticWorld& world,
+                              const core::MlpConfig& config,
+                              const std::string& path) {
+  FitHarness harness(world);
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.checkpoint_out = &checkpoint;
+  Result<core::MlpResult> result = core::MlpModel(config).Fit(harness.input, opts);
+  EXPECT_TRUE(result.ok());
+  io::ModelSnapshot snapshot =
+      io::MakeModelSnapshot(harness.input, checkpoint, *result);
+  if (!path.empty()) {
+    EXPECT_TRUE(io::SaveModelSnapshot(path, snapshot).ok());
+    Result<io::ModelSnapshot> loaded = io::LoadModelSnapshot(path);
+    EXPECT_TRUE(loaded.ok());
+    return std::move(*loaded);
+  }
+  return snapshot;
+}
+
+core::MlpConfig SmallConfig() {
+  core::MlpConfig config;
+  config.burn_in_iterations = 3;
+  config.sampling_iterations = 3;
+  config.seed = 99;
+  return config;
+}
+
+/// Asserts the acceptance contract: every user's served answer reproduces
+/// MlpResult exactly — same argmax home, same top-K cities, and posterior
+/// probabilities equal to the last bit.
+void ExpectServedParity(const ReadModel& model, const core::MlpResult& result,
+                        int top_k) {
+  ASSERT_EQ(model.num_users(), static_cast<int>(result.home.size()));
+  for (graph::UserId u = 0; u < model.num_users(); ++u) {
+    UserAnswer answer;
+    ASSERT_TRUE(model.GetUser(u, &answer));
+    EXPECT_EQ(answer.home, result.home[u]) << "user " << u;
+    const auto& entries = result.profiles[u].entries();
+    int expected = static_cast<int>(entries.size());
+    if (top_k > 0) expected = std::min(expected, top_k);
+    ASSERT_EQ(answer.entry_count, expected) << "user " << u;
+    for (int i = 0; i < expected; ++i) {
+      EXPECT_EQ(answer.entries[i].city, entries[i].first) << "user " << u;
+      EXPECT_EQ(answer.entries[i].prob, entries[i].second) << "user " << u;
+    }
+  }
+}
+
+// -------------------------------------------------------- read model parity
+
+TEST(ReadModelTest, V2SnapshotServedHomesMatchMlpResult) {
+  synth::SyntheticWorld world = TestWorld(220, 7);
+  io::ModelSnapshot snapshot =
+      FitSnapshot(world, SmallConfig(), TempPath("serve_v2.snap"));
+  ReadModelOptions options;
+  options.top_k = 5;
+  Result<ReadModel> model = ReadModel::Build(snapshot, *world.graph,
+                                             world.gazetteer.get(), options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ExpectServedParity(*model, snapshot.result, 5);
+}
+
+TEST(ReadModelTest, PrunedV2SnapshotServedHomesMatchMlpResult) {
+  synth::SyntheticWorld world = TestWorld(220, 8);
+  core::MlpConfig config = SmallConfig();
+  config.burn_in_iterations = 6;
+  config.prune_floor = 0.2;  // aggressive, so pruning definitely fires
+  config.prune_patience = 1;
+  io::ModelSnapshot snapshot =
+      FitSnapshot(world, config, TempPath("serve_v2_pruned.snap"));
+  // The point of this fixture is a snapshot whose arena is compacted.
+  ASSERT_FALSE(snapshot.checkpoint.activation.history.empty())
+      << "pruning never fired — floor/patience need retuning";
+  Result<ReadModel> model =
+      ReadModel::Build(snapshot, *world.graph, world.gazetteer.get());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ExpectServedParity(*model, snapshot.result, 10);
+}
+
+TEST(ReadModelTest, V1SnapshotServedHomesMatchMlpResult) {
+  synth::SyntheticWorld world = TestWorld(220, 9);
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), "");
+  const std::string path = TempPath("serve_v1.snap");
+  ASSERT_TRUE(io::SaveModelSnapshotV1(path, snapshot).ok());
+  Result<io::ModelSnapshot> loaded = io::LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  Result<ReadModel> model =
+      ReadModel::Build(*loaded, *world.graph, world.gazetteer.get());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ExpectServedParity(*model, snapshot.result, 10);
+}
+
+TEST(ReadModelTest, EdgeLookupsMatchStoredExplanations) {
+  synth::SyntheticWorld world = TestWorld(220, 7);
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), "");
+  Result<ReadModel> model =
+      ReadModel::Build(snapshot, *world.graph, world.gazetteer.get());
+  ASSERT_TRUE(model.ok());
+  ASSERT_GT(model->num_edges(), 0);
+  for (graph::EdgeId s = 0; s < model->num_edges(); ++s) {
+    const graph::FollowingEdge& edge = world.graph->following(s);
+    EdgeAnswer answer;
+    ASSERT_TRUE(model->GetEdge(edge.follower, edge.friend_user, &answer));
+    EXPECT_EQ(answer.src, edge.follower);
+    EXPECT_EQ(answer.dst, edge.friend_user);
+    EXPECT_EQ(answer.x, snapshot.result.following[answer.edge].x);
+    EXPECT_EQ(answer.y, snapshot.result.following[answer.edge].y);
+    EXPECT_EQ(answer.noise_prob,
+              snapshot.result.following[answer.edge].noise_prob);
+    EXPECT_GE(answer.x_support, 0.0);
+    EXPECT_LE(answer.x_support, 1.0);
+    EXPECT_GE(answer.y_support, 0.0);
+    EXPECT_LE(answer.y_support, 1.0);
+  }
+  EdgeAnswer missing;
+  EXPECT_FALSE(model->GetEdge(-1, 0, &missing));
+  UserAnswer no_user;
+  EXPECT_FALSE(model->GetUser(model->num_users(), &no_user));
+}
+
+TEST(ReadModelTest, RejectsMismatchedGraph) {
+  synth::SyntheticWorld world = TestWorld(220, 7);
+  synth::SyntheticWorld other = TestWorld(150, 11);
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), "");
+  Result<ReadModel> model =
+      ReadModel::Build(snapshot, *other.graph, other.gazetteer.get());
+  EXPECT_FALSE(model.ok());
+}
+
+// ---------------------------------------------------------------- batcher
+
+TEST(RequestBatcherTest, BatchAnswersEqualPointAnswers) {
+  synth::SyntheticWorld world = TestWorld(220, 7);
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), "");
+  Result<ReadModel> model =
+      ReadModel::Build(snapshot, *world.graph, world.gazetteer.get());
+  ASSERT_TRUE(model.ok());
+
+  engine::ThreadPool pool(4);
+  // min_parallel_items = 8 forces the chunked parallel path.
+  RequestBatcher batcher(&*model, &pool, 8);
+  BatchRequest request;
+  for (graph::UserId u = model->num_users() - 1; u >= 0; --u) {
+    request.users.push_back(u);  // reverse order: exercises the sort
+  }
+  request.users.push_back(10 * model->num_users());  // missing
+  for (graph::EdgeId s = 0; s < std::min(50, model->num_edges()); ++s) {
+    const graph::FollowingEdge& edge = world.graph->following(s);
+    request.edges.emplace_back(edge.follower, edge.friend_user);
+  }
+  request.edges.emplace_back(-5, -6);  // missing
+
+  BatchResult result = batcher.Execute(request);
+  ASSERT_EQ(result.users.size(), request.users.size());
+  ASSERT_EQ(result.edges.size(), request.edges.size());
+  for (size_t i = 0; i < request.users.size(); ++i) {
+    UserAnswer point;
+    bool found = model->GetUser(request.users[i], &point);
+    ASSERT_EQ(result.user_found[i] != 0, found) << i;
+    if (!found) continue;
+    EXPECT_EQ(result.users[i].user, point.user);
+    EXPECT_EQ(result.users[i].home, point.home);
+    EXPECT_EQ(result.users[i].entries, point.entries);
+    EXPECT_EQ(result.users[i].entry_count, point.entry_count);
+  }
+  for (size_t i = 0; i < request.edges.size(); ++i) {
+    EdgeAnswer point;
+    bool found =
+        model->GetEdge(request.edges[i].first, request.edges[i].second, &point);
+    ASSERT_EQ(result.edge_found[i] != 0, found) << i;
+    if (!found) continue;
+    EXPECT_EQ(result.edges[i].edge, point.edge);
+    EXPECT_EQ(result.edges[i].noise_prob, point.noise_prob);
+  }
+}
+
+// ------------------------------------------------------- http round trips
+
+class ModelServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new synth::SyntheticWorld(TestWorld(220, 7));
+    snapshot_ = new io::ModelSnapshot(
+        FitSnapshot(*world_, SmallConfig(), TempPath("serve_http.snap")));
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete world_;
+    snapshot_ = nullptr;
+    world_ = nullptr;
+  }
+
+  /// Starts a fresh server on an ephemeral port.
+  std::unique_ptr<ModelServer> StartServer(int threads = 4, int cache_mb = 4) {
+    Result<ReadModel> model = ReadModel::Build(*snapshot_, *world_->graph,
+                                               world_->gazetteer.get());
+    EXPECT_TRUE(model.ok());
+    ServeOptions options;
+    options.port = 0;
+    options.threads = threads;
+    options.cache_mb = cache_mb;
+    auto server =
+        std::make_unique<ModelServer>(std::move(*model), options);
+    EXPECT_TRUE(server->Start().ok());
+    EXPECT_GT(server->port(), 0);
+    return server;
+  }
+
+  static synth::SyntheticWorld* world_;
+  static io::ModelSnapshot* snapshot_;
+};
+
+synth::SyntheticWorld* ModelServerTest::world_ = nullptr;
+io::ModelSnapshot* ModelServerTest::snapshot_ = nullptr;
+
+TEST_F(ModelServerTest, HealthzAndStatsz) {
+  auto server = StartServer();
+  Result<HttpResponse> health =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  Result<JsonValue> parsed = ParseJson(health->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("status")->string_value, "ok");
+
+  Result<HttpResponse> stats =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/statsz");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  Result<JsonValue> stats_json = ParseJson(stats->body);
+  ASSERT_TRUE(stats_json.ok());
+  EXPECT_NE(stats_json->Find("users"), nullptr);
+
+  // CSV rendering shares io::TablePrinter::ToCsv.
+  Result<HttpResponse> csv =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/statsz?format=csv");
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->status, 200);
+  EXPECT_EQ(csv->body.rfind("stat,value\n", 0), 0u) << csv->body;
+}
+
+TEST_F(ModelServerTest, ServedUserJsonIsByteConsistentWithMlpResult) {
+  auto server = StartServer();
+  Result<HttpClient> connected = HttpClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  HttpClient client = std::move(connected).ValueOrDie();
+  for (graph::UserId u = 0; u < 25; ++u) {
+    Result<HttpResponse> response =
+        client.RoundTrip("GET", "/v1/user/" + std::to_string(u));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200);
+    Result<JsonValue> parsed = ParseJson(response->body);
+    ASSERT_TRUE(parsed.ok());
+    // Argmax home parity.
+    const JsonValue* home = parsed->Find("home");
+    ASSERT_NE(home, nullptr);
+    if (snapshot_->result.home[u] == geo::kInvalidCity) {
+      EXPECT_EQ(home->type, JsonValue::Type::kNull);
+    } else {
+      EXPECT_EQ(home->Find("city_id")->AsInt(-1), snapshot_->result.home[u]);
+    }
+    // Posterior parity to the last bit: the JSON doubles parse back to
+    // exactly the MlpResult values.
+    const JsonValue* profile = parsed->Find("profile");
+    ASSERT_NE(profile, nullptr);
+    const auto& entries = snapshot_->result.profiles[u].entries();
+    size_t expected = std::min<size_t>(entries.size(), 10);
+    ASSERT_EQ(profile->items.size(), expected);
+    for (size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(profile->items[i].Find("city_id")->AsInt(-1),
+                entries[i].first);
+      EXPECT_EQ(profile->items[i].Find("p")->AsDouble(), entries[i].second);
+    }
+  }
+}
+
+TEST_F(ModelServerTest, EdgeEndpointServesExplanations) {
+  auto server = StartServer();
+  ASSERT_GT(world_->graph->num_following(), 0);
+  const graph::FollowingEdge& edge = world_->graph->following(0);
+  Result<HttpResponse> response = HttpFetch(
+      "127.0.0.1", server->port(), "GET",
+      "/v1/edge/" + std::to_string(edge.follower) + "/" +
+          std::to_string(edge.friend_user));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  Result<JsonValue> parsed = ParseJson(response->body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* explanation = parsed->Find("explanation");
+  ASSERT_NE(explanation, nullptr);
+  EXPECT_EQ(explanation->Find("noise_prob")->AsDouble(),
+            snapshot_->result.following[0].noise_prob);
+  EXPECT_NE(explanation->Find("x_support"), nullptr);
+  EXPECT_NE(explanation->Find("distance_miles"), nullptr);
+
+  // Errors: absent edge and malformed ids.
+  Result<HttpResponse> missing = HttpFetch(
+      "127.0.0.1", server->port(), "GET",
+      "/v1/edge/" + std::to_string(edge.follower) + "/" +
+          std::to_string(edge.follower));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  Result<HttpResponse> bad =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/edge/x/y");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+}
+
+TEST_F(ModelServerTest, BatchEndpointMatchesPointQueries) {
+  auto server = StartServer();
+  const graph::FollowingEdge& edge = world_->graph->following(0);
+  std::string body = "{\"users\":[0,1,999999],\"edges\":[[" +
+                     std::to_string(edge.follower) + "," +
+                     std::to_string(edge.friend_user) + "]]}";
+  Result<HttpResponse> batch =
+      HttpFetch("127.0.0.1", server->port(), "POST", "/v1/batch", body);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->status, 200) << batch->body;
+  Result<JsonValue> parsed = ParseJson(batch->body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* users = parsed->Find("users");
+  ASSERT_NE(users, nullptr);
+  ASSERT_EQ(users->items.size(), 3u);
+  EXPECT_EQ(users->items[2].type, JsonValue::Type::kNull);  // 999999
+  const JsonValue* edges = parsed->Find("edges");
+  ASSERT_EQ(edges->items.size(), 1u);
+
+  // The batch user objects are rendered by the same code path as the
+  // point endpoint, so the point body appears verbatim inside the batch
+  // body (byte-consistency across endpoints).
+  Result<HttpResponse> point =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/0");
+  ASSERT_TRUE(point.ok());
+  EXPECT_NE(batch->body.find(point->body), std::string::npos)
+      << point->body << "\nnot found in\n"
+      << batch->body;
+
+  Result<HttpResponse> rejected =
+      HttpFetch("127.0.0.1", server->port(), "POST", "/v1/batch", "{nope");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 400);
+}
+
+TEST_F(ModelServerTest, CacheServesRepeatLookups) {
+  auto server = StartServer();
+  for (int i = 0; i < 3; ++i) {
+    Result<HttpResponse> response =
+        HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/3");
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  }
+  Result<HttpResponse> stats =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/statsz");
+  ASSERT_TRUE(stats.ok());
+  Result<JsonValue> parsed = ParseJson(stats->body);
+  ASSERT_TRUE(parsed.ok());
+  // First lookup missed and populated; the two repeats hit.
+  EXPECT_EQ(parsed->Find("cache_hits")->string_value, "2");
+  EXPECT_EQ(parsed->Find("cache_misses")->string_value, "1");
+}
+
+TEST_F(ModelServerTest, UnknownEndpointsAnd404s) {
+  auto server = StartServer();
+  Result<HttpResponse> nope =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v2/everything");
+  ASSERT_TRUE(nope.ok());
+  EXPECT_EQ(nope->status, 404);
+  Result<HttpResponse> no_user =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/123456789");
+  ASSERT_TRUE(no_user.ok());
+  EXPECT_EQ(no_user->status, 404);
+  Result<HttpResponse> bad_id =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/abc");
+  ASSERT_TRUE(bad_id.ok());
+  EXPECT_EQ(bad_id->status, 400);
+  // Ids past int32 must 404, not alias-wrap onto a valid user (2^32 -> 0).
+  Result<HttpResponse> wrapped =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/4294967296");
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped->status, 404);
+  Result<HttpResponse> wrapped_edge = HttpFetch(
+      "127.0.0.1", server->port(), "GET", "/v1/edge/4294967296/4294967297");
+  ASSERT_TRUE(wrapped_edge.ok());
+  EXPECT_EQ(wrapped_edge->status, 404);
+  Result<HttpResponse> wrong_method =
+      HttpFetch("127.0.0.1", server->port(), "POST", "/v1/user/1", "{}");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+}
+
+TEST_F(ModelServerTest, GracefulStopRefusesNewConnections) {
+  auto server = StartServer(2);
+  int port = server->port();
+  Result<HttpResponse> before = HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->status, 200);
+  server->Stop();
+  EXPECT_FALSE(server->running());
+  // Either the connect is refused or the (OS-buffered) connection yields
+  // no response — both count as "not serving".
+  Result<HttpResponse> after = HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  EXPECT_FALSE(after.ok());
+  // Stop is idempotent; a second call must not hang or crash.
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mlp

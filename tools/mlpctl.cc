@@ -26,14 +26,29 @@
 //       --prune_floor / --prune_patience / --no_prune override the stored
 //       pruning policy (and only that) for the remaining sweeps, so
 //       warm-started and pruned fits compose.
+//   mlpctl serve --data DIR --load MODEL.snap [--port N] [--threads K]
+//                [--cache_mb M] [--top_k T] [--selfcheck]
+//       Online query server over a fitted snapshot (src/serve/): GET
+//       /v1/user/{id}, GET /v1/edge/{src}/{dst}, POST /v1/batch, /healthz,
+//       /statsz. SIGINT/SIGTERM shut down gracefully (drain in-flight
+//       requests). --selfcheck starts on an ephemeral port, round-trips a
+//       query set against the snapshot through a real socket client, and
+//       exits — the curl-free CI smoke.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 unknown/missing subcommand,
+// 3 missing or invalid required flag (per-subcommand usage printed).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "common/string_util.h"
 #include "core/model.h"
@@ -44,12 +59,23 @@
 #include "io/dataset_io.h"
 #include "io/model_snapshot.h"
 #include "io/table_printer.h"
+#include "serve/http_server.h"
+#include "serve/json.h"
+#include "serve/model_server.h"
+#include "serve/read_model.h"
 #include "synth/world_generator.h"
 #include "text/venue_vocab.h"
 
 namespace {
 
 using namespace mlp;
+
+// Exit codes — distinct so scripts (and the cli_usage ctest) can tell a
+// typo'd subcommand from a missing flag from a genuine runtime failure.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUnknownCommand = 2;
+constexpr int kExitUsage = 3;
 
 // Parses "--key value", "--key=value" and bare boolean "--key" flags. A
 // token starting with "--" is never consumed as a value, and "=" binds a
@@ -81,30 +107,58 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+// Per-subcommand usage lines, printed alone on a flag error for that
+// subcommand and concatenated for the global usage message.
+const std::map<std::string, std::string>& UsageTexts() {
+  static const std::map<std::string, std::string> kUsage = {
+      {"generate", "  mlpctl generate --users N [--seed S] --out DIR\n"},
+      {"stats", "  mlpctl stats --data DIR\n"},
+      {"eval",
+       "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n"
+       "              [--threads N] [--warm] [--prune]\n"
+       "              [--prune_floor F] [--prune_patience K]\n"
+       "  mlpctl eval --data DIR --load MODEL.snap\n"},
+      {"fit",
+       "  mlpctl fit --data DIR --save MODEL.snap [--burn N]\n"
+       "             [--sampling N] [--threads N] [--seed S]\n"
+       "             [--em-rounds R] [--max-sweeps K]\n"
+       "             [--prune_floor F] [--prune_patience K]\n"
+       "             [--no_prune]\n"},
+      {"resume",
+       "  mlpctl resume --data DIR --load MODEL.snap\n"
+       "             [--save MODEL2.snap] [--max-sweeps K]\n"
+       "             [--prune_floor F] [--prune_patience K]\n"
+       "             [--no_prune]\n"},
+      {"serve",
+       "  mlpctl serve --data DIR --load MODEL.snap [--port N]\n"
+       "             [--threads K] [--cache_mb M] [--top_k T]\n"
+       "             [--selfcheck]\n"},
+  };
+  return kUsage;
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  mlpctl generate --users N [--seed S] --out DIR\n"
-               "  mlpctl stats --data DIR\n"
-               "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n"
-               "              [--threads N] [--warm] [--prune]\n"
-               "              [--prune_floor F] [--prune_patience K]\n"
-               "  mlpctl eval --data DIR --load MODEL.snap\n"
-               "  mlpctl fit --data DIR --save MODEL.snap [--burn N]\n"
-               "             [--sampling N] [--threads N] [--seed S]\n"
-               "             [--em-rounds R] [--max-sweeps K]\n"
-               "             [--prune_floor F] [--prune_patience K]\n"
-               "             [--no_prune]\n"
-               "  mlpctl resume --data DIR --load MODEL.snap\n"
-               "             [--save MODEL2.snap] [--max-sweeps K]\n"
-               "             [--prune_floor F] [--prune_patience K]\n"
-               "             [--no_prune]\n");
-  return 2;
+  std::string out = "usage:\n";
+  for (const auto& [command, text] : UsageTexts()) {
+    (void)command;
+    out += text;
+  }
+  std::fputs(out.c_str(), stderr);
+  return kExitUnknownCommand;
+}
+
+// Flag error within a known subcommand: print just that subcommand's
+// usage and return the usage exit code (distinct from unknown-command).
+int UsageFor(const std::string& command) {
+  auto it = UsageTexts().find(command);
+  if (it == UsageTexts().end()) return Usage();
+  std::fprintf(stderr, "usage:\n%s", it->second.c_str());
+  return kExitUsage;
 }
 
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   std::string out = FlagOr(flags, "out", "");
-  if (out.empty()) return Usage();
+  if (out.empty()) return UsageFor("generate");
   synth::WorldConfig config;
   config.num_users = std::atoi(FlagOr(flags, "users", "4000").c_str());
   config.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
@@ -146,7 +200,7 @@ Result<LoadedWorld> LoadWorld(const std::string& dir) {
 
 int CmdStats(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
-  if (dir.empty()) return Usage();
+  if (dir.empty()) return UsageFor("stats");
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -244,7 +298,7 @@ int SaveSnapshotTo(const std::string& path, const core::ModelInput& input,
 int CmdFit(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   std::string save = FlagOr(flags, "save", "");
-  if (dir.empty() || save.empty()) return Usage();
+  if (dir.empty() || save.empty()) return UsageFor("fit");
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -283,7 +337,7 @@ int CmdFit(const std::map<std::string, std::string>& flags) {
 int CmdResume(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   std::string load = FlagOr(flags, "load", "");
-  if (dir.empty() || load.empty()) return Usage();
+  if (dir.empty() || load.empty()) return UsageFor("resume");
   Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(load);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "snapshot load failed: %s\n",
@@ -326,10 +380,37 @@ int CmdResume(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Loads a snapshot and binds it to the loaded dataset: user counts must
+// agree and the stored fingerprint must match the priors derived from this
+// dataset — the same guard resume uses, so neither eval --load nor serve
+// can silently pair a model with an unrelated world.
+Result<io::ModelSnapshot> LoadSnapshotChecked(const LoadedWorld& world,
+                                              const std::string& path) {
+  Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  const size_t num_users = world.data->graph.num_users();
+  if (snapshot->result.home.size() != num_users) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot has %zu users but dataset has %zu — wrong data directory?",
+        snapshot->result.home.size(), num_users));
+  }
+  auto referents = world.vocab.ReferentTable();
+  core::ModelInput input = FullInput(world, referents);
+  core::CandidateSpace space =
+      core::CandidateSpace::Build(input, snapshot->checkpoint.config);
+  if (core::FitFingerprint(input, snapshot->checkpoint.config, space) !=
+      snapshot->checkpoint.fingerprint) {
+    return Status::InvalidArgument(
+        "snapshot does not match this dataset (fingerprint mismatch) — "
+        "wrong --data directory?");
+  }
+  return snapshot;
+}
+
 // Serving-style evaluation of a persisted model: score the stored home
 // estimates against the dataset's registered homes, no refit.
 int EvalSnapshot(const LoadedWorld& world, const std::string& path) {
-  Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(path);
+  Result<io::ModelSnapshot> snapshot = LoadSnapshotChecked(world, path);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "snapshot load failed: %s\n",
                  snapshot.status().ToString().c_str());
@@ -337,27 +418,6 @@ int EvalSnapshot(const LoadedWorld& world, const std::string& path) {
   }
   std::vector<geo::CityId> registered =
       eval::RegisteredHomes(world.data->graph);
-  if (snapshot->result.home.size() != registered.size()) {
-    std::fprintf(stderr,
-                 "snapshot has %zu users but dataset has %zu — wrong data "
-                 "directory?\n",
-                 snapshot->result.home.size(), registered.size());
-    return 1;
-  }
-  // Same guard resume uses: the stored fingerprint must match the priors
-  // derived from this dataset, or the accuracy table would silently score
-  // the model against an unrelated world.
-  auto referents = world.vocab.ReferentTable();
-  core::ModelInput input = FullInput(world, referents);
-  core::CandidateSpace space =
-      core::CandidateSpace::Build(input, snapshot->checkpoint.config);
-  if (core::FitFingerprint(input, snapshot->checkpoint.config, space) !=
-      snapshot->checkpoint.fingerprint) {
-    std::fprintf(stderr,
-                 "snapshot does not match this dataset (fingerprint "
-                 "mismatch) — wrong --data directory?\n");
-    return 1;
-  }
   std::vector<graph::UserId> labeled;
   for (graph::UserId u = 0; u < static_cast<graph::UserId>(registered.size());
        ++u) {
@@ -381,7 +441,7 @@ int EvalSnapshot(const LoadedWorld& world, const std::string& path) {
 
 int CmdEval(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
-  if (dir.empty()) return Usage();
+  if (dir.empty()) return UsageFor("eval");
   int folds = std::atoi(FlagOr(flags, "folds", "5").c_str());
   std::string method = FlagOr(flags, "method", "all");
   int threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
@@ -446,6 +506,176 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// ------------------------------------------------------------------ serve
+
+// SIGINT/SIGTERM → graceful shutdown flag for the serve loop. sig_atomic_t
+// because the handler may interrupt any instruction.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+
+// --selfcheck: a real socket round trip against the just-started server,
+// validating status codes, JSON well-formedness and snapshot consistency.
+// This is the CI smoke's curl replacement (cmake/serve_smoke.cmake).
+int RunSelfcheck(const serve::ModelServer& server,
+                 const io::ModelSnapshot& snapshot,
+                 const graph::SocialGraph& graph) {
+  const int port = server.port();
+  int failures = 0;
+  auto check = [&](const char* what, bool ok) {
+    std::printf("selfcheck %-28s %s\n", what, ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
+  };
+
+  Result<serve::HttpResponse> health =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  check("/healthz", health.ok() && health->status == 200 &&
+                        serve::ParseJson(health->body).ok());
+
+  // A user with a non-empty profile (every fitted snapshot has one).
+  graph::UserId probe_user = 0;
+  for (graph::UserId u = 0;
+       u < static_cast<graph::UserId>(snapshot.result.profiles.size()); ++u) {
+    if (!snapshot.result.profiles[u].entries().empty()) {
+      probe_user = u;
+      break;
+    }
+  }
+  Result<serve::HttpResponse> user = serve::HttpFetch(
+      "127.0.0.1", port, "GET", "/v1/user/" + std::to_string(probe_user));
+  bool user_ok = user.ok() && user->status == 200;
+  if (user_ok) {
+    Result<serve::JsonValue> parsed = serve::ParseJson(user->body);
+    user_ok = parsed.ok() && parsed->is_object();
+    if (user_ok) {
+      const serve::JsonValue* home = parsed->Find("home");
+      const geo::CityId expected = snapshot.result.home[probe_user];
+      if (expected == geo::kInvalidCity) {
+        user_ok = home != nullptr &&
+                  home->type == serve::JsonValue::Type::kNull;
+      } else {
+        const serve::JsonValue* id =
+            home == nullptr ? nullptr : home->Find("city_id");
+        user_ok = id != nullptr && id->AsInt(-1) == expected;
+      }
+    }
+  }
+  check("/v1/user (home parity)", user_ok);
+
+  if (graph.num_following() > 0) {
+    const graph::FollowingEdge& edge = graph.following(0);
+    Result<serve::HttpResponse> edge_response = serve::HttpFetch(
+        "127.0.0.1", port, "GET",
+        "/v1/edge/" + std::to_string(edge.follower) + "/" +
+            std::to_string(edge.friend_user));
+    bool edge_ok = edge_response.ok() && edge_response->status == 200;
+    if (edge_ok) {
+      Result<serve::JsonValue> parsed = serve::ParseJson(edge_response->body);
+      edge_ok = parsed.ok() && parsed->Find("explanation") != nullptr;
+    }
+    check("/v1/edge", edge_ok);
+
+    std::string body = "{\"users\":[" + std::to_string(probe_user) +
+                       "],\"edges\":[[" + std::to_string(edge.follower) +
+                       "," + std::to_string(edge.friend_user) + "]]}";
+    Result<serve::HttpResponse> batch =
+        serve::HttpFetch("127.0.0.1", port, "POST", "/v1/batch", body);
+    bool batch_ok = batch.ok() && batch->status == 200;
+    if (batch_ok) {
+      Result<serve::JsonValue> parsed = serve::ParseJson(batch->body);
+      batch_ok = parsed.ok() && parsed->Find("users") != nullptr &&
+                 parsed->Find("users")->items.size() == 1 &&
+                 parsed->Find("edges") != nullptr &&
+                 parsed->Find("edges")->items.size() == 1;
+    }
+    check("/v1/batch", batch_ok);
+  }
+
+  Result<serve::HttpResponse> stats =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/statsz?format=csv");
+  check("/statsz?format=csv",
+        stats.ok() && stats->status == 200 &&
+            stats->body.rfind("stat,value", 0) == 0);
+
+  Result<serve::HttpResponse> missing =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/v1/user/999999999");
+  check("404 on unknown user", missing.ok() && missing->status == 404);
+
+  std::printf("selfcheck %s\n", failures == 0 ? "passed" : "FAILED");
+  return failures == 0 ? kExitOk : kExitRuntime;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "data", "");
+  std::string load = FlagOr(flags, "load", "");
+  if (dir.empty() || load.empty()) return UsageFor("serve");
+  const bool selfcheck = FlagOr(flags, "selfcheck", "0") != "0";
+
+  serve::ServeOptions options;
+  // Ephemeral port under --selfcheck so smoke runs never collide.
+  options.port = std::atoi(
+      FlagOr(flags, "port", selfcheck ? "0" : "8080").c_str());
+  options.threads = std::max(1, std::atoi(FlagOr(flags, "threads", "4").c_str()));
+  options.cache_mb = std::max(0, std::atoi(FlagOr(flags, "cache_mb", "16").c_str()));
+  options.top_k = std::atoi(FlagOr(flags, "top_k", "10").c_str());
+
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  Result<io::ModelSnapshot> snapshot = LoadSnapshotChecked(*world, load);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  serve::ReadModelOptions model_options;
+  model_options.top_k = options.top_k;
+  Result<serve::ReadModel> model =
+      serve::ReadModel::Build(*snapshot, world->data->graph,
+                              &world->gazetteer, model_options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "read model build failed: %s\n",
+                 model.status().ToString().c_str());
+    return kExitRuntime;
+  }
+
+  serve::ModelServer server(std::move(*model), options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+    return kExitRuntime;
+  }
+  PrintFitSummary(snapshot->checkpoint, snapshot->result);
+  std::printf(
+      "serving %d users / %d edges on http://127.0.0.1:%d "
+      "(threads=%d cache=%dMB top_k=%d)\n",
+      server.model().num_users(), server.model().num_edges(), server.port(),
+      options.threads, options.cache_mb, options.top_k);
+
+  if (selfcheck) {
+    int rc = RunSelfcheck(server, *snapshot, world->data->graph);
+    server.Stop();
+    return rc;
+  }
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::printf("Ctrl-C to stop\n");
+  std::fflush(stdout);
+  while (!g_shutdown_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("\nshutting down (draining in-flight requests)...\n");
+  server.Stop();
+  std::printf("served %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.connections_accepted()));
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -457,5 +687,7 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(flags);
   if (command == "fit") return CmdFit(flags);
   if (command == "resume") return CmdResume(flags);
+  if (command == "serve") return CmdServe(flags);
+  std::fprintf(stderr, "mlpctl: unknown subcommand '%s'\n", command.c_str());
   return Usage();
 }
