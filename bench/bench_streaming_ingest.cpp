@@ -1,0 +1,230 @@
+// Streaming delta ingest vs full refit (ISSUE 5 / ROADMAP "streaming
+// updates"): fits the paper-calibrated power-law world once, then absorbs
+// a delta batch — a burst of new users following a handful of hub
+// accounts, with fresh tweets — two ways:
+//   - full refit: rerun the whole sweep program over the merged world
+//     (what a batch system would do), and
+//   - streaming ingest: stream::ApplyDeltaBatch — candidate migration plus
+//     warm resampling of ONLY the delta-touched shards.
+// Reports ingest latency, the touched-shard fraction, the speedup over the
+// refit, and Table-2 home-prediction accuracy of both merged models on the
+// same held-out fold (the <1% acceptance delta). Results land in
+// BENCH_streaming.json for the CI bench-regression gate.
+//
+// Env overrides: MLP_BENCH_STREAM_USERS (default 4000),
+// MLP_BENCH_STREAM_THREADS (default 8), MLP_BENCH_STREAM_NEW_USERS
+// (default 12), MLP_BENCH_SEED, MLP_BENCH_JSON_DIR.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/model.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "io/table_printer.h"
+#include "stream/delta_batch.h"
+#include "stream/delta_ingest.h"
+#include "synth/world_generator.h"
+
+namespace {
+
+using namespace mlp;
+
+double Seconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// A localized burst: `count` new users (half labeled) who all follow a
+// small set of hub accounts, plus a few tweets each. Locality is the
+// realistic shape (new accounts cluster around popular ones) and what
+// shard-scoped resampling exploits.
+stream::DeltaBatch MakeBurstDelta(const graph::SocialGraph& base,
+                                  int count, uint64_t seed) {
+  stream::DeltaBatch delta;
+  Pcg32 rng(seed, 0x7fb5d329728ea185ULL);
+  const int hubs = 4;
+  std::vector<graph::UserId> hub_ids;
+  for (int h = 0; h < hubs; ++h) {
+    hub_ids.push_back(static_cast<graph::UserId>(
+        rng.UniformU32(static_cast<uint32_t>(base.num_users()))));
+  }
+  for (int i = 0; i < count; ++i) {
+    graph::UserRecord record;
+    record.handle = "stream_burst_" + std::to_string(i);
+    if (i % 2 == 0) {
+      // Labeled newcomers supervise their own row, like the fit workflow.
+      record.registered_city = static_cast<geo::CityId>(rng.UniformU32(40));
+    }
+    const graph::UserId id =
+        base.num_users() + static_cast<graph::UserId>(i);
+    delta.users.push_back(std::move(record));
+    for (int e = 0; e < 2; ++e) {
+      delta.following.push_back(
+          {id, hub_ids[rng.UniformU32(static_cast<uint32_t>(hubs))]});
+    }
+    for (int t = 0; t < 3; ++t) {
+      delta.tweeting.push_back(
+          {id, static_cast<graph::VenueId>(
+                   rng.UniformU32(static_cast<uint32_t>(base.num_venues())))});
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+int main() {
+  synth::WorldConfig world_config = bench::BenchWorldConfig();
+  world_config.num_users = static_cast<int>(
+      bench::EnvInt("MLP_BENCH_STREAM_USERS", world_config.num_users));
+  const int threads =
+      static_cast<int>(bench::EnvInt("MLP_BENCH_STREAM_THREADS", 8));
+  const int new_users =
+      static_cast<int>(bench::EnvInt("MLP_BENCH_STREAM_NEW_USERS", 12));
+
+  std::printf("generating %d-user power-law world...\n",
+              world_config.num_users);
+  Result<synth::SyntheticWorld> world = synth::GenerateWorld(world_config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<geo::CityId>> referents =
+      world->vocab->ReferentTable();
+  std::vector<geo::CityId> registered = eval::RegisteredHomes(*world->graph);
+  eval::FoldAssignment folds = eval::MakeKFolds(registered, 5, 17);
+  std::vector<graph::UserId> test_users = folds.TestUsers(0);
+
+  core::ModelInput base_input;
+  base_input.gazetteer = world->gazetteer.get();
+  base_input.graph = world->graph.get();
+  base_input.distances = world->distances.get();
+  base_input.venue_referents = &referents;
+  base_input.observed_home = folds.MaskedHomes(registered, 0);
+
+  core::MlpConfig config = bench::BenchMlpConfig();
+  config.num_threads = threads;
+
+  // ---- base fit (the model the stream lands on) ----
+  std::printf("base fit: %d users, %d following, %d tweeting, %d threads\n",
+              base_input.graph->num_users(),
+              base_input.graph->num_following(),
+              base_input.graph->num_tweeting(), threads);
+  core::FitCheckpoint base_checkpoint;
+  core::FitOptions fit_opts;
+  fit_opts.checkpoint_out = &base_checkpoint;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<core::MlpResult> base_result =
+      core::MlpModel(config).Fit(base_input, fit_opts);
+  if (!base_result.ok()) {
+    std::fprintf(stderr, "base fit failed: %s\n",
+                 base_result.status().ToString().c_str());
+    return 1;
+  }
+  const double base_fit_seconds = Seconds(t0);
+
+  stream::DeltaBatch delta =
+      MakeBurstDelta(*world->graph, new_users, world_config.seed);
+
+  // ---- streaming ingest ----
+  t0 = std::chrono::steady_clock::now();
+  Result<stream::IngestOutput> ingested = stream::ApplyDeltaBatch(
+      base_input, base_checkpoint, *base_result, delta);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 ingested.status().ToString().c_str());
+    return 1;
+  }
+  const double ingest_seconds = Seconds(t0);
+  const core::DeltaReport& report = ingested->report;
+  const double touched_fraction =
+      report.shards_total > 0
+          ? static_cast<double>(report.shards_touched) / report.shards_total
+          : 1.0;
+
+  core::ModelInput merged_input = base_input;
+  merged_input.graph = ingested->merged_graph.get();
+  merged_input.observed_home = ingested->merged_observed_home;
+
+  // ---- full refit over the merged world (the batch alternative) ----
+  t0 = std::chrono::steady_clock::now();
+  Result<core::MlpResult> refit = core::MlpModel(config).Fit(merged_input);
+  if (!refit.ok()) {
+    std::fprintf(stderr, "full refit failed: %s\n",
+                 refit.status().ToString().c_str());
+    return 1;
+  }
+  const double refit_seconds = Seconds(t0);
+  const double speedup =
+      ingest_seconds > 0.0 ? refit_seconds / ingest_seconds : 0.0;
+
+  // ---- Table-2 accuracy of both merged models, same held-out fold ----
+  const double acc100_ingest = eval::AccuracyWithin(
+      ingested->result.home, registered, test_users, *world->distances, 100.0);
+  const double acc20_ingest = eval::AccuracyWithin(
+      ingested->result.home, registered, test_users, *world->distances, 20.0);
+  const double acc100_refit = eval::AccuracyWithin(
+      refit->home, registered, test_users, *world->distances, 100.0);
+  const double acc20_refit = eval::AccuracyWithin(
+      refit->home, registered, test_users, *world->distances, 20.0);
+  const double delta100 = (acc100_ingest - acc100_refit) * 100.0;
+  const double delta20 = (acc20_ingest - acc20_refit) * 100.0;
+
+  io::TablePrinter table({"path", "seconds", "ACC@100", "ACC@20"});
+  table.AddRow({"full refit", StringPrintf("%.2f", refit_seconds),
+                StringPrintf("%.2f%%", acc100_refit * 100.0),
+                StringPrintf("%.2f%%", acc20_refit * 100.0)});
+  table.AddRow({"streaming ingest", StringPrintf("%.2f", ingest_seconds),
+                StringPrintf("%.2f%%", acc100_ingest * 100.0),
+                StringPrintf("%.2f%%", acc20_ingest * 100.0)});
+  table.Print();
+  std::printf(
+      "+%d users/+%d follows/+%d tweets: ingest %.3fs vs refit %.2fs -> "
+      "%.1fx; %d/%d shards touched (%.2f), %d rows migrated; "
+      "ACC delta %+.2f%% @100mi / %+.2f%% @20mi (base fit %.2fs)\n",
+      report.new_users, report.new_following, report.new_tweeting,
+      ingest_seconds, refit_seconds, speedup, report.shards_touched,
+      report.shards_total, touched_fraction, report.migrated_rows, delta100,
+      delta20, base_fit_seconds);
+  if (speedup < 5.0) {
+    std::printf("WARNING: ingest speedup %.1fx below the 5x acceptance\n",
+                speedup);
+  }
+  if (delta100 < -1.0 || delta20 < -1.0) {
+    std::printf("WARNING: ingest accuracy fell >1%% behind the full refit\n");
+  }
+
+  bench::BenchJson json;
+  json.Set("bench", std::string("streaming_ingest"));
+  json.Set("users", static_cast<int64_t>(base_input.graph->num_users()));
+  json.Set("threads", static_cast<int64_t>(threads));
+  json.Set("seed", static_cast<int64_t>(world_config.seed));
+  json.Set("delta_users", static_cast<int64_t>(report.new_users));
+  json.Set("delta_following", static_cast<int64_t>(report.new_following));
+  json.Set("delta_tweeting", static_cast<int64_t>(report.new_tweeting));
+  json.Set("base_fit_seconds", base_fit_seconds);
+  json.Set("ingest_seconds", ingest_seconds);
+  json.Set("refit_seconds", refit_seconds);
+  json.Set("ingest_speedup", speedup);
+  json.Set("shards_touched", static_cast<int64_t>(report.shards_touched));
+  json.Set("shards_total", static_cast<int64_t>(report.shards_total));
+  json.Set("touched_shard_fraction", touched_fraction);
+  json.Set("migrated_rows", static_cast<int64_t>(report.migrated_rows));
+  json.Set("acc100_refit_pct", acc100_refit * 100.0);
+  json.Set("acc100_ingest_pct", acc100_ingest * 100.0);
+  json.Set("acc20_refit_pct", acc20_refit * 100.0);
+  json.Set("acc20_ingest_pct", acc20_ingest * 100.0);
+  json.Set("acc_delta_100mi_pct", delta100);
+  json.Set("acc_delta_20mi_pct", delta20);
+  json.WriteTo(bench::BenchJsonPath("BENCH_streaming.json"));
+  return 0;
+}

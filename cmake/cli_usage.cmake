@@ -45,3 +45,11 @@ expect_exit(3 generate --users 10)
 expect_exit(3 stats)
 expect_exit(3 eval)
 expect_exit(3 resume --data somewhere)
+
+# ingest shares the same contract: all four required flags or exit 3 with
+# ingest's own usage.
+expect_exit(3 ingest)
+expect_exit(3 ingest --data somewhere --load model.snap --delta d)
+if(NOT last_stderr MATCHES "mlpctl ingest" OR last_stderr MATCHES "mlpctl serve")
+  message(FATAL_ERROR "ingest usage should show only ingest:\n${last_stderr}")
+endif()

@@ -322,5 +322,375 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
   return result;
 }
 
+Result<MlpResult> MlpModel::ApplyDelta(const ModelInput& base_input,
+                                       const ModelInput& merged_input,
+                                       const MlpResult& base_result,
+                                       const FitOptions& opts,
+                                       DeltaReport* report_out) {
+  MLP_RETURN_NOT_OK(ValidateInput(merged_input));
+  if (opts.warm_start == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyDelta requires options.warm_start (the base checkpoint)");
+  }
+  if (opts.delta_burn_sweeps < 0 || opts.delta_sampling_sweeps < 1) {
+    return Status::InvalidArgument(
+        "need >= 0 delta burn and >= 1 delta sampling sweeps");
+  }
+  const FitCheckpoint& base = *opts.warm_start;
+  const graph::SocialGraph& old_graph = *base_input.graph;
+  const graph::SocialGraph& new_graph = *merged_input.graph;
+  const int old_users = old_graph.num_users();
+  const int merged_users = new_graph.num_users();
+  const int s_old = old_graph.num_following();
+  const int s_new = new_graph.num_following();
+  const int k_old = old_graph.num_tweeting();
+  const int k_new = new_graph.num_tweeting();
+  const bool use_following = config_.source != ObservationSource::kTweetingOnly;
+  const bool use_tweeting = config_.source != ObservationSource::kFollowingOnly;
+  if (merged_users < old_users || s_new < s_old || k_new < k_old) {
+    return Status::InvalidArgument(
+        "merged input does not extend the base input");
+  }
+  if (static_cast<int>(base_result.home.size()) != old_users ||
+      (use_following &&
+       static_cast<int>(base_result.following.size()) != s_old) ||
+      (use_tweeting &&
+       static_cast<int>(base_result.tweeting.size()) != k_old)) {
+    return Status::InvalidArgument(
+        "base result does not match the base input's shape");
+  }
+  if ((use_following && static_cast<int>(base.sampler.mu.size()) != s_old) ||
+      (use_tweeting && static_cast<int>(base.sampler.nu.size()) != k_old)) {
+    return Status::InvalidArgument(
+        "base checkpoint sampler state does not match the base input");
+  }
+  // Counts extending is not enough: the chain is remapped edge index by
+  // edge index, so the merged graph must carry the base edges as an
+  // UNCHANGED prefix (stream::MergeDelta's contract). An interleaved or
+  // reordered merge would silently pair assignments with the wrong edges.
+  for (graph::EdgeId s = 0; s < s_old; ++s) {
+    const graph::FollowingEdge& a = old_graph.following(s);
+    const graph::FollowingEdge& b = new_graph.following(s);
+    if (a.follower != b.follower || a.friend_user != b.friend_user) {
+      return Status::InvalidArgument(
+          "merged input does not carry the base following edges as an "
+          "unchanged prefix");
+    }
+  }
+  for (graph::EdgeId k = 0; k < k_old; ++k) {
+    const graph::TweetingEdge& a = old_graph.tweeting(k);
+    const graph::TweetingEdge& b = new_graph.tweeting(k);
+    if (a.user != b.user || a.venue != b.venue) {
+      return Status::InvalidArgument(
+          "merged input does not carry the base tweeting edges as an "
+          "unchanged prefix");
+    }
+  }
+  for (graph::UserId u = 0; u < old_users; ++u) {
+    if (merged_input.observed_home[u] != base_input.observed_home[u]) {
+      return Status::InvalidArgument(
+          "merged input changes an existing user's observed home — a delta "
+          "may only append");
+    }
+  }
+
+  // The base checkpoint must genuinely belong to `base_input` — the same
+  // guard Fit's warm start applies, against the BASE universe.
+  CandidateSpace old_space = CandidateSpace::Build(base_input, config_);
+  if (FitFingerprint(base_input, config_, old_space) != base.fingerprint) {
+    return Status::InvalidArgument(
+        "base checkpoint does not match the base input/config "
+        "(fingerprint mismatch)");
+  }
+  MLP_RETURN_NOT_OK(old_space.RestoreActivation(base.activation));
+
+  // Rebuild the candidate universe over the merged world, then migrate the
+  // base activation onto it: BuildPriors is per-user, so only users
+  // adjacent to delta evidence grow/reshape their rows — everyone else's
+  // row is carried verbatim (pruned slots stay pruned, streaks continue).
+  CandidateSpace space = CandidateSpace::Build(merged_input, config_);
+
+  // Expanded (per-full-slot) base activation; an empty mask means fully
+  // active, exactly as RestoreActivation interprets it.
+  std::vector<uint8_t> old_active = base.activation.active;
+  std::vector<int32_t> old_streak = base.activation.cold_streak;
+  if (old_active.empty()) old_active.assign(old_space.full_size(), 1);
+  if (old_streak.empty()) old_streak.assign(old_space.full_size(), 0);
+
+  std::vector<int64_t> old_full_off(old_users + 1, 0);
+  for (graph::UserId u = 0; u < old_users; ++u) {
+    old_full_off[u + 1] = old_full_off[u] + old_space.full_count(u);
+  }
+
+  CandidateActivation activation;
+  activation.active.assign(space.full_size(), 1);
+  activation.cold_streak.assign(space.full_size(), 0);
+  // One ingest = one layout generation: consumers keyed on layout_version
+  // (engine replicas, serve::ReadModel, /statsz) see the bump.
+  activation.layout_version = base.activation.layout_version + 1;
+  activation.history = base.activation.history;
+
+  DeltaReport report;
+  report.new_users = merged_users - old_users;
+  report.new_following = s_new - s_old;
+  report.new_tweeting = k_new - k_old;
+
+  std::vector<uint8_t> touched(merged_users, 0);
+  for (graph::UserId u = old_users; u < merged_users; ++u) touched[u] = 1;
+
+  int64_t new_off = 0;
+  for (graph::UserId u = 0; u < merged_users; ++u) {
+    const int n_new = space.full_count(u);
+    if (u < old_users) {
+      const int n_old = old_space.full_count(u);
+      const geo::CityId* row_new = space.full_row(u);
+      const geo::CityId* row_old = old_space.full_row(u);
+      const double* g_new = space.full_gamma_row(u);
+      const double* g_old = old_space.full_gamma_row(u);
+      const bool identical = n_new == n_old &&
+                             std::equal(row_new, row_new + n_new, row_old) &&
+                             std::equal(g_new, g_new + n_new, g_old);
+      if (identical) {
+        std::copy(old_active.begin() + old_full_off[u],
+                  old_active.begin() + old_full_off[u + 1],
+                  activation.active.begin() + new_off);
+        std::copy(old_streak.begin() + old_full_off[u],
+                  old_streak.begin() + old_full_off[u + 1],
+                  activation.cold_streak.begin() + new_off);
+      } else {
+        // Stale row: carry each surviving city's activation by value; new
+        // cities start active. The user's γ changed, so it must resample.
+        touched[u] = 1;
+        ++report.migrated_rows;
+        bool any_active = n_new == 0;
+        for (int l = 0; l < n_new; ++l) {
+          const int ol = FindCandidateSlot(row_old, n_old, row_new[l]);
+          if (ol >= 0) {
+            activation.active[new_off + l] = old_active[old_full_off[u] + ol];
+            activation.cold_streak[new_off + l] =
+                old_streak[old_full_off[u] + ol];
+          }
+          any_active = any_active || activation.active[new_off + l] != 0;
+        }
+        if (!any_active) {
+          // Every carried slot was pruned and nothing new arrived active —
+          // reopen the whole row rather than strand the user.
+          for (int l = 0; l < n_new; ++l) {
+            activation.active[new_off + l] = 1;
+            activation.cold_streak[new_off + l] = 0;
+          }
+        }
+      }
+    }
+    new_off += n_new;
+  }
+  MLP_RETURN_NOT_OK(space.RestoreActivation(activation));
+
+  // Migrate the chain: every carried assignment's slot is re-found by city
+  // in the merged active row; a vanished slot (the row lost that city, or
+  // carried it pruned) redirects to the user's best prior slot — that user
+  // is then stale by definition and resamples immediately.
+  auto redirect_slot = [&](graph::UserId u) -> int32_t {
+    const CandidateView& view = space.view(u);
+    int best = 0;
+    double best_gamma = -1.0;
+    for (int l = 0; l < view.size(); ++l) {
+      if (view.gamma[l] > best_gamma) {
+        best_gamma = view.gamma[l];
+        best = l;
+      }
+    }
+    return best;
+  };
+  MigratedChain chain;
+  chain.home_change_per_sweep = base.sampler.home_change_per_sweep;
+  auto remap = [&](graph::UserId u, int32_t old_slot,
+                   int32_t* out) -> Status {
+    const CandidateView& old_view = old_space.view(u);
+    if (old_slot < 0 || old_slot >= old_view.size()) {
+      return Status::InvalidArgument(
+          "base checkpoint assignment index out of candidate range");
+    }
+    const int nl = space.SlotOf(u, old_view.candidates[old_slot]);
+    if (nl >= 0) {
+      *out = nl;
+    } else {
+      *out = redirect_slot(u);
+      touched[u] = 1;
+      ++report.redirected_assignments;
+    }
+    return Status::OK();
+  };
+  if (use_following) {
+    chain.mu = base.sampler.mu;
+    chain.x_idx.resize(s_old);
+    chain.y_idx.resize(s_old);
+    for (graph::EdgeId s = 0; s < s_old; ++s) {
+      const graph::FollowingEdge& edge = old_graph.following(s);
+      MLP_RETURN_NOT_OK(
+          remap(edge.follower, base.sampler.x_idx[s], &chain.x_idx[s]));
+      MLP_RETURN_NOT_OK(
+          remap(edge.friend_user, base.sampler.y_idx[s], &chain.y_idx[s]));
+    }
+    for (graph::EdgeId s = s_old; s < s_new; ++s) {
+      const graph::FollowingEdge& edge = new_graph.following(s);
+      touched[edge.follower] = 1;
+      touched[edge.friend_user] = 1;
+    }
+  }
+  if (use_tweeting) {
+    chain.nu = base.sampler.nu;
+    chain.z_idx.resize(k_old);
+    for (graph::EdgeId k = 0; k < k_old; ++k) {
+      MLP_RETURN_NOT_OK(remap(old_graph.tweeting(k).user,
+                              base.sampler.z_idx[k], &chain.z_idx[k]));
+    }
+    for (graph::EdgeId k = k_old; k < k_new; ++k) {
+      touched[new_graph.tweeting(k).user] = 1;
+    }
+  }
+  for (uint8_t t : touched) report.touched_users += t;
+
+  // A genuinely empty delta is a strict no-op: base result and checkpoint
+  // come back unchanged, so re-snapshotting is bit-identical.
+  if (report.touched_users == 0) {
+    report.user_resampled.assign(merged_users, 0);
+    report.following_resampled.assign(use_following ? s_new : 0, 0);
+    report.tweeting_resampled.assign(use_tweeting ? k_new : 0, 0);
+    report.shards_total =
+        config_.num_threads <= 1 ? 1 : config_.num_threads;
+    if (opts.checkpoint_out != nullptr) *opts.checkpoint_out = base;
+    if (report_out != nullptr) *report_out = std::move(report);
+    return base_result;
+  }
+
+  // Warm machinery over the merged world. (α, β) resume from the base
+  // fit's evolved values, exactly like Fit's warm-start path.
+  MlpConfig config = config_;
+  config.alpha = base.progress.alpha;
+  config.beta = base.progress.beta;
+  RandomModels random_models = RandomModels::Learn(*merged_input.graph);
+  PowTable pow_table(merged_input.distances, config.alpha,
+                     config.distance_floor_miles);
+  GibbsSampler sampler(&merged_input, &config, &space, &random_models,
+                       &pow_table);
+  engine::ParallelGibbsEngine engine(&sampler, &merged_input, &config, &space);
+
+  // Appended edges draw their seed assignments from a stream derived from
+  // (seed, delta shape) — a pure function of the inputs, so ingesting a
+  // loaded snapshot replays byte-for-byte the same chain as ingesting the
+  // in-memory checkpoint.
+  Pcg32 init_rng(
+      config.seed ^ (0x9e3779b97f4a7c15ULL *
+                     (static_cast<uint64_t>(s_new - s_old) + 1)),
+      0x94d049bb133111ebULL + 2 * (static_cast<uint64_t>(k_new - k_old) + 1));
+  MLP_RETURN_NOT_OK(sampler.AdoptMigratedChain(chain, &init_rng));
+
+  Pcg32 rng(config.seed, 0x5bd1e995u);
+  rng.RestoreState(base.master_rng);
+  MLP_RETURN_NOT_OK(engine.RestoreShardRngStates(base.shard_rngs));
+  // Ownership for the resample pass: the cost-weighted partition over the
+  // merged graph's ACTIVE candidate products, with the touched users
+  // packed into the fewest shards their cost warrants
+  // (GraphSharder::PartitionGrouped). Touched work still spreads across
+  // those dedicated shards' threads, while the rest of the world stays in
+  // shards the resample never selects — the partition is a
+  // parallelization artifact, so concentrating the hot set changes
+  // nothing about the chain's validity, only how little of it reruns.
+  if (engine.num_threads() > 1) {
+    std::vector<double> cost(merged_users, 0.0);
+    if (use_following) {
+      for (graph::EdgeId s = 0; s < s_new; ++s) {
+        const graph::FollowingEdge& edge = new_graph.following(s);
+        cost[edge.follower] +=
+            static_cast<double>(space.view(edge.follower).size()) *
+            static_cast<double>(space.view(edge.friend_user).size());
+      }
+    }
+    if (use_tweeting) {
+      for (graph::EdgeId t = 0; t < k_new; ++t) {
+        const graph::TweetingEdge& edge = new_graph.tweeting(t);
+        cost[edge.user] += static_cast<double>(space.view(edge.user).size());
+      }
+    }
+    double total_cost = 0.0;
+    double touched_cost = 0.0;
+    for (graph::UserId u = 0; u < merged_users; ++u) {
+      total_cost += cost[u];
+      if (touched[u]) touched_cost += cost[u];
+    }
+    const int threads = engine.num_threads();
+    const int touched_shards =
+        total_cost > 0.0
+            ? std::clamp(static_cast<int>(std::ceil(
+                             touched_cost / total_cost * threads)),
+                         1, threads)
+            : 1;
+    MLP_RETURN_NOT_OK(engine.SetPartition(engine::GraphSharder::PartitionGrouped(
+        new_graph, threads, touched_shards, cost, touched)));
+  }
+
+  const std::vector<int> owner = engine.UserShards();
+  const int num_shards =
+      engine.num_threads() <= 1 ? 1 : static_cast<int>(engine.shards().size());
+  std::vector<uint8_t> shard_touched(num_shards, 0);
+  for (graph::UserId u = 0; u < merged_users; ++u) {
+    if (touched[u]) shard_touched[owner[u]] = 1;
+  }
+  std::vector<int> shard_set;
+  for (int k = 0; k < num_shards; ++k) {
+    if (shard_touched[k]) shard_set.push_back(k);
+  }
+  report.shards_total = num_shards;
+  report.shards_touched = static_cast<int32_t>(shard_set.size());
+  MLP_RETURN_NOT_OK(engine.BeginShardResample(shard_set));
+
+  for (int it = 0; it < opts.delta_burn_sweeps; ++it) {
+    engine.ResampleShards(&rng);
+  }
+  sampler.ResetAccumulators();
+  for (int it = 0; it < opts.delta_sampling_sweeps; ++it) {
+    engine.ResampleShards(&rng);
+    sampler.AccumulateSample();
+  }
+  report.user_resampled = engine.resample_user_mask();
+  report.following_resampled = engine.resample_following_mask();
+  report.tweeting_resampled = engine.resample_tweeting_mask();
+  engine.EndShardResample();
+
+  if (opts.checkpoint_out != nullptr) {
+    FitCheckpoint* ck = opts.checkpoint_out;
+    ck->config = config_;
+    ck->fingerprint = FitFingerprint(merged_input, config_, space);
+    ck->complete = base.complete;
+    ck->progress = base.progress;
+    sampler.SaveState(&ck->sampler);
+    ck->master_rng = rng.SaveState();
+    ck->shard_rngs = engine.ShardRngStates();
+    ck->activation = space.SaveActivation();
+  }
+
+  // Merge: resampled users/edges take the refreshed posterior; everything
+  // else keeps the base fit's rows verbatim (their counts never moved).
+  MlpResult result = sampler.BuildResult();
+  for (graph::UserId u = 0; u < old_users; ++u) {
+    if (report.user_resampled[u]) continue;
+    result.profiles[u] = base_result.profiles[u];
+    result.home[u] = base_result.home[u];
+  }
+  for (graph::EdgeId s = 0; use_following && s < s_old; ++s) {
+    if (!report.following_resampled[s]) {
+      result.following[s] = base_result.following[s];
+    }
+  }
+  for (graph::EdgeId k = 0; use_tweeting && k < k_old; ++k) {
+    if (!report.tweeting_resampled[k]) {
+      result.tweeting[k] = base_result.tweeting[k];
+    }
+  }
+  if (report_out != nullptr) *report_out = std::move(report);
+  return result;
+}
+
 }  // namespace core
 }  // namespace mlp

@@ -59,6 +59,35 @@ struct FitOptions {
   /// When non-null, filled with the end-of-run state — complete or not —
   /// so the caller can persist it (io::SaveModelSnapshot) or resume later.
   FitCheckpoint* checkpoint_out = nullptr;
+  /// ApplyDelta only: warm resampling sweeps run over the touched shards
+  /// after a delta lands — a short burn to absorb the new evidence, then
+  /// accumulation sweeps that average the refreshed posteriors. Both are
+  /// tiny compared to a full sweep program; that gap (times the touched-
+  /// shard fraction) is the streaming-ingest speedup.
+  int delta_burn_sweeps = 3;
+  int delta_sampling_sweeps = 5;
+};
+
+/// What one ApplyDelta call did — sizes of the delta, the touched set, and
+/// exactly which users/edges were resampled (everything else is carried
+/// bit-identically from the base fit). The masks drive the result merge
+/// and the untouched-shard identity assertions in tests/stream_test.cpp.
+struct DeltaReport {
+  int32_t new_users = 0;
+  int32_t new_following = 0;
+  int32_t new_tweeting = 0;
+  /// Existing users whose FULL candidate row changed under the merged
+  /// graph (new neighbor evidence → new candidates / reweighted γ).
+  int32_t migrated_rows = 0;
+  /// Carried assignments whose slot vanished from the merged active row
+  /// (redirected to the user's best prior slot before resampling).
+  int32_t redirected_assignments = 0;
+  int32_t touched_users = 0;    // delta-adjacent users before shard closure
+  int32_t shards_touched = 0;
+  int32_t shards_total = 0;
+  std::vector<uint8_t> user_resampled;       // per merged user
+  std::vector<uint8_t> following_resampled;  // per merged following edge
+  std::vector<uint8_t> tweeting_resampled;   // per merged tweeting edge
 };
 
 /// Identity hash binding a fit to its inputs: every pre-pruning MlpConfig
@@ -98,6 +127,39 @@ class MlpModel {
 
   Result<MlpResult> Fit(const ModelInput& input);
   Result<MlpResult> Fit(const ModelInput& input, const FitOptions& options);
+
+  /// Streaming delta ingest (ROADMAP "streaming updates"; driven by
+  /// src/stream/): absorbs a batch of appended users/relationships into a
+  /// fitted model WITHOUT rerunning full inference.
+  ///
+  /// `base_input` is the world the checkpoint was fitted on;
+  /// `merged_input` extends it — same users/edges as a strict prefix, the
+  /// delta appended (stream::MergeDelta builds exactly this). The call
+  ///   1. validates `options.warm_start` (required) against `base_input`
+  ///      by fingerprint,
+  ///   2. rebuilds the candidate space over the merged world and migrates
+  ///      the base activation onto it — unchanged rows keep their slots
+  ///      (and pruned slots stay pruned), stale rows are remapped by city,
+  ///      and `layout_version` is bumped so downstream consumers see one
+  ///      ingest generation,
+  ///   3. adopts the migrated chain (GibbsSampler::AdoptMigratedChain) and
+  ///      resamples ONLY the shards touched by the delta
+  ///      (ParallelGibbsEngine::ResampleShards) for
+  ///      `options.delta_burn_sweeps + delta_sampling_sweeps` sweeps from
+  ///      the warm state,
+  ///   4. merges: untouched users/edges keep `base_result`'s rows verbatim
+  ///      and their counts bit-identical; touched ones get the refreshed
+  ///      posterior.
+  /// `options.checkpoint_out` receives a checkpoint bound to the MERGED
+  /// input — it round-trips through io::SaveModelSnapshot as an ordinary
+  /// v2 snapshot and can be resumed, re-ingested, or served.
+  /// An empty delta (merged == base, no row changes) is a strict no-op:
+  /// `base_result` and the warm-start checkpoint come back unchanged.
+  Result<MlpResult> ApplyDelta(const ModelInput& base_input,
+                               const ModelInput& merged_input,
+                               const MlpResult& base_result,
+                               const FitOptions& options,
+                               DeltaReport* report = nullptr);
 
  private:
   Status ValidateInput(const ModelInput& input) const;

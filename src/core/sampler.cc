@@ -618,5 +618,106 @@ Status GibbsSampler::RestoreState(const SamplerState& state) {
   return Status::OK();
 }
 
+Status GibbsSampler::AdoptMigratedChain(const MigratedChain& chain,
+                                        Pcg32* rng) {
+  const graph::SocialGraph& graph = *input_->graph;
+  const size_t s_total = UseFollowing() ? graph.num_following() : 0;
+  const size_t k_total = UseTweeting() ? graph.num_tweeting() : 0;
+  const size_t s_old = chain.mu.size();
+  const size_t k_old = chain.nu.size();
+
+  if (chain.x_idx.size() != s_old || chain.y_idx.size() != s_old ||
+      chain.z_idx.size() != k_old || s_old > s_total || k_old > k_total) {
+    return Status::InvalidArgument(
+        "migrated chain does not cover a prefix of the merged graph");
+  }
+  // Every carried assignment must be a valid slot of the merged space's
+  // active row — the migration remapped (or redirected) them already, so a
+  // violation here means the caller paired the chain with a foreign space.
+  for (size_t s = 0; s < s_old; ++s) {
+    const graph::FollowingEdge& edge =
+        graph.following(static_cast<graph::EdgeId>(s));
+    if (chain.x_idx[s] < 0 ||
+        chain.x_idx[s] >= space_->view(edge.follower).size() ||
+        chain.y_idx[s] < 0 ||
+        chain.y_idx[s] >= space_->view(edge.friend_user).size()) {
+      return Status::InvalidArgument(
+          "migrated assignment index out of candidate range");
+    }
+  }
+  for (size_t k = 0; k < k_old; ++k) {
+    const graph::TweetingEdge& edge =
+        graph.tweeting(static_cast<graph::EdgeId>(k));
+    if (chain.z_idx[k] < 0 ||
+        chain.z_idx[k] >= space_->view(edge.user).size()) {
+      return Status::InvalidArgument(
+          "migrated assignment index out of candidate range");
+    }
+  }
+
+  PrepareBuffers();  // zeroes the arena onto the (merged) active layout
+
+  auto draw_from_prior = [&](graph::UserId u) -> int {
+    const CandidateView& view = space_->view(u);
+    return SampleCandidate(view.gamma, view.count, rng);
+  };
+
+  if (UseFollowing()) {
+    mu_ = chain.mu;
+    x_idx_ = chain.x_idx;
+    y_idx_ = chain.y_idx;
+    mu_.resize(s_total, 0);
+    x_idx_.resize(s_total, 0);
+    y_idx_.resize(s_total, 0);
+    // Appended edges start location-based from the priors, exactly like
+    // Initialize — they land in touched shards, so the resample pass
+    // re-draws them against the warm counts immediately.
+    for (size_t s = s_old; s < s_total; ++s) {
+      const graph::FollowingEdge& edge =
+          graph.following(static_cast<graph::EdgeId>(s));
+      x_idx_[s] = draw_from_prior(edge.follower);
+      y_idx_[s] = draw_from_prior(edge.friend_user);
+    }
+    // Rebuild ϕ from the full chain. Counts are integer-valued doubles, so
+    // users whose edges and assignments the delta left alone get rows bit-
+    // identical to the base fit's arena.
+    for (size_t s = 0; s < s_total; ++s) {
+      if (mu_[s] != 0) continue;
+      const graph::FollowingEdge& edge =
+          graph.following(static_cast<graph::EdgeId>(s));
+      stats_.phi_row(edge.follower)[x_idx_[s]] += 1.0;
+      stats_.phi_total[edge.follower] += 1.0;
+      stats_.phi_row(edge.friend_user)[y_idx_[s]] += 1.0;
+      stats_.phi_total[edge.friend_user] += 1.0;
+    }
+  }
+  if (UseTweeting()) {
+    nu_ = chain.nu;
+    z_idx_ = chain.z_idx;
+    nu_.resize(k_total, 0);
+    z_idx_.resize(k_total, 0);
+    for (size_t k = k_old; k < k_total; ++k) {
+      const graph::TweetingEdge& edge =
+          graph.tweeting(static_cast<graph::EdgeId>(k));
+      z_idx_[k] = draw_from_prior(edge.user);
+    }
+    for (size_t k = 0; k < k_total; ++k) {
+      if (nu_[k] != 0) continue;
+      const graph::TweetingEdge& edge =
+          graph.tweeting(static_cast<graph::EdgeId>(k));
+      geo::CityId z = space_->view(edge.user).candidates[z_idx_[k]];
+      stats_.phi_row(edge.user)[z_idx_[k]] += 1.0;
+      stats_.phi_total[edge.user] += 1.0;
+      stats_.venue_row(z)[edge.venue] += 1.0;
+      stats_.venue_counts_total[z] += 1.0;
+    }
+  }
+
+  ResetAccumulators();
+  last_homes_ = CurrentHomes();
+  home_change_per_sweep_ = chain.home_change_per_sweep;
+  return Status::OK();
+}
+
 }  // namespace core
 }  // namespace mlp

@@ -91,6 +91,22 @@ struct SamplerState {
   std::vector<double> home_change_per_sweep;
 };
 
+/// Chain state of a BASE fit remapped onto a merged (delta-ingested)
+/// candidate space: per-edge vectors sized to the OLD graph's edge counts
+/// (the merged graph's edge prefix), with every assignment index already a
+/// local slot of the merged space's ACTIVE row for that user. Consumed by
+/// GibbsSampler::AdoptMigratedChain during streaming ingest (src/stream/).
+struct MigratedChain {
+  std::vector<uint8_t> mu;
+  std::vector<int32_t> x_idx;
+  std::vector<int32_t> y_idx;
+  std::vector<uint8_t> nu;
+  std::vector<int32_t> z_idx;
+  /// Convergence trace carried over from the base fit, so an ingested
+  /// snapshot keeps the full Fig-5 history.
+  std::vector<double> home_change_per_sweep;
+};
+
 /// Collapsed Gibbs sampler for MLP (Sec. 4.5). θ and ψ are integrated out;
 /// the chain state is the model selectors (μ, ν) and location assignments
 /// (x, y, z) of every relationship, with sufficient statistics
@@ -157,6 +173,18 @@ class GibbsSampler {
   /// touching *this) when any piece of the state disagrees with the current
   /// layout or graph shape.
   Status RestoreState(const SamplerState& state);
+
+  // ---- streaming delta ingest (used by core::MlpModel::ApplyDelta) ----
+
+  /// Adopts a migrated chain over a merged graph: `chain` covers the old
+  /// graph's edge prefix (indices already remapped onto this sampler's
+  /// space), the appended edges draw initial assignments from the priors
+  /// using `rng` exactly as Initialize does, and ϕ/φ are rebuilt from the
+  /// full chain. Counts are integer-valued, so edges the delta never
+  /// touches reproduce their users' arena rows bit for bit. Accumulators
+  /// reset; the convergence trace continues from the carried history.
+  /// Replaces Initialize/RestoreState for the ingest path.
+  Status AdoptMigratedChain(const MigratedChain& chain, Pcg32* rng);
 
   // ---- candidate-space compaction (used by engine::ParallelGibbsEngine) --
 

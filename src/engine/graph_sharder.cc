@@ -13,9 +13,13 @@ namespace {
 /// Shared deterministic greedy LPT over per-user costs. Unit costs are
 /// small integers, and double sums of small integers are exact, so routing
 /// the legacy overload through here reproduces its historical partitions
-/// bit for bit.
+/// bit for bit. A non-empty `group` restricts group members to shards
+/// [0, group_begin_end.first) — i.e. [0, group_shards) — and the rest to
+/// [group_shards, k); see GraphSharder::PartitionGrouped.
 std::vector<Shard> LptPartition(const graph::SocialGraph& graph, int num_shards,
-                                const std::vector<double>& cost) {
+                                const std::vector<double>& cost,
+                                const std::vector<uint8_t>& group = {},
+                                int group_shards = 0) {
   const int k = std::max(1, num_shards);
   const int num_users = graph.num_users();
 
@@ -31,8 +35,17 @@ std::vector<Shard> LptPartition(const graph::SocialGraph& graph, int num_shards,
   std::vector<double> load(k, 0.0);
   std::vector<int> shard_of_user(num_users, 0);
   for (graph::UserId u : order) {
-    int lightest = 0;
-    for (int i = 1; i < k; ++i) {
+    int begin = 0;
+    int end = k;
+    if (!group.empty()) {
+      if (group[u]) {
+        end = group_shards;
+      } else {
+        begin = group_shards < k ? group_shards : 0;
+      }
+    }
+    int lightest = begin;
+    for (int i = begin + 1; i < end; ++i) {
       if (load[i] < load[lightest]) lightest = i;
     }
     shard_of_user[u] = lightest;
@@ -75,6 +88,16 @@ std::vector<Shard> GraphSharder::Partition(
     const std::vector<double>& user_cost) {
   MLP_CHECK(static_cast<int>(user_cost.size()) == graph.num_users());
   return LptPartition(graph, num_shards, user_cost);
+}
+
+std::vector<Shard> GraphSharder::PartitionGrouped(
+    const graph::SocialGraph& graph, int num_shards, int group_shards,
+    const std::vector<double>& user_cost, const std::vector<uint8_t>& group) {
+  MLP_CHECK(static_cast<int>(user_cost.size()) == graph.num_users());
+  MLP_CHECK(static_cast<int>(group.size()) == graph.num_users());
+  const int k = std::max(1, num_shards);
+  return LptPartition(graph, k, user_cost, group,
+                      std::clamp(group_shards, 1, k));
 }
 
 }  // namespace engine

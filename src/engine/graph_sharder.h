@@ -52,6 +52,19 @@ class GraphSharder {
   static std::vector<Shard> Partition(const graph::SocialGraph& graph,
                                       int num_shards,
                                       const std::vector<double>& user_cost);
+
+  /// Two-group variant for streaming ingest: users with `group[u] != 0`
+  /// are LPT-packed into shards [0, group_shards) and everyone else into
+  /// [group_shards, num_shards), each side balanced by `user_cost` with
+  /// the same determinism guarantees. Concentrating the delta-touched set
+  /// into the fewest shards its cost warrants is what makes shard-scoped
+  /// resampling (ParallelGibbsEngine::ResampleShards) skip the rest of
+  /// the world. `group_shards` is clamped to [1, num_shards]; with
+  /// group_shards == num_shards the group constraint disappears.
+  static std::vector<Shard> PartitionGrouped(
+      const graph::SocialGraph& graph, int num_shards, int group_shards,
+      const std::vector<double>& user_cost,
+      const std::vector<uint8_t>& group);
 };
 
 }  // namespace engine

@@ -147,6 +147,201 @@ void ParallelGibbsEngine::OnActivationRestored() {
   }
 }
 
+std::vector<int> ParallelGibbsEngine::UserShards() const {
+  std::vector<int> owner(input_->graph->num_users(), 0);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    for (graph::UserId u : shards_[k].users) owner[u] = static_cast<int>(k);
+  }
+  return owner;
+}
+
+Status ParallelGibbsEngine::SetPartition(std::vector<Shard> shards) {
+  if (num_threads_ <= 1) return Status::OK();
+  if (static_cast<int>(shards.size()) != num_threads_) {
+    return Status::InvalidArgument(
+        "partition must have exactly one shard per thread");
+  }
+  if (!IsSynchronized()) {
+    return Status::FailedPrecondition(
+        "cannot repartition with unmerged replica deltas");
+  }
+  size_t users = 0;
+  for (const Shard& shard : shards) users += shard.users.size();
+  if (users != static_cast<size_t>(input_->graph->num_users())) {
+    return Status::InvalidArgument(
+        "partition does not cover every user exactly once");
+  }
+  shards_ = std::move(shards);
+  replicas_fresh_ = false;
+  return Status::OK();
+}
+
+Status ParallelGibbsEngine::BeginShardResample(
+    const std::vector<int>& shard_set) {
+  if (!IsSynchronized()) {
+    return Status::FailedPrecondition(
+        "cannot begin a shard resample with unmerged replica deltas");
+  }
+  const int num_shards =
+      num_threads_ <= 1 ? 1 : static_cast<int>(shards_.size());
+  resample_shard_selected_.assign(num_shards, 0);
+  for (int k : shard_set) {
+    if (k < 0 || k >= num_shards) {
+      return Status::InvalidArgument("resample shard index out of range");
+    }
+    resample_shard_selected_[k] = 1;
+  }
+
+  const graph::SocialGraph& graph = *input_->graph;
+  resample_user_mask_.assign(graph.num_users(), 0);
+  if (num_threads_ <= 1) {
+    if (resample_shard_selected_[0]) {
+      resample_user_mask_.assign(graph.num_users(), 1);
+    }
+  } else {
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      if (!resample_shard_selected_[k]) continue;
+      for (graph::UserId u : shards_[k].users) resample_user_mask_[u] = 1;
+    }
+  }
+  resample_users_.clear();
+  for (graph::UserId u = 0; u < graph.num_users(); ++u) {
+    if (resample_user_mask_[u]) resample_users_.push_back(u);
+  }
+
+  // Eligibility: a following edge's resample writes BOTH endpoints' ϕ
+  // rows, so it may only run when both live in selected shards — that is
+  // the invariant that keeps unselected shards bit-identical. Edge lists
+  // are per owning shard so the sweep stays a per-shard loop.
+  resample_following_mask_.assign(
+      sampler_->UseFollowing() ? graph.num_following() : 0, 0);
+  resample_tweeting_mask_.assign(
+      sampler_->UseTweeting() ? graph.num_tweeting() : 0, 0);
+  resample_following_.assign(num_shards, {});
+  resample_tweeting_.assign(num_shards, {});
+  const std::vector<int> owner =
+      num_threads_ <= 1 ? std::vector<int>(graph.num_users(), 0)
+                        : UserShards();
+  if (sampler_->UseFollowing()) {
+    for (graph::EdgeId s = 0; s < graph.num_following(); ++s) {
+      const graph::FollowingEdge& edge = graph.following(s);
+      if (resample_user_mask_[edge.follower] &&
+          resample_user_mask_[edge.friend_user]) {
+        resample_following_mask_[s] = 1;
+        resample_following_[owner[edge.follower]].push_back(s);
+      }
+    }
+  }
+  if (sampler_->UseTweeting()) {
+    for (graph::EdgeId t = 0; t < graph.num_tweeting(); ++t) {
+      const graph::TweetingEdge& edge = graph.tweeting(t);
+      if (resample_user_mask_[edge.user]) {
+        resample_tweeting_mask_[t] = 1;
+        resample_tweeting_[owner[edge.user]].push_back(t);
+      }
+    }
+  }
+  resample_active_ = true;
+  return Status::OK();
+}
+
+void ParallelGibbsEngine::ResampleShards(Pcg32* rng) {
+  MLP_CHECK(resample_active_);
+  if (num_threads_ <= 1) {
+    core::SuffStatsArena* stats = sampler_->mutable_stats();
+    core::GibbsScratch scratch;
+    for (graph::EdgeId s : resample_following_[0]) {
+      sampler_->SampleFollowingEdge(s, stats, &scratch, rng);
+    }
+    for (graph::EdgeId t : resample_tweeting_[0]) {
+      sampler_->SampleTweetingEdge(t, stats, &scratch, rng);
+    }
+    sampler_->RecordSweepTrace();
+    return;
+  }
+
+  // Refresh and merge ONLY the selected shards' replicas, and within them
+  // only the selected users' ϕ rows: the restricted sweep's kernels read
+  // and write exactly those rows (eligible edges have BOTH endpoints
+  // selected), so everything else in a replica may stay stale without
+  // ever being observed. The venue rectangle is location×venue (a kernel
+  // may read/write any location's row), so it refreshes and merges in
+  // full — but its size is independent of the user population. Net:
+  // per-sweep traffic scales with the delta's touched rows + the venue
+  // rectangle, not with the whole world times the thread count.
+  const core::SuffStatsLayout& layout = sampler_->layout();
+  const core::SuffStatsArena& global_now = sampler_->stats();
+  auto copy_selected = [&](const core::SuffStatsArena& src,
+                           core::SuffStatsArena* dst) {
+    if (dst->layout != &layout) dst->Reset(&layout);
+    for (graph::UserId u : resample_users_) {
+      const int64_t begin = layout.phi_offset[u];
+      const int64_t end = layout.phi_offset[u + 1];
+      std::copy(src.phi.begin() + begin, src.phi.begin() + end,
+                dst->phi.begin() + begin);
+      dst->phi_total[u] = src.phi_total[u];
+    }
+    dst->venue_counts = src.venue_counts;
+    dst->venue_counts_total = src.venue_counts_total;
+  };
+  copy_selected(global_now, &snapshot_);
+  for (int k = 0; k < num_threads_; ++k) {
+    if (resample_shard_selected_[k]) copy_selected(snapshot_, &replicas_[k]);
+  }
+  for (int k = 0; k < num_threads_; ++k) {
+    if (!resample_shard_selected_[k]) continue;
+    pool_->Submit([this, k] {
+      core::SuffStatsArena* replica = &replicas_[k];
+      core::GibbsScratch* scratch = &scratches_[k];
+      Pcg32* shard_rng = &shard_rngs_[k];
+      for (graph::EdgeId s : resample_following_[k]) {
+        sampler_->SampleFollowingEdge(s, replica, scratch, shard_rng);
+      }
+      for (graph::EdgeId t : resample_tweeting_[k]) {
+        sampler_->SampleTweetingEdge(t, replica, scratch, shard_rng);
+      }
+    });
+  }
+  pool_->Wait();
+  // Force-merge every restricted sweep: the ingest driver reads the global
+  // counts (AccumulateSample) between sweeps. Deltas apply in shard order,
+  // exactly like MergeReplicas, restricted to the same selected rows (a
+  // replica's unselected rows are stale and must never contribute).
+  core::SuffStatsArena* global = sampler_->mutable_stats();
+  for (int k = 0; k < num_threads_; ++k) {
+    if (!resample_shard_selected_[k]) continue;
+    const core::SuffStatsArena& replica = replicas_[k];
+    for (graph::UserId u : resample_users_) {
+      const int64_t begin = layout.phi_offset[u];
+      const int64_t end = layout.phi_offset[u + 1];
+      for (int64_t i = begin; i < end; ++i) {
+        global->phi[i] += replica.phi[i] - snapshot_.phi[i];
+      }
+      global->phi_total[u] += replica.phi_total[u] - snapshot_.phi_total[u];
+    }
+    for (size_t i = 0; i < global->venue_counts.size(); ++i) {
+      global->venue_counts[i] +=
+          replica.venue_counts[i] - snapshot_.venue_counts[i];
+    }
+    for (size_t i = 0; i < global->venue_counts_total.size(); ++i) {
+      global->venue_counts_total[i] +=
+          replica.venue_counts_total[i] - snapshot_.venue_counts_total[i];
+    }
+  }
+  // Unselected replicas never saw this sweep's counts; make sure a later
+  // full RunSweep re-snapshots everything before using them.
+  replicas_fresh_ = false;
+  sweeps_since_sync_ = 0;
+  sampler_->RecordSweepTrace();
+}
+
+void ParallelGibbsEngine::EndShardResample() {
+  resample_active_ = false;
+  resample_shard_selected_.clear();
+  resample_following_.clear();
+  resample_tweeting_.clear();
+}
+
 void ParallelGibbsEngine::Synchronize() {
   if (num_threads_ <= 1 || !replicas_fresh_) return;
   if (sweeps_since_sync_ > 0) {

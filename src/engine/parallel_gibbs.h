@@ -90,6 +90,53 @@ class ParallelGibbsEngine {
   /// partition — and its bit-exact-resume guarantee — untouched).
   void OnActivationRestored();
 
+  // ---- shard-scoped warm resampling (streaming ingest, src/stream/) ----
+
+  /// Shard index owning each user under the current partition. In the
+  /// sequential path there is exactly one conceptual shard (all zeros).
+  std::vector<int> UserShards() const;
+
+  /// Replaces the partition (parallel path only; no-op when sequential).
+  /// Streaming ingest uses this with GraphSharder::PartitionGrouped to
+  /// pack the delta-touched users into the fewest shards their sampling
+  /// cost warrants — the smaller the selected-shard closure, the less
+  /// ResampleShards has to sweep. Must cover every user exactly once with
+  /// exactly num_threads() shards, at a merged barrier.
+  Status SetPartition(std::vector<Shard> shards);
+
+  /// Prepares a shard-scoped resample pass: selects the shards in
+  /// `shard_set` (indices into shards(); {0} is the whole graph when
+  /// sequential) and precomputes the owned edges eligible for resampling.
+  /// A following edge resamples BOTH endpoints' counts, so it is eligible
+  /// only when follower AND friend live in selected shards; a tweeting
+  /// edge needs just its owner. Everything else — unselected shards'
+  /// counts, assignments, and cross-boundary edges — is left bit-identical
+  /// by the pass. The per-user/per-edge eligibility masks are exposed
+  /// below so the caller can merge results accordingly. Fails on an
+  /// out-of-range shard index or when replicas hold unmerged deltas.
+  Status BeginShardResample(const std::vector<int>& shard_set);
+
+  /// One restricted Gibbs sweep over the shards selected by
+  /// BeginShardResample, with replica deltas force-merged at the end of
+  /// the call so the caller can read (and accumulate from) fresh global
+  /// counts between sweeps. Do not interleave with RunSweep/MaybePrune
+  /// while a pass is open.
+  void ResampleShards(Pcg32* rng);
+
+  /// Ends the pass; RunSweep sweeps the full graph again.
+  void EndShardResample();
+
+  bool resample_active() const { return resample_active_; }
+  const std::vector<uint8_t>& resample_user_mask() const {
+    return resample_user_mask_;
+  }
+  const std::vector<uint8_t>& resample_following_mask() const {
+    return resample_following_mask_;
+  }
+  const std::vector<uint8_t>& resample_tweeting_mask() const {
+    return resample_tweeting_mask_;
+  }
+
   // ---- checkpoint / warm-start API (used by core::MlpModel) ----
 
   /// Exact positions of the per-shard RNG streams (empty when sequential).
@@ -126,6 +173,19 @@ class ParallelGibbsEngine {
   core::SuffStatsArena snapshot_;       // global counts at last refresh
   int sweeps_since_sync_ = 0;
   bool replicas_fresh_ = false;
+
+  // Shard-scoped resample pass state (BeginShardResample..End).
+  bool resample_active_ = false;
+  std::vector<uint8_t> resample_shard_selected_;    // per shard
+  std::vector<uint8_t> resample_user_mask_;         // per user
+  std::vector<uint8_t> resample_following_mask_;    // per following edge
+  std::vector<uint8_t> resample_tweeting_mask_;     // per tweeting edge
+  std::vector<std::vector<graph::EdgeId>> resample_following_;  // per shard
+  std::vector<std::vector<graph::EdgeId>> resample_tweeting_;   // per shard
+  /// Users of the selected shards (ascending) — the only ϕ rows the
+  /// restricted sweep reads or writes, so replica refresh/merge copies
+  /// exactly these row ranges instead of the whole arena.
+  std::vector<graph::UserId> resample_users_;
 };
 
 }  // namespace engine

@@ -1,5 +1,6 @@
 #include "io/csv.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -90,6 +91,22 @@ Status WriteCsvFile(const std::string& path,
     return Status::IOError("write failed: " + path);
   }
   return Status::OK();
+}
+
+std::string PathJoin(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+Result<int> ParseIntField(const std::string& field, const char* what) {
+  char* end = nullptr;
+  long value = std::strtol(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument(std::string("bad ") + what + " field: '" +
+                                   field + "'");
+  }
+  return static_cast<int>(value);
 }
 
 }  // namespace io

@@ -27,6 +27,15 @@ Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char sep = ',');
 
+/// dir + "/" + name, tolerating an empty or slash-terminated dir. The one
+/// path-join used by every CSV dataset/delta reader and writer.
+std::string PathJoin(const std::string& dir, const std::string& name);
+
+/// Strictly parses a whole CSV field as a decimal integer; `what` names
+/// the field in the error. Shared by the dataset and delta parsers so a
+/// format tweak lands in exactly one place.
+Result<int> ParseIntField(const std::string& field, const char* what);
+
 }  // namespace io
 }  // namespace mlp
 

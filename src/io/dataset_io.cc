@@ -9,30 +9,15 @@ namespace mlp {
 namespace io {
 
 namespace {
-std::string PathJoin(const std::string& dir, const std::string& name) {
-  if (dir.empty()) return name;
-  if (dir.back() == '/') return dir + name;
-  return dir + "/" + name;
-}
-
 std::string CityField(geo::CityId id) { return std::to_string(id); }
 
 Result<geo::CityId> ParseCity(const std::string& field) {
-  char* end = nullptr;
-  long value = std::strtol(field.c_str(), &end, 10);
-  if (end == field.c_str() || *end != '\0') {
-    return Status::InvalidArgument("bad city id field: " + field);
-  }
+  MLP_ASSIGN_OR_RETURN(int value, ParseIntField(field, "city id"));
   return static_cast<geo::CityId>(value);
 }
 
 Result<int> ParseInt(const std::string& field) {
-  char* end = nullptr;
-  long value = std::strtol(field.c_str(), &end, 10);
-  if (end == field.c_str() || *end != '\0') {
-    return Status::InvalidArgument("bad integer field: " + field);
-  }
-  return static_cast<int>(value);
+  return ParseIntField(field, "integer");
 }
 }  // namespace
 

@@ -495,6 +495,7 @@ Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
 
   BinaryReader r(payload_bytes, payload_size);
   ModelSnapshot snapshot;
+  snapshot.version = version;
   snapshot.checkpoint.config = GetConfig(&r, version);
   snapshot.checkpoint.fingerprint = r.Get<uint64_t>();
   snapshot.checkpoint.complete = r.Get<uint8_t>() != 0;

@@ -39,6 +39,11 @@ inline constexpr uint32_t kMinModelSnapshotVersion = 1;
 struct ModelSnapshot {
   core::FitCheckpoint checkpoint;
 
+  /// Format version this snapshot was READ from (kModelSnapshotVersion for
+  /// snapshots assembled in memory). Informational — surfaced by CLI
+  /// mismatch diagnostics; Save* functions choose their own version.
+  uint32_t version = kModelSnapshotVersion;
+
   /// CSR prefix over users, size num_users + 1; candidates holds the
   /// concatenated ACTIVE candidate CityIds in the same order as the
   /// arena's ϕ (identical to the full universe until a prune fires).

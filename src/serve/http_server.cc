@@ -132,37 +132,39 @@ Status HttpServer::Start(int port, HttpHandler handler) {
   if (running_.load()) return Status::FailedPrecondition("already started");
   handler_ = std::move(handler);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     Status s = Status::IOError(StringPrintf("bind to port %d: %s", port,
                                             std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(listen_fd);
     return s;
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(listen_fd, 128) != 0) {
     Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(listen_fd);
     return s;
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
                     &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+  // Published only once fully set up; AcceptLoop and Stop() race on this
+  // fd by design (Stop closes it to wake accept), so it lives in an
+  // atomic and Stop claims it with exchange.
+  listen_fd_.store(listen_fd);
   stopping_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -171,7 +173,7 @@ Status HttpServer::Start(int port, HttpHandler handler) {
 
 void HttpServer::AcceptLoop() {
   while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load()) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -275,10 +277,14 @@ void HttpServer::ServeConnection(int fd) {
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // Claim the listener exactly once: shutdown() wakes the blocked
+  // accept(), and AcceptLoop only ever sees the fd value, never a
+  // half-written one (the TSan-clean handshake for the close-to-wake
+  // idiom).
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::unique_lock<std::mutex> lock(mu_);

@@ -78,7 +78,7 @@ class HttpServer {
 
   engine::ThreadPool* pool_;
   HttpHandler handler_;
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};

@@ -49,13 +49,18 @@ graph::UserId NarrowUserId(int64_t id) {
 }  // namespace
 
 ModelServer::ModelServer(ReadModel model, const ServeOptions& options)
-    : model_(std::move(model)),
-      options_(options),
+    : options_(options),
       cache_(static_cast<size_t>(std::max(0, options.cache_mb)) * 1024 * 1024),
       conn_pool_(std::max(1, options.threads)),
       batch_pool_(std::max(1, options.threads)),
-      batcher_(&model_, &batch_pool_),
-      http_(&conn_pool_) {}
+      batcher_(nullptr, &batch_pool_),
+      http_(&conn_pool_) {
+  auto published = std::make_shared<Published>();
+  published->model = std::make_shared<const ReadModel>(std::move(model));
+  published->generation = 1;
+  published_ = std::move(published);
+  swaps_.store(0);
+}
 
 ModelServer::~ModelServer() { Stop(); }
 
@@ -74,29 +79,67 @@ void ModelServer::Stop() {
   conn_pool_.Drain();
 }
 
+std::shared_ptr<const ModelServer::Published> ModelServer::Pin() const {
+  // atomic_load on the shared_ptr: lock-free on the data path against
+  // concurrent SwapReadModel stores, and the returned pin keeps the model
+  // alive for the whole request even if a swap lands mid-render.
+  return std::atomic_load(&published_);
+}
+
+void ModelServer::SwapReadModel(ReadModel model) {
+  // Swaps serialize on a control-plane mutex: two concurrent swaps must
+  // not mint the same generation (the cache namespaces by it) or publish
+  // out of order. The data path never takes this lock — requests only
+  // atomic_load the published pair.
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  auto fresh = std::make_shared<Published>();
+  fresh->model = std::make_shared<const ReadModel>(std::move(model));
+  fresh->generation = Pin()->generation + 1;
+  std::atomic_store(&published_,
+                    std::shared_ptr<const Published>(std::move(fresh)));
+  // Cache keys carry the generation, so stale bodies are unreachable the
+  // instant the store lands; clearing just hands the byte budget to the
+  // new model without waiting for LRU pressure.
+  cache_.Clear();
+  swaps_.fetch_add(1);
+}
+
+std::shared_ptr<const ReadModel> ModelServer::model() const {
+  return Pin()->model;
+}
+
+uint64_t ModelServer::model_generation() const { return Pin()->generation; }
+
 // --------------------------------------------------------------- routing
 
 HttpResponse ModelServer::CachedGet(
-    const std::string& target,
-    HttpResponse (ModelServer::*render)(const std::string&),
+    const Published& published, const std::string& target,
+    HttpResponse (ModelServer::*render)(const ReadModel&, const std::string&),
     const std::string& arg) {
+  // Generation-namespaced key: a body rendered from model generation G can
+  // only ever serve generation G, no matter how requests and swaps race.
+  const std::string key =
+      StringPrintf("g%llu %s",
+                   static_cast<unsigned long long>(published.generation),
+                   target.c_str());
   HttpResponse response;
-  if (cache_.Get(target, &response.body)) {
+  if (cache_.Get(key, &response.body)) {
     return response;  // cached bodies are always 200/application/json
   }
-  response = (this->*render)(arg);
-  if (response.status == 200) cache_.Put(target, response.body);
+  response = (this->*render)(*published.model, arg);
+  if (response.status == 200) cache_.Put(key, response.body);
   return response;
 }
 
-HttpResponse ModelServer::HandleUser(const std::string& rest) {
+HttpResponse ModelServer::HandleUser(const ReadModel& model,
+                                     const std::string& rest) {
   user_queries_.fetch_add(1);
   int64_t id = ParseId(rest);
   if (id < 0) {
     errors_.fetch_add(1);
     return ErrorResponse(400, "user id must be a non-negative integer");
   }
-  std::string_view fragment = model_.UserJson(NarrowUserId(id));
+  std::string_view fragment = model.UserJson(NarrowUserId(id));
   if (fragment.empty()) {
     errors_.fetch_add(1);
     return ErrorResponse(404, StringPrintf("no user %lld",
@@ -107,7 +150,8 @@ HttpResponse ModelServer::HandleUser(const std::string& rest) {
   return response;
 }
 
-HttpResponse ModelServer::HandleEdge(const std::string& rest) {
+HttpResponse ModelServer::HandleEdge(const ReadModel& model,
+                                     const std::string& rest) {
   edge_queries_.fetch_add(1);
   size_t slash = rest.find('/');
   if (slash == std::string::npos) {
@@ -120,8 +164,8 @@ HttpResponse ModelServer::HandleEdge(const std::string& rest) {
     errors_.fetch_add(1);
     return ErrorResponse(400, "edge endpoints must be non-negative integers");
   }
-  std::string_view fragment = model_.EdgeJson(
-      model_.FindEdge(NarrowUserId(src), NarrowUserId(dst)));
+  std::string_view fragment = model.EdgeJson(
+      model.FindEdge(NarrowUserId(src), NarrowUserId(dst)));
   if (fragment.empty()) {
     errors_.fetch_add(1);
     return ErrorResponse(
@@ -134,7 +178,8 @@ HttpResponse ModelServer::HandleEdge(const std::string& rest) {
   return response;
 }
 
-HttpResponse ModelServer::HandleBatch(const HttpRequest& request) {
+HttpResponse ModelServer::HandleBatch(const ReadModel& model,
+                                      const HttpRequest& request) {
   Result<JsonValue> parsed = ParseJson(request.body);
   if (!parsed.ok()) {
     errors_.fetch_add(1);
@@ -173,11 +218,13 @@ HttpResponse ModelServer::HandleBatch(const HttpRequest& request) {
   batch_queries_.fetch_add(batch.users.size() + batch.edges.size());
 
   HttpResponse response;
-  response.body = batcher_.ExecuteJson(batch);
+  response.body = batcher_.ExecuteJson(model, batch);
   return response;
 }
 
-HttpResponse ModelServer::HandleStats(const std::string& query) {
+HttpResponse ModelServer::HandleStats(const Published& published,
+                                      const std::string& query) {
+  const ReadModel& model = *published.model;
   const ResponseCache::Stats cache = cache_.GetStats();
   const double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -187,17 +234,19 @@ HttpResponse ModelServer::HandleStats(const std::string& query) {
   auto add = [&](const std::string& key, const std::string& value) {
     rows.emplace_back(key, value);
   };
-  add("users", std::to_string(model_.num_users()));
-  add("following_edges", std::to_string(model_.num_edges()));
+  add("users", std::to_string(model.num_users()));
+  add("following_edges", std::to_string(model.num_edges()));
+  add("model_generation", std::to_string(published.generation));
+  add("model_swaps", std::to_string(swaps_.load()));
   add("active_candidate_slots",
-      std::to_string(model_.active_candidate_slots()));
+      std::to_string(model.active_candidate_slots()));
   add("candidate_layout_version",
-      std::to_string(model_.candidate_layout_version()));
+      std::to_string(model.candidate_layout_version()));
   add("mean_profile_entries",
-      StringPrintf("%.2f", model_.mean_profile_entries()));
-  add("alpha", StringPrintf("%.4f", model_.alpha()));
-  add("beta", StringPrintf("%.6f", model_.beta()));
-  add("fit_complete", model_.fit_complete() ? "1" : "0");
+      StringPrintf("%.2f", model.mean_profile_entries()));
+  add("alpha", StringPrintf("%.4f", model.alpha()));
+  add("beta", StringPrintf("%.6f", model.beta()));
+  add("fit_complete", model.fit_complete() ? "1" : "0");
   add("threads", std::to_string(conn_pool_.size()));
   add("uptime_seconds", StringPrintf("%.1f", uptime));
   add("requests_served", std::to_string(http_.requests_served()));
@@ -247,6 +296,11 @@ HttpResponse ModelServer::Handle(const HttpRequest& request) {
     query = target.substr(qmark + 1);
   }
 
+  // Pin one (model, generation) snapshot for the whole request: a
+  // concurrent SwapReadModel can land at any point from here on and this
+  // request still renders consistently from the model it started with.
+  const std::shared_ptr<const Published> published = Pin();
+
   if (path == "/healthz") {
     JsonWriter w;
     w.BeginObject();
@@ -255,13 +309,13 @@ HttpResponse ModelServer::Handle(const HttpRequest& request) {
     w.Key("model");
     w.String("loaded");
     w.Key("users");
-    w.Int(model_.num_users());
+    w.Int(published->model->num_users());
     w.EndObject();
     HttpResponse response;
     response.body = std::move(w).Take();
     return response;
   }
-  if (path == "/statsz") return HandleStats(query);
+  if (path == "/statsz") return HandleStats(*published, query);
 
   constexpr char kUserPrefix[] = "/v1/user/";
   constexpr char kEdgePrefix[] = "/v1/edge/";
@@ -270,7 +324,7 @@ HttpResponse ModelServer::Handle(const HttpRequest& request) {
       errors_.fetch_add(1);
       return ErrorResponse(405, "use GET");
     }
-    return CachedGet(path, &ModelServer::HandleUser,
+    return CachedGet(*published, path, &ModelServer::HandleUser,
                      path.substr(sizeof(kUserPrefix) - 1));
   }
   if (path.rfind(kEdgePrefix, 0) == 0) {
@@ -278,7 +332,7 @@ HttpResponse ModelServer::Handle(const HttpRequest& request) {
       errors_.fetch_add(1);
       return ErrorResponse(405, "use GET");
     }
-    return CachedGet(path, &ModelServer::HandleEdge,
+    return CachedGet(*published, path, &ModelServer::HandleEdge,
                      path.substr(sizeof(kEdgePrefix) - 1));
   }
   if (path == "/v1/batch") {
@@ -286,7 +340,7 @@ HttpResponse ModelServer::Handle(const HttpRequest& request) {
       errors_.fetch_add(1);
       return ErrorResponse(405, "use POST");
     }
-    return HandleBatch(request);
+    return HandleBatch(*published->model, request);
   }
   errors_.fetch_add(1);
   return ErrorResponse(404, "unknown endpoint " + path);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -44,8 +46,12 @@ struct ServeOptions {
 ///
 /// Threading: connections run on `conn_pool_`, batch fan-out on
 /// `batch_pool_` (two pools because ThreadPool tasks must not block on
-/// their own pool). The read model is immutable after Build, so handlers
-/// never lock around model state — only the cache shards synchronize.
+/// their own pool). Each ReadModel is immutable after Build; the server
+/// publishes the CURRENT one behind an atomic shared_ptr so streaming
+/// ingest can swap in a post-delta model while the server runs
+/// (SwapReadModel): every request pins one (model, generation) snapshot up
+/// front and renders entirely against it, so in-flight queries finish on
+/// the model they started with and the swap never blocks the data path.
 class ModelServer {
  public:
   ModelServer(ReadModel model, const ServeOptions& options);
@@ -63,7 +69,22 @@ class ModelServer {
   /// both pools. Safe to call from a signal-driven main loop; idempotent.
   void Stop();
 
-  const ReadModel& model() const { return model_; }
+  /// Atomically publishes `model` as the serving view (streaming ingest:
+  /// the post-delta snapshot's ReadModel). Requests that already pinned
+  /// the previous model finish on it — the shared_ptr keeps it alive until
+  /// the last one returns — while every new request sees the new model.
+  /// The response cache keys carry the model generation, so stale cached
+  /// bodies can never serve the new generation; the cache is also cleared
+  /// to hand the space to the fresh model immediately. Safe to call from
+  /// any thread, any number of times.
+  void SwapReadModel(ReadModel model);
+
+  /// Pins and returns the currently published model.
+  std::shared_ptr<const ReadModel> model() const;
+  /// Monotonic publish counter, starting at 1; reported by /statsz as
+  /// "model_generation" so operators can observe ingest swaps land.
+  uint64_t model_generation() const;
+
   uint64_t requests_served() const { return http_.requests_served(); }
   uint64_t connections_accepted() const {
     return http_.connections_accepted();
@@ -74,17 +95,34 @@ class ModelServer {
   HttpResponse Handle(const HttpRequest& request);
 
  private:
-  HttpResponse HandleUser(const std::string& rest);
-  HttpResponse HandleEdge(const std::string& rest);
-  HttpResponse HandleBatch(const HttpRequest& request);
-  HttpResponse HandleStats(const std::string& query);
-  /// GET-endpoint cache wrapper: serves `target` from the cache or renders
-  /// via `render` and inserts.
-  HttpResponse CachedGet(const std::string& target,
-                         HttpResponse (ModelServer::*render)(const std::string&),
-                         const std::string& arg);
+  /// One published (model, generation) pair — swapped as a unit so a
+  /// request can never pair the new model with the old generation's cache
+  /// namespace (or vice versa).
+  struct Published {
+    std::shared_ptr<const ReadModel> model;
+    uint64_t generation = 1;
+  };
 
-  ReadModel model_;
+  std::shared_ptr<const Published> Pin() const;
+
+  HttpResponse HandleUser(const ReadModel& model, const std::string& rest);
+  HttpResponse HandleEdge(const ReadModel& model, const std::string& rest);
+  HttpResponse HandleBatch(const ReadModel& model, const HttpRequest& request);
+  HttpResponse HandleStats(const Published& published,
+                           const std::string& query);
+  /// GET-endpoint cache wrapper: serves `target` from the cache (keyed
+  /// under the pinned generation) or renders via `render` and inserts.
+  HttpResponse CachedGet(
+      const Published& published, const std::string& target,
+      HttpResponse (ModelServer::*render)(const ReadModel&,
+                                          const std::string&),
+      const std::string& arg);
+
+  /// Swapped atomically (std::atomic_load/atomic_store on shared_ptr).
+  std::shared_ptr<const Published> published_;
+  /// Serializes SwapReadModel calls (unique, monotonic generations);
+  /// never touched on the request path.
+  std::mutex swap_mu_;
   ServeOptions options_;
   ResponseCache cache_;
   engine::ThreadPool conn_pool_;
@@ -97,6 +135,7 @@ class ModelServer {
   std::atomic<uint64_t> edge_queries_{0};
   std::atomic<uint64_t> batch_queries_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> swaps_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <string_view>
 
+#include "common/logging.h"
+
 namespace mlp {
 namespace serve {
 
@@ -96,6 +98,15 @@ RequestBatcher::RequestBatcher(const ReadModel* model,
     : model_(model), pool_(pool), min_parallel_items_(min_parallel_items) {}
 
 BatchResult RequestBatcher::Execute(const BatchRequest& request) const {
+  // The stored model is optional (ModelServer passes nullptr and always
+  // uses the explicit-model overloads); calling the legacy form without
+  // one is a caller bug, not a crash site.
+  MLP_CHECK(model_ != nullptr);
+  return Execute(*model_, request);
+}
+
+BatchResult RequestBatcher::Execute(const ReadModel& model,
+                                    const BatchRequest& request) const {
   BatchResult result;
   result.users.resize(request.users.size());
   result.user_found.assign(request.users.size(), 0);
@@ -123,7 +134,7 @@ BatchResult RequestBatcher::Execute(const BatchRequest& request) const {
               for (int pos = begin; pos < end; ++pos) {
                 const int32_t i = user_order[pos];
                 result.user_found[i] =
-                    model_->GetUser(request.users[i], &result.users[i]) ? 1 : 0;
+                    model.GetUser(request.users[i], &result.users[i]) ? 1 : 0;
               }
             });
   RunChunks(pool_,
@@ -134,7 +145,7 @@ BatchResult RequestBatcher::Execute(const BatchRequest& request) const {
                 const int32_t i = edge_order[pos];
                 const auto& [src, dst] = request.edges[i];
                 result.edge_found[i] =
-                    model_->GetEdge(src, dst, &result.edges[i]) ? 1 : 0;
+                    model.GetEdge(src, dst, &result.edges[i]) ? 1 : 0;
               }
             });
 
@@ -144,6 +155,12 @@ BatchResult RequestBatcher::Execute(const BatchRequest& request) const {
 }
 
 std::string RequestBatcher::ExecuteJson(const BatchRequest& request) const {
+  MLP_CHECK(model_ != nullptr);
+  return ExecuteJson(*model_, request);
+}
+
+std::string RequestBatcher::ExecuteJson(const ReadModel& model,
+                                        const BatchRequest& request) const {
   const auto user_ranges = ChunkRanges(
       pool_, static_cast<int>(request.users.size()), min_parallel_items_);
   const auto edge_ranges = ChunkRanges(
@@ -157,7 +174,7 @@ std::string RequestBatcher::ExecuteJson(const BatchRequest& request) const {
     std::string& out = user_parts[chunk];
     for (int i = begin; i < end; ++i) {
       if (i > begin) out += ',';
-      std::string_view fragment = model_->UserJson(request.users[i]);
+      std::string_view fragment = model.UserJson(request.users[i]);
       if (fragment.empty()) {
         out += "null";
       } else {
@@ -169,8 +186,8 @@ std::string RequestBatcher::ExecuteJson(const BatchRequest& request) const {
     std::string& out = edge_parts[chunk];
     for (int i = begin; i < end; ++i) {
       if (i > begin) out += ',';
-      std::string_view fragment = model_->EdgeJson(
-          model_->FindEdge(request.edges[i].first, request.edges[i].second));
+      std::string_view fragment = model.EdgeJson(
+          model.FindEdge(request.edges[i].first, request.edges[i].second));
       if (fragment.empty()) {
         out += "null";
       } else {

@@ -44,11 +44,17 @@ struct BatchResult {
 class RequestBatcher {
  public:
   /// `model` and `pool` are borrowed. `pool` may be null: every batch then
-  /// runs inline on the calling thread (still sorted/vectorized).
+  /// runs inline on the calling thread (still sorted/vectorized). `model`
+  /// may be null when every call uses the explicit-model overloads below —
+  /// ModelServer does exactly that, because its current model is swappable
+  /// (SwapReadModel) and each request pins its own snapshot.
   RequestBatcher(const ReadModel* model, engine::ThreadPool* pool,
                  int min_parallel_items = 512);
 
   BatchResult Execute(const BatchRequest& request) const;
+  /// Same, against an explicitly pinned model instead of the stored one.
+  BatchResult Execute(const ReadModel& model,
+                      const BatchRequest& request) const;
 
   /// The POST /v1/batch hot path: assembles the full response body
   /// ({"users":[...],"edges":[...]}, `null` for missing entries) directly
@@ -56,6 +62,8 @@ class RequestBatcher {
   /// concatenation scan, chunks across the batch pool. No per-request JSON
   /// rendering at all.
   std::string ExecuteJson(const BatchRequest& request) const;
+  std::string ExecuteJson(const ReadModel& model,
+                          const BatchRequest& request) const;
 
   uint64_t batches_executed() const { return batches_; }
   uint64_t lookups_executed() const { return lookups_; }

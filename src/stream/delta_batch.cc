@@ -1,0 +1,156 @@
+#include "stream/delta_batch.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "io/csv.h"
+
+namespace mlp {
+namespace stream {
+
+namespace {
+
+using io::ParseIntField;
+using io::PathJoin;
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace
+
+Result<DeltaBatch> LoadDeltaBatch(const std::string& directory) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    // A typo'd path must not pass as an (empty-delta) successful ingest.
+    return Status::NotFound("delta directory does not exist: " + directory);
+  }
+  DeltaBatch batch;
+
+  // users.csv — same columns SaveDataset writes; truth columns (if any)
+  // are ignored: a delta carries observations, not ground truth.
+  const std::string users_path = PathJoin(directory, "users.csv");
+  if (FileExists(users_path)) {
+    MLP_ASSIGN_OR_RETURN(auto rows, io::ReadCsvFile(users_path));
+    for (size_t r = 1; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      if (row.size() < 3) {
+        return Status::InvalidArgument("delta users.csv row too short");
+      }
+      graph::UserRecord record;
+      record.handle = row[0];
+      record.profile_location = row[1];
+      MLP_ASSIGN_OR_RETURN(int city,
+                           ParseIntField(row[2], "delta registered_city"));
+      record.registered_city = static_cast<geo::CityId>(city);
+      batch.users.push_back(std::move(record));
+    }
+  }
+
+  const std::string follow_path = PathJoin(directory, "following.csv");
+  if (FileExists(follow_path)) {
+    MLP_ASSIGN_OR_RETURN(auto rows, io::ReadCsvFile(follow_path));
+    for (size_t r = 1; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      if (row.size() < 2) {
+        return Status::InvalidArgument("delta following.csv row too short");
+      }
+      graph::FollowingEdge edge;
+      MLP_ASSIGN_OR_RETURN(edge.follower,
+                           ParseIntField(row[0], "delta follower"));
+      MLP_ASSIGN_OR_RETURN(edge.friend_user,
+                           ParseIntField(row[1], "delta friend"));
+      batch.following.push_back(edge);
+    }
+  }
+
+  const std::string tweet_path = PathJoin(directory, "tweeting.csv");
+  if (FileExists(tweet_path)) {
+    MLP_ASSIGN_OR_RETURN(auto rows, io::ReadCsvFile(tweet_path));
+    for (size_t r = 1; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      if (row.size() < 2) {
+        return Status::InvalidArgument("delta tweeting.csv row too short");
+      }
+      graph::TweetingEdge edge;
+      MLP_ASSIGN_OR_RETURN(edge.user, ParseIntField(row[0], "delta tweeter"));
+      MLP_ASSIGN_OR_RETURN(edge.venue, ParseIntField(row[1], "delta venue"));
+      batch.tweeting.push_back(edge);
+    }
+  }
+
+  return batch;
+}
+
+Result<graph::SocialGraph> MergeDelta(const graph::SocialGraph& base,
+                                      const DeltaBatch& delta) {
+  const int base_users = base.num_users();
+  const int merged_users = base_users + static_cast<int>(delta.users.size());
+  const int num_venues = base.num_venues();
+
+  // User identity is the handle: a delta "new user" colliding with an
+  // existing one is a data error, not an update (profile edits are a
+  // different operation than appending observations).
+  std::unordered_set<std::string> handles;
+  handles.reserve(base_users + delta.users.size());
+  for (graph::UserId u = 0; u < base_users; ++u) {
+    handles.insert(base.user(u).handle);
+  }
+  for (const graph::UserRecord& record : delta.users) {
+    if (!handles.insert(record.handle).second) {
+      return Status::InvalidArgument(StringPrintf(
+          "delta user '%s' already exists — duplicate user ids are "
+          "rejected, a delta may only append new users",
+          record.handle.c_str()));
+    }
+  }
+
+  auto check_user = [&](graph::UserId id, const char* what) -> Status {
+    if (id < 0 || id >= merged_users) {
+      return Status::InvalidArgument(StringPrintf(
+          "delta %s references user %d but the merged world has %d users "
+          "(0..%d)",
+          what, id, merged_users, merged_users - 1));
+    }
+    return Status::OK();
+  };
+
+  graph::SocialGraph merged(num_venues);
+  for (graph::UserId u = 0; u < base_users; ++u) {
+    merged.AddUser(base.user(u));
+  }
+  for (const graph::UserRecord& record : delta.users) {
+    merged.AddUser(record);
+  }
+  for (graph::EdgeId s = 0; s < base.num_following(); ++s) {
+    const graph::FollowingEdge& edge = base.following(s);
+    MLP_RETURN_NOT_OK(merged.AddFollowing(edge.follower, edge.friend_user));
+  }
+  for (const graph::FollowingEdge& edge : delta.following) {
+    MLP_RETURN_NOT_OK(check_user(edge.follower, "following edge"));
+    MLP_RETURN_NOT_OK(check_user(edge.friend_user, "following edge"));
+    MLP_RETURN_NOT_OK(merged.AddFollowing(edge.follower, edge.friend_user));
+  }
+  for (graph::EdgeId k = 0; k < base.num_tweeting(); ++k) {
+    const graph::TweetingEdge& edge = base.tweeting(k);
+    MLP_RETURN_NOT_OK(merged.AddTweeting(edge.user, edge.venue));
+  }
+  for (const graph::TweetingEdge& edge : delta.tweeting) {
+    MLP_RETURN_NOT_OK(check_user(edge.user, "tweeting edge"));
+    if (edge.venue < 0 || edge.venue >= num_venues) {
+      return Status::InvalidArgument(StringPrintf(
+          "delta tweeting edge references unknown venue %d (vocabulary has "
+          "%d venues) — the venue universe is fixed at fit time",
+          edge.venue, num_venues));
+    }
+    MLP_RETURN_NOT_OK(merged.AddTweeting(edge.user, edge.venue));
+  }
+  merged.Finalize();
+  return merged;
+}
+
+}  // namespace stream
+}  // namespace mlp

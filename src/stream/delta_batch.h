@@ -1,0 +1,54 @@
+#ifndef MLP_STREAM_DELTA_BATCH_H_
+#define MLP_STREAM_DELTA_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/social_graph.h"
+
+namespace mlp {
+namespace stream {
+
+/// One batch of appended observations — new users, new following
+/// relationships, new tweeting relationships — to absorb into a fitted
+/// model (ISSUE 5 / ROADMAP "streaming updates").
+///
+/// A delta directory uses the SAME CSV formats io::dataset_io writes
+/// (users.csv / following.csv / tweeting.csv, truth columns optional and
+/// ignored). User ids in the edge files are GLOBAL: ids below the base
+/// world's user count reference existing users, ids at or above it
+/// reference this batch's users in file order (the first delta user gets
+/// id base_users, the next base_users + 1, …). A missing edge file means
+/// "no new edges of that kind".
+struct DeltaBatch {
+  std::vector<graph::UserRecord> users;
+  std::vector<graph::FollowingEdge> following;
+  std::vector<graph::TweetingEdge> tweeting;
+
+  bool empty() const {
+    return users.empty() && following.empty() && tweeting.empty();
+  }
+};
+
+/// Parses a delta directory. Purely syntactic — id/venue range checks
+/// happen in MergeDelta, where the base world is known.
+Result<DeltaBatch> LoadDeltaBatch(const std::string& directory);
+
+/// Builds the merged observation graph: the base graph's users and
+/// relationships as a strict prefix (ids unchanged), the delta appended,
+/// finalized. Fails with InvalidArgument on
+///   - a delta user whose handle already exists (in the base world or
+///     twice within the batch) — user identity is the handle,
+///   - an edge referencing a user id outside the merged universe,
+///   - a tweeting edge referencing a venue id outside the base
+///     vocabulary (the venue universe is fixed at fit time),
+///   - a self-follow.
+/// The base graph is untouched.
+Result<graph::SocialGraph> MergeDelta(const graph::SocialGraph& base,
+                                      const DeltaBatch& delta);
+
+}  // namespace stream
+}  // namespace mlp
+
+#endif  // MLP_STREAM_DELTA_BATCH_H_

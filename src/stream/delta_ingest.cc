@@ -1,0 +1,44 @@
+#include "stream/delta_ingest.h"
+
+#include <utility>
+
+namespace mlp {
+namespace stream {
+
+Result<IngestOutput> ApplyDeltaBatch(const core::ModelInput& base_input,
+                                     const core::FitCheckpoint& base_checkpoint,
+                                     const core::MlpResult& base_result,
+                                     const DeltaBatch& delta,
+                                     const IngestOptions& options) {
+  MLP_ASSIGN_OR_RETURN(graph::SocialGraph merged,
+                       MergeDelta(*base_input.graph, delta));
+
+  IngestOutput out;
+  out.merged_graph = std::make_unique<graph::SocialGraph>(std::move(merged));
+  // New users join the serving population with whatever label they carry:
+  // a parsed registered city is observed supervision (the fit workflow's
+  // full-supervision convention), kInvalidCity keeps them unlabeled.
+  out.merged_observed_home = base_input.observed_home;
+  for (const graph::UserRecord& record : delta.users) {
+    out.merged_observed_home.push_back(record.registered_city);
+  }
+
+  core::ModelInput merged_input = base_input;
+  merged_input.graph = out.merged_graph.get();
+  merged_input.observed_home = out.merged_observed_home;
+
+  core::FitOptions fit_options;
+  fit_options.warm_start = &base_checkpoint;
+  fit_options.checkpoint_out = &out.checkpoint;
+  fit_options.delta_burn_sweeps = options.resample_burn;
+  fit_options.delta_sampling_sweeps = options.resample_sampling;
+
+  core::MlpModel model(base_checkpoint.config);
+  MLP_ASSIGN_OR_RETURN(out.result,
+                       model.ApplyDelta(base_input, merged_input, base_result,
+                                        fit_options, &out.report));
+  return out;
+}
+
+}  // namespace stream
+}  // namespace mlp

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: diff fresh BENCH_*.json against committed
+baselines and fail on regressions of the key metrics.
+
+Usage:
+  tools/bench_compare.py --baseline bench/baselines --fresh build [--update]
+
+Every baseline file must have a fresh counterpart (a bench that stops
+emitting its JSON is itself a regression). Metrics not listed in SPEC are
+informational only.
+
+Tolerances: ratio-shaped metrics (speedups, QPS ratios, touched fractions,
+accuracy deltas) are machine-independent and carry the tight 25% gate.
+Absolute wall-clock metrics (seconds, ms, QPS) also come from the committed
+baseline — which was produced on a different machine class than the CI
+runner — so they gate loosely (fail only when >2x worse) and exist to catch
+order-of-magnitude bitrot, not percent-level drift. MLP_BENCH_GATE_SCALE
+multiplies every tolerance (e.g. 2.0 on a known-slow runner); --update
+rewrites the baselines from the fresh run instead of comparing.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+# Direction: "higher" = bigger is better (throughput, speedup),
+# "lower" = smaller is better (latency, fractions).
+RATIO = 0.25  # the 25% gate for machine-independent metrics
+ABSOLUTE = 1.0  # loose gate for wall-clock metrics across machine classes
+
+SPEC = {
+    "BENCH_pruning.json": [
+        # Pruning speedup and the accuracy cost of pruning.
+        ("speedup", "higher", RATIO),
+        ("active_fraction", "lower", RATIO),
+        ("sweep_seconds_pruned", "lower", ABSOLUTE),
+    ],
+    "BENCH_parallel.json": [
+        # Sweep throughput per thread count and the 8-thread scaling ratio.
+        ("threads_1_relationships_per_sec", "higher", ABSOLUTE),
+        ("threads_8_relationships_per_sec", "higher", ABSOLUTE),
+        ("threads_8_speedup", "higher", RATIO),
+    ],
+    "BENCH_serving.json": [
+        # Serving p99 and throughput, plus the batch-vs-point ratio.
+        ("threads_4_point_p99_ms", "lower", ABSOLUTE),
+        ("threads_8_point_p99_ms", "lower", ABSOLUTE),
+        ("threads_8_point_qps", "higher", ABSOLUTE),
+        ("threads_8_batch_speedup", "higher", RATIO),
+    ],
+    "BENCH_streaming.json": [
+        # Ingest latency, its speedup over a full refit, and the locality
+        # and accuracy guarantees of shard-scoped resampling.
+        ("ingest_seconds", "lower", ABSOLUTE),
+        ("ingest_speedup", "higher", RATIO),
+        ("touched_shard_fraction", "lower", RATIO),
+        ("acc_delta_100mi_pct", "higher", None),  # absolute floor below
+    ],
+}
+
+# Floors/ceilings checked directly on the fresh value, independent of the
+# baseline: the streaming acceptance criteria from ISSUE 5.
+FRESH_BOUNDS = {
+    "BENCH_streaming.json": [
+        ("ingest_speedup", ">=", 5.0),
+        ("acc_delta_100mi_pct", ">=", -1.0),
+        ("acc_delta_20mi_pct", ">=", -1.0),
+    ],
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_metric(name, key, direction, tolerance, base, fresh, scale):
+    """Returns (ok, line) for one metric."""
+    if key not in base:
+        return False, f"{name}:{key}: missing from baseline"
+    if key not in fresh:
+        return False, f"{name}:{key}: missing from fresh run"
+    b, f = float(base[key]), float(fresh[key])
+    if tolerance is None:
+        return True, f"{name}:{key}: {b:.4g} -> {f:.4g} (bound-only)"
+    tol = tolerance * scale
+    if direction == "higher":
+        # "At most tol worse": f >= b*(1-tol) while that bound is
+        # meaningful; once tol >= 1 (the loose ABSOLUTE gate, possibly
+        # scaled) it would degenerate to >= 0, so switch to the
+        # multiplicative form "no worse than (1+tol)x".
+        floor = b * (1.0 - tol) if tol < 1.0 else b / (1.0 + tol)
+        ok = f >= floor
+        change = (f - b) / b if b else 0.0
+    else:
+        ok = f <= b * (1.0 + tol)
+        change = (b - f) / b if b else 0.0
+    verdict = "ok" if ok else f"REGRESSION (>{tol:.0%} worse)"
+    return ok, (f"{name}:{key}: {b:.4g} -> {f:.4g} "
+                f"({change:+.1%} {'better' if change >= 0 else 'worse'}, "
+                f"{verdict})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory with committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the fresh run")
+    args = parser.parse_args()
+    scale = float(os.environ.get("MLP_BENCH_GATE_SCALE", "1.0"))
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baseline)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        for name in sorted(
+                f for f in os.listdir(args.fresh)
+                if f.startswith("BENCH_") and f.endswith(".json")):
+            shutil.copyfile(os.path.join(args.fresh, name),
+                            os.path.join(args.baseline, name))
+            print(f"baseline updated: {name}")
+        return 0
+
+    failures = []
+    # Coverage is two-way: every baseline needs a fresh counterpart AND
+    # every fresh BENCH_*.json needs a committed baseline + SPEC entry —
+    # a newly added bench must enter the gate in the same PR, not ride
+    # along ungated.
+    fresh_files = sorted(
+        f for f in os.listdir(args.fresh)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    for name in fresh_files:
+        if name not in baseline_files:
+            failures.append(
+                f"{name}: fresh bench JSON has no committed baseline — "
+                f"add {os.path.join(args.baseline, name)} (--update) and a "
+                "SPEC entry")
+    for name in baseline_files:
+        if not SPEC.get(name):
+            failures.append(f"{name}: no SPEC metrics — baseline would be "
+                            "compared against nothing")
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            failures.append(f"{name}: fresh run produced no JSON "
+                            "(bench missing or crashed)")
+            continue
+        base, fresh = load(os.path.join(args.baseline, name)), load(fresh_path)
+        for key, direction, tolerance in SPEC.get(name, []):
+            ok, line = compare_metric(name, key, direction, tolerance, base,
+                                      fresh, scale)
+            print(line)
+            if not ok:
+                failures.append(line)
+        for key, op, bound in FRESH_BOUNDS.get(name, []):
+            if key not in fresh:
+                failures.append(f"{name}:{key}: missing from fresh run")
+                continue
+            value = float(fresh[key])
+            ok = value >= bound if op == ">=" else value <= bound
+            line = f"{name}:{key}: {value:.4g} must be {op} {bound}"
+            print(line + ("" if ok else "  FAILED"))
+            if not ok:
+                failures.append(line)
+
+    if failures:
+        print(f"\nbench-regression gate FAILED ({len(failures)}):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench-regression gate passed "
+          f"({len(baseline_files)} files, tolerance scale {scale:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,15 @@
 //       --prune_floor / --prune_patience / --no_prune override the stored
 //       pruning policy (and only that) for the remaining sweeps, so
 //       warm-started and pruned fits compose.
+//   mlpctl ingest --data DIR --load MODEL.snap --delta DIR2 --save M2.snap
+//                 [--resample-burn N] [--resample-sampling N]
+//       Streaming delta ingest (src/stream/): absorb a batch of new
+//       users/relationships/tweets (CSV files under DIR2, same formats as
+//       a saved dataset) into a fitted snapshot WITHOUT a full refit —
+//       candidate rows are migrated, only the delta-touched shards are
+//       resampled from the warm chain state, and the updated model (bound
+//       to the merged world, also written as merged CSVs under
+//       --save-data when given) is saved as an ordinary v2 snapshot.
 //   mlpctl serve --data DIR --load MODEL.snap [--port N] [--threads K]
 //                [--cache_mb M] [--top_k T] [--selfcheck]
 //       Online query server over a fitted snapshot (src/serve/): GET
@@ -60,6 +69,8 @@
 #include "io/model_snapshot.h"
 #include "io/table_printer.h"
 #include "serve/http_server.h"
+#include "stream/delta_batch.h"
+#include "stream/delta_ingest.h"
 #include "serve/json.h"
 #include "serve/model_server.h"
 #include "serve/read_model.h"
@@ -129,6 +140,10 @@ const std::map<std::string, std::string>& UsageTexts() {
        "             [--save MODEL2.snap] [--max-sweeps K]\n"
        "             [--prune_floor F] [--prune_patience K]\n"
        "             [--no_prune]\n"},
+      {"ingest",
+       "  mlpctl ingest --data DIR --load MODEL.snap --delta DIR2\n"
+       "             --save MODEL2.snap [--save-data DIR3]\n"
+       "             [--resample-burn N] [--resample-sampling N]\n"},
       {"serve",
        "  mlpctl serve --data DIR --load MODEL.snap [--port N]\n"
        "             [--threads K] [--cache_mb M] [--top_k T]\n"
@@ -382,8 +397,11 @@ int CmdResume(const std::map<std::string, std::string>& flags) {
 
 // Loads a snapshot and binds it to the loaded dataset: user counts must
 // agree and the stored fingerprint must match the priors derived from this
-// dataset — the same guard resume uses, so neither eval --load nor serve
-// can silently pair a model with an unrelated world.
+// dataset — the same guard resume uses, so no --load subcommand (eval,
+// serve, ingest) can silently pair a model with an unrelated world. On
+// mismatch the error names the snapshot's format version and both
+// fingerprints, so the operator can tell a stale model from a wrong
+// directory at a glance.
 Result<io::ModelSnapshot> LoadSnapshotChecked(const LoadedWorld& world,
                                               const std::string& path) {
   Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(path);
@@ -391,18 +409,25 @@ Result<io::ModelSnapshot> LoadSnapshotChecked(const LoadedWorld& world,
   const size_t num_users = world.data->graph.num_users();
   if (snapshot->result.home.size() != num_users) {
     return Status::InvalidArgument(StringPrintf(
-        "snapshot has %zu users but dataset has %zu — wrong data directory?",
-        snapshot->result.home.size(), num_users));
+        "snapshot %s (format v%u) has %zu users but dataset has %zu — "
+        "wrong --data directory?",
+        path.c_str(), snapshot->version, snapshot->result.home.size(),
+        num_users));
   }
   auto referents = world.vocab.ReferentTable();
   core::ModelInput input = FullInput(world, referents);
   core::CandidateSpace space =
       core::CandidateSpace::Build(input, snapshot->checkpoint.config);
-  if (core::FitFingerprint(input, snapshot->checkpoint.config, space) !=
-      snapshot->checkpoint.fingerprint) {
-    return Status::InvalidArgument(
-        "snapshot does not match this dataset (fingerprint mismatch) — "
-        "wrong --data directory?");
+  const uint64_t expected =
+      core::FitFingerprint(input, snapshot->checkpoint.config, space);
+  if (expected != snapshot->checkpoint.fingerprint) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot %s does not match this dataset: format v%u, stored "
+        "fingerprint %016llx, dataset fingerprint %016llx — wrong --data "
+        "directory, or the dataset changed since the fit?",
+        path.c_str(), snapshot->version,
+        static_cast<unsigned long long>(snapshot->checkpoint.fingerprint),
+        static_cast<unsigned long long>(expected)));
   }
   return snapshot;
 }
@@ -504,6 +529,85 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   }
   table.Print();
   return 0;
+}
+
+// ----------------------------------------------------------------- ingest
+
+int CmdIngest(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "data", "");
+  const std::string load = FlagOr(flags, "load", "");
+  const std::string delta_dir = FlagOr(flags, "delta", "");
+  const std::string save = FlagOr(flags, "save", "");
+  if (dir.empty() || load.empty() || delta_dir.empty() || save.empty()) {
+    return UsageFor("ingest");
+  }
+
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  Result<io::ModelSnapshot> snapshot = LoadSnapshotChecked(*world, load);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  Result<stream::DeltaBatch> delta = stream::LoadDeltaBatch(delta_dir);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "delta load failed: %s\n",
+                 delta.status().ToString().c_str());
+    return kExitRuntime;
+  }
+
+  auto referents = world->vocab.ReferentTable();
+  core::ModelInput base_input = FullInput(*world, referents);
+  stream::IngestOptions options;
+  options.resample_burn =
+      std::max(0, std::atoi(FlagOr(flags, "resample-burn", "3").c_str()));
+  options.resample_sampling =
+      std::max(1, std::atoi(FlagOr(flags, "resample-sampling", "5").c_str()));
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<stream::IngestOutput> ingested = stream::ApplyDeltaBatch(
+      base_input, snapshot->checkpoint, snapshot->result, *delta, options);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 ingested.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  const core::DeltaReport& report = ingested->report;
+  std::printf(
+      "ingested +%d users, +%d following, +%d tweeting in %.2fs: "
+      "%d/%d shards resampled, %d rows migrated, layout v%llu\n",
+      report.new_users, report.new_following, report.new_tweeting, seconds,
+      report.shards_touched, report.shards_total, report.migrated_rows,
+      static_cast<unsigned long long>(
+          ingested->checkpoint.activation.layout_version));
+
+  core::ModelInput merged_input = base_input;
+  merged_input.graph = ingested->merged_graph.get();
+  merged_input.observed_home = ingested->merged_observed_home;
+  const std::string save_data = FlagOr(flags, "save-data", "");
+  if (!save_data.empty()) {
+    // The merged world the updated snapshot is bound to — eval/serve/a
+    // later ingest need a --data directory whose fingerprint matches.
+    std::error_code ec;
+    std::filesystem::create_directories(save_data, ec);
+    Status saved = io::SaveDataset(save_data, *ingested->merged_graph);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "merged dataset save failed: %s\n",
+                   saved.ToString().c_str());
+      return kExitRuntime;
+    }
+    std::printf("merged dataset -> %s\n", save_data.c_str());
+  }
+  return SaveSnapshotTo(save, merged_input, ingested->checkpoint,
+                        ingested->result);
 }
 
 // ------------------------------------------------------------------ serve
@@ -652,7 +756,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   std::printf(
       "serving %d users / %d edges on http://127.0.0.1:%d "
       "(threads=%d cache=%dMB top_k=%d)\n",
-      server.model().num_users(), server.model().num_edges(), server.port(),
+      server.model()->num_users(), server.model()->num_edges(), server.port(),
       options.threads, options.cache_mb, options.top_k);
 
   if (selfcheck) {
@@ -687,6 +791,7 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(flags);
   if (command == "fit") return CmdFit(flags);
   if (command == "resume") return CmdResume(flags);
+  if (command == "ingest") return CmdIngest(flags);
   if (command == "serve") return CmdServe(flags);
   std::fprintf(stderr, "mlpctl: unknown subcommand '%s'\n", command.c_str());
   return Usage();
