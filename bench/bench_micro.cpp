@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the hot paths: geo math, alias
 // sampling, the d^alpha table, venue extraction, power-law fitting, and
-// full Gibbs sweeps.
+// full Gibbs sweeps. After the benchmark suite, main() runs the
+// observability overhead guard: instrumented (obs enabled) vs.
+// short-circuited (obs disabled) sweeps must agree within 2% — the
+// src/obs/ overhead budget, enforced here so a regression fails the bench
+// job instead of silently taxing every fit.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
 
 #include "common/random.h"
 #include "core/model.h"
@@ -14,6 +23,7 @@
 #include "eval/cross_validation.h"
 #include "geo/gazetteer.h"
 #include "geo/grid_index.h"
+#include "obs/trace.h"
 #include "stats/alias_table.h"
 #include "synth/world_generator.h"
 #include "text/venue_extractor.h"
@@ -159,6 +169,76 @@ void BM_GibbsSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_GibbsSweep)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------- obs overhead guard (≤2%)
+
+/// Measures sweep wall-clock with observability enabled vs. disabled
+/// (obs::SetEnabled(false) short-circuits every span and clock read) and
+/// fails hard when the instrumented sweeps are more than 2% slower.
+/// Repetitions are interleaved and compared by their minima — the minimum
+/// is the least noise-sensitive location statistic for "how fast can this
+/// go", which is exactly what an overhead bound is about.
+int RunObsOverheadGuard() {
+  synth::WorldConfig config;
+  config.num_users = 1000;
+  config.seed = 29;
+  auto world = std::move(synth::GenerateWorld(config).ValueOrDie());
+  auto referents = world.vocab->ReferentTable();
+  core::ModelInput input;
+  input.gazetteer = world.gazetteer.get();
+  input.graph = world.graph.get();
+  input.distances = world.distances.get();
+  input.venue_referents = &referents;
+  input.observed_home = eval::RegisteredHomes(*world.graph);
+  core::MlpConfig model_config;
+  auto space = core::CandidateSpace::Build(input, model_config);
+  auto random_models = core::RandomModels::Learn(*world.graph);
+  core::PowTable pow_table(world.distances.get(), -0.55);
+  core::GibbsSampler sampler(&input, &model_config, &space, &random_models,
+                             &pow_table);
+  Pcg32 rng(31);
+  sampler.Initialize(&rng);
+
+  constexpr int kRepetitions = 7;
+  constexpr int kSweepsPerRep = 3;
+  auto run_sweeps = [&](bool enabled) {
+    obs::SetEnabled(enabled);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSweepsPerRep; ++i) sampler.RunSweep(&rng);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  run_sweeps(true);  // shared warmup (caches, branch predictors)
+  double min_enabled = 1e30;
+  double min_disabled = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    min_enabled = std::min(min_enabled, run_sweeps(true));
+    min_disabled = std::min(min_disabled, run_sweeps(false));
+  }
+  obs::SetEnabled(true);
+
+  const double overhead =
+      min_disabled > 0.0 ? (min_enabled / min_disabled - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "obs_overhead_guard: instrumented %.3f ms vs short-circuited %.3f ms "
+      "per %d sweeps -> %+.2f%% (budget +2%%)\n",
+      min_enabled * 1000.0, min_disabled * 1000.0, kSweepsPerRep, overhead);
+  if (overhead > 2.0) {
+    std::fprintf(stderr,
+                 "obs_overhead_guard FAILED: instrumentation overhead "
+                 "%.2f%% exceeds the 2%% budget (src/obs/README.md)\n",
+                 overhead);
+    return 1;
+  }
+  std::printf("obs_overhead_guard OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return RunObsOverheadGuard();
+}

@@ -22,6 +22,8 @@
 #include "engine/parallel_gibbs.h"
 #include "io/table_printer.h"
 #include "common/string_util.h"
+#include "obs/fit_profile.h"
+#include "obs/metrics.h"
 #include "synth/world_generator.h"
 
 namespace {
@@ -96,12 +98,19 @@ int main() {
     engine.Initialize(&rng);
     for (int it = 0; it < warmup_sweeps; ++it) engine.RunSweep(&rng);
 
+    // Snapshot the phase counters around the timed loop: all four thread
+    // configs run in one process against the same global registry, so the
+    // per-config breakdown must come from diffs, not absolute values.
+    const std::map<std::string, uint64_t> before =
+        obs::Registry::Global().CounterValues();
     auto start = std::chrono::steady_clock::now();
     for (int it = 0; it < timed_sweeps; ++it) engine.RunSweep(&rng);
     engine.Synchronize();
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+    const obs::FitProfile profile = obs::ComputeFitProfile(
+        before, obs::Registry::Global().CounterValues(), threads);
 
     double sweep_ms = elapsed / timed_sweeps * 1000.0;
     double rate = relationships_per_sweep * timed_sweeps / elapsed;
@@ -113,8 +122,21 @@ int main() {
     json.Set(prefix + "_sweep_ms", sweep_ms);
     json.Set(prefix + "_relationships_per_sec", rate);
     json.Set(prefix + "_speedup", base_rate > 0 ? rate / base_rate : 0.0);
+    // Per-phase wall-clock-equivalent breakdown (the "why" behind the
+    // speedup number): phase names from the profile, per timed sweep.
+    for (const obs::PhaseRow& row : profile.rows) {
+      if (row.counter == "-") continue;  // skip the unattributed remainder
+      std::string key = row.counter;     // e.g. fit_shard_kernel_ns
+      if (key.rfind("fit_", 0) == 0) key = key.substr(4);
+      if (key.size() > 3 && key.compare(key.size() - 3, 3, "_ns") == 0) {
+        key.resize(key.size() - 3);
+      }
+      json.Set(prefix + "_phase_" + key + "_ms", row.wall_ms / timed_sweeps);
+    }
   }
   table.Print();
+  std::printf("phase breakdown (wall-ms/sweep) written alongside the\n"
+              "scaling rows in BENCH_parallel.json\n");
   json.WriteTo(bench::BenchJsonPath("BENCH_parallel.json"));
   std::printf(
       "note: speedup requires real cores; inside a 1-core container the\n"

@@ -8,9 +8,26 @@ namespace mlp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. The initial
+/// level honors the MLP_LOG_LEVEL environment variable (debug / info /
+/// warning / error, case-insensitive), defaulting to info.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "INFO", "warn", ...). Returns false (and
+/// leaves `*level` untouched) on anything unrecognized — callers surface
+/// the error instead of silently logging at the wrong level.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// Small, stable per-thread ordinal (0 for the first thread to ask, 1 for
+/// the next, ...). Used to attribute log lines and trace events to threads
+/// without dragging platform thread-id formatting around.
+int CurrentThreadOrdinal();
+
+/// Microseconds on the monotonic clock since the process first asked —
+/// the timestamp base shared by log prefixes and trace events, so a log
+/// line can be located inside a trace by eye.
+int64_t MonotonicMicros();
 
 namespace internal {
 

@@ -10,6 +10,8 @@
 #include "core/pow_table.h"
 #include "core/random_models.h"
 #include "engine/parallel_gibbs.h"
+#include "obs/fit_profile.h"
+#include "obs/trace.h"
 
 namespace mlp {
 namespace core {
@@ -394,6 +396,10 @@ Result<MlpResult> MlpModel::ApplyDelta(const ModelInput& base_input,
     }
   }
 
+  // Migration phase (space rebuild, activation carry, chain remap) ends at
+  // AdoptMigratedChain; error paths just drop the span.
+  const int64_t migrate_start_ns = obs::NowNs();
+
   // The base checkpoint must genuinely belong to `base_input` — the same
   // guard Fit's warm start applies, against the BASE universe.
   CandidateSpace old_space = CandidateSpace::Build(base_input, config_);
@@ -585,6 +591,8 @@ Result<MlpResult> MlpModel::ApplyDelta(const ModelInput& base_input,
                      (static_cast<uint64_t>(s_new - s_old) + 1)),
       0x94d049bb133111ebULL + 2 * (static_cast<uint64_t>(k_new - k_old) + 1));
   MLP_RETURN_NOT_OK(sampler.AdoptMigratedChain(chain, &init_rng));
+  obs::EndSpan(obs::Registry::Global().GetCounter(obs::kIngestMigrateNs),
+               "ingest_migrate", migrate_start_ns);
 
   Pcg32 rng(config.seed, 0x5bd1e995u);
   rng.RestoreState(base.master_rng);
@@ -645,13 +653,18 @@ Result<MlpResult> MlpModel::ApplyDelta(const ModelInput& base_input,
   report.shards_touched = static_cast<int32_t>(shard_set.size());
   MLP_RETURN_NOT_OK(engine.BeginShardResample(shard_set));
 
-  for (int it = 0; it < opts.delta_burn_sweeps; ++it) {
-    engine.ResampleShards(&rng);
-  }
-  sampler.ResetAccumulators();
-  for (int it = 0; it < opts.delta_sampling_sweeps; ++it) {
-    engine.ResampleShards(&rng);
-    sampler.AccumulateSample();
+  {
+    obs::ScopedSpan span(
+        obs::Registry::Global().GetCounter(obs::kIngestResampleNs),
+        "ingest_resample");
+    for (int it = 0; it < opts.delta_burn_sweeps; ++it) {
+      engine.ResampleShards(&rng);
+    }
+    sampler.ResetAccumulators();
+    for (int it = 0; it < opts.delta_sampling_sweeps; ++it) {
+      engine.ResampleShards(&rng);
+      sampler.AccumulateSample();
+    }
   }
   report.user_resampled = engine.resample_user_mask();
   report.following_resampled = engine.resample_following_mask();

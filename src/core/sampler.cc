@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/fit_profile.h"
+#include "obs/trace.h"
 
 namespace mlp {
 namespace core {
@@ -261,11 +263,17 @@ void GibbsSampler::SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
 
 void GibbsSampler::RunSweep(Pcg32* rng) {
   if (UseFollowing()) {
+    obs::ScopedSpan span(
+        obs::Registry::Global().GetCounter(obs::kFitSeqFollowingNs),
+        "seq_following");
     for (graph::EdgeId s = 0; s < input_->graph->num_following(); ++s) {
       SampleFollowingEdge(s, &stats_, &scratch_, rng);
     }
   }
   if (UseTweeting()) {
+    obs::ScopedSpan span(
+        obs::Registry::Global().GetCounter(obs::kFitSeqTweetingNs),
+        "seq_tweeting");
     for (graph::EdgeId k = 0; k < input_->graph->num_tweeting(); ++k) {
       SampleTweetingEdge(k, &stats_, &scratch_, rng);
     }
@@ -274,6 +282,11 @@ void GibbsSampler::RunSweep(Pcg32* rng) {
 }
 
 void GibbsSampler::RecordSweepTrace() {
+  // Main-thread and O(users × candidates) per sweep — timed under its own
+  // counter because it competes with the parallel engine's merge barrier.
+  static obs::Counter* const trace_ns =
+      obs::Registry::Global().GetCounter(obs::kFitTraceRecordNs);
+  obs::ScopedSpan span(trace_ns, "sweep_trace_record");
   // Convergence trace: fraction of users whose current home flipped.
   std::vector<geo::CityId> homes = CurrentHomes();
   int changed = 0;

@@ -3,9 +3,43 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/fit_profile.h"
+#include "obs/trace.h"
 
 namespace mlp {
 namespace engine {
+
+namespace {
+
+// Phase counters resolved once; Registry handles are stable for the
+// process lifetime, so the hot path never touches the registry mutex.
+struct FitCounters {
+  obs::Counter* sweeps;
+  obs::Counter* sweep_ns;
+  obs::Counter* replica_refresh_ns;
+  obs::Counter* shard_kernel_ns;
+  obs::Counter* barrier_wait_ns;
+  obs::Counter* delta_merge_ns;
+  obs::Counter* prune_ns;
+};
+
+const FitCounters& Counters() {
+  static const FitCounters counters = [] {
+    obs::Registry& registry = obs::Registry::Global();
+    FitCounters c;
+    c.sweeps = registry.GetCounter(obs::kFitSweepsTotal);
+    c.sweep_ns = registry.GetCounter(obs::kFitSweepNs);
+    c.replica_refresh_ns = registry.GetCounter(obs::kFitReplicaRefreshNs);
+    c.shard_kernel_ns = registry.GetCounter(obs::kFitShardKernelNs);
+    c.barrier_wait_ns = registry.GetCounter(obs::kFitBarrierWaitNs);
+    c.delta_merge_ns = registry.GetCounter(obs::kFitDeltaMergeNs);
+    c.prune_ns = registry.GetCounter(obs::kFitPruneNs);
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
 
 ParallelGibbsEngine::ParallelGibbsEngine(core::GibbsSampler* sampler,
                                          const core::ModelInput* input,
@@ -43,6 +77,7 @@ void ParallelGibbsEngine::Initialize(Pcg32* rng) {
 }
 
 void ParallelGibbsEngine::RefreshReplicas() {
+  obs::ScopedSpan span(Counters().replica_refresh_ns, "replica_refresh");
   // Flat value copies into buffers that persist across syncs: after the
   // first refresh binds every arena to the sampler's layout, this is pure
   // std::copy traffic with zero allocation.
@@ -53,20 +88,27 @@ void ParallelGibbsEngine::RefreshReplicas() {
 }
 
 void ParallelGibbsEngine::MergeReplicas() {
-  // global' = snapshot + Σ_k (replica_k - snapshot), accumulated in shard
-  // order so the merge is deterministic. The global counts are untouched
-  // between refresh and merge (workers only write replicas), so they still
-  // equal the snapshot and the deltas apply onto them in place. Each
-  // AccumulateDelta is a few fused passes over contiguous buffers.
-  core::SuffStatsArena* global = sampler_->mutable_stats();
-  for (const core::SuffStatsArena& replica : replicas_) {
-    global->AccumulateDelta(replica, snapshot_);
+  {
+    obs::ScopedSpan span(Counters().delta_merge_ns, "delta_merge");
+    // global' = snapshot + Σ_k (replica_k - snapshot), accumulated in shard
+    // order so the merge is deterministic. The global counts are untouched
+    // between refresh and merge (workers only write replicas), so they
+    // still equal the snapshot and the deltas apply onto them in place.
+    // Each AccumulateDelta is a few fused passes over contiguous buffers.
+    core::SuffStatsArena* global = sampler_->mutable_stats();
+    for (const core::SuffStatsArena& replica : replicas_) {
+      global->AccumulateDelta(replica, snapshot_);
+    }
+    replicas_fresh_ = false;
   }
-  replicas_fresh_ = false;
+  // Timed separately (fit_trace_record_ns, inside the sampler): the sweep
+  // trace diff is main-thread work that is easy to mistake for merge cost.
   sampler_->RecordSweepTrace();
 }
 
 void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
+  Counters().sweeps->Add(1);
+  obs::ScopedSpan sweep_span(Counters().sweep_ns, "sweep");
   if (num_threads_ <= 1) {
     sampler_->RunSweep(rng);
     return;
@@ -75,8 +117,11 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
 
   const bool use_following = sampler_->UseFollowing();
   const bool use_tweeting = sampler_->UseTweeting();
+  shard_kernel_ns_.assign(num_threads_, 0);
+  const int64_t section_start_ns = obs::NowNs();
   for (int k = 0; k < num_threads_; ++k) {
     pool_->Submit([this, k, use_following, use_tweeting] {
+      const int64_t kernel_start_ns = obs::NowNs();
       const Shard& shard = shards_[k];
       core::SuffStatsArena* replica = &replicas_[k];
       core::GibbsScratch* scratch = &scratches_[k];
@@ -91,9 +136,26 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
           sampler_->SampleTweetingEdge(t, replica, scratch, shard_rng);
         }
       }
+      shard_kernel_ns_[k] = obs::EndSpan(Counters().shard_kernel_ns,
+                                         "shard_kernel", kernel_start_ns);
     });
   }
   pool_->Wait();
+  if (obs::Enabled()) {
+    // Barrier wait isn't directly observable per worker (the pool hands
+    // idle threads the next task immediately); derive it as the idle
+    // remainder of the parallel section: every thread spans the whole
+    // section, so threads × section − Σ kernel = total time threads spent
+    // NOT running kernels — queue latency plus the tail wait on the
+    // slowest shard.
+    const int64_t section_ns = obs::NowNs() - section_start_ns;
+    int64_t kernel_sum_ns = 0;
+    for (int64_t ns : shard_kernel_ns_) kernel_sum_ns += ns;
+    const int64_t barrier_ns = num_threads_ * section_ns - kernel_sum_ns;
+    if (barrier_ns > 0) {
+      Counters().barrier_wait_ns->Add(static_cast<uint64_t>(barrier_ns));
+    }
+  }
 
   if (++sweeps_since_sync_ >= sync_every_) MergeReplicas();
 }
@@ -126,6 +188,7 @@ void ParallelGibbsEngine::ReshardByCost() {
 bool ParallelGibbsEngine::MaybePrune(int32_t sweep_index) {
   if (space_ == nullptr || config_->prune_floor <= 0.0) return false;
   if (!IsSynchronized()) return false;
+  obs::ScopedSpan span(Counters().prune_ns, "prune");
   core::CompactionPlan plan;
   if (!space_->PruneStep(sampler_->stats(), *config_, sweep_index, &plan)) {
     return false;

@@ -174,6 +174,12 @@ class ParallelGibbsEngine {
   int sweeps_since_sync_ = 0;
   bool replicas_fresh_ = false;
 
+  /// Per-shard kernel nanoseconds for the current sweep, written by each
+  /// worker and read by the main thread after the pool barrier (the pool's
+  /// Wait() synchronizes the accesses). Barrier wait is derived from it:
+  /// threads × parallel-section wall − Σ kernel time.
+  std::vector<int64_t> shard_kernel_ns_;
+
   // Shard-scoped resample pass state (BeginShardResample..End).
   bool resample_active_ = false;
   std::vector<uint8_t> resample_shard_selected_;    // per shard

@@ -49,6 +49,11 @@ bool ThreadPool::draining() const {
   return draining_;
 }
 
+int ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

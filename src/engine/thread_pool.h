@@ -47,6 +47,11 @@ class ThreadPool {
 
   bool draining() const;
 
+  /// Tasks queued but not yet picked up by a worker. A sustained nonzero
+  /// depth on a serving pool means requests are arriving faster than the
+  /// workers drain them (exported via /statsz and /metricsz).
+  int queue_depth() const;
+
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:

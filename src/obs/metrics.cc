@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mlp {
+namespace obs {
+
+namespace {
+int CellIndex() { return CurrentThreadOrdinal() % kCells; }
+}  // namespace
+
+// ------------------------------------------------------------------ Counter
+
+void Counter::Add(uint64_t n) {
+  cells_[CellIndex()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const CounterCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (CounterCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    MLP_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+  const size_t slots = bounds_.size() + 1;  // trailing +Inf bucket
+  for (HistCell& cell : cells_) {
+    cell.counts = std::make_unique<std::atomic<uint64_t>[]>(slots);
+    for (size_t i = 0; i < slots; ++i) {
+      cell.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(int64_t value) {
+  // Upper-inclusive bucket search (`le` semantics). Bound lists are short
+  // (≤ ~16 for latency scales), so a linear walk beats binary search on
+  // branch predictability.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  HistCell& cell = cells_[CellIndex()];
+  cell.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const HistCell& cell : cells_) {
+    for (size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+      snapshot.bucket_counts[i] += cell.counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.count += cell.count.load(std::memory_order_relaxed);
+    snapshot.sum += cell.sum.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+  return *registry;                            // outlive static teardown
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> values;
+  for (const auto& [name, counter] : counters_) {
+    values[name] = counter->Value();
+  }
+  return values;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StringPrintf("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                        name.c_str(),
+                        static_cast<unsigned long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StringPrintf("# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                        name.c_str(),
+                        static_cast<long long>(gauge->Value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->GetSnapshot();
+    out += StringPrintf("# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.bucket_counts[i];
+      out += StringPrintf("%s_bucket{le=\"%lld\"} %llu\n", name.c_str(),
+                          static_cast<long long>(snap.bounds[i]),
+                          static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += snap.bucket_counts.back();
+    out += StringPrintf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(cumulative));
+    out += StringPrintf("%s_sum %lld\n", name.c_str(),
+                        static_cast<long long>(snap.sum));
+    out += StringPrintf("%s_count %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(snap.count));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mlp

@@ -1,0 +1,143 @@
+#ifndef MLP_OBS_METRICS_H_
+#define MLP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlp {
+namespace obs {
+
+/// Number of independent per-thread cells a counter/histogram shards its
+/// state across. Threads are routed by their stable ordinal
+/// (mlp::CurrentThreadOrdinal), so with up to kCells concurrently active
+/// threads every increment lands on a cell no other thread touches — one
+/// relaxed atomic add, no contention, no false sharing (cells are
+/// cache-line aligned). More threads than cells just share cells; counts
+/// stay exact because the adds are atomic.
+inline constexpr int kCells = 16;
+
+/// One cache line of counter state. The alignment is the point: adjacent
+/// cells must never share a line, or the "sharded" counter would still
+/// bounce ownership between cores on every increment.
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Monotonic counter, sharded per thread. Add() from an inner loop costs
+/// ~one relaxed fetch_add; Value() sums the cells (scrape-time only).
+/// Concurrent Add/Value are both safe — a scrape observes some valid
+/// intermediate total, never a torn one.
+class Counter {
+ public:
+  void Add(uint64_t n = 1);
+  uint64_t Value() const;
+  /// Testing/bench convenience: resets every cell to zero. Racy against
+  /// concurrent Add only in the sense that in-flight adds may land before
+  /// or after — never corrupt.
+  void Reset();
+
+ private:
+  CounterCell cells_[kCells];
+};
+
+/// Last-write-wins gauge (queue depths, byte budgets, generation numbers).
+/// Single atomic — gauges are set from one place at a time, not from inner
+/// loops, so sharding would buy nothing.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram, sharded per thread like Counter. Bucket
+/// bounds are upper-inclusive (Prometheus `le` semantics) and fixed at
+/// registration; Record() walks the (small) bound list and does two relaxed
+/// adds — no allocation, no locks. Values are recorded in whatever integer
+/// unit the metric name declares (the serving layer uses microseconds:
+/// `*_us`).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Record(int64_t value);
+
+  struct Snapshot {
+    std::vector<int64_t> bounds;          // upper bounds, excluding +Inf
+    std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (last = +Inf)
+    uint64_t count = 0;
+    int64_t sum = 0;
+  };
+  /// Scrape-time aggregation over the cells. Count and the bucket totals
+  /// are each internally exact; under concurrent Record the snapshot is a
+  /// valid point-in-time-ish view (Prometheus scrapes tolerate this).
+  Snapshot GetSnapshot() const;
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) HistCell {
+    // counts[i] for bucket i; one extra trailing slot for +Inf.
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum{0};
+  };
+
+  std::vector<int64_t> bounds_;
+  HistCell cells_[kCells];
+};
+
+/// Process-wide metric registry. GetCounter/GetGauge/GetHistogram return a
+/// stable pointer for the lifetime of the process — resolve handles once
+/// (construction time) and hit the handle from the hot path; the lookup
+/// itself takes a mutex and must stay off inner loops.
+///
+/// Naming convention (see src/obs/README.md): `<subsystem>_<what>_<unit>`,
+/// snake_case, unit suffix mandatory for non-count metrics (`_ns`, `_us`,
+/// `_bytes`). Phase-time counters accumulate nanoseconds.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Bounds must be strictly increasing. Re-getting an existing histogram
+  /// ignores `bounds` and returns the original.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  /// All counter values by name — the diffable snapshot behind
+  /// `mlpctl fit --profile` and the bench phase breakdowns.
+  std::map<std::string, uint64_t> CounterValues() const;
+
+  /// Prometheus text exposition (0.0.4) of every registered metric:
+  /// counters as `counter`, gauges as `gauge`, histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count`. Served by
+  /// GET /metricsz.
+  std::string RenderPrometheus() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map for deterministic exposition order; values are stable
+  // pointers because the metric objects live in unique_ptrs.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace mlp
+
+#endif  // MLP_OBS_METRICS_H_

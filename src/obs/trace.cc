@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mlp {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+int64_t NowNs() {
+  if (!Enabled()) return 0;
+  // Share the MonotonicMicros epoch so trace timestamps line up with log
+  // prefixes (the first call pins the epoch; ns precision on top of it).
+  static const std::chrono::steady_clock::time_point epoch = [] {
+    MonotonicMicros();  // pin the shared epoch first
+    return std::chrono::steady_clock::now();
+  }();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void SetTraceRecorder(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* GetTraceRecorder() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::Record(const char* name, int64_t start_ns,
+                           int64_t end_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.tid = CurrentThreadOrdinal();
+  event.ts_us = start_ns / 1000;
+  event.dur_us = (end_ns - start_ns) / 1000;
+  if (event.dur_us < 0) event.dur_us = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  std::fputs("{\"traceEvents\":[\n", f);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < events_.size(); ++i) {
+      const TraceEvent& e = events_[i];
+      std::fprintf(
+          f,
+          "{\"name\":\"%s\",\"cat\":\"mlp\",\"ph\":\"X\",\"pid\":1,"
+          "\"tid\":%d,\"ts\":%lld,\"dur\":%lld}%s\n",
+          e.name, e.tid, static_cast<long long>(e.ts_us),
+          static_cast<long long>(e.dur_us),
+          i + 1 < events_.size() ? "," : "");
+    }
+  }
+  std::fputs("]}\n", f);
+  if (std::fclose(f) != 0) {
+    return Status::IOError("failed writing trace file " + path);
+  }
+  return Status::OK();
+}
+
+int64_t EndSpan(Counter* ns_total, const char* trace_name, int64_t start_ns) {
+  if (!Enabled()) return 0;
+  const int64_t end_ns = NowNs();
+  const int64_t elapsed = end_ns > start_ns ? end_ns - start_ns : 0;
+  if (ns_total != nullptr && elapsed > 0) {
+    ns_total->Add(static_cast<uint64_t>(elapsed));
+  }
+  if (TraceRecorder* recorder = GetTraceRecorder()) {
+    recorder->Record(trace_name, start_ns, end_ns);
+  }
+  return elapsed;
+}
+
+}  // namespace obs
+}  // namespace mlp

@@ -1,0 +1,108 @@
+#ifndef MLP_OBS_TRACE_H_
+#define MLP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace mlp {
+namespace obs {
+
+/// Global observability kill switch, ON by default. Spans and manual
+/// NowNs() callers check it with one relaxed load; when off they skip even
+/// the clock reads, which is what the bench_micro overhead guard compares
+/// against (instrumented-but-enabled vs. fully short-circuited sweeps).
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Monotonic nanoseconds (same epoch as mlp::MonotonicMicros), or 0 when
+/// observability is disabled — phase math degenerates to zeros instead of
+/// paying for clocks nobody reads.
+int64_t NowNs();
+
+/// One completed span, Chrome trace_event "X" (complete) phase shaped.
+struct TraceEvent {
+  const char* name;  // static string (phase names are compile-time)
+  int tid = 0;       // mlp::CurrentThreadOrdinal of the recording thread
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+};
+
+/// Collects spans for one run and writes them as Chrome trace_event JSON
+/// (open in chrome://tracing or Perfetto). Span recording takes a mutex —
+/// fine at span granularity (per sweep / per shard task / per request),
+/// never per edge kernel. Install with SetTraceRecorder; spans recorded
+/// while no recorder is installed are simply not collected (the counters
+/// still accumulate).
+class TraceRecorder {
+ public:
+  TraceRecorder() { events_.reserve(4096); }
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(const char* name, int64_t start_ns, int64_t end_ns);
+
+  size_t event_count() const;
+
+  /// Writes {"traceEvents":[...]} to `path`. All events carry pid 1; tids
+  /// are the process's thread ordinals, so shard workers line up as
+  /// parallel tracks under the main thread.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Installs (or, with nullptr, uninstalls) the process-wide recorder.
+/// The recorder must outlive its installation window; callers (mlpctl
+/// --trace) install before the fit and uninstall before destruction.
+void SetTraceRecorder(TraceRecorder* recorder);
+TraceRecorder* GetTraceRecorder();
+
+/// RAII phase timer: on destruction adds the elapsed nanoseconds to
+/// `ns_total` (may be null) and, when a TraceRecorder is installed, emits
+/// a trace event. When observability is disabled the constructor and
+/// destructor are branch-only — no clock reads, no atomics.
+///
+///   static obs::Counter* c =
+///       obs::Registry::Global().GetCounter("fit_delta_merge_ns");
+///   { obs::ScopedSpan span(c, "delta_merge"); MergeReplicas(); }
+class ScopedSpan {
+ public:
+  ScopedSpan(Counter* ns_total, const char* trace_name)
+      : ns_total_(ns_total), name_(trace_name), start_ns_(NowNs()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (start_ns_ == 0 && !Enabled()) return;
+    const int64_t end_ns = NowNs();
+    if (ns_total_ != nullptr && end_ns > start_ns_) {
+      ns_total_->Add(static_cast<uint64_t>(end_ns - start_ns_));
+    }
+    if (TraceRecorder* recorder = GetTraceRecorder()) {
+      recorder->Record(name_, start_ns_, end_ns);
+    }
+  }
+
+ private:
+  Counter* ns_total_;
+  const char* name_;
+  int64_t start_ns_;
+};
+
+/// Manual-span helper for call sites that need the elapsed time itself
+/// (the engine derives barrier wait from per-shard kernel times): records
+/// into counter + trace exactly like ScopedSpan, then returns elapsed ns.
+int64_t EndSpan(Counter* ns_total, const char* trace_name, int64_t start_ns);
+
+}  // namespace obs
+}  // namespace mlp
+
+#endif  // MLP_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "io/table_printer.h"
+#include "obs/trace.h"
 
 namespace mlp {
 namespace serve {
@@ -54,7 +55,13 @@ ModelServer::ModelServer(ReadModel model, const ServeOptions& options)
       conn_pool_(std::max(1, options.threads)),
       batch_pool_(std::max(1, options.threads)),
       batcher_(nullptr, &batch_pool_),
-      http_(&conn_pool_) {
+      http_(&conn_pool_),
+      requests_total_(
+          obs::Registry::Global().GetCounter("serve_requests_total")),
+      request_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_request_latency_us",
+          {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+           250000, 1000000})) {
   auto published = std::make_shared<Published>();
   published->model = std::make_shared<const ReadModel>(std::move(model));
   published->generation = 1;
@@ -262,6 +269,8 @@ HttpResponse ModelServer::HandleStats(const Published& published,
   add("cache_entries", std::to_string(cache.entries));
   add("cache_bytes", std::to_string(cache.bytes));
   add("cache_capacity_bytes", std::to_string(cache.capacity_bytes));
+  add("conn_queue_depth", std::to_string(conn_pool_.queue_depth()));
+  add("batch_queue_depth", std::to_string(batch_pool_.queue_depth()));
 
   HttpResponse response;
   if (query == "format=csv" || query == "format=table") {
@@ -286,7 +295,50 @@ HttpResponse ModelServer::HandleStats(const Published& published,
   return response;
 }
 
+HttpResponse ModelServer::HandleMetrics(const Published& published) {
+  // Everything the process-wide registry holds (fit/ingest phase counters,
+  // the request-latency histogram), plus server-local stats rendered in
+  // the same exposition format. Queue depths and cache occupancy are
+  // gauges; the cache tallies are cumulative counters.
+  const ResponseCache::Stats cache = cache_.GetStats();
+  std::string body = obs::Registry::Global().RenderPrometheus();
+  auto counter = [&](const char* name, uint64_t value) {
+    body += StringPrintf("# TYPE %s counter\n%s %llu\n", name, name,
+                         static_cast<unsigned long long>(value));
+  };
+  auto gauge = [&](const char* name, int64_t value) {
+    body += StringPrintf("# TYPE %s gauge\n%s %lld\n", name, name,
+                         static_cast<long long>(value));
+  };
+  counter("serve_cache_hits", cache.hits);
+  counter("serve_cache_misses", cache.misses);
+  counter("serve_cache_evictions", cache.evictions);
+  counter("serve_errors_total", errors_.load());
+  counter("serve_model_swaps_total", swaps_.load());
+  gauge("serve_cache_entries", static_cast<int64_t>(cache.entries));
+  gauge("serve_cache_bytes", static_cast<int64_t>(cache.bytes));
+  gauge("serve_cache_capacity_bytes",
+        static_cast<int64_t>(cache.capacity_bytes));
+  gauge("serve_conn_queue_depth", conn_pool_.queue_depth());
+  gauge("serve_batch_queue_depth", batch_pool_.queue_depth());
+  gauge("serve_model_generation", static_cast<int64_t>(published.generation));
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = std::move(body);
+  return response;
+}
+
 HttpResponse ModelServer::Handle(const HttpRequest& request) {
+  requests_total_->Add(1);
+  const int64_t start_ns = obs::NowNs();
+  HttpResponse response = Route(request);
+  if (obs::Enabled()) {
+    request_latency_us_->Record((obs::NowNs() - start_ns) / 1000);
+  }
+  return response;
+}
+
+HttpResponse ModelServer::Route(const HttpRequest& request) {
   const std::string& target = request.target;
   std::string path = target;
   std::string query;
@@ -316,6 +368,7 @@ HttpResponse ModelServer::Handle(const HttpRequest& request) {
     return response;
   }
   if (path == "/statsz") return HandleStats(*published, query);
+  if (path == "/metricsz") return HandleMetrics(*published);
 
   constexpr char kUserPrefix[] = "/v1/user/";
   constexpr char kEdgePrefix[] = "/v1/edge/";

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/http_server.h"
 #include "serve/json.h"
 #include "serve/read_model.h"
@@ -43,6 +44,7 @@ struct ServeOptions {
 ///   POST /v1/batch             {"users":[...],"edges":[[s,d],...]}
 ///   GET  /healthz              liveness
 ///   GET  /statsz               server/model counters (?format=csv for CSV)
+///   GET  /metricsz             Prometheus text exposition (scrape target)
 ///
 /// Threading: connections run on `conn_pool_`, batch fan-out on
 /// `batch_pool_` (two pools because ThreadPool tasks must not block on
@@ -110,6 +112,10 @@ class ModelServer {
   HttpResponse HandleBatch(const ReadModel& model, const HttpRequest& request);
   HttpResponse HandleStats(const Published& published,
                            const std::string& query);
+  HttpResponse HandleMetrics(const Published& published);
+  /// The actual router; Handle() wraps it with request counting and the
+  /// serve_request_latency_us histogram.
+  HttpResponse Route(const HttpRequest& request);
   /// GET-endpoint cache wrapper: serves `target` from the cache (keyed
   /// under the pinned generation) or renders via `render` and inserts.
   HttpResponse CachedGet(
@@ -137,6 +143,10 @@ class ModelServer {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> swaps_{0};
   std::chrono::steady_clock::time_point start_time_;
+
+  // Registry-owned handles (process-lifetime; see src/obs/README.md).
+  obs::Counter* requests_total_;
+  obs::Histogram* request_latency_us_;
 };
 
 }  // namespace serve

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/fit_profile.h"
+#include "obs/trace.h"
+
 namespace mlp {
 namespace stream {
 
@@ -10,8 +13,11 @@ Result<IngestOutput> ApplyDeltaBatch(const core::ModelInput& base_input,
                                      const core::MlpResult& base_result,
                                      const DeltaBatch& delta,
                                      const IngestOptions& options) {
+  const int64_t merge_start_ns = obs::NowNs();
   MLP_ASSIGN_OR_RETURN(graph::SocialGraph merged,
                        MergeDelta(*base_input.graph, delta));
+  obs::EndSpan(obs::Registry::Global().GetCounter(obs::kIngestMergeNs),
+               "ingest_merge", merge_start_ns);
 
   IngestOutput out;
   out.merged_graph = std::make_unique<graph::SocialGraph>(std::move(merged));

@@ -1,0 +1,346 @@
+// Tests for src/obs: metrics registry (sharded counters, histograms,
+// Prometheus rendering), trace spans, the fit-profile breakdown helper,
+// and the logging satellites (ParseLogLevel, thread ordinals). The
+// concurrent cases double as the TSan targets (CI runs obs_test under
+// -fsanitize=thread): N writer threads hammer a counter/histogram while a
+// reader scrapes mid-update.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/fit_profile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mlp {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------- counters
+
+TEST(CounterTest, SingleThreadedSum) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(CounterTest, ScrapeDuringUpdateIsCleanAndMonotonic) {
+  // The reader races the writers on purpose: relaxed sharded cells promise
+  // no torn reads and a monotonically growing total, which is exactly what
+  // a /metricsz scrape relies on. TSan validates the absence of data races.
+  Counter counter;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) counter.Add();
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t now = counter.Value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_GE(counter.Value(), last);
+}
+
+// --------------------------------------------------------------- gauges
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.Value(), -5);
+}
+
+// ----------------------------------------------------------- histograms
+
+TEST(HistogramTest, BucketBoundariesAreUpperInclusive) {
+  // Prometheus `le` semantics: a value equal to a bound lands IN that
+  // bound's bucket; one past it spills to the next.
+  Histogram histogram({10, 100, 1000});
+  histogram.Record(0);     // -> le=10
+  histogram.Record(10);    // -> le=10 (inclusive)
+  histogram.Record(11);    // -> le=100
+  histogram.Record(100);   // -> le=100
+  histogram.Record(1000);  // -> le=1000
+  histogram.Record(1001);  // -> +Inf
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 2u);
+  EXPECT_EQ(snap.bucket_counts[1], 2u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, 0 + 10 + 11 + 100 + 1000 + 1001);
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumExactly) {
+  Histogram histogram({5, 50});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(i % 100);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  // i%100: 6 of each residue per thread pass -> 500 cycles * 6 values
+  // 0..5 inclusive => bucket0 = 6 residues per 100.
+  EXPECT_EQ(snap.bucket_counts[0],
+            static_cast<uint64_t>(kThreads) * kPerThread * 6 / 100);
+  EXPECT_EQ(snap.bucket_counts[1],
+            static_cast<uint64_t>(kThreads) * kPerThread * 45 / 100);
+}
+
+TEST(HistogramTest, ScrapeDuringRecordTSan) {
+  Histogram histogram({10, 100});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) histogram.Record(i++ % 200);
+    });
+  }
+  uint64_t last_count = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Mid-update scrapes: relaxed cells make no cross-location promises,
+    // so the only invariant worth asserting while writers run is that the
+    // total count never moves backwards. The real check is TSan cleanliness.
+    Histogram::Snapshot snap = histogram.GetSnapshot();
+    EXPECT_GE(snap.count, last_count);
+    last_count = snap.count;
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  Histogram::Snapshot final_snap = histogram.GetSnapshot();
+  uint64_t total = 0;
+  for (uint64_t c : final_snap.bucket_counts) total += c;
+  EXPECT_EQ(final_snap.count, total);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  Registry& registry = Registry::Global();
+  Counter* a = registry.GetCounter("obs_test_same_name");
+  Counter* b = registry.GetCounter("obs_test_same_name");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("obs_test_same_gauge");
+  Gauge* g2 = registry.GetGauge("obs_test_same_gauge");
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(RegistryTest, CounterValuesSnapshotsRegisteredCounters) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("obs_test_snapshot_counter")->Add(7);
+  std::map<std::string, uint64_t> values = registry.CounterValues();
+  ASSERT_TRUE(values.count("obs_test_snapshot_counter"));
+  EXPECT_GE(values["obs_test_snapshot_counter"], 7u);
+}
+
+TEST(RegistryTest, RenderPrometheusExposition) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("obs_test_prom_counter")->Add(3);
+  registry.GetGauge("obs_test_prom_gauge")->Set(-2);
+  registry.GetHistogram("obs_test_prom_hist", {1, 10})->Record(5);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_gauge -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentGetOrCreateIsSafe) {
+  Registry& registry = Registry::Global();
+  std::vector<std::thread> threads;
+  std::vector<Counter*> handles(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, &handles, t] {
+      handles[t] = registry.GetCounter("obs_test_concurrent_get");
+      handles[t]->Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_EQ(handles[0]->Value(), 8u);
+}
+
+// ------------------------------------------------------- spans and trace
+
+TEST(TraceTest, ScopedSpanAccumulatesIntoCounter) {
+  Counter counter;
+  { ScopedSpan span(&counter, "obs_test_span"); }
+  EXPECT_GT(counter.Value(), 0u);
+}
+
+TEST(TraceTest, DisabledSkipsCountingEntirely) {
+  Counter counter;
+  SetEnabled(false);
+  { ScopedSpan span(&counter, "obs_test_disabled_span"); }
+  EXPECT_EQ(EndSpan(&counter, "obs_test_disabled_end", NowNs()), 0);
+  SetEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(TraceTest, RecorderCollectsSpansAndWritesChromeTrace) {
+  TraceRecorder recorder;
+  SetTraceRecorder(&recorder);
+  {
+    ScopedSpan span(nullptr, "traced_phase");
+  }
+  EndSpan(nullptr, "manual_phase", NowNs());
+  SetTraceRecorder(nullptr);
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 14, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("\"name\":\"traced_phase\""), std::string::npos);
+  EXPECT_NE(contents.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, NoRecorderInstalledStillCounts) {
+  ASSERT_EQ(GetTraceRecorder(), nullptr);
+  Counter counter;
+  { ScopedSpan span(&counter, "uninstalled"); }
+  EXPECT_GT(counter.Value(), 0u);
+}
+
+// ----------------------------------------------------------- fit profile
+
+TEST(FitProfileTest, BreakdownNormalizesWorkerPhasesByThreads) {
+  std::map<std::string, uint64_t> before;
+  std::map<std::string, uint64_t> after;
+  after[kFitSweepsTotal] = 10;
+  after[kFitSweepNs] = 100000000;          // 100 ms of sweep wall
+  after[kFitReplicaRefreshNs] = 10000000;  // 10 ms main-thread
+  after[kFitShardKernelNs] = 240000000;    // 240 ms across 4 threads = 60 ms
+  after[kFitBarrierWaitNs] = 80000000;     // 80 ms across 4 threads = 20 ms
+  after[kFitDeltaMergeNs] = 10000000;      // 10 ms main-thread
+  FitProfile profile = ComputeFitProfile(before, after, 4);
+  EXPECT_EQ(profile.sweeps, 10u);
+  EXPECT_DOUBLE_EQ(profile.sweep_wall_ms, 100.0);
+  // 10 + 60 + 20 + 10 = 100 ms attributed.
+  EXPECT_NEAR(profile.accounted_pct, 100.0, 1e-9);
+  double kernel_ms = -1.0, barrier_ms = -1.0;
+  for (const PhaseRow& row : profile.rows) {
+    if (row.counter == kFitShardKernelNs) kernel_ms = row.wall_ms;
+    if (row.counter == kFitBarrierWaitNs) barrier_ms = row.wall_ms;
+  }
+  EXPECT_DOUBLE_EQ(kernel_ms, 60.0);
+  EXPECT_DOUBLE_EQ(barrier_ms, 20.0);
+}
+
+TEST(FitProfileTest, DiffsAgainstBeforeSnapshot) {
+  std::map<std::string, uint64_t> before{{kFitSweepNs, 40},
+                                         {kFitSweepsTotal, 2}};
+  std::map<std::string, uint64_t> after{{kFitSweepNs, 100},
+                                        {kFitSweepsTotal, 5}};
+  FitProfile profile = ComputeFitProfile(before, after, 1);
+  EXPECT_EQ(profile.sweeps, 3u);
+  EXPECT_DOUBLE_EQ(profile.sweep_wall_ms, 60e-6);
+}
+
+}  // namespace
+}  // namespace obs
+
+// --------------------------------------------- logging satellites (common/)
+
+namespace {
+
+TEST(LoggingTest, ParseLogLevelAcceptsAliasesCaseInsensitive) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("ERROR", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // untouched on failure
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, ThreadOrdinalsAreStableAndDistinct) {
+  const int mine = CurrentThreadOrdinal();
+  EXPECT_EQ(CurrentThreadOrdinal(), mine);  // stable within a thread
+  int other = -1;
+  std::thread([&other] { other = CurrentThreadOrdinal(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+TEST(LoggingTest, MonotonicMicrosNeverGoesBackwards) {
+  int64_t last = MonotonicMicros();
+  for (int i = 0; i < 100; ++i) {
+    int64_t now = MonotonicMicros();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace mlp

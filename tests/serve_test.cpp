@@ -401,6 +401,72 @@ TEST_F(ModelServerTest, HealthzAndStatsz) {
   ASSERT_TRUE(csv.ok());
   EXPECT_EQ(csv->status, 200);
   EXPECT_EQ(csv->body.rfind("stat,value\n", 0), 0u) << csv->body;
+
+  // Cache byte budget and pool queue depths are part of the operator
+  // surface in every format.
+  EXPECT_NE(stats_json->Find("cache_bytes"), nullptr);
+  EXPECT_NE(stats_json->Find("cache_capacity_bytes"), nullptr);
+  EXPECT_NE(stats_json->Find("conn_queue_depth"), nullptr);
+  EXPECT_NE(stats_json->Find("batch_queue_depth"), nullptr);
+  EXPECT_NE(csv->body.find("batch_queue_depth,"), std::string::npos);
+}
+
+TEST_F(ModelServerTest, MetricszServesPrometheusExposition) {
+  auto server = StartServer();
+  // Prime the latency histogram with a couple of requests first.
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/0").ok());
+  ASSERT_TRUE(HttpFetch("127.0.0.1", server->port(), "GET", "/healthz").ok());
+
+  Result<HttpResponse> metrics =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/metricsz");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->status, 200);
+  const std::string& body = metrics->body;
+
+  // Request-latency histogram: TYPE line, cumulative le buckets including
+  // +Inf, sum and count — and the count covers the requests above.
+  EXPECT_NE(body.find("# TYPE serve_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_request_latency_us_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_request_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_request_latency_us_sum"), std::string::npos);
+  EXPECT_NE(body.find("serve_request_latency_us_count"), std::string::npos);
+
+  // Cache counters and occupancy gauges, queue depths, model generation.
+  EXPECT_NE(body.find("# TYPE serve_cache_hits counter"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_cache_misses counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_cache_bytes gauge"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_cache_capacity_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_conn_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_batch_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_model_generation 1"), std::string::npos);
+
+  // The process-wide registry rides along (requests counter at minimum).
+  EXPECT_NE(body.find("# TYPE serve_requests_total counter"),
+            std::string::npos);
+
+  // Every line is "# ..." commentary or "name[{labels}] value" — a cheap
+  // exposition-format well-formedness pass.
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    EXPECT_NE(value.find_first_of("0123456789"), std::string::npos) << line;
+  }
 }
 
 TEST_F(ModelServerTest, ServedUserJsonIsByteConsistentWithMlpResult) {

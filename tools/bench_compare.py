@@ -7,7 +7,11 @@ Usage:
 
 Every baseline file must have a fresh counterpart (a bench that stops
 emitting its JSON is itself a regression). Metrics not listed in SPEC are
-informational only.
+informational only: keys that appear in a fresh run but not in the
+committed baseline (e.g. a bench that learned to emit new observability
+metrics) are listed as "new metric (ignored)" and never fail the gate —
+only SPEC'd keys gate, and only a SPEC'd key missing from either side is
+an error.
 
 Tolerances: ratio-shaped metrics (speedups, QPS ratios, touched fractions,
 accuracy deltas) are machine-independent and carry the tight 25% gate.
@@ -155,6 +159,16 @@ def main():
                             "(bench missing or crashed)")
             continue
         base, fresh = load(os.path.join(args.baseline, name)), load(fresh_path)
+        # Keys the gate knows nothing about are reported but never fail:
+        # a bench that starts emitting new metrics (e.g. the obs phase
+        # breakdown) must not break CI until the baseline catches up.
+        spec_keys = {key for key, _, _ in SPEC.get(name, [])}
+        for key in sorted(fresh):
+            if key not in base and key not in spec_keys:
+                print(f"{name}:{key}: new metric (ignored by the gate)")
+        for key in sorted(base):
+            if key not in fresh and key not in spec_keys:
+                print(f"{name}:{key}: dropped metric (ignored by the gate)")
         for key, direction, tolerance in SPEC.get(name, []):
             ok, line = compare_metric(name, key, direction, tolerance, base,
                                       fresh, scale)

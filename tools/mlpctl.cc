@@ -14,12 +14,17 @@
 //       refit, scores the stored home estimates against the dataset.
 //   mlpctl fit --data DIR --save MODEL.snap [--max-sweeps K]
 //              [--prune_floor F] [--prune_patience K] [--no_prune]
+//              [--profile] [--trace FILE]
 //       Fit MLP on the full dataset (every registered home observed) and
 //       persist the model — sufficient statistics, chain state, RNG
 //       streams, candidate activation and result — as a versioned
 //       snapshot. With --max-sweeps the fit checkpoints early and the
 //       snapshot is resumable. --prune_floor enables adaptive sweep-time
-//       candidate pruning (see src/core/README.md).
+//       candidate pruning (see src/core/README.md). --profile prints an
+//       end-of-fit per-phase wall-clock table (replica refresh / shard
+//       kernel / barrier wait / delta merge / ...); --trace FILE writes
+//       every recorded span as Chrome trace_event JSON, viewable in
+//       chrome://tracing or Perfetto (see src/obs/README.md).
 //   mlpctl resume --data DIR --load MODEL.snap [--save MODEL2.snap]
 //       Continue an interrupted fit from a snapshot to completion. The
 //       combined fit+resume reproduces an uninterrupted fit exactly.
@@ -39,10 +44,13 @@
 //                [--cache_mb M] [--top_k T] [--selfcheck]
 //       Online query server over a fitted snapshot (src/serve/): GET
 //       /v1/user/{id}, GET /v1/edge/{src}/{dst}, POST /v1/batch, /healthz,
-//       /statsz. SIGINT/SIGTERM shut down gracefully (drain in-flight
-//       requests). --selfcheck starts on an ephemeral port, round-trips a
-//       query set against the snapshot through a real socket client, and
-//       exits — the curl-free CI smoke.
+//       /statsz, /metricsz (Prometheus text). SIGINT/SIGTERM shut down
+//       gracefully (drain in-flight requests). --selfcheck starts on an
+//       ephemeral port, round-trips a query set against the snapshot
+//       through a real socket client, and exits — the curl-free CI smoke.
+//
+// Global flags: --log_level debug|info|warn|error (also honors the
+// MLP_LOG_LEVEL environment variable; the flag wins).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 unknown/missing subcommand,
 // 3 missing or invalid required flag (per-subcommand usage printed).
@@ -59,8 +67,12 @@
 #include <string>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/model.h"
+#include "obs/fit_profile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "eval/cross_validation.h"
 #include "eval/methods.h"
 #include "eval/metrics.h"
@@ -134,12 +146,12 @@ const std::map<std::string, std::string>& UsageTexts() {
        "             [--sampling N] [--threads N] [--seed S]\n"
        "             [--em-rounds R] [--max-sweeps K]\n"
        "             [--prune_floor F] [--prune_patience K]\n"
-       "             [--no_prune]\n"},
+       "             [--no_prune] [--profile] [--trace FILE]\n"},
       {"resume",
        "  mlpctl resume --data DIR --load MODEL.snap\n"
        "             [--save MODEL2.snap] [--max-sweeps K]\n"
        "             [--prune_floor F] [--prune_patience K]\n"
-       "             [--no_prune]\n"},
+       "             [--no_prune] [--profile] [--trace FILE]\n"},
       {"ingest",
        "  mlpctl ingest --data DIR --load MODEL.snap --delta DIR2\n"
        "             --save MODEL2.snap [--save-data DIR3]\n"
@@ -310,6 +322,64 @@ int SaveSnapshotTo(const std::string& path, const core::ModelInput& input,
   return 0;
 }
 
+// --profile / --trace session shared by fit and resume: snapshots the
+// phase counters before the fit and installs a trace recorder; Finish()
+// (success path only) prints the per-phase table and writes the Chrome
+// trace. The destructor uninstalls the recorder on every path, so an
+// errored fit can't leave a dangling recorder pointer installed.
+class FitProfileSession {
+ public:
+  FitProfileSession(const std::map<std::string, std::string>& flags,
+                    int num_threads)
+      : profile_(FlagOr(flags, "profile", "0") != "0"),
+        trace_path_(FlagOr(flags, "trace", "")),
+        num_threads_(num_threads) {
+    if (profile_) before_ = obs::Registry::Global().CounterValues();
+    if (!trace_path_.empty()) obs::SetTraceRecorder(&recorder_);
+  }
+
+  ~FitProfileSession() {
+    if (!trace_path_.empty()) obs::SetTraceRecorder(nullptr);
+  }
+
+  int Finish() {
+    if (!trace_path_.empty()) {
+      obs::SetTraceRecorder(nullptr);
+      Status written = recorder_.WriteChromeTrace(trace_path_);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     written.ToString().c_str());
+        return kExitRuntime;
+      }
+      std::printf("trace -> %s (%zu events; open in chrome://tracing)\n",
+                  trace_path_.c_str(), recorder_.event_count());
+    }
+    if (profile_) {
+      const obs::FitProfile profile = obs::ComputeFitProfile(
+          before_, obs::Registry::Global().CounterValues(), num_threads_);
+      std::printf(
+          "profile: %llu sweeps, %.1f ms sweep wall-clock, "
+          "%.1f%% attributed (threads=%d)\n",
+          static_cast<unsigned long long>(profile.sweeps),
+          profile.sweep_wall_ms, profile.accounted_pct, num_threads_);
+      io::TablePrinter table({"phase", "wall ms", "% of sweep"});
+      for (const obs::PhaseRow& row : profile.rows) {
+        table.AddRow({row.phase, StringPrintf("%.1f", row.wall_ms),
+                      StringPrintf("%.1f%%", row.pct_of_sweep)});
+      }
+      table.Print();
+    }
+    return kExitOk;
+  }
+
+ private:
+  const bool profile_;
+  const std::string trace_path_;
+  const int num_threads_;
+  std::map<std::string, uint64_t> before_;
+  obs::TraceRecorder recorder_;
+};
+
 int CmdFit(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   std::string save = FlagOr(flags, "save", "");
@@ -339,6 +409,7 @@ int CmdFit(const std::map<std::string, std::string>& flags) {
   core::FitOptions opts;
   opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
   opts.checkpoint_out = &checkpoint;
+  FitProfileSession session(flags, config.num_threads);
   Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
   if (!result.ok()) {
     std::fprintf(stderr, "fit failed: %s\n",
@@ -346,6 +417,7 @@ int CmdFit(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   PrintFitSummary(checkpoint, *result);
+  if (int rc = session.Finish(); rc != kExitOk) return rc;
   return SaveSnapshotTo(save, input, checkpoint, *result);
 }
 
@@ -381,6 +453,7 @@ int CmdResume(const std::map<std::string, std::string>& flags) {
   opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
   opts.warm_start = &snapshot->checkpoint;
   opts.checkpoint_out = &checkpoint;
+  FitProfileSession session(flags, config.num_threads);
   Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
   if (!result.ok()) {
     std::fprintf(stderr, "resume failed: %s\n",
@@ -388,6 +461,7 @@ int CmdResume(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   PrintFitSummary(checkpoint, *result);
+  if (int rc = session.Finish(); rc != kExitOk) return rc;
   std::string save = FlagOr(flags, "save", "");
   if (!save.empty()) {
     return SaveSnapshotTo(save, input, checkpoint, *result);
@@ -701,6 +775,24 @@ int RunSelfcheck(const serve::ModelServer& server,
         stats.ok() && stats->status == 200 &&
             stats->body.rfind("stat,value", 0) == 0);
 
+  // Prometheus exposition: must carry the request-latency histogram (with
+  // cumulative le="..." buckets — earlier requests in this selfcheck have
+  // already recorded into it) and the cache counters.
+  Result<serve::HttpResponse> metrics =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/metricsz");
+  check("/metricsz (prometheus)",
+        metrics.ok() && metrics->status == 200 &&
+            metrics->body.find(
+                "# TYPE serve_request_latency_us histogram") !=
+                std::string::npos &&
+            metrics->body.find("serve_request_latency_us_bucket{le=\"") !=
+                std::string::npos &&
+            metrics->body.find("serve_request_latency_us_count") !=
+                std::string::npos &&
+            metrics->body.find("# TYPE serve_cache_hits counter") !=
+                std::string::npos &&
+            metrics->body.find("serve_requests_total") != std::string::npos);
+
   Result<serve::HttpResponse> missing =
       serve::HttpFetch("127.0.0.1", port, "GET", "/v1/user/999999999");
   check("404 on unknown user", missing.ok() && missing->status == 404);
@@ -786,6 +878,19 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   auto flags = ParseFlags(argc, argv, 2);
+  // Global verbosity: MLP_LOG_LEVEL (read at static init) set the
+  // baseline; an explicit --log_level on any subcommand overrides it.
+  if (auto it = flags.find("log_level"); it != flags.end()) {
+    mlp::LogLevel level;
+    if (!mlp::ParseLogLevel(it->second, &level)) {
+      std::fprintf(stderr,
+                   "mlpctl: unknown --log_level '%s' "
+                   "(expected debug|info|warn|error)\n",
+                   it->second.c_str());
+      return kExitUsage;
+    }
+    mlp::SetLogLevel(level);
+  }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "eval") return CmdEval(flags);
