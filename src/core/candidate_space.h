@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "core/input.h"
 #include "core/model_config.h"
 #include "core/priors.h"
 #include "core/suff_stats.h"
+#include "stats/alias_table.h"
 
 namespace mlp {
 namespace core {
@@ -171,6 +173,61 @@ class CandidateSpace {
   std::vector<double> gamma_sum_;          // per user
   std::vector<int64_t> active_full_idx_;   // active slot -> full slot
   std::vector<CandidateView> views_;
+};
+
+/// Per-user O(1) proposal draws for the parallel engine's alias-MH fast
+/// kernels (GibbsSampler::Sample*EdgeFast): one Walker alias table per
+/// ACTIVE candidate row, all stored flat over the space's layout, built
+/// from epoch-stale θ̃ weights (ϕ + γ at the last merged sync barrier).
+///
+/// The stored per-slot weight `Weight(u, slot)` is exposed alongside the
+/// draw so the Metropolis–Hastings acceptance ratio can correct the
+/// staleness exactly: proposals are drawn from the stale distribution, the
+/// target uses live replica counts, and α = min(1, t(l')·ŵ(l) /
+/// (t(l)·ŵ(l'))) keeps the chain's stationary distribution exact for the
+/// current counts. γ > 0 on every active slot (BuildPriors floors it at
+/// config.tau), so the stale proposal's support always covers the target's.
+///
+/// Epoch-rebuild invariants (see src/engine/README.md): the engine rebuilds
+/// every row at each merged sync barrier, after every compaction (the
+/// layout changed — Bind first), and after a warm-start restore. Rebuilds
+/// of disjoint user ranges are thread-safe; draws are safe concurrently
+/// with no writer.
+class ProposalTables {
+ public:
+  /// (Re)binds to the space's current active layout and sizes the flat
+  /// buffers. Rows hold garbage until RebuildRange covers them.
+  void Bind(const CandidateSpace* space);
+
+  bool bound() const { return space_ != nullptr; }
+  uint64_t layout_version() const { return layout_version_; }
+
+  /// Rebuilds users [u_begin, u_end) from the merged counts in `arena`.
+  /// Weights are ϕ + γ clamped at zero (deferred-sync folds can leave a
+  /// replica transiently below a stale global row; see the engine README).
+  void RebuildRange(const SuffStatsArena& arena, graph::UserId u_begin,
+                    graph::UserId u_end, stats::AliasBuildScratch* scratch);
+
+  /// One O(1) draw of an active slot of user `u` from the stale θ̃ row.
+  int Sample(graph::UserId u, Pcg32* rng) const {
+    const int64_t off = space_->layout().phi_offset[u];
+    const int n = space_->layout().candidate_count(u);
+    if (n <= 1) return 0;
+    return stats::AliasTable::SampleFrom(prob_.data() + off,
+                                         alias_.data() + off, n, rng);
+  }
+
+  /// The stale weight the row was built from (unnormalized within the row).
+  double Weight(graph::UserId u, int slot) const {
+    return w_[space_->layout().phi_offset[u] + slot];
+  }
+
+ private:
+  const CandidateSpace* space_ = nullptr;
+  uint64_t layout_version_ = 0;
+  std::vector<double> prob_;     // flat, layout.phi_size()
+  std::vector<int32_t> alias_;   // flat, layout.phi_size()
+  std::vector<double> w_;        // flat: the stale weights themselves
 };
 
 }  // namespace core

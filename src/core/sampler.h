@@ -56,6 +56,11 @@ struct GibbsScratch {
   std::vector<double> a;    // θ̃ weights of the follower / tweeter
   std::vector<double> b;    // θ̃ weights of the friend
   std::vector<double> row;  // distance-marginalized row sums
+  /// Flat venue_counts cells written by the FAST tweeting kernel since the
+  /// caller last cleared it. The engine's sub-shard delta fold walks
+  /// exactly this dirty set (plus the owned users' ϕ rows) instead of the
+  /// whole location×venue rectangle.
+  std::vector<int64_t> venue_cells;
 };
 
 /// The sampler's complete restorable state: chain assignments, arena
@@ -214,6 +219,43 @@ class GibbsSampler {
   void SampleTweetingEdge(graph::EdgeId k, SuffStatsArena* stats,
                           GibbsScratch* scratch, Pcg32* rng);
 
+  // ---- alias-MH fast kernels (parallel engine hot path) ----
+  //
+  // Same per-edge conditionals, restructured so the work per edge is O(1)
+  // plus a constant number of Metropolis–Hastings rounds, instead of the
+  // blocked update's O(n_i · n_j) grid marginalization:
+  //
+  //   1. μ (resp. ν) is resampled CONDITIONED on the current assignments.
+  //     Treating the latent assignments of noise-flagged edges as auxiliary
+  //     variables drawn from θ̃ (exactly what the blocked kernels do), the
+  //     θ̃ factors cancel between the branches and the odds collapse to
+  //     p(μ=1)/p(μ=0) = ρ_f·R_f / ((1−ρ_f)·β·d^α(c_x, c_y)) — one PowTable
+  //     read, no marginalization. Integrating the auxiliary draws back out
+  //     recovers the blocked kernel's stationary distribution.
+  //   2. x | μ, y (then y | μ, x, and z | ν) are resampled by a few
+  //     independence-MH rounds: proposals come from the epoch-stale
+  //     per-user alias tables (O(1) each), and the acceptance ratio
+  //     α = min(1, t(l')·ŵ(l) / (t(l)·ŵ(l'))) corrects the staleness
+  //     against the live target t(l) = (ϕ+γ)(l) · [d^α / ψ_l(v) factor].
+  //
+  // The chain they produce is a different (but equally valid) Markov chain
+  // over the same posterior — the sequential path keeps the exact blocked
+  // kernels, which is what keeps 1-thread mode bit-identical. The fast
+  // tweeting kernel also logs every venue cell it touches into
+  // scratch->venue_cells (callers clear it per batch).
+
+  /// Fast (μ_s, x_s, y_s) resample. `proposals` must be built over this
+  /// sampler's space at the current layout.
+  void SampleFollowingEdgeFast(graph::EdgeId s, SuffStatsArena* stats,
+                               GibbsScratch* scratch, Pcg32* rng,
+                               const ProposalTables& proposals);
+
+  /// Fast (ν_k, z_k) resample; appends touched cells to
+  /// scratch->venue_cells.
+  void SampleTweetingEdgeFast(graph::EdgeId k, SuffStatsArena* stats,
+                              GibbsScratch* scratch, Pcg32* rng,
+                              const ProposalTables& proposals);
+
   /// The shared arena shape — a reference into the candidate space, which
   /// owns it (stable address across compactions).
   const SuffStatsLayout& layout() const { return space_->layout(); }
@@ -249,6 +291,20 @@ class GibbsSampler {
   /// (and prior rows living inside CandidateSpace) sample without building
   /// a vector per draw; callers reuse GibbsScratch buffers.
   int SampleCandidate(const double* weights, int count, Pcg32* rng) const;
+
+  /// Independence-MH rounds for one assignment slot of user `u`. Target
+  /// t(l) = max(0, ϕ_u[l]+γ[l]) · d^α(c_l, anchor) — pass
+  /// geo::kInvalidCity to drop the distance factor (latent / noise-branch
+  /// draws). Proposals and their stale weights come from `proposals`.
+  int MhResampleSlot(graph::UserId u, const CandidateView& view,
+                     const double* phi_u, int cur, geo::CityId anchor,
+                     const ProposalTables& proposals, Pcg32* rng) const;
+
+  /// Same, with the tweeting target t(l) = max(0, ϕ_u[l]+γ[l]) · ψ_l(v).
+  int MhResampleSlotVenue(graph::UserId u, const CandidateView& view,
+                          const double* phi_u, int cur, graph::VenueId v,
+                          const SuffStatsArena& stats,
+                          const ProposalTables& proposals, Pcg32* rng) const;
 
   const ModelInput* input_;
   const MlpConfig* config_;

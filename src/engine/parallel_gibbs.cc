@@ -17,10 +17,13 @@ struct FitCounters {
   obs::Counter* sweeps;
   obs::Counter* sweep_ns;
   obs::Counter* replica_refresh_ns;
+  obs::Counter* alias_rebuild_ns;
   obs::Counter* shard_kernel_ns;
+  obs::Counter* delta_fold_ns;
   obs::Counter* barrier_wait_ns;
   obs::Counter* delta_merge_ns;
   obs::Counter* prune_ns;
+  obs::Counter* rebalance_ns;
 };
 
 const FitCounters& Counters() {
@@ -30,13 +33,21 @@ const FitCounters& Counters() {
     c.sweeps = registry.GetCounter(obs::kFitSweepsTotal);
     c.sweep_ns = registry.GetCounter(obs::kFitSweepNs);
     c.replica_refresh_ns = registry.GetCounter(obs::kFitReplicaRefreshNs);
+    c.alias_rebuild_ns = registry.GetCounter(obs::kFitAliasRebuildNs);
     c.shard_kernel_ns = registry.GetCounter(obs::kFitShardKernelNs);
+    c.delta_fold_ns = registry.GetCounter(obs::kFitDeltaFoldNs);
     c.barrier_wait_ns = registry.GetCounter(obs::kFitBarrierWaitNs);
     c.delta_merge_ns = registry.GetCounter(obs::kFitDeltaMergeNs);
     c.prune_ns = registry.GetCounter(obs::kFitPruneNs);
+    c.rebalance_ns = registry.GetCounter(obs::kFitRebalanceNs);
     return c;
   }();
   return counters;
+}
+
+// Region r's half-open slice of a flat buffer of n elements, for T regions.
+inline int64_t SliceBegin(int64_t n, int r, int regions) {
+  return n * r / regions;
 }
 
 }  // namespace
@@ -54,53 +65,221 @@ ParallelGibbsEngine::ParallelGibbsEngine(core::GibbsSampler* sampler,
   MLP_CHECK(sampler_ != nullptr && input_ != nullptr && config_ != nullptr);
   if (num_threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
-    shards_ = GraphSharder::Partition(*input_->graph, num_threads_);
-    shard_rngs_.reserve(num_threads_);
-    for (int k = 0; k < num_threads_; ++k) {
-      // Decorrelated per-shard streams derived from the base seed: distinct
-      // PCG increments give independent sequences, and the derivation is a
-      // pure function of (seed, shard), so a fixed thread count replays the
-      // exact same chain regardless of scheduling.
+    const int num_sub = num_threads_ * kSubShardsPerThread;
+    shards_ = GraphSharder::Partition(*input_->graph, num_sub);
+    shard_rngs_.reserve(num_sub);
+    for (int k = 0; k < num_sub; ++k) {
+      // Decorrelated per-sub-shard streams derived from the base seed:
+      // distinct PCG increments give independent sequences, and the
+      // derivation is a pure function of (seed, sub-shard), so a fixed
+      // thread count replays the exact same chain regardless of
+      // scheduling.
       shard_rngs_.emplace_back(
           config_->seed ^ (0x9e3779b97f4a7c15ULL * (k + 1)),
           0xda3e39cb94b95bdbULL + 2 * static_cast<uint64_t>(k));
     }
     replicas_.resize(num_threads_);
+    delta_accs_.resize(num_threads_);
     scratches_.resize(num_threads_);
+    alias_scratches_.resize(num_threads_);
+    RebuildTouchSets();
+    ResetSchedule();
   }
 }
 
 void ParallelGibbsEngine::Initialize(Pcg32* rng) {
   sampler_->Initialize(rng);
   replicas_fresh_ = false;
+  proposals_stale_ = true;
   sweeps_since_sync_ = 0;
 }
 
+void ParallelGibbsEngine::RebuildTouchSets() {
+  const graph::SocialGraph& graph = *input_->graph;
+  const bool use_following = sampler_->UseFollowing();
+  const bool use_tweeting = sampler_->UseTweeting();
+  touch_users_.assign(shards_.size(), {});
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::vector<graph::UserId>& touched = touch_users_[k];
+    if (use_following) {
+      for (graph::EdgeId s : shards_[k].following) {
+        const graph::FollowingEdge& edge = graph.following(s);
+        touched.push_back(edge.follower);
+        touched.push_back(edge.friend_user);
+      }
+    }
+    if (use_tweeting) {
+      for (graph::EdgeId t : shards_[k].tweeting) {
+        touched.push_back(graph.tweeting(t).user);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  }
+}
+
+void ParallelGibbsEngine::ResetSchedule() {
+  ewma_ns_.assign(shards_.size(), -1.0);
+  order_.resize(shards_.size());
+  for (size_t k = 0; k < order_.size(); ++k) order_[k] = static_cast<int>(k);
+  // Until measurements arrive, the static edge-count weight is the best
+  // available cost prior. stable_sort keeps ties in index order.
+  std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
+    return shards_[a].Weight() > shards_[b].Weight();
+  });
+}
+
 void ParallelGibbsEngine::RefreshReplicas() {
-  obs::ScopedSpan span(Counters().replica_refresh_ns, "replica_refresh");
-  // Flat value copies into buffers that persist across syncs: after the
-  // first refresh binds every arena to the sampler's layout, this is pure
-  // std::copy traffic with zero allocation.
-  snapshot_.CopyValuesFrom(sampler_->stats());
-  for (auto& replica : replicas_) replica.CopyValuesFrom(snapshot_);
+  const core::SuffStatsLayout* layout = &sampler_->layout();
+  for (int i = 0; i < num_threads_; ++i) {
+    pool_->Submit([this, i, layout] {
+      obs::ScopedSpan span(Counters().replica_refresh_ns, "replica_refresh");
+      replicas_[i].CopyValuesFrom(sampler_->stats());
+      delta_accs_[i].Reset(layout);
+    });
+  }
+  pool_->Wait();
   replicas_fresh_ = true;
   sweeps_since_sync_ = 0;
 }
 
-void ParallelGibbsEngine::MergeReplicas() {
-  {
-    obs::ScopedSpan span(Counters().delta_merge_ns, "delta_merge");
-    // global' = snapshot + Σ_k (replica_k - snapshot), accumulated in shard
-    // order so the merge is deterministic. The global counts are untouched
-    // between refresh and merge (workers only write replicas), so they
-    // still equal the snapshot and the deltas apply onto them in place.
-    // Each AccumulateDelta is a few fused passes over contiguous buffers.
-    core::SuffStatsArena* global = sampler_->mutable_stats();
-    for (const core::SuffStatsArena& replica : replicas_) {
-      global->AccumulateDelta(replica, snapshot_);
-    }
-    replicas_fresh_ = false;
+void ParallelGibbsEngine::RebuildProposals() {
+  const core::CandidateSpace& space = sampler_->space();
+  if (!proposals_.bound() ||
+      proposals_.layout_version() != space.layout_version()) {
+    proposals_.Bind(&space);
   }
+  const int64_t num_users = space.num_users();
+  for (int i = 0; i < num_threads_; ++i) {
+    const graph::UserId begin =
+        static_cast<graph::UserId>(SliceBegin(num_users, i, num_threads_));
+    const graph::UserId end =
+        static_cast<graph::UserId>(SliceBegin(num_users, i + 1, num_threads_));
+    pool_->Submit([this, i, begin, end] {
+      obs::ScopedSpan span(Counters().alias_rebuild_ns, "alias_rebuild");
+      proposals_.RebuildRange(sampler_->stats(), begin, end,
+                              &alias_scratches_[i]);
+    });
+  }
+  pool_->Wait();
+  proposals_stale_ = false;
+}
+
+void ParallelGibbsEngine::FoldShardDelta(int sub_shard, int slot) {
+  const core::SuffStatsArena& global = sampler_->stats();
+  const core::SuffStatsLayout& layout = sampler_->layout();
+  core::SuffStatsArena* replica = &replicas_[slot];
+  core::SuffStatsArena* acc = &delta_accs_[slot];
+
+  for (graph::UserId u : touch_users_[sub_shard]) {
+    const int64_t begin = layout.phi_offset[u];
+    const int64_t end = layout.phi_offset[u + 1];
+    for (int64_t i = begin; i < end; ++i) {
+      const double d = replica->phi[i] - global.phi[i];
+      if (d != 0.0) {
+        acc->phi[i] += d;
+        replica->phi[i] = global.phi[i];
+      }
+    }
+    const double dt = replica->phi_total[u] - global.phi_total[u];
+    if (dt != 0.0) {
+      acc->phi_total[u] += dt;
+      replica->phi_total[u] = global.phi_total[u];
+    }
+  }
+
+  // The venue rectangle is location×venue — far too wide to diff per
+  // sub-shard — so the fast tweeting kernel logs exactly the cells it
+  // touched. Duplicate log entries are harmless: after the first visit the
+  // replica cell equals the global again and the diff is zero. Totals piggy-
+  // back on the logged cells' locations the same way.
+  core::GibbsScratch* scratch = &scratches_[slot];
+  if (!scratch->venue_cells.empty()) {
+    const int64_t num_venues = layout.num_venues;
+    for (const int64_t cell : scratch->venue_cells) {
+      const double d = replica->venue_counts[cell] - global.venue_counts[cell];
+      if (d != 0.0) {
+        acc->venue_counts[cell] += d;
+        replica->venue_counts[cell] = global.venue_counts[cell];
+      }
+      const int32_t loc = static_cast<int32_t>(cell / num_venues);
+      const double dt =
+          replica->venue_counts_total[loc] - global.venue_counts_total[loc];
+      if (dt != 0.0) {
+        acc->venue_counts_total[loc] += dt;
+        replica->venue_counts_total[loc] = global.venue_counts_total[loc];
+      }
+    }
+    scratch->venue_cells.clear();
+  }
+}
+
+void ParallelGibbsEngine::MergeAndRefresh() {
+  core::SuffStatsArena* global = sampler_->mutable_stats();
+  // One parallel pass, region-sliced: thread r owns slice r of every flat
+  // buffer, merges all accumulators' slices into the global slice (zeroing
+  // them), then copies the merged slice into every replica. Merge and
+  // refresh overlap inside a single barrier, and each byte of the global
+  // counts has exactly one writer. Accumulator deltas are integer-valued,
+  // so the per-cell sums are exact regardless of which worker produced
+  // which delta — the merged counts are schedule-independent.
+  for (int r = 0; r < num_threads_; ++r) {
+    pool_->Submit([this, global, r] {
+      auto merge_slice = [](std::vector<double>* dst, std::vector<double>* acc,
+                            int64_t begin, int64_t end) {
+        double* d = dst->data();
+        double* a = acc->data();
+        for (int64_t i = begin; i < end; ++i) {
+          d[i] += a[i];
+          a[i] = 0.0;
+        }
+      };
+      auto copy_slice = [](const std::vector<double>& src,
+                           std::vector<double>* dst, int64_t begin,
+                           int64_t end) {
+        std::copy(src.begin() + begin, src.begin() + end,
+                  dst->begin() + begin);
+      };
+      const int64_t phi_b = SliceBegin(global->phi.size(), r, num_threads_);
+      const int64_t phi_e = SliceBegin(global->phi.size(), r + 1, num_threads_);
+      const int64_t tot_b =
+          SliceBegin(global->phi_total.size(), r, num_threads_);
+      const int64_t tot_e =
+          SliceBegin(global->phi_total.size(), r + 1, num_threads_);
+      const int64_t ven_b =
+          SliceBegin(global->venue_counts.size(), r, num_threads_);
+      const int64_t ven_e =
+          SliceBegin(global->venue_counts.size(), r + 1, num_threads_);
+      const int64_t vtot_b =
+          SliceBegin(global->venue_counts_total.size(), r, num_threads_);
+      const int64_t vtot_e =
+          SliceBegin(global->venue_counts_total.size(), r + 1, num_threads_);
+      {
+        obs::ScopedSpan span(Counters().delta_merge_ns, "delta_merge");
+        for (core::SuffStatsArena& acc : delta_accs_) {
+          merge_slice(&global->phi, &acc.phi, phi_b, phi_e);
+          merge_slice(&global->phi_total, &acc.phi_total, tot_b, tot_e);
+          merge_slice(&global->venue_counts, &acc.venue_counts, ven_b, ven_e);
+          merge_slice(&global->venue_counts_total, &acc.venue_counts_total,
+                      vtot_b, vtot_e);
+        }
+      }
+      {
+        obs::ScopedSpan span(Counters().replica_refresh_ns, "replica_refresh");
+        for (core::SuffStatsArena& replica : replicas_) {
+          copy_slice(global->phi, &replica.phi, phi_b, phi_e);
+          copy_slice(global->phi_total, &replica.phi_total, tot_b, tot_e);
+          copy_slice(global->venue_counts, &replica.venue_counts, ven_b,
+                     ven_e);
+          copy_slice(global->venue_counts_total, &replica.venue_counts_total,
+                     vtot_b, vtot_e);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+  sweeps_since_sync_ = 0;
+  proposals_stale_ = true;  // rebuilt lazily from the just-merged counts
   // Timed separately (fit_trace_record_ns, inside the sampler): the sweep
   // trace diff is main-thread work that is easy to mistake for merge cost.
   sampler_->RecordSweepTrace();
@@ -114,30 +293,48 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
     return;
   }
   if (!replicas_fresh_) RefreshReplicas();
+  if (proposals_stale_) RebuildProposals();
 
   const bool use_following = sampler_->UseFollowing();
   const bool use_tweeting = sampler_->UseTweeting();
-  shard_kernel_ns_.assign(num_threads_, 0);
+  const int num_sub = static_cast<int>(shards_.size());
+  sub_kernel_ns_.assign(num_sub, 0);
+  thread_busy_ns_.assign(num_threads_, 0);
   const int64_t section_start_ns = obs::NowNs();
-  for (int k = 0; k < num_threads_; ++k) {
+  // Work queue: sub-shards submitted heaviest-first (online LPT over the
+  // measured EWMA costs); idle workers pull the next one. The fold after
+  // each sub-shard reverts the worker's replica to the global counts, so
+  // the assignment of sub-shards to workers is semantically neutral — only
+  // the makespan depends on it.
+  for (int idx = 0; idx < num_sub; ++idx) {
+    const int k = order_[idx];
     pool_->Submit([this, k, use_following, use_tweeting] {
+      const int slot = ThreadPool::CurrentWorkerIndex();
       const int64_t kernel_start_ns = obs::NowNs();
       const Shard& shard = shards_[k];
-      core::SuffStatsArena* replica = &replicas_[k];
-      core::GibbsScratch* scratch = &scratches_[k];
+      core::SuffStatsArena* replica = &replicas_[slot];
+      core::GibbsScratch* scratch = &scratches_[slot];
       Pcg32* shard_rng = &shard_rngs_[k];
       if (use_following) {
         for (graph::EdgeId s : shard.following) {
-          sampler_->SampleFollowingEdge(s, replica, scratch, shard_rng);
+          sampler_->SampleFollowingEdgeFast(s, replica, scratch, shard_rng,
+                                            proposals_);
         }
       }
       if (use_tweeting) {
         for (graph::EdgeId t : shard.tweeting) {
-          sampler_->SampleTweetingEdge(t, replica, scratch, shard_rng);
+          sampler_->SampleTweetingEdgeFast(t, replica, scratch, shard_rng,
+                                           proposals_);
         }
       }
-      shard_kernel_ns_[k] = obs::EndSpan(Counters().shard_kernel_ns,
-                                         "shard_kernel", kernel_start_ns);
+      const int64_t kernel_ns = obs::EndSpan(Counters().shard_kernel_ns,
+                                             "shard_kernel", kernel_start_ns);
+      sub_kernel_ns_[k] = kernel_ns;
+      const int64_t fold_start_ns = obs::NowNs();
+      FoldShardDelta(k, slot);
+      const int64_t fold_ns = obs::EndSpan(Counters().delta_fold_ns,
+                                           "delta_fold", fold_start_ns);
+      thread_busy_ns_[slot] += kernel_ns + fold_ns;
     });
   }
   pool_->Wait();
@@ -145,26 +342,39 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
     // Barrier wait isn't directly observable per worker (the pool hands
     // idle threads the next task immediately); derive it as the idle
     // remainder of the parallel section: every thread spans the whole
-    // section, so threads × section − Σ kernel = total time threads spent
-    // NOT running kernels — queue latency plus the tail wait on the
-    // slowest shard.
+    // section, so threads × section − Σ busy = total time threads spent
+    // NOT running kernels or folds — queue latency plus the tail wait on
+    // the last sub-shards.
     const int64_t section_ns = obs::NowNs() - section_start_ns;
-    int64_t kernel_sum_ns = 0;
-    for (int64_t ns : shard_kernel_ns_) kernel_sum_ns += ns;
-    const int64_t barrier_ns = num_threads_ * section_ns - kernel_sum_ns;
+    int64_t busy_sum_ns = 0;
+    for (int64_t ns : thread_busy_ns_) busy_sum_ns += ns;
+    const int64_t barrier_ns = num_threads_ * section_ns - busy_sum_ns;
     if (barrier_ns > 0) {
       Counters().barrier_wait_ns->Add(static_cast<uint64_t>(barrier_ns));
     }
   }
+  // Fold this sweep's measurements into the cost model and re-derive the
+  // submit order. Purely a scheduling signal: results are independent of
+  // it, so feeding wall-clock noise back in cannot break determinism.
+  for (int k = 0; k < num_sub; ++k) {
+    const double measured = static_cast<double>(sub_kernel_ns_[k]);
+    ewma_ns_[k] =
+        ewma_ns_[k] < 0.0 ? measured : 0.7 * ewma_ns_[k] + 0.3 * measured;
+  }
+  std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
+    return ewma_ns_[a] > ewma_ns_[b];
+  });
 
-  if (++sweeps_since_sync_ >= sync_every_) MergeReplicas();
+  if (++sweeps_since_sync_ >= sync_every_) MergeAndRefresh();
 }
 
 void ParallelGibbsEngine::ReshardByCost() {
-  // Per-user cost = the blocked update's real inner-loop work over the
-  // ACTIVE candidate rows: |cand_i|·|cand_j| per owned following edge,
-  // |cand_i| per owned tweet. Recomputed from scratch each compaction —
-  // pruning is rare (a handful of barriers per fit) and the pass is linear
+  // Per-user cost = the exact update's inner-loop work over the ACTIVE
+  // candidate rows: |cand_i|·|cand_j| per owned following edge, |cand_i|
+  // per owned tweet. (The fast kernels are ~O(|cand_i|) per edge, but the
+  // candidate-product measure still orders users correctly and the EWMA
+  // feedback corrects the residual error within a few sweeps.) Recomputed
+  // from scratch each compaction — pruning is rare and the pass is linear
   // in the edge lists.
   const graph::SocialGraph& graph = *input_->graph;
   std::vector<double> cost(graph.num_users(), 0.0);
@@ -182,23 +392,31 @@ void ParallelGibbsEngine::ReshardByCost() {
       cost[edge.user] += static_cast<double>(space_->view(edge.user).size());
     }
   }
-  shards_ = GraphSharder::Partition(graph, num_threads_, cost);
+  shards_ = GraphSharder::Partition(graph, num_threads_ * kSubShardsPerThread,
+                                    cost);
+  RebuildTouchSets();
+  ResetSchedule();
 }
 
 bool ParallelGibbsEngine::MaybePrune(int32_t sweep_index) {
   if (space_ == nullptr || config_->prune_floor <= 0.0) return false;
   if (!IsSynchronized()) return false;
-  obs::ScopedSpan span(Counters().prune_ns, "prune");
-  core::CompactionPlan plan;
-  if (!space_->PruneStep(sampler_->stats(), *config_, sweep_index, &plan)) {
-    return false;
+  bool pruned = false;
+  {
+    obs::ScopedSpan span(Counters().prune_ns, "prune");
+    core::CompactionPlan plan;
+    pruned = space_->PruneStep(sampler_->stats(), *config_, sweep_index, &plan);
+    if (pruned) sampler_->ApplyCompaction(plan);
   }
-  sampler_->ApplyCompaction(plan);
+  if (!pruned) return false;
   if (num_threads_ > 1) {
-    // Replicas and the snapshot are stale in both shape and values; the
-    // next sweep's refresh re-binds them to the compacted arena. Shard
-    // costs changed non-uniformly, so re-balance.
+    // Replicas, accumulators and proposal tables are stale in both shape
+    // and values; the next sweep's refresh re-binds them to the compacted
+    // arena. Shard costs changed non-uniformly, so re-balance — timed as
+    // its own phase (fit_rebalance_ns) so prune time means prune time.
+    obs::ScopedSpan span(Counters().rebalance_ns, "rebalance");
     replicas_fresh_ = false;
+    proposals_stale_ = true;
     ReshardByCost();
   }
   return true;
@@ -235,7 +453,10 @@ Status ParallelGibbsEngine::SetPartition(std::vector<Shard> shards) {
         "partition does not cover every user exactly once");
   }
   shards_ = std::move(shards);
+  RebuildTouchSets();
+  ResetSchedule();
   replicas_fresh_ = false;
+  proposals_stale_ = true;
   return Status::OK();
 }
 
@@ -323,7 +544,7 @@ void ParallelGibbsEngine::ResampleShards(Pcg32* rng) {
     return;
   }
 
-  // Refresh and merge ONLY the selected shards' replicas, and within them
+  // Refresh and merge ONLY the selected shards' deltas, and within them
   // only the selected users' ϕ rows: the restricted sweep's kernels read
   // and write exactly those rows (eligible edges have BOTH endpoints
   // selected), so everything else in a replica may stay stale without
@@ -348,52 +569,66 @@ void ParallelGibbsEngine::ResampleShards(Pcg32* rng) {
     dst->venue_counts_total = src.venue_counts_total;
   };
   copy_selected(global_now, &snapshot_);
-  for (int k = 0; k < num_threads_; ++k) {
-    if (resample_shard_selected_[k]) copy_selected(snapshot_, &replicas_[k]);
-  }
-  for (int k = 0; k < num_threads_; ++k) {
+
+  // The selected shards can outnumber the worker slots (the ingest
+  // partition is per-thread today, but nothing here should depend on
+  // that), so group them onto slots round-robin in ascending shard order;
+  // each slot sweeps its shards sequentially against one replica. With at
+  // most one shard per slot this degenerates to exactly the historical
+  // one-task-per-shard dispatch.
+  std::vector<std::vector<int>> slot_shards(num_threads_);
+  int next_slot = 0;
+  for (size_t k = 0; k < resample_shard_selected_.size(); ++k) {
     if (!resample_shard_selected_[k]) continue;
-    pool_->Submit([this, k] {
-      core::SuffStatsArena* replica = &replicas_[k];
-      core::GibbsScratch* scratch = &scratches_[k];
-      Pcg32* shard_rng = &shard_rngs_[k];
-      for (graph::EdgeId s : resample_following_[k]) {
-        sampler_->SampleFollowingEdge(s, replica, scratch, shard_rng);
-      }
-      for (graph::EdgeId t : resample_tweeting_[k]) {
-        sampler_->SampleTweetingEdge(t, replica, scratch, shard_rng);
+    slot_shards[next_slot++ % num_threads_].push_back(static_cast<int>(k));
+  }
+  for (int i = 0; i < num_threads_; ++i) {
+    if (slot_shards[i].empty()) continue;
+    copy_selected(snapshot_, &replicas_[i]);
+    pool_->Submit([this, i, shard_list = slot_shards[i]] {
+      core::SuffStatsArena* replica = &replicas_[i];
+      core::GibbsScratch* scratch = &scratches_[i];
+      for (int k : shard_list) {
+        Pcg32* shard_rng = &shard_rngs_[k];
+        for (graph::EdgeId s : resample_following_[k]) {
+          sampler_->SampleFollowingEdge(s, replica, scratch, shard_rng);
+        }
+        for (graph::EdgeId t : resample_tweeting_[k]) {
+          sampler_->SampleTweetingEdge(t, replica, scratch, shard_rng);
+        }
       }
     });
   }
   pool_->Wait();
   // Force-merge every restricted sweep: the ingest driver reads the global
-  // counts (AccumulateSample) between sweeps. Deltas apply in shard order,
-  // exactly like MergeReplicas, restricted to the same selected rows (a
-  // replica's unselected rows are stale and must never contribute).
+  // counts (AccumulateSample) between sweeps. Deltas apply in slot order,
+  // restricted to the selected rows (a replica's unselected rows are stale
+  // and must never contribute).
   core::SuffStatsArena* global = sampler_->mutable_stats();
-  for (int k = 0; k < num_threads_; ++k) {
-    if (!resample_shard_selected_[k]) continue;
-    const core::SuffStatsArena& replica = replicas_[k];
+  for (int i = 0; i < num_threads_; ++i) {
+    if (slot_shards[i].empty()) continue;
+    const core::SuffStatsArena& replica = replicas_[i];
     for (graph::UserId u : resample_users_) {
       const int64_t begin = layout.phi_offset[u];
       const int64_t end = layout.phi_offset[u + 1];
-      for (int64_t i = begin; i < end; ++i) {
-        global->phi[i] += replica.phi[i] - snapshot_.phi[i];
+      for (int64_t j = begin; j < end; ++j) {
+        global->phi[j] += replica.phi[j] - snapshot_.phi[j];
       }
       global->phi_total[u] += replica.phi_total[u] - snapshot_.phi_total[u];
     }
-    for (size_t i = 0; i < global->venue_counts.size(); ++i) {
-      global->venue_counts[i] +=
-          replica.venue_counts[i] - snapshot_.venue_counts[i];
+    for (size_t j = 0; j < global->venue_counts.size(); ++j) {
+      global->venue_counts[j] +=
+          replica.venue_counts[j] - snapshot_.venue_counts[j];
     }
-    for (size_t i = 0; i < global->venue_counts_total.size(); ++i) {
-      global->venue_counts_total[i] +=
-          replica.venue_counts_total[i] - snapshot_.venue_counts_total[i];
+    for (size_t j = 0; j < global->venue_counts_total.size(); ++j) {
+      global->venue_counts_total[j] +=
+          replica.venue_counts_total[j] - snapshot_.venue_counts_total[j];
     }
   }
-  // Unselected replicas never saw this sweep's counts; make sure a later
-  // full RunSweep re-snapshots everything before using them.
+  // The replicas diverged from the (now updated) global counts; make sure
+  // a later full RunSweep re-snapshots everything before using them.
   replicas_fresh_ = false;
+  proposals_stale_ = true;
   sweeps_since_sync_ = 0;
   sampler_->RecordSweepTrace();
 }
@@ -406,14 +641,8 @@ void ParallelGibbsEngine::EndShardResample() {
 }
 
 void ParallelGibbsEngine::Synchronize() {
-  if (num_threads_ <= 1 || !replicas_fresh_) return;
-  if (sweeps_since_sync_ > 0) {
-    MergeReplicas();
-  } else {
-    // Replicas were refreshed but never swept: they equal the global
-    // counts, so there is nothing to merge.
-    replicas_fresh_ = false;
-  }
+  if (num_threads_ <= 1 || sweeps_since_sync_ == 0) return;
+  MergeAndRefresh();
 }
 
 std::vector<Pcg32State> ParallelGibbsEngine::ShardRngStates() const {
@@ -427,12 +656,14 @@ Status ParallelGibbsEngine::RestoreShardRngStates(
     const std::vector<Pcg32State>& states) {
   if (states.size() != shard_rngs_.size()) {
     return Status::InvalidArgument(
-        "shard RNG state count does not match num_threads");
+        "shard RNG state count does not match the engine's sub-shard "
+        "streams");
   }
   for (size_t k = 0; k < states.size(); ++k) {
     shard_rngs_[k].RestoreState(states[k]);
   }
   replicas_fresh_ = false;
+  proposals_stale_ = true;
   sweeps_since_sync_ = 0;
   return Status::OK();
 }

@@ -12,6 +12,7 @@
 #include "core/sampler.h"
 #include "engine/graph_sharder.h"
 #include "engine/thread_pool.h"
+#include "stats/alias_table.h"
 
 namespace mlp {
 namespace engine {
@@ -19,31 +20,57 @@ namespace engine {
 /// Parallel sharded driver for the collapsed Gibbs sampler (AD-LDA-style
 /// approximate collapsed Gibbs; see src/engine/README.md).
 ///
-/// Users and the relationships they own are partitioned into one shard per
-/// thread. Each sweep, every worker resamples its shard's relationships
-/// against a thread-local replica of the sufficient statistics (ϕ, φ);
-/// per-edge chain state (μ/ν, x/y/z) is written in place since shards own
-/// disjoint edges. At the sweep barrier the replicas' deltas are merged
-/// back into the sampler's global counts in shard order. Replicas, the
-/// snapshot and the global counts are flat SuffStatsArena buffers sharing
-/// one layout, so refresh is a straight value copy and the merge is a
-/// handful of fused flat loops; all buffers are allocated once and reused
-/// across syncs. Counts are integer-valued doubles, so the merge is exact
-/// and the engine is run-to-run deterministic for a fixed
-/// (seed, num_threads).
+/// Users and the relationships they own are partitioned into
+/// `kSubShardsPerThread × num_threads` SUB-SHARDS that form a dynamic work
+/// queue: each sweep, the sub-shards are submitted to the pool in
+/// measured-cost order (heaviest first, by an EWMA of each sub-shard's
+/// kernel nanoseconds from previous sweeps — online LPT) and idle workers
+/// pull the next one, so a mis-predicted shard cost degrades the balance by
+/// at most one sub-shard instead of one thread's whole sweep.
+///
+/// A worker runs a sub-shard's edges through the sampler's FAST alias-MH
+/// kernels (GibbsSampler::Sample*EdgeFast) against the worker's
+/// thread-local statistics replica, then immediately FOLDS the sub-shard's
+/// delta out of the replica into the worker's delta accumulator and reverts
+/// the replica to the global values. The fold touches only the sub-shard's
+/// user rows plus the venue cells the kernels logged, and it re-establishes
+/// the invariant `replica == global counts` before the next sub-shard runs
+/// — which makes the chain a pure function of (global state, per-sub-shard
+/// RNG streams): WHICH worker runs a sub-shard, and in WHAT order, is
+/// semantically neutral. Counts are integer-valued doubles, so the merge
+/// arithmetic is exact and the engine stays run-to-run deterministic for a
+/// fixed (seed, num_threads) even under dynamic scheduling.
+///
+/// At the sync barrier one parallel pass merges every accumulator into the
+/// global counts AND refreshes every replica, region by region: thread r
+/// owns slice r of each flat buffer, sums the accumulators' slices into the
+/// global slice, zeroes them, and copies the merged slice back into all
+/// replicas — merge and refresh overlap in a single barrier instead of a
+/// serial merge followed by a serial (or separate) refresh. The per-user
+/// alias proposal tables (core::ProposalTables) are then rebuilt in
+/// parallel from the merged counts; they stay frozen for the next sync
+/// epoch and the kernels' MH acceptance ratio corrects their staleness.
 ///
 /// With `config->num_threads <= 1` every call delegates to the sequential
-/// `GibbsSampler`, using the caller's RNG — results are bit-for-bit
-/// identical to not using the engine at all. With N threads each shard
-/// draws from its own Pcg32 stream derived from `config->seed`, so the
-/// chain is independent of thread scheduling but differs (as any
-/// approximate parallel chain must) from the sequential one.
+/// `GibbsSampler`, using the caller's RNG and the exact blocked kernels —
+/// results are bit-for-bit identical to not using the engine at all. With N
+/// threads each sub-shard draws from its own Pcg32 stream derived from
+/// `config->seed`, so the chain is independent of thread scheduling but
+/// differs (as any approximate parallel chain must) from the sequential
+/// one.
 ///
-/// `config->sync_every_sweeps > 1` lets replicas run that many sweeps
-/// between merges, trading statistical freshness for fewer barriers —
-/// callers that read global counts mid-run must `Synchronize()` first.
+/// `config->sync_every_sweeps > 1` lets the accumulators collect that many
+/// sweeps of deltas between merges, trading statistical freshness for fewer
+/// barriers — callers that read global counts mid-run must `Synchronize()`
+/// first.
 class ParallelGibbsEngine {
  public:
+  /// Sub-shards per worker thread. Enough queue depth that dynamic
+  /// scheduling can absorb a ~kSubShardsPerThread-to-1 cost misprediction;
+  /// small enough that the per-sub-shard fold and submit overheads stay
+  /// negligible against the kernel time.
+  static constexpr int kSubShardsPerThread = 4;
+
   /// All pointers must outlive the engine. The sampler must belong to the
   /// same input/config. `space` is the candidate space the sampler reads
   /// through — required for sweep-time pruning (MaybePrune) and shard-cost
@@ -60,15 +87,18 @@ class ParallelGibbsEngine {
   /// only in the sequential (num_threads <= 1) path.
   void RunSweep(Pcg32* rng);
 
-  /// Forces any pending replica deltas into the global counts. No-op when
-  /// already synchronized (always, at sync_every_sweeps == 1).
+  /// Forces any pending accumulator deltas into the global counts. No-op
+  /// when already synchronized (always, at sync_every_sweeps == 1).
   void Synchronize();
 
   /// True when the global counts reflect every sweep run so far — i.e. no
-  /// replica holds unmerged deltas. Checkpoints may only be cut here;
+  /// accumulator holds unmerged deltas. Checkpoints may only be cut here;
   /// always true in the sequential path and at sync_every_sweeps == 1.
+  /// (Replicas are reverted to the global values after every sub-shard
+  /// fold, so unlike the pre-fold design they never hold deltas
+  /// themselves.)
   bool IsSynchronized() const {
-    return num_threads_ <= 1 || !replicas_fresh_ || sweeps_since_sync_ == 0;
+    return num_threads_ <= 1 || sweeps_since_sync_ == 0;
   }
 
   // ---- adaptive candidate pruning (used by core::MlpModel::Fit) ----
@@ -77,17 +107,18 @@ class ParallelGibbsEngine {
   /// (config->prune_floor > 0, a space was given) and the engine is at a
   /// merged sync barrier. Otherwise runs CandidateSpace::PruneStep against
   /// the global counts; if anything was deactivated, drives the sampler's
-  /// arena/chain compaction, re-estimates per-user costs (active candidate
-  /// products) and re-partitions the shards so the LPT balance tracks the
-  /// shrinking inner loops. Returns true iff a compaction happened.
-  /// Deterministic: pure function of the merged counts, so fixed
-  /// (seed, num_threads) still replays the exact same chain.
+  /// arena/chain compaction, then (timed separately, fit_rebalance_ns)
+  /// re-estimates per-user costs and re-partitions the sub-shards so the
+  /// scheduler's balance tracks the shrinking inner loops. Returns true iff
+  /// a compaction happened. Deterministic: pure function of the merged
+  /// counts, so fixed (seed, num_threads) still replays the exact same
+  /// chain.
   bool MaybePrune(int32_t sweep_index);
 
   /// After a warm start restored the space's activation state: re-derives
-  /// the cost-based shards a pruned fit was running with at the checkpoint
-  /// cut (no-op when nothing was ever pruned, keeping the unit-cost
-  /// partition — and its bit-exact-resume guarantee — untouched).
+  /// the cost-based sub-shards a pruned fit was running with at the
+  /// checkpoint cut (no-op when nothing was ever pruned, keeping the
+  /// unit-cost partition — and its bit-exact-resume guarantee — untouched).
   void OnActivationRestored();
 
   // ---- shard-scoped warm resampling (streaming ingest, src/stream/) ----
@@ -101,7 +132,9 @@ class ParallelGibbsEngine {
   /// pack the delta-touched users into the fewest shards their sampling
   /// cost warrants — the smaller the selected-shard closure, the less
   /// ResampleShards has to sweep. Must cover every user exactly once with
-  /// exactly num_threads() shards, at a merged barrier.
+  /// exactly num_threads() shards, at a merged barrier. (The ingest
+  /// partition is deliberately coarser than the sweep path's sub-shards:
+  /// the selected-closure math wants few, tightly packed shards.)
   Status SetPartition(std::vector<Shard> shards);
 
   /// Prepares a shard-scoped resample pass: selects the shards in
@@ -113,14 +146,16 @@ class ParallelGibbsEngine {
   /// counts, assignments, and cross-boundary edges — is left bit-identical
   /// by the pass. The per-user/per-edge eligibility masks are exposed
   /// below so the caller can merge results accordingly. Fails on an
-  /// out-of-range shard index or when replicas hold unmerged deltas.
+  /// out-of-range shard index or when accumulators hold unmerged deltas.
   Status BeginShardResample(const std::vector<int>& shard_set);
 
   /// One restricted Gibbs sweep over the shards selected by
-  /// BeginShardResample, with replica deltas force-merged at the end of
-  /// the call so the caller can read (and accumulate from) fresh global
-  /// counts between sweeps. Do not interleave with RunSweep/MaybePrune
-  /// while a pass is open.
+  /// BeginShardResample, using the EXACT blocked kernels (ingest quality
+  /// is bounded by few restricted sweeps, so the exact conditionals are
+  /// worth their cost), with deltas force-merged at the end of the call so
+  /// the caller can read (and accumulate from) fresh global counts between
+  /// sweeps. Do not interleave with RunSweep/MaybePrune while a pass is
+  /// open.
   void ResampleShards(Pcg32* rng);
 
   /// Ends the pass; RunSweep sweeps the full graph again.
@@ -139,24 +174,58 @@ class ParallelGibbsEngine {
 
   // ---- checkpoint / warm-start API (used by core::MlpModel) ----
 
-  /// Exact positions of the per-shard RNG streams (empty when sequential).
+  /// Exact positions of the per-sub-shard RNG streams (empty when
+  /// sequential). There are kSubShardsPerThread × num_threads streams; the
+  /// snapshot format stores the count explicitly, so the engine owns the
+  /// number, not the file format.
   std::vector<Pcg32State> ShardRngStates() const;
 
-  /// Resumes after the sampler's state was restored from a snapshot: shard
-  /// streams continue where they left off and replicas are marked stale so
-  /// the next sweep re-snapshots the restored global counts. `states` must
-  /// have one entry per thread (empty for the sequential path).
+  /// Resumes after the sampler's state was restored from a snapshot:
+  /// sub-shard streams continue where they left off and replicas are
+  /// marked stale so the next sweep re-snapshots the restored global
+  /// counts. `states` must have one entry per sub-shard stream (empty for
+  /// the sequential path).
   Status RestoreShardRngStates(const std::vector<Pcg32State>& states);
 
   int num_threads() const { return num_threads_; }
   const std::vector<Shard>& shards() const { return shards_; }
 
+  /// Per-worker busy nanoseconds (kernel + fold) of the most recent
+  /// parallel sweep — the scheduler-quality signal behind the bench's
+  /// shard_kernel max/mean metric. Empty until the first parallel sweep;
+  /// always empty in the sequential path.
+  const std::vector<int64_t>& LastSweepThreadBusyNs() const {
+    return thread_busy_ns_;
+  }
+
  private:
+  /// Cold refresh: every replica copies the full global counts and every
+  /// accumulator resets to zero over the current layout. Needed after
+  /// anything that invalidates replica values wholesale (initialize,
+  /// compaction, restore, repartition, resample pass).
   void RefreshReplicas();
-  void MergeReplicas();
-  /// Re-partitions shards with per-user costs = Σ active-candidate products
-  /// of owned relationships. Parallel path only.
+  /// The sync barrier: one parallel region-sliced pass that merges all
+  /// accumulators into the global counts and refreshes all replicas, then
+  /// marks the proposal tables stale and records the sweep trace.
+  void MergeAndRefresh();
+  /// Rebuilds the alias proposal tables from the merged global counts
+  /// (parallel over user ranges). Requires IsSynchronized().
+  void RebuildProposals();
+  /// Moves sub-shard `k`'s delta out of worker `slot`'s replica into its
+  /// accumulator and reverts the replica to the global values — only the
+  /// sub-shard's touched user rows plus the kernels' logged venue cells.
+  void FoldShardDelta(int sub_shard, int slot);
+  /// Re-partitions sub-shards with per-user costs = Σ active-candidate
+  /// products of owned relationships, then rebuilds touch sets and resets
+  /// the measured-cost schedule. Parallel path only.
   void ReshardByCost();
+  /// Derives each sub-shard's touched-user set (both endpoints of owned
+  /// following edges, owners of owned tweets) — the rows FoldShardDelta
+  /// walks.
+  void RebuildTouchSets();
+  /// Clears the EWMA measurements and seeds the submit order from the
+  /// static shard weights (edge counts) until real timings arrive.
+  void ResetSchedule();
 
   core::GibbsSampler* sampler_;
   const core::ModelInput* input_;
@@ -166,19 +235,37 @@ class ParallelGibbsEngine {
   int sync_every_;
 
   std::unique_ptr<ThreadPool> pool_;    // null in the sequential path
-  std::vector<Shard> shards_;
-  std::vector<Pcg32> shard_rngs_;       // one persistent stream per shard
+  std::vector<Shard> shards_;           // sub-shards (work-queue granularity)
+  /// One persistent stream per sub-shard SLOT (kSubShardsPerThread ×
+  /// num_threads, fixed for the engine's lifetime even when SetPartition
+  /// installs a coarser partition): the chain consumes stream k exactly for
+  /// sub-shard k, so determinism is independent of scheduling.
+  std::vector<Pcg32> shard_rngs_;
+  std::vector<std::vector<graph::UserId>> touch_users_;  // per sub-shard
+
+  // Per-WORKER state, addressed via ThreadPool::CurrentWorkerIndex().
   std::vector<core::SuffStatsArena> replicas_;
+  std::vector<core::SuffStatsArena> delta_accs_;
   std::vector<core::GibbsScratch> scratches_;
-  core::SuffStatsArena snapshot_;       // global counts at last refresh
+  std::vector<stats::AliasBuildScratch> alias_scratches_;
+
+  core::ProposalTables proposals_;
+  core::SuffStatsArena snapshot_;       // resample-pass baseline counts
   int sweeps_since_sync_ = 0;
   bool replicas_fresh_ = false;
+  bool proposals_stale_ = true;
 
-  /// Per-shard kernel nanoseconds for the current sweep, written by each
-  /// worker and read by the main thread after the pool barrier (the pool's
-  /// Wait() synchronizes the accesses). Barrier wait is derived from it:
-  /// threads × parallel-section wall − Σ kernel time.
-  std::vector<int64_t> shard_kernel_ns_;
+  // Measured-cost scheduling state (main thread only between barriers).
+  std::vector<double> ewma_ns_;         // per sub-shard; < 0 = no sample yet
+  std::vector<int> order_;              // submit order, heaviest first
+  /// Per-sub-shard kernel nanoseconds of the current sweep, written by the
+  /// executing worker and read by the main thread after the pool barrier
+  /// (the pool's Wait() synchronizes the accesses). Feeds the EWMA.
+  std::vector<int64_t> sub_kernel_ns_;
+  /// Per-worker busy (kernel + fold) nanoseconds of the current sweep;
+  /// each slot is written only by the worker occupying it. Barrier wait is
+  /// derived from it: threads × parallel-section wall − Σ busy.
+  std::vector<int64_t> thread_busy_ns_;
 
   // Shard-scoped resample pass state (BeginShardResample..End).
   bool resample_active_ = false;

@@ -6,11 +6,18 @@
 namespace mlp {
 namespace engine {
 
+namespace {
+// Worker identity for CurrentWorkerIndex. Pools don't nest here (tasks may
+// not Submit to their own pool), so a single thread-local is unambiguous:
+// a thread belongs to at most one pool for its whole lifetime.
+thread_local int tls_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   int n = std::max(1, num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -54,7 +61,10 @@ int ThreadPool::queue_depth() const {
   return static_cast<int>(queue_.size());
 }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

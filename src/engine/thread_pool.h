@@ -54,8 +54,15 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Index of the calling pool worker in [0, size()), or -1 on any thread
+  /// that is not a pool worker (including the owner). Lets tasks pulled
+  /// from a shared work queue address per-worker state (the Gibbs engine's
+  /// sub-shard tasks pick their statistics replica this way) without the
+  /// caller pinning tasks to workers.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -17,11 +17,14 @@ namespace obs {
 inline constexpr char kFitSweepNs[] = "fit_sweep_ns";
 inline constexpr char kFitSweepsTotal[] = "fit_sweeps_total";
 inline constexpr char kFitReplicaRefreshNs[] = "fit_replica_refresh_ns";
+inline constexpr char kFitAliasRebuildNs[] = "fit_alias_rebuild_ns";
 inline constexpr char kFitShardKernelNs[] = "fit_shard_kernel_ns";
+inline constexpr char kFitDeltaFoldNs[] = "fit_delta_fold_ns";
 inline constexpr char kFitBarrierWaitNs[] = "fit_barrier_wait_ns";
 inline constexpr char kFitDeltaMergeNs[] = "fit_delta_merge_ns";
 inline constexpr char kFitTraceRecordNs[] = "fit_trace_record_ns";
 inline constexpr char kFitPruneNs[] = "fit_prune_ns";
+inline constexpr char kFitRebalanceNs[] = "fit_rebalance_ns";
 inline constexpr char kFitSeqFollowingNs[] = "fit_seq_following_ns";
 inline constexpr char kFitSeqTweetingNs[] = "fit_seq_tweeting_ns";
 

@@ -5,6 +5,52 @@
 namespace mlp {
 namespace stats {
 
+double AliasTable::BuildInto(const double* weights, int n, double* prob,
+                             int32_t* alias, AliasBuildScratch* scratch) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += weights[i] > 0.0 ? weights[i] : 0.0;
+  if (total <= 0.0) {
+    // Degenerate row: uniform. prob = 1 means the bucket always accepts,
+    // so the alias entries are never read — keep them in-range anyway.
+    for (int i = 0; i < n; ++i) {
+      prob[i] = 1.0;
+      alias[i] = i;
+    }
+    return 0.0;
+  }
+
+  std::vector<double>& scaled = scratch->scaled;
+  std::vector<int32_t>& small = scratch->small;
+  std::vector<int32_t>& large = scratch->large;
+  scaled.resize(n);
+  small.clear();
+  large.clear();
+
+  // Scale so the average bucket holds probability exactly 1. Evaluated as
+  // (w / total) * n — the historical order of operations — so tables built
+  // here are bit-identical to ones the pre-BuildInto constructor produced.
+  for (int i = 0; i < n; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    scaled[i] = (w / total) * static_cast<double>(n);
+    alias[i] = i;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const int32_t s = small.back();
+    small.pop_back();
+    const int32_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical remainders: both queues drain to probability-1 buckets.
+  for (int32_t i : large) prob[i] = 1.0;
+  for (int32_t i : small) prob[i] = 1.0;
+  return total;
+}
+
 AliasTable::AliasTable(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {
@@ -15,41 +61,16 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
 
   const int n = static_cast<int>(weights.size());
   normalized_.resize(n);
+  for (int i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
   prob_.assign(n, 0.0);
   alias_.assign(n, 0);
-
-  // Scale so the average bucket holds probability exactly 1.
-  std::vector<double> scaled(n);
-  for (int i = 0; i < n; ++i) {
-    normalized_[i] = weights[i] / total;
-    scaled[i] = normalized_[i] * n;
-  }
-
-  std::vector<int> small, large;
-  small.reserve(n);
-  large.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    (scaled[i] < 1.0 ? small : large).push_back(i);
-  }
-  while (!small.empty() && !large.empty()) {
-    int s = small.back();
-    small.pop_back();
-    int l = large.back();
-    large.pop_back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    (scaled[l] < 1.0 ? small : large).push_back(l);
-  }
-  // Numerical remainders: both queues drain to probability-1 buckets.
-  for (int i : large) prob_[i] = 1.0;
-  for (int i : small) prob_[i] = 1.0;
+  AliasBuildScratch scratch;
+  BuildInto(weights.data(), n, prob_.data(), alias_.data(), &scratch);
 }
 
 int AliasTable::Sample(Pcg32* rng) const {
   MLP_CHECK(ok());
-  int bucket = static_cast<int>(rng->UniformU32(static_cast<uint32_t>(size())));
-  return rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+  return SampleFrom(prob_.data(), alias_.data(), size(), rng);
 }
 
 }  // namespace stats

@@ -1,6 +1,7 @@
 #ifndef MLP_STATS_ALIAS_TABLE_H_
 #define MLP_STATS_ALIAS_TABLE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"
@@ -8,10 +9,20 @@
 namespace mlp {
 namespace stats {
 
+/// Reusable work stacks for AliasTable::BuildInto so callers rebuilding
+/// many tables per epoch (the Gibbs engine's per-user proposal tables)
+/// allocate once, not once per row.
+struct AliasBuildScratch {
+  std::vector<int32_t> small;
+  std::vector<int32_t> large;
+  std::vector<double> scaled;
+};
+
 /// Walker's alias method: O(n) construction, O(1) draws from a fixed
 /// discrete distribution. Used wherever the same weights are sampled many
 /// times (population-weighted city draws, per-city target tables in the
-/// network generator, the random tweeting model TR).
+/// network generator, the random tweeting model TR, and the per-user
+/// proposal tables of the parallel engine's alias-MH kernels).
 class AliasTable {
  public:
   AliasTable() = default;
@@ -31,9 +42,32 @@ class AliasTable {
   /// Probability mass of index `i` in the normalized distribution.
   double Probability(int i) const { return normalized_[i]; }
 
+  // ---- flat (caller-owned storage) form ----
+  //
+  // The single alias-construction implementation: the instance constructor
+  // above delegates here, and callers that keep many tables in flat arrays
+  // (one row per user, offsets from a CSR prefix) build and sample without
+  // wrapping each row in an object.
+
+  /// Builds alias buckets for `weights[0..n)` into `prob`/`alias` (each
+  /// length n). Negative weights clamp to zero; when the total is not
+  /// positive the row degenerates to uniform (prob = 1, alias = self).
+  /// Returns the clamped weight total.
+  static double BuildInto(const double* weights, int n, double* prob,
+                          int32_t* alias, AliasBuildScratch* scratch);
+
+  /// One draw from a row built by BuildInto. O(1): one bucket pick plus one
+  /// acceptance test.
+  static int SampleFrom(const double* prob, const int32_t* alias, int n,
+                        Pcg32* rng) {
+    const int bucket =
+        static_cast<int>(rng->UniformU32(static_cast<uint32_t>(n)));
+    return rng->NextDouble() < prob[bucket] ? bucket : alias[bucket];
+  }
+
  private:
   std::vector<double> prob_;     // acceptance probability per bucket
-  std::vector<int> alias_;       // alias index per bucket
+  std::vector<int32_t> alias_;   // alias index per bucket
   std::vector<double> normalized_;
 };
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <set>
 #include <thread>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "engine/graph_sharder.h"
 #include "engine/parallel_gibbs.h"
 #include "engine/thread_pool.h"
+#include "obs/fit_profile.h"
+#include "obs/metrics.h"
 #include "synth/world_generator.h"
 
 namespace mlp {
@@ -362,6 +365,40 @@ TEST(ParallelGibbsEngineTest, MultiThreadRunsAreDeterministic) {
 
   Result<core::MlpResult> first = core::MlpModel(config).Fit(harness.input);
   ASSERT_TRUE(first.ok());
+  Result<core::MlpResult> second = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalResults(*first, *second);
+}
+
+// Determinism must survive the dynamic scheduler AND a mid-fit reshard:
+// with pruning aggressive enough to fire (patience 1), ReshardByCost
+// repartitions the sub-shards and resets the cost EWMAs mid-chain. The
+// fold-revert protocol makes the wall-clock-driven work queue semantically
+// neutral, so two runs still replay the exact same chain.
+TEST(ParallelGibbsEngineTest, MultiThreadDeterministicUnderRebalancing) {
+  synth::SyntheticWorld world = TestWorld(250, 29);
+  FitHarness harness(world);
+  core::MlpConfig config;
+  config.burn_in_iterations = 5;
+  config.sampling_iterations = 3;
+  config.num_threads = 3;
+  config.prune_floor = 0.02;
+  config.prune_patience = 1;
+
+  const std::map<std::string, uint64_t> before =
+      obs::Registry::Global().CounterValues();
+  Result<core::MlpResult> first = core::MlpModel(config).Fit(harness.input);
+  ASSERT_TRUE(first.ok());
+  const std::map<std::string, uint64_t> after =
+      obs::Registry::Global().CounterValues();
+  // The test only means something if a reshard actually happened.
+  auto rebalance_ns = [](const std::map<std::string, uint64_t>& counters) {
+    auto it = counters.find(obs::kFitRebalanceNs);
+    return it == counters.end() ? uint64_t{0} : it->second;
+  };
+  ASSERT_GT(rebalance_ns(after), rebalance_ns(before))
+      << "prune never fired; tighten prune_floor so the reshard path runs";
+
   Result<core::MlpResult> second = core::MlpModel(config).Fit(harness.input);
   ASSERT_TRUE(second.ok());
   ExpectIdenticalResults(*first, *second);

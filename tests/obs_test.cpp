@@ -262,26 +262,55 @@ TEST(TraceTest, NoRecorderInstalledStillCounts) {
 // ----------------------------------------------------------- fit profile
 
 TEST(FitProfileTest, BreakdownNormalizesWorkerPhasesByThreads) {
+  // Every in-sweep engine phase runs inside a parallel section now
+  // (region-sliced refresh/merge, per-sub-shard kernel/fold, the rebuild
+  // of the alias proposal tables), so each one accumulates across the 4
+  // threads and normalizes down by 4 to a wall-clock-equivalent.
   std::map<std::string, uint64_t> before;
   std::map<std::string, uint64_t> after;
   after[kFitSweepsTotal] = 10;
   after[kFitSweepNs] = 100000000;          // 100 ms of sweep wall
-  after[kFitReplicaRefreshNs] = 10000000;  // 10 ms main-thread
+  after[kFitReplicaRefreshNs] = 24000000;  // 24 ms across 4 threads = 6 ms
+  after[kFitAliasRebuildNs] = 16000000;    // 16 ms across 4 threads = 4 ms
   after[kFitShardKernelNs] = 240000000;    // 240 ms across 4 threads = 60 ms
+  after[kFitDeltaFoldNs] = 16000000;       // 16 ms across 4 threads = 4 ms
   after[kFitBarrierWaitNs] = 80000000;     // 80 ms across 4 threads = 20 ms
-  after[kFitDeltaMergeNs] = 10000000;      // 10 ms main-thread
+  after[kFitDeltaMergeNs] = 24000000;      // 24 ms across 4 threads = 6 ms
   FitProfile profile = ComputeFitProfile(before, after, 4);
   EXPECT_EQ(profile.sweeps, 10u);
   EXPECT_DOUBLE_EQ(profile.sweep_wall_ms, 100.0);
-  // 10 + 60 + 20 + 10 = 100 ms attributed.
+  // 6 + 4 + 60 + 4 + 20 + 6 = 100 ms attributed.
   EXPECT_NEAR(profile.accounted_pct, 100.0, 1e-9);
-  double kernel_ms = -1.0, barrier_ms = -1.0;
+  double kernel_ms = -1.0, barrier_ms = -1.0, fold_ms = -1.0,
+         refresh_ms = -1.0;
   for (const PhaseRow& row : profile.rows) {
     if (row.counter == kFitShardKernelNs) kernel_ms = row.wall_ms;
     if (row.counter == kFitBarrierWaitNs) barrier_ms = row.wall_ms;
+    if (row.counter == kFitDeltaFoldNs) fold_ms = row.wall_ms;
+    if (row.counter == kFitReplicaRefreshNs) refresh_ms = row.wall_ms;
   }
   EXPECT_DOUBLE_EQ(kernel_ms, 60.0);
   EXPECT_DOUBLE_EQ(barrier_ms, 20.0);
+  EXPECT_DOUBLE_EQ(fold_ms, 4.0);
+  EXPECT_DOUBLE_EQ(refresh_ms, 6.0);
+}
+
+TEST(FitProfileTest, PruneAndRebalanceReportedOutsideTheSweepBudget) {
+  std::map<std::string, uint64_t> before;
+  std::map<std::string, uint64_t> after;
+  after[kFitSweepNs] = 100000000;   // 100 ms
+  after[kFitPruneNs] = 5000000;     // 5 ms between sweeps
+  after[kFitRebalanceNs] = 2000000; // 2 ms between sweeps
+  FitProfile profile = ComputeFitProfile(before, after, 4);
+  // Between-sweeps phases never count toward the in-sweep 100%.
+  EXPECT_NEAR(profile.accounted_pct, 0.0, 1e-9);
+  double prune_ms = -1.0, rebalance_ms = -1.0;
+  for (const PhaseRow& row : profile.rows) {
+    if (row.counter == kFitPruneNs) prune_ms = row.wall_ms;
+    if (row.counter == kFitRebalanceNs) rebalance_ms = row.wall_ms;
+  }
+  EXPECT_DOUBLE_EQ(prune_ms, 5.0);
+  EXPECT_DOUBLE_EQ(rebalance_ms, 2.0);
 }
 
 TEST(FitProfileTest, DiffsAgainstBeforeSnapshot) {

@@ -77,6 +77,57 @@ TEST(AliasTableTest, HighlySkewedWeights) {
   EXPECT_LT(zero_hits, 20);  // ≈ 1e-6 probability
 }
 
+// Chi-square goodness of fit over a million draws on weights spanning four
+// orders of magnitude — the shape the engine's per-user proposal tables
+// take after a few sweeps concentrate mass on one or two candidates. With
+// df = 4 the 99.9th percentile is 18.47; the bound leaves slack so the
+// test never flakes, while still catching any systematic bucket bias.
+TEST(AliasTableTest, ChiSquareOnSkewedWeightsOverMillionDraws) {
+  const std::vector<double> weights = {1000.0, 1.0, 10.0, 0.1, 500.0};
+  AliasTable table(weights);
+  ASSERT_TRUE(table.ok());
+  Pcg32 rng(17);
+  const int n = 1000000;
+  std::vector<int64_t> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)]++;
+  double chi_square = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = table.Probability(static_cast<int>(i)) * n;
+    ASSERT_GT(expected, 0.0);
+    const double diff = counts[i] - expected;
+    chi_square += diff * diff / expected;
+  }
+  EXPECT_LT(chi_square, 30.0) << "draws do not match the weight vector";
+}
+
+// The flat BuildInto form must construct the same buckets as the instance
+// constructor (which delegates to it) — same prob/alias arrays means the
+// same draw sequence from the same RNG stream. The parallel engine relies
+// on this: tables it builds into flat arenas must sample identically to
+// object-form tables built elsewhere from the same weights.
+TEST(AliasTableTest, BuildIntoMatchesConstructorDrawForDraw) {
+  const std::vector<double> weights = {2.0, 0.0, 5.0, 1.0, 0.25, 3.5};
+  const int n = static_cast<int>(weights.size());
+  AliasTable object_form(weights);
+  ASSERT_TRUE(object_form.ok());
+
+  std::vector<double> prob(n);
+  std::vector<int32_t> alias(n);
+  AliasBuildScratch scratch;
+  const double total =
+      AliasTable::BuildInto(weights.data(), n, prob.data(), alias.data(),
+                            &scratch);
+  EXPECT_DOUBLE_EQ(total, 11.75);
+
+  Pcg32 rng_object(91);
+  Pcg32 rng_flat(91);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_EQ(object_form.Sample(&rng_object),
+              AliasTable::SampleFrom(prob.data(), alias.data(), n, &rng_flat))
+        << "diverged at draw " << i;
+  }
+}
+
 // -------------------------------------------------------------- power law
 
 TEST(PowerLawTest, EvaluatesBetaDPowAlpha) {

@@ -42,10 +42,14 @@ SPEC = {
         ("sweep_seconds_pruned", "lower", ABSOLUTE),
     ],
     "BENCH_parallel.json": [
-        # Sweep throughput per thread count and the 8-thread scaling ratio.
+        # Sweep throughput per thread count, the 8-thread scaling ratio,
+        # and the scheduler-quality signal (per-sweep max/mean of worker
+        # busy time — 1.0 is a perfect schedule; gated loosely because
+        # oversubscribed runners add scheduling noise on top of it).
         ("threads_1_relationships_per_sec", "higher", ABSOLUTE),
         ("threads_8_relationships_per_sec", "higher", ABSOLUTE),
         ("threads_8_speedup", "higher", RATIO),
+        ("threads_8_shard_kernel_max_over_mean", "lower", ABSOLUTE),
     ],
     "BENCH_serving.json": [
         # Serving p99 and throughput, plus the batch-vs-point ratio.
@@ -65,12 +69,27 @@ SPEC = {
 }
 
 # Floors/ceilings checked directly on the fresh value, independent of the
-# baseline: the streaming acceptance criteria from ISSUE 5.
+# baseline: the streaming acceptance criteria from ISSUE 5 and the parallel
+# scaling/accuracy criteria from ISSUE 7. An optional 4th element gates the
+# bound on another fresh key — used to require real cores before asserting
+# parallel speedup: a 1-core container runs 8 "threads" sequentially, so
+# wall-clock speedup there measures only the alias-MH algorithmic win, and
+# the 2.5x scaling floor (the committed-baseline machine class) would be
+# meaningless. The unconditional 1.2x floor locks in that algorithmic win
+# even on the smallest runner (a 1-core container measures ~1.4-2x, minus
+# oversubscription noise).
 FRESH_BOUNDS = {
     "BENCH_streaming.json": [
         ("ingest_speedup", ">=", 5.0),
         ("acc_delta_100mi_pct", ">=", -1.0),
         ("acc_delta_20mi_pct", ">=", -1.0),
+    ],
+    "BENCH_parallel.json": [
+        ("threads_8_speedup", ">=", 1.2),
+        ("threads_8_speedup", ">=", 2.5, ("hardware_threads", ">=", 8)),
+        ("threads_2_acc_delta_100mi_pct", ">=", -1.0),
+        ("threads_4_acc_delta_100mi_pct", ">=", -1.0),
+        ("threads_8_acc_delta_100mi_pct", ">=", -1.0),
     ],
 }
 
@@ -175,7 +194,24 @@ def main():
             print(line)
             if not ok:
                 failures.append(line)
-        for key, op, bound in FRESH_BOUNDS.get(name, []):
+        for entry in FRESH_BOUNDS.get(name, []):
+            key, op, bound = entry[:3]
+            condition = entry[3] if len(entry) > 3 else None
+            if condition is not None:
+                cond_key, cond_op, cond_bound = condition
+                if cond_key not in fresh:
+                    failures.append(
+                        f"{name}:{cond_key}: missing from fresh run "
+                        f"(condition for {key})")
+                    continue
+                cond_value = float(fresh[cond_key])
+                cond_met = (cond_value >= cond_bound if cond_op == ">="
+                            else cond_value <= cond_bound)
+                if not cond_met:
+                    print(f"{name}:{key}: bound {op} {bound} skipped "
+                          f"({cond_key}={cond_value:.4g} not {cond_op} "
+                          f"{cond_bound})")
+                    continue
             if key not in fresh:
                 failures.append(f"{name}:{key}: missing from fresh run")
                 continue
