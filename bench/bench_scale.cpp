@@ -1,0 +1,435 @@
+// Million-user scale benchmark (ISSUE 8): streaming world generation,
+// memory-budgeted fit, snapshot packing, and out-of-core (mmap) serving,
+// measured per scale leg with honest per-phase peak RSS.
+//
+// Every phase runs in a re-exec'd child process (`bench_scale --worker
+// <phase> ...`) so its VmHWM reflects that phase alone — a fit's peak
+// cannot hide behind a generator's, and the serve legs demonstrate the
+// out-of-core claim: the mmap worker never holds the model on its heap,
+// so its RSS stays a small fraction of the snapshot it serves.
+//
+// Scale legs: 10k, 100k, 1M users (capped by MLP_SCALE_MAX_USERS so CI
+// can stop at 100k). The per-user load is lighter than the paper-
+// calibrated bench world (MLP_SCALE_AVG_FRIENDS / MLP_SCALE_AVG_VENUES,
+// default 8 / 10) to keep the 1M leg's wall-clock bounded on one core.
+//
+// Emits BENCH_scale.json; tools/bench_compare.py gates the 10k/100k keys.
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/model.h"
+#include "eval/methods.h"
+#include "geo/gazetteer.h"
+#include "io/dataset_io.h"
+#include "io/model_snapshot.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "serve/json.h"
+#include "serve/read_model.h"
+#include "synth/world_generator.h"
+#include "text/venue_vocab.h"
+
+namespace mlp {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Mb(int64_t bytes) { return static_cast<double>(bytes) / 1048576.0; }
+
+// ------------------------------------------------------------- worker side
+
+/// One flat JSON object on stdout — the worker protocol. Everything else
+/// the phases print goes to stderr, so the parent parses the last stdout
+/// line unambiguously.
+void EmitAndExit(BenchJson& json) {
+  json.Set("peak_rss_mb", Mb(obs::ProcessPeakRssBytes()));
+  json.Set("rss_mb", Mb(obs::ProcessRssBytes()));
+  std::printf("%s\n", json.ToString().c_str());
+  std::exit(0);
+}
+
+[[noreturn]] void WorkerDie(const char* what, const Status& status) {
+  std::fprintf(stderr, "bench_scale worker: %s: %s\n", what,
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+synth::WorldConfig ScaleWorldConfig(int users) {
+  synth::WorldConfig config;
+  config.num_users = users;
+  config.seed = static_cast<uint64_t>(EnvInt("MLP_SCALE_SEED", 42));
+  config.avg_friends =
+      static_cast<double>(EnvInt("MLP_SCALE_AVG_FRIENDS", 8));
+  config.avg_tweeted_venues =
+      static_cast<double>(EnvInt("MLP_SCALE_AVG_VENUES", 10));
+  return config;
+}
+
+int WorkerGen(int users, const std::string& dir) {
+  Clock::time_point start = Clock::now();
+  Result<synth::StreamWorldStats> stats =
+      synth::StreamWorldToDataset(ScaleWorldConfig(users), dir);
+  if (!stats.ok()) WorkerDie("stream generation", stats.status());
+  BenchJson json;
+  json.Set("ms", MsSince(start));
+  json.Set("following", stats->num_following);
+  json.Set("tweeting", stats->num_tweeting);
+  json.Set("labeled", stats->num_labeled);
+  json.Set("chunks", stats->chunks);
+  EmitAndExit(json);
+  return 0;
+}
+
+/// Shared dataset-loading prologue of the fit / pack / serve-mem phases.
+struct LoadedWorld {
+  geo::Gazetteer gazetteer = geo::Gazetteer::FromEmbedded();
+  std::unique_ptr<geo::CityDistanceMatrix> distances;
+  text::VenueVocabulary vocab = text::VenueVocabulary::Build(gazetteer);
+  std::unique_ptr<io::LoadedDataset> data;
+  std::vector<std::vector<geo::CityId>> referents;
+};
+
+LoadedWorld LoadWorldOrDie(const std::string& dir) {
+  LoadedWorld world;
+  world.distances =
+      std::make_unique<geo::CityDistanceMatrix>(world.gazetteer, 1.0);
+  Result<io::LoadedDataset> data = io::LoadDataset(dir, world.vocab.size());
+  if (!data.ok()) WorkerDie("dataset load", data.status());
+  world.data = std::make_unique<io::LoadedDataset>(std::move(*data));
+  world.referents = world.vocab.ReferentTable();
+  return world;
+}
+
+int WorkerFit(const std::string& dir, int budget_mb) {
+  Clock::time_point start = Clock::now();
+  LoadedWorld world = LoadWorldOrDie(dir);
+  const double load_ms = MsSince(start);
+
+  core::ModelInput input;
+  input.gazetteer = &world.gazetteer;
+  input.graph = &world.data->graph;
+  input.distances = world.distances.get();
+  input.venue_referents = &world.referents;
+  input.observed_home = eval::RegisteredHomes(world.data->graph);
+
+  core::MlpConfig config;
+  config.burn_in_iterations = static_cast<int>(EnvInt("MLP_SCALE_BURN", 3));
+  config.sampling_iterations =
+      static_cast<int>(EnvInt("MLP_SCALE_SAMPLING", 2));
+  config.num_threads = static_cast<int>(EnvInt("MLP_SCALE_THREADS", 2));
+  config.seed = static_cast<uint64_t>(EnvInt("MLP_SCALE_SEED", 42));
+
+  Clock::time_point fit_start = Clock::now();
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.checkpoint_out = &checkpoint;
+  opts.mem_budget_mb = budget_mb;
+  Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
+  if (!result.ok()) WorkerDie("fit", result.status());
+  const double fit_ms = MsSince(fit_start);
+
+  const std::string snap = dir + "/model.snap";
+  io::ModelSnapshot snapshot =
+      io::MakeModelSnapshot(input, checkpoint, *result);
+  Status saved = io::SaveModelSnapshot(snap, snapshot);
+  if (!saved.ok()) WorkerDie("snapshot save", saved);
+
+  obs::Registry& registry = obs::Registry::Global();
+  BenchJson json;
+  json.Set("ms", fit_ms);
+  json.Set("load_ms", load_ms);
+  json.Set("sweep_ms",
+           fit_ms / (config.burn_in_iterations + config.sampling_iterations));
+  json.Set("budget_mb", static_cast<int64_t>(budget_mb));
+  json.Set("accounted_mb",
+           Mb(registry.GetGauge(obs::kMemFitAccountedBytes)->Value()));
+  json.Set("budget_tightens",
+           static_cast<int64_t>(
+               registry.GetCounter(obs::kFitBudgetTightenTotal)->Value()));
+  EmitAndExit(json);
+  return 0;
+}
+
+int WorkerPack(const std::string& dir) {
+  Clock::time_point start = Clock::now();
+  LoadedWorld world = LoadWorldOrDie(dir);
+  const std::string snap = dir + "/model.snap";
+  Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(snap);
+  if (!snapshot.ok()) WorkerDie("snapshot load", snapshot.status());
+  Result<serve::ReadModel> model = serve::ReadModel::Build(
+      *snapshot, world.data->graph, &world.gazetteer);
+  if (!model.ok()) WorkerDie("read model build", model.status());
+  std::error_code ec;
+  const int64_t core_bytes =
+      static_cast<int64_t>(std::filesystem::file_size(snap, ec));
+  Status packed = model->AppendServeSection(snap);
+  if (!packed.ok()) WorkerDie("pack", packed);
+  const int64_t total_bytes =
+      static_cast<int64_t>(std::filesystem::file_size(snap, ec));
+  BenchJson json;
+  json.Set("ms", MsSince(start));
+  json.Set("snapshot_mb", Mb(total_bytes));
+  json.Set("section_mb", Mb(total_bytes - core_bytes));
+  EmitAndExit(json);
+  return 0;
+}
+
+/// The shared query loop: identical operations against either backing, so
+/// the p99 comparison is apples-to-apples. Mixed point lookups — the
+/// user's rendered JSON plus an edge-index probe (and the edge's JSON when
+/// the probe hits) — over a fixed pseudo-random id stream.
+void RunQueries(const serve::ReadModel& model, int queries, BenchJson* json) {
+  std::mt19937 rng(12345);
+  std::uniform_int_distribution<int> pick(0, model.num_users() - 1);
+  int64_t bytes_served = 0;
+  std::vector<double> latency_us;
+  latency_us.reserve(queries);
+  for (int i = -100; i < queries; ++i) {  // 100 warm-up iterations
+    const graph::UserId u = pick(rng);
+    Clock::time_point t0 = Clock::now();
+    bytes_served += static_cast<int64_t>(model.UserJson(u).size());
+    const graph::EdgeId e = model.FindEdge(u, u + 1);
+    if (e >= 0) bytes_served += static_cast<int64_t>(model.EdgeJson(e).size());
+    if (i >= 0) {
+      latency_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+    }
+  }
+  std::sort(latency_us.begin(), latency_us.end());
+  json->Set("p50_us", latency_us[latency_us.size() / 2]);
+  json->Set("p99_us", latency_us[latency_us.size() * 99 / 100]);
+  json->Set("bytes_served", bytes_served);
+}
+
+int WorkerServeMmap(const std::string& dir, int queries) {
+  const std::string snap = dir + "/model.snap";
+  Clock::time_point start = Clock::now();
+  Result<serve::ReadModel> model =
+      serve::ReadModel::MapServeSection(snap, nullptr);
+  if (!model.ok()) WorkerDie("map serve section", model.status());
+  BenchJson json;
+  json.Set("map_ms", MsSince(start));
+  RunQueries(*model, queries, &json);
+  std::error_code ec;
+  json.Set("snapshot_mb",
+           Mb(static_cast<int64_t>(std::filesystem::file_size(snap, ec))));
+  EmitAndExit(json);
+  return 0;
+}
+
+int WorkerServeMem(const std::string& dir, int queries) {
+  Clock::time_point start = Clock::now();
+  LoadedWorld world = LoadWorldOrDie(dir);
+  const std::string snap = dir + "/model.snap";
+  Result<io::ModelSnapshot> snapshot = io::LoadModelSnapshot(snap);
+  if (!snapshot.ok()) WorkerDie("snapshot load", snapshot.status());
+  Result<serve::ReadModel> model = serve::ReadModel::Build(
+      *snapshot, world.data->graph, &world.gazetteer);
+  if (!model.ok()) WorkerDie("read model build", model.status());
+  BenchJson json;
+  json.Set("map_ms", MsSince(start));
+  RunQueries(*model, queries, &json);
+  EmitAndExit(json);
+  return 0;
+}
+
+// ------------------------------------------------------------- parent side
+
+/// Runs one worker phase as a child process and parses the JSON line it
+/// prints. Aborts the bench on any child failure — a missing leg must not
+/// silently produce a BENCH json that looks complete.
+serve::JsonValue RunWorker(const std::string& exe, const std::string& phase,
+                           int users, const std::string& dir, int budget_mb,
+                           int queries) {
+  std::string cmd = exe + " --worker " + phase + " --users " +
+                    std::to_string(users) + " --dir " + dir + " --budget " +
+                    std::to_string(budget_mb) + " --queries " +
+                    std::to_string(queries);
+  std::fprintf(stderr, "[bench_scale] %s\n", cmd.c_str());
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "bench_scale: popen failed for %s\n", cmd.c_str());
+    std::exit(1);
+  }
+  std::string out;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    std::fprintf(stderr, "bench_scale: worker '%s' exited %d\n",
+                 phase.c_str(), rc);
+    std::exit(1);
+  }
+  // The worker's stdout is exactly one (pretty-printed) JSON object.
+  const size_t begin = out.find('{');
+  if (begin == std::string::npos) {
+    std::fprintf(stderr, "bench_scale: worker '%s' printed no JSON\n",
+                 phase.c_str());
+    std::exit(1);
+  }
+  Result<serve::JsonValue> parsed = serve::ParseJson(out.substr(begin));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_scale: worker '%s' output unparsable: %s\n",
+                 phase.c_str(), out.c_str());
+    std::exit(1);
+  }
+  return std::move(*parsed);
+}
+
+struct ScaleLeg {
+  const char* label;
+  int users;
+  int default_budget_mb;  // calibrated on the baseline box; env-overridable
+  int queries;
+};
+
+double Num(const serve::JsonValue& json, const char* key) {
+  const serve::JsonValue* v = json.Find(key);
+  return v == nullptr ? 0.0 : v->AsDouble();
+}
+
+int ParentMain() {
+  const int64_t max_users = EnvInt("MLP_SCALE_MAX_USERS", 1000000);
+  // Budget defaults leave ~5-10% headroom over the measured fit peak on
+  // the reference box, so enforcement is armed and the "peak RSS within
+  // 10% of budget" acceptance band holds.
+  const std::vector<ScaleLeg> legs = {
+      {"10k", 10000, static_cast<int>(EnvInt("MLP_SCALE_BUDGET_MB_10K", 170)),
+       20000},
+      {"100k", 100000,
+       static_cast<int>(EnvInt("MLP_SCALE_BUDGET_MB_100K", 1500)), 20000},
+      {"1m", 1000000,
+       static_cast<int>(EnvInt("MLP_SCALE_BUDGET_MB_1M", 14000)), 10000},
+  };
+
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) {
+    std::fprintf(stderr, "bench_scale: cannot resolve own binary path\n");
+    return 1;
+  }
+  exe[n] = '\0';
+
+  BenchJson json;
+  json.Set("avg_friends", EnvInt("MLP_SCALE_AVG_FRIENDS", 8));
+  json.Set("avg_venues", EnvInt("MLP_SCALE_AVG_VENUES", 10));
+  json.Set("threads", EnvInt("MLP_SCALE_THREADS", 2));
+  json.Set("burn", EnvInt("MLP_SCALE_BURN", 3));
+  json.Set("sampling", EnvInt("MLP_SCALE_SAMPLING", 2));
+
+  for (const ScaleLeg& leg : legs) {
+    if (leg.users > max_users) {
+      std::fprintf(stderr, "[bench_scale] skipping %s leg (max_users=%" PRId64
+                           ")\n", leg.label, max_users);
+      continue;
+    }
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (std::string("mlp_scale_") + leg.label))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string p = std::string(leg.label) + "_";
+
+    serve::JsonValue gen = RunWorker(exe, "gen", leg.users, dir, 0, 0);
+    json.Set(p + "users", static_cast<int64_t>(leg.users));
+    json.Set(p + "gen_ms", Num(gen, "ms"));
+    json.Set(p + "gen_peak_rss_mb", Num(gen, "peak_rss_mb"));
+    json.Set(p + "gen_following", static_cast<int64_t>(Num(gen, "following")));
+    json.Set(p + "gen_chunks", static_cast<int64_t>(Num(gen, "chunks")));
+
+    serve::JsonValue fit =
+        RunWorker(exe, "fit", leg.users, dir, leg.default_budget_mb, 0);
+    json.Set(p + "fit_ms", Num(fit, "ms"));
+    json.Set(p + "sweep_ms", Num(fit, "sweep_ms"));
+    json.Set(p + "fit_peak_rss_mb", Num(fit, "peak_rss_mb"));
+    json.Set(p + "fit_budget_mb", static_cast<int64_t>(leg.default_budget_mb));
+    json.Set(p + "fit_accounted_mb", Num(fit, "accounted_mb"));
+    json.Set(p + "fit_budget_tightens",
+             static_cast<int64_t>(Num(fit, "budget_tightens")));
+
+    serve::JsonValue pack = RunWorker(exe, "pack", leg.users, dir, 0, 0);
+    json.Set(p + "pack_ms", Num(pack, "ms"));
+    json.Set(p + "snapshot_mb", Num(pack, "snapshot_mb"));
+    json.Set(p + "serve_section_mb", Num(pack, "section_mb"));
+
+    serve::JsonValue mmap =
+        RunWorker(exe, "serve-mmap", leg.users, dir, 0, leg.queries);
+    json.Set(p + "mmap_p50_us", Num(mmap, "p50_us"));
+    json.Set(p + "mmap_p99_us", Num(mmap, "p99_us"));
+    json.Set(p + "mmap_serve_rss_mb", Num(mmap, "rss_mb"));
+    if (Num(mmap, "snapshot_mb") > 0) {
+      json.Set(p + "serve_rss_over_snapshot_pct",
+               100.0 * Num(mmap, "rss_mb") / Num(mmap, "snapshot_mb"));
+    }
+
+    if (leg.users == 100000) {
+      // The in-memory comparison leg: same queries, heap-resident model.
+      serve::JsonValue mem =
+          RunWorker(exe, "serve-mem", leg.users, dir, 0, leg.queries);
+      json.Set(p + "mem_p50_us", Num(mem, "p50_us"));
+      json.Set(p + "mem_p99_us", Num(mem, "p99_us"));
+      json.Set(p + "mem_serve_rss_mb", Num(mem, "rss_mb"));
+      const double mem_p99 = Num(mem, "p99_us");
+      if (mem_p99 > 0) {
+        json.Set("mmap_over_mem_p99",
+                 Num(mmap, "p99_us") / mem_p99);
+      }
+    }
+    if (EnvInt("MLP_SCALE_KEEP", 0) == 0) std::filesystem::remove_all(dir);
+  }
+
+  const std::string path = BenchJsonPath("BENCH_scale.json");
+  std::printf("%s\n", json.ToString().c_str());
+  if (!json.WriteTo(path)) {
+    std::fprintf(stderr, "bench_scale: failed to write %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string phase, dir;
+  int users = 0, budget_mb = 0, queries = 10000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--worker") phase = next();
+    else if (arg == "--users") users = std::atoi(next());
+    else if (arg == "--dir") dir = next();
+    else if (arg == "--budget") budget_mb = std::atoi(next());
+    else if (arg == "--queries") queries = std::atoi(next());
+  }
+  if (phase.empty()) return ParentMain();
+  if (phase == "gen") return WorkerGen(users, dir);
+  if (phase == "fit") return WorkerFit(dir, budget_mb);
+  if (phase == "pack") return WorkerPack(dir);
+  if (phase == "serve-mmap") return WorkerServeMmap(dir, queries);
+  if (phase == "serve-mem") return WorkerServeMem(dir, queries);
+  std::fprintf(stderr, "bench_scale: unknown worker phase '%s'\n",
+               phase.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mlp
+
+int main(int argc, char** argv) { return mlp::bench::Main(argc, argv); }

@@ -53,3 +53,27 @@ expect_exit(3 ingest --data somewhere --load model.snap --delta d)
 if(NOT last_stderr MATCHES "mlpctl ingest" OR last_stderr MATCHES "mlpctl serve")
   message(FATAL_ERROR "ingest usage should show only ingest:\n${last_stderr}")
 endif()
+
+# The scale subcommands follow the same required-flag contract.
+expect_exit(3 genworld --users 1000)
+expect_exit(3 pack --data somewhere)
+
+# Numeric flags must be fully numeric: a non-numeric value is a usage
+# error (exit 3, flag named, subcommand usage printed) — never atoi's
+# silent zero. Validation happens before any dataset/snapshot I/O, so
+# these run without fixtures.
+expect_exit(3 genworld --users 10k --out d)
+if(NOT last_stderr MATCHES "invalid value '10k' for --users")
+  message(FATAL_ERROR "bad --users value not named in:\n${last_stderr}")
+endif()
+expect_exit(3 serve --load m.snap --mmap --port xyz)
+if(NOT last_stderr MATCHES "invalid value 'xyz' for --port")
+  message(FATAL_ERROR "bad --port value not named in:\n${last_stderr}")
+endif()
+expect_exit(3 fit --data d --save m.snap --mem_budget_mb 2GB)
+if(NOT last_stderr MATCHES "invalid value '2GB' for --mem_budget_mb")
+  message(FATAL_ERROR "bad --mem_budget_mb value not named in:\n${last_stderr}")
+endif()
+expect_exit(3 fit --data d --save m.snap --prune_floor 0.1.2)
+expect_exit(3 generate --users -3x --out d)
+expect_exit(3 eval --data d --folds five)

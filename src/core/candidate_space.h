@@ -140,6 +140,18 @@ class CandidateSpace {
   bool PruneStep(const SuffStatsArena& stats, const MlpConfig& config,
                  int32_t sweep, CompactionPlan* plan);
 
+  /// Exact allocated bytes of the space: full universe, activation state
+  /// and the derived active view (offsets, candidates, γ, per-user views).
+  int64_t AccountedBytes() const {
+    return VectorBytes(full_offset_) + VectorBytes(full_candidates_) +
+           VectorBytes(full_gamma_) + VectorBytes(full_gamma_sum_) +
+           VectorBytes(active_) + VectorBytes(cold_streak_) +
+           VectorBytes(history_) + VectorBytes(layout_.phi_offset) +
+           VectorBytes(candidates_) + VectorBytes(gamma_) +
+           VectorBytes(gamma_sum_) + VectorBytes(active_full_idx_) +
+           VectorBytes(views_);
+  }
+
   // ---- persistence (snapshot v2) ----
   CandidateActivation SaveActivation() const;
   /// Restores a persisted activation state onto a freshly built space:
@@ -220,6 +232,10 @@ class ProposalTables {
   /// The stale weight the row was built from (unnormalized within the row).
   double Weight(graph::UserId u, int slot) const {
     return w_[space_->layout().phi_offset[u] + slot];
+  }
+
+  int64_t AccountedBytes() const {
+    return VectorBytes(prob_) + VectorBytes(alias_) + VectorBytes(w_);
   }
 
  private:

@@ -11,6 +11,8 @@
 #include "core/random_models.h"
 #include "engine/parallel_gibbs.h"
 #include "obs/fit_profile.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "obs/trace.h"
 
 namespace mlp {
@@ -21,6 +23,14 @@ constexpr int kEmHistogramBuckets = 3000;  // 1-mile buckets
 constexpr double kEmMinPairs = 50.0;
 constexpr double kAlphaMin = -2.0;
 constexpr double kAlphaMax = -0.05;
+
+// Memory-budget pruning escalation (FitOptions::mem_budget_mb): the first
+// over-budget barrier turns pruning on at kBudgetInitialFloor; every
+// further over-budget barrier multiplies the floor, capped where pruning
+// would start eating clearly-supported slots.
+constexpr double kBudgetInitialFloor = 0.02;
+constexpr double kBudgetFloorGrowth = 1.5;
+constexpr double kBudgetMaxFloor = 0.5;
 }  // namespace
 
 uint64_t FitFingerprint(const ModelInput& input, const MlpConfig& config,
@@ -228,6 +238,54 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
            sweeps_done() >= opts.max_total_sweeps;
   };
 
+  // ---- memory accounting + budget enforcement (mem_budget_mb) ----
+  // Exact AccountedBytes() walks, published as gauges so /statsz and
+  // `mlpctl fit --profile` can watch the budget hold. The walk is
+  // O(edges), so it runs at merged barriers only.
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Gauge* const arena_bytes_gauge =
+      registry.GetGauge(obs::kMemArenaBytes);
+  obs::Gauge* const candidate_bytes_gauge =
+      registry.GetGauge(obs::kMemCandidateBytes);
+  obs::Gauge* const accounted_bytes_gauge =
+      registry.GetGauge(obs::kMemFitAccountedBytes);
+  obs::Gauge* const budget_bytes_gauge =
+      registry.GetGauge(obs::kMemFitBudgetBytes);
+  obs::Counter* const budget_tighten_total =
+      registry.GetCounter(obs::kFitBudgetTightenTotal);
+  const int64_t mem_budget_bytes =
+      static_cast<int64_t>(std::max(0, opts.mem_budget_mb)) * 1024 * 1024;
+  budget_bytes_gauge->Set(mem_budget_bytes);
+  auto publish_accounting = [&]() {
+    const int64_t candidate = space.AccountedBytes();
+    const int64_t arena = sampler.AccountedBytes() + engine.AccountedBytes();
+    candidate_bytes_gauge->Set(candidate);
+    arena_bytes_gauge->Set(arena);
+    accounted_bytes_gauge->Set(candidate + arena);
+    obs::UpdateProcessRssGauges();
+    return candidate + arena;
+  };
+  // Over budget at a merged burn-in barrier: ratchet the pruning schedule
+  // (shared with the engine through `config`) so the following
+  // MaybePrune barriers deactivate more slots. Enforcement never fires
+  // during sampling — the accumulators need one fixed support — so the
+  // footprint must be argued down during burn-in.
+  auto maybe_tighten_budget = [&]() {
+    if (mem_budget_bytes <= 0 || !engine.IsSynchronized()) return;
+    if (publish_accounting() <= mem_budget_bytes) return;
+    budget_tighten_total->Add(1);
+    config.prune_floor =
+        config.prune_floor <= 0.0
+            ? kBudgetInitialFloor
+            : std::min(kBudgetMaxFloor,
+                       config.prune_floor * kBudgetFloorGrowth);
+    config.prune_patience = 1;
+    MLP_LOG(kInfo) << "fit over memory budget ("
+                   << accounted_bytes_gauge->Value() / (1024 * 1024)
+                   << " MB accounted > " << opts.mem_budget_mb
+                   << " MB): prune_floor -> " << config.prune_floor;
+  };
+
   bool budget_hit = false;
   while (progress.round < rounds && !budget_hit) {
     while (progress.burn_in_done < burn) {
@@ -241,6 +299,7 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
       }
       engine.RunSweep(&rng);
       ++progress.burn_in_done;
+      maybe_tighten_budget();
       // Adaptive candidate pruning fires only at merged burn-in barriers,
       // so the sampled posterior (and the accumulators) always run over one
       // fixed support. No-op unless config.prune_floor > 0.
@@ -304,6 +363,7 @@ Result<MlpResult> MlpModel::Fit(const ModelInput& input,
     progress.sampling_done = 0;
   }
 
+  publish_accounting();
   progress.alpha = config.alpha;
   progress.beta = config.beta;
   if (opts.checkpoint_out != nullptr) {

@@ -66,6 +66,18 @@ struct FitOptions {
   /// shard fraction) is the streaming-ingest speedup.
   int delta_burn_sweeps = 3;
   int delta_sampling_sweeps = 5;
+  /// Memory budget for the fit in MB; 0 (default) disables enforcement.
+  /// At every merged burn-in barrier Fit publishes the exact accounted
+  /// footprint (candidate space + sampler + engine arenas; the mem_*
+  /// gauges in obs), and while it exceeds the budget the pruning schedule
+  /// is tightened — the floor ratchets up and patience drops to 1 — so
+  /// the next pruning barriers deactivate more candidate slots. Pruning
+  /// is the only lever (the model never spills mid-fit), so a budget far
+  /// below the working set is settled by pruning's own immunity rules:
+  /// the footprint converges to whatever the argmax/support-holding slots
+  /// cost. Runtime policy, like max_total_sweeps: not fingerprinted, and
+  /// a resumed fit applies whatever budget ITS options carry.
+  int mem_budget_mb = 0;
 };
 
 /// What one ApplyDelta call did — sizes of the delta, the touched set, and

@@ -475,6 +475,20 @@ void GibbsSampler::RecordSweepTrace() {
   last_homes_ = std::move(homes);
 }
 
+int64_t GibbsSampler::AccountedBytes() const {
+  auto ragged_bytes = [](const std::vector<std::vector<float>>& rows) {
+    int64_t total = VectorBytes(rows);
+    for (const auto& row : rows) total += VectorBytes(row);
+    return total;
+  };
+  return VectorBytes(mu_) + VectorBytes(x_idx_) + VectorBytes(y_idx_) +
+         VectorBytes(nu_) + VectorBytes(z_idx_) + stats_.AccountedBytes() +
+         VectorBytes(acc_phi_) + ragged_bytes(acc_x_) + ragged_bytes(acc_y_) +
+         VectorBytes(acc_mu_) + ragged_bytes(acc_z_) + VectorBytes(acc_nu_) +
+         VectorBytes(acc_edge_distance_) + VectorBytes(edge_both_labeled_) +
+         VectorBytes(last_homes_) + VectorBytes(home_change_per_sweep_);
+}
+
 void GibbsSampler::ResetAccumulators() {
   accumulated_samples_ = 0;
   acc_phi_.assign(space_->layout().phi_size(), 0.0);

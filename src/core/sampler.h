@@ -272,6 +272,11 @@ class GibbsSampler {
   /// each delta merge.
   void RecordSweepTrace();
 
+  /// Exact allocated bytes of the sampler: chain state, the global arena,
+  /// and the post-burn-in accumulators (including the ragged per-edge
+  /// rows — an O(edges) walk, so call at barriers, not per edge).
+  int64_t AccountedBytes() const;
+
   bool UseFollowing() const {
     return config_->source != ObservationSource::kTweetingOnly;
   }

@@ -9,6 +9,14 @@
 namespace mlp {
 namespace core {
 
+/// Allocated footprint of one vector (capacity, not size — what the
+/// process actually holds). The unit behind every AccountedBytes() in the
+/// memory-budget accounting (FitOptions::mem_budget_mb).
+template <typename T>
+int64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity()) * static_cast<int64_t>(sizeof(T));
+}
+
 /// Shape of the sufficient-statistics arena: a CSR-style prefix over every
 /// user's ACTIVE candidate list plus the dense venue-count rectangle.
 /// Owned by core::CandidateSpace (the single owner of the candidate
@@ -81,6 +89,13 @@ struct SuffStatsArena {
   /// must share a layout. Counts are integer-valued doubles, so the
   /// arithmetic is exact.
   void AccumulateDelta(const SuffStatsArena& a, const SuffStatsArena& b);
+
+  /// Exact allocated bytes of this arena's value buffers (the layout is
+  /// owned by the CandidateSpace and accounted there).
+  int64_t AccountedBytes() const {
+    return VectorBytes(phi) + VectorBytes(phi_total) +
+           VectorBytes(venue_counts) + VectorBytes(venue_counts_total);
+  }
 
   // ---- hot-path row access ----
   double* phi_row(int32_t u) { return phi.data() + layout->phi_offset[u]; }

@@ -190,6 +190,16 @@ class ParallelGibbsEngine {
   int num_threads() const { return num_threads_; }
   const std::vector<Shard>& shards() const { return shards_; }
 
+  /// Exact allocated bytes of the engine's own buffers: per-worker replica
+  /// + accumulator arenas, the proposal tables and the resample-pass
+  /// snapshot arena (zero for the sequential path, which owns none).
+  int64_t AccountedBytes() const {
+    int64_t total = proposals_.AccountedBytes() + snapshot_.AccountedBytes();
+    for (const auto& r : replicas_) total += r.AccountedBytes();
+    for (const auto& a : delta_accs_) total += a.AccountedBytes();
+    return total;
+  }
+
   /// Per-worker busy nanoseconds (kernel + fold) of the most recent
   /// parallel sweep — the scheduler-quality signal behind the bench's
   /// shard_kernel max/mean metric. Empty until the first parallel sweep;

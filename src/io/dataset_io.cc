@@ -81,6 +81,91 @@ Status SaveDataset(const std::string& directory,
   return WriteCsvFile(PathJoin(directory, "tweeting.csv"), tweeting);
 }
 
+Result<DatasetStreamWriter> DatasetStreamWriter::Open(
+    const std::string& directory, bool with_truth) {
+  DatasetStreamWriter writer;
+  writer.with_truth_ = with_truth;
+  struct FileSpec {
+    std::ofstream* stream;
+    const char* name;
+    const char* header;
+  };
+  // Headers match SaveDataset verbatim: truth column names are always
+  // present; rows simply omit the trailing fields when truth is absent.
+  const FileSpec specs[] = {
+      {&writer.users_, "users.csv",
+       "handle,profile_location,registered_city,true_locations,true_weights"},
+      {&writer.following_, "following.csv", "follower,friend,noisy,x,y"},
+      {&writer.tweeting_, "tweeting.csv", "user,venue,noisy,z"},
+  };
+  for (const FileSpec& spec : specs) {
+    std::string path = PathJoin(directory, spec.name);
+    spec.stream->open(path, std::ios::trunc);
+    if (!spec.stream->is_open()) {
+      return Status::IOError("cannot open for writing: " + path);
+    }
+    *spec.stream << spec.header << "\n";
+  }
+  return writer;
+}
+
+Status DatasetStreamWriter::AppendUser(const graph::UserRecord& record,
+                                       const synth::TrueProfile* profile) {
+  std::vector<std::string> row = {record.handle, record.profile_location,
+                                  CityField(record.registered_city)};
+  if (profile != nullptr) {
+    std::vector<std::string> locs, weights;
+    for (size_t i = 0; i < profile->locations.size(); ++i) {
+      locs.push_back(std::to_string(profile->locations[i]));
+      weights.push_back(StringPrintf("%.6f", profile->weights[i]));
+    }
+    row.push_back(Join(locs, ";"));
+    row.push_back(Join(weights, ";"));
+  } else {
+    row.push_back("");
+    row.push_back("");
+  }
+  users_ << FormatCsvLine(row) << "\n";
+  ++users_written_;
+  return users_.good() ? Status::OK() : Status::IOError("users.csv write");
+}
+
+Status DatasetStreamWriter::AppendFollowing(
+    graph::UserId follower, graph::UserId friend_user,
+    const synth::FollowingTruth* truth) {
+  // All-numeric row: skip FormatCsvLine (nothing ever needs quoting).
+  following_ << follower << ',' << friend_user;
+  if (with_truth_ && truth != nullptr) {
+    following_ << ',' << (truth->noisy ? '1' : '0') << ',' << truth->x << ','
+               << truth->y;
+  }
+  following_ << '\n';
+  ++following_written_;
+  return following_.good() ? Status::OK()
+                           : Status::IOError("following.csv write");
+}
+
+Status DatasetStreamWriter::AppendTweeting(graph::UserId user, int venue,
+                                           const synth::TweetingTruth* truth) {
+  tweeting_ << user << ',' << venue;
+  if (with_truth_ && truth != nullptr) {
+    tweeting_ << ',' << (truth->noisy ? '1' : '0') << ',' << truth->z;
+  }
+  tweeting_ << '\n';
+  ++tweeting_written_;
+  return tweeting_.good() ? Status::OK() : Status::IOError("tweeting.csv write");
+}
+
+Status DatasetStreamWriter::Close() {
+  users_.close();
+  following_.close();
+  tweeting_.close();
+  if (users_.fail()) return Status::IOError("users.csv close");
+  if (following_.fail()) return Status::IOError("following.csv close");
+  if (tweeting_.fail()) return Status::IOError("tweeting.csv close");
+  return Status::OK();
+}
+
 Result<LoadedDataset> LoadDataset(const std::string& directory,
                                   int num_venues) {
   LoadedDataset loaded{graph::SocialGraph(num_venues), {}, false};

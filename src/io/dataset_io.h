@@ -1,6 +1,8 @@
 #ifndef MLP_IO_DATASET_IO_H_
 #define MLP_IO_DATASET_IO_H_
 
+#include <cstdint>
+#include <fstream>
 #include <string>
 
 #include "common/result.h"
@@ -28,6 +30,50 @@ struct LoadedDataset {
 
 Result<LoadedDataset> LoadDataset(const std::string& directory,
                                   int num_venues);
+
+/// Incremental counterpart of SaveDataset for worlds too large to
+/// materialize: opens the three CSVs up front (headers included) and
+/// appends rows one at a time, so a streaming generator writes a
+/// million-user dataset with O(1) writer memory. The emitted bytes match
+/// SaveDataset field for field — LoadDataset cannot tell the two apart.
+class DatasetStreamWriter {
+ public:
+  /// Opens users.csv / following.csv / tweeting.csv under `directory`
+  /// (which must exist) and writes the headers. `with_truth` controls
+  /// whether the ground-truth columns are emitted, mirroring SaveDataset's
+  /// `truth != nullptr`.
+  static Result<DatasetStreamWriter> Open(const std::string& directory,
+                                          bool with_truth);
+
+  DatasetStreamWriter(DatasetStreamWriter&&) = default;
+  DatasetStreamWriter& operator=(DatasetStreamWriter&&) = default;
+
+  Status AppendUser(const graph::UserRecord& record,
+                    const synth::TrueProfile* profile);
+  Status AppendFollowing(graph::UserId follower, graph::UserId friend_user,
+                         const synth::FollowingTruth* truth);
+  Status AppendTweeting(graph::UserId user, int venue,
+                        const synth::TweetingTruth* truth);
+
+  /// Flushes and closes all three files; returns the first I/O error seen
+  /// on any of them (including buffered errors from earlier appends).
+  Status Close();
+
+  int64_t users_written() const { return users_written_; }
+  int64_t following_written() const { return following_written_; }
+  int64_t tweeting_written() const { return tweeting_written_; }
+
+ private:
+  DatasetStreamWriter() = default;
+
+  bool with_truth_ = false;
+  std::ofstream users_;
+  std::ofstream following_;
+  std::ofstream tweeting_;
+  int64_t users_written_ = 0;
+  int64_t following_written_ = 0;
+  int64_t tweeting_written_ = 0;
+};
 
 }  // namespace io
 }  // namespace mlp

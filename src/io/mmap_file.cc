@@ -1,0 +1,67 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mlp {
+namespace io {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + " for mapping: " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + err);
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.mapped_ = true;
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("cannot map " + path + ": " + err);
+    }
+    // Point queries jump around the JSON blobs; tell readahead not to pull
+    // in megabytes per fault.
+    ::madvise(addr, file.size_, MADV_RANDOM);
+    file.data_ = static_cast<const uint8_t*>(addr);
+  }
+  ::close(fd);  // the mapping keeps its own reference to the file
+  return file;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+}  // namespace io
+}  // namespace mlp

@@ -1,0 +1,49 @@
+#ifndef MLP_IO_MMAP_FILE_H_
+#define MLP_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace mlp {
+namespace io {
+
+/// Read-only memory mapping of a whole file. The out-of-core serving path
+/// (serve::ReadModel::MapServeSection) keeps one of these alive for the
+/// model's lifetime: queries touch only the pages they read, so the
+/// process RSS stays proportional to the working set, not the file size.
+///
+/// Move-only. A move transfers ownership of the mapping WITHOUT changing
+/// its base address, so raw pointers derived from data() stay valid across
+/// moves of the owning object — ReadModel relies on this.
+class MmapFile {
+ public:
+  /// Maps `path` read-only (PROT_READ, MAP_PRIVATE) and advises the kernel
+  /// for random access. Fails with NotFound / IOError; an empty file maps
+  /// to a valid zero-length MmapFile.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;  // distinguishes "empty file" from "never opened"
+};
+
+}  // namespace io
+}  // namespace mlp
+
+#endif  // MLP_IO_MMAP_FILE_H_

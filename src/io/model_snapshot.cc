@@ -439,6 +439,43 @@ Status SaveModelSnapshotV1(const std::string& path,
   return SaveModelSnapshotAtVersion(path, snapshot, 1);
 }
 
+Result<SnapshotHeaderInfo> ParseSnapshotHeader(const uint8_t* data,
+                                               size_t size) {
+  static_assert(kModelSnapshotHeaderSize ==
+                    sizeof(kMagic) + sizeof(uint32_t) * 2 +
+                        sizeof(uint64_t) * 2,
+                "header constant out of sync with the writer");
+  if (size < kModelSnapshotHeaderSize) {
+    return Status::IOError("snapshot truncated");
+  }
+  BinaryReader header(data, kModelSnapshotHeaderSize);
+  char magic[8];
+  for (char& c : magic) c = header.Get<char>();
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an MLP model snapshot");
+  }
+  SnapshotHeaderInfo info;
+  info.version = header.Get<uint32_t>();
+  if (info.version < kMinModelSnapshotVersion ||
+      info.version > kModelSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot version " + std::to_string(info.version) +
+        " unsupported (this build reads versions " +
+        std::to_string(kMinModelSnapshotVersion) + ".." +
+        std::to_string(kModelSnapshotVersion) + ")");
+  }
+  if (header.Get<uint32_t>() != kEndianMarker) {
+    return Status::InvalidArgument(
+        "snapshot written on an incompatible-endianness machine");
+  }
+  info.payload_size = header.Get<uint64_t>();
+  if (info.payload_size > size - kModelSnapshotHeaderSize) {
+    return Status::IOError("snapshot payload size mismatch");
+  }
+  info.core_end = kModelSnapshotHeaderSize + info.payload_size;
+  return info;
+}
+
 Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in.is_open()) {
@@ -454,34 +491,24 @@ Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
     return Status::IOError("cannot read snapshot " + path);
   }
 
-  constexpr size_t kHeaderSize =
-      sizeof(kMagic) + sizeof(uint32_t) * 2 + sizeof(uint64_t) * 2;
-  if (bytes.size() < kHeaderSize) {
-    return Status::IOError("snapshot truncated: " + path);
+  Result<SnapshotHeaderInfo> info =
+      ParseSnapshotHeader(bytes.data(), bytes.size());
+  if (!info.ok()) {
+    Status status = info.status();
+    return Status(status.code(), status.message() + ": " + path);
   }
+  const uint32_t version = info->version;
+  const uint64_t payload_size = info->payload_size;
+  // Bytes past core_end are NOT part of the snapshot: that region holds
+  // the optional appended serve section (its own magic + checksum, mapped
+  // by serve::ReadModel::MapServeSection), which this loader ignores.
+  constexpr size_t kHeaderSize = kModelSnapshotHeaderSize;
   BinaryReader header(bytes.data(), kHeaderSize);
-  char magic[8];
-  for (char& c : magic) c = header.Get<char>();
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not an MLP model snapshot: " + path);
+  for (size_t i = 0; i < sizeof(kMagic) + sizeof(uint32_t) * 2; ++i) {
+    header.Get<char>();
   }
-  const uint32_t version = header.Get<uint32_t>();
-  if (version < kMinModelSnapshotVersion || version > kModelSnapshotVersion) {
-    return Status::InvalidArgument(
-        "snapshot version " + std::to_string(version) +
-        " unsupported (this build reads versions " +
-        std::to_string(kMinModelSnapshotVersion) + ".." +
-        std::to_string(kModelSnapshotVersion) + "): " + path);
-  }
-  if (header.Get<uint32_t>() != kEndianMarker) {
-    return Status::InvalidArgument(
-        "snapshot written on an incompatible-endianness machine: " + path);
-  }
-  const uint64_t payload_size = header.Get<uint64_t>();
+  header.Get<uint64_t>();  // payload_size, already validated
   const uint64_t checksum = header.Get<uint64_t>();
-  if (payload_size != bytes.size() - kHeaderSize) {
-    return Status::IOError("snapshot payload size mismatch: " + path);
-  }
   const uint8_t* payload_bytes = bytes.data() + kHeaderSize;
   Fnv1a64 expected;
   if (version >= 2) {

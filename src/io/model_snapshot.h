@@ -78,7 +78,28 @@ Status SaveModelSnapshotV1(const std::string& path,
 /// Reads a snapshot back. Fails with InvalidArgument on a foreign or
 /// version-mismatched file and IOError on a corrupt one (bad checksum,
 /// truncation, out-of-bounds section) — never crashes on malformed input.
+/// Bytes past the checksummed core payload are tolerated and ignored:
+/// that region holds the optional mmap-able serve section appended by
+/// serve::ReadModel::AppendServeSection (see src/io/README.md).
 Result<ModelSnapshot> LoadModelSnapshot(const std::string& path);
+
+/// Fixed size of the snapshot file header (magic + version + endian marker
+/// + payload size + checksum).
+inline constexpr size_t kModelSnapshotHeaderSize = 32;
+
+/// The header fields a reader needs to navigate a snapshot file without
+/// parsing the payload: the format version and where the checksummed core
+/// payload ends. `core_end` is the offset of the first byte past the
+/// payload — any appended section (the serve section) starts at or after
+/// it. Validates magic, version range, endianness and that `core_end`
+/// fits in `size`.
+struct SnapshotHeaderInfo {
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint64_t core_end = 0;  // kModelSnapshotHeaderSize + payload_size
+};
+Result<SnapshotHeaderInfo> ParseSnapshotHeader(const uint8_t* data,
+                                               size_t size);
 
 }  // namespace io
 }  // namespace mlp

@@ -1,0 +1,48 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace mlp {
+namespace obs {
+
+namespace {
+
+/// Reads one "Vm*: N kB" line from /proc/self/status. Linux-only by
+/// design (the ROADMAP targets Linux boxes); returns 0 elsewhere.
+int64_t ReadStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%lld", &value) != 1) value = 0;
+      kb = static_cast<int64_t>(value);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t ProcessRssBytes() { return ReadStatusKb("VmRSS") * 1024; }
+
+int64_t ProcessPeakRssBytes() { return ReadStatusKb("VmHWM") * 1024; }
+
+void UpdateProcessRssGauges() {
+  Registry& registry = Registry::Global();
+  static Gauge* const rss = registry.GetGauge(kMemProcessRssBytes);
+  static Gauge* const peak = registry.GetGauge(kMemProcessPeakRssBytes);
+  rss->Set(ProcessRssBytes());
+  peak->Set(ProcessPeakRssBytes());
+}
+
+}  // namespace obs
+}  // namespace mlp

@@ -1,0 +1,47 @@
+#ifndef MLP_OBS_PROCESS_STATS_H_
+#define MLP_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace mlp {
+namespace obs {
+
+// Memory gauge family (ISSUE 8: memory-budgeted fit / out-of-core serve).
+// All values are bytes. The mem_fit_* gauges are set by core::MlpModel::Fit
+// at merged sync barriers from exact AccountedBytes() walks; the process
+// RSS gauges are refreshed wherever a fresh number matters (/statsz,
+// fit barriers, `mlpctl fit --profile`).
+inline constexpr char kMemProcessRssBytes[] = "mem_process_rss_bytes";
+inline constexpr char kMemProcessPeakRssBytes[] =
+    "mem_process_peak_rss_bytes";
+/// Sufficient-statistics arenas: the sampler's global arena + accumulators
+/// and the engine's per-worker replicas/accumulators/proposal tables.
+inline constexpr char kMemArenaBytes[] = "mem_arena_bytes";
+/// core::CandidateSpace (full universe + activation + active view).
+inline constexpr char kMemCandidateBytes[] = "mem_candidate_bytes";
+/// serve::ReadModel accounted bytes (in-memory structures; an mmap-backed
+/// model reports only its resident structures, not the mapping size).
+inline constexpr char kMemReadModelBytes[] = "mem_readmodel_bytes";
+/// Total accounted fit footprint the mem_budget_mb enforcement gates on.
+inline constexpr char kMemFitAccountedBytes[] = "mem_fit_accounted_bytes";
+/// The configured budget (0 = unbudgeted), for dashboards to plot against.
+inline constexpr char kMemFitBudgetBytes[] = "mem_fit_budget_bytes";
+
+/// Counter: barriers where the accounted footprint exceeded the budget and
+/// the pruning schedule was tightened in response.
+inline constexpr char kFitBudgetTightenTotal[] = "fit_budget_tighten_total";
+
+/// Current resident set size (VmRSS) of this process in bytes; 0 when
+/// /proc/self/status is unavailable (non-Linux).
+int64_t ProcessRssBytes();
+
+/// Peak resident set size (VmHWM) in bytes; 0 when unavailable.
+int64_t ProcessPeakRssBytes();
+
+/// Reads both and publishes them to the registry's RSS gauges.
+void UpdateProcessRssGauges();
+
+}  // namespace obs
+}  // namespace mlp
+
+#endif  // MLP_OBS_PROCESS_STATS_H_

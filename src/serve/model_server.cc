@@ -7,6 +7,8 @@
 
 #include "common/string_util.h"
 #include "io/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "obs/trace.h"
 
 namespace mlp {
@@ -254,6 +256,17 @@ HttpResponse ModelServer::HandleStats(const Published& published,
   add("alpha", StringPrintf("%.4f", model.alpha()));
   add("beta", StringPrintf("%.6f", model.beta()));
   add("fit_complete", model.fit_complete() ? "1" : "0");
+  // Memory picture (ISSUE 8): the read model's exact owned footprint next
+  // to the live process RSS. mmap-backed models account only resident
+  // structures — the gap between RSS and the snapshot size is the point.
+  add("mmap_backed", model.mmap_backed() ? "1" : "0");
+  const int64_t model_bytes = model.AccountedBytes();
+  obs::Registry::Global().GetGauge(obs::kMemReadModelBytes)->Set(model_bytes);
+  obs::UpdateProcessRssGauges();
+  add("mem_readmodel_bytes", std::to_string(model_bytes));
+  add("mem_process_rss_bytes", std::to_string(obs::ProcessRssBytes()));
+  add("mem_process_peak_rss_bytes",
+      std::to_string(obs::ProcessPeakRssBytes()));
   add("threads", std::to_string(conn_pool_.size()));
   add("uptime_seconds", StringPrintf("%.1f", uptime));
   add("requests_served", std::to_string(http_.requests_served()));

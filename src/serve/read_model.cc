@@ -1,9 +1,14 @@
 #include "serve/read_model.h"
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 
+#include "common/hash.h"
 #include "core/priors.h"
+#include "core/suff_stats.h"
 #include "serve/json.h"
 
 namespace mlp {
@@ -14,6 +19,55 @@ namespace {
 uint64_t EdgeKey(graph::UserId src, graph::UserId dst) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
          static_cast<uint32_t>(dst);
+}
+
+// ---- serve section (out-of-core backing) ----
+// Appended after the snapshot's checksummed core payload; byte layout in
+// src/io/README.md. Everything the HTTP surface needs at query time lives
+// in 64-byte-aligned arrays so the mapper can point straight into the
+// file: the two JSON blobs, their CSR offsets, and a sorted key table
+// replacing the hash index.
+constexpr char kServeMagic[8] = {'M', 'L', 'P', 'S', 'E', 'R', 'V', 'E'};
+constexpr uint32_t kServeEndianMarker = 0x01020304u;
+constexpr uint64_t kServeAlign = 64;
+// magic + version + endian + header checksum, then 18 8-byte fields.
+constexpr uint64_t kServeChecksumStart = 24;
+constexpr uint64_t kServeHeaderBytes = kServeChecksumStart + 18 * 8;
+
+// Field slots (8 bytes each) after the checksum, in file order.
+enum ServeField : int {
+  kFieldNumUsers = 0,
+  kFieldNumEdges,
+  kFieldNumEdgeKeys,
+  kFieldTotalProfileEntries,
+  kFieldAlpha,
+  kFieldBeta,
+  kFieldLayoutVersion,
+  kFieldActiveSlots,
+  kFieldFitComplete,
+  kFieldFileSize,
+  kFieldUserOffsetsOff,
+  kFieldEdgeOffsetsOff,
+  kFieldEdgeKeysOff,
+  kFieldEdgeIdsOff,
+  kFieldUserJsonOff,
+  kFieldUserJsonSize,
+  kFieldEdgeJsonOff,
+  kFieldEdgeJsonSize,
+};
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+double ReadF64(const uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
 }
 
 void WriteCity(const ReadModel& model, const char* key, geo::CityId id,
@@ -141,6 +195,7 @@ Result<ReadModel> ReadModel::Build(const io::ModelSnapshot& snapshot,
     model.profile_offset_.push_back(
         static_cast<int64_t>(model.entries_.size()));
   }
+  model.total_profile_entries_ = static_cast<int64_t>(model.entries_.size());
 
   // ---- per-user degrees ----
   model.num_friends_.resize(num_users);
@@ -227,7 +282,7 @@ Result<ReadModel> ReadModel::Build(const io::ModelSnapshot& snapshot,
 }
 
 bool ReadModel::GetUser(graph::UserId u, UserAnswer* out) const {
-  if (u < 0 || u >= num_users()) return false;
+  if (mmap_backed_ || u < 0 || u >= num_users()) return false;
   out->user = u;
   out->home = home_[u];
   out->entries = entries_.data() + profile_offset_[u];
@@ -239,12 +294,19 @@ bool ReadModel::GetUser(graph::UserId u, UserAnswer* out) const {
 }
 
 graph::EdgeId ReadModel::FindEdge(graph::UserId src, graph::UserId dst) const {
-  auto it = edge_index_.find(EdgeKey(src, dst));
+  const uint64_t key = EdgeKey(src, dst);
+  if (mmap_backed_) {
+    const uint64_t* end = map_edge_keys_ + map_num_edge_keys_;
+    const uint64_t* it = std::lower_bound(map_edge_keys_, end, key);
+    if (it == end || *it != key) return -1;
+    return static_cast<graph::EdgeId>(map_edge_ids_[it - map_edge_keys_]);
+  }
+  auto it = edge_index_.find(key);
   return it == edge_index_.end() ? -1 : it->second;
 }
 
 bool ReadModel::GetEdgeById(graph::EdgeId s, EdgeAnswer* out) const {
-  if (s < 0 || s >= num_edges()) return false;
+  if (mmap_backed_ || s < 0 || s >= num_edges()) return false;
   out->src = edge_src_[s];
   out->dst = edge_dst_[s];
   out->edge = s;
@@ -268,8 +330,292 @@ std::string ReadModel::CityName(geo::CityId id) const {
 }
 
 double ReadModel::mean_profile_entries() const {
-  return home_.empty() ? 0.0
-                       : static_cast<double>(entries_.size()) / home_.size();
+  const int n = num_users();
+  return n == 0 ? 0.0 : static_cast<double>(total_profile_entries_) / n;
+}
+
+bool ReadModel::ExampleEdge(graph::UserId* src, graph::UserId* dst) const {
+  if (mmap_backed_) {
+    if (map_num_edge_keys_ == 0) return false;
+    const uint64_t key = map_edge_keys_[0];
+    *src = static_cast<graph::UserId>(key >> 32);
+    *dst = static_cast<graph::UserId>(static_cast<uint32_t>(key));
+    return true;
+  }
+  if (edge_src_.empty()) return false;
+  *src = edge_src_[0];
+  *dst = edge_dst_[0];
+  return true;
+}
+
+int64_t ReadModel::AccountedBytes() const {
+  using core::VectorBytes;
+  // Hash index: bucket array plus one heap node per entry (key/value pair
+  // + libstdc++'s next pointer and cached hash).
+  const int64_t index_bytes =
+      static_cast<int64_t>(edge_index_.bucket_count()) * sizeof(void*) +
+      static_cast<int64_t>(edge_index_.size()) *
+          (sizeof(std::pair<uint64_t, graph::EdgeId>) + 2 * sizeof(void*));
+  return VectorBytes(profile_offset_) + VectorBytes(entries_) +
+         VectorBytes(home_) + VectorBytes(num_friends_) +
+         VectorBytes(num_followers_) + VectorBytes(num_tweets_) +
+         VectorBytes(edge_src_) + VectorBytes(edge_dst_) +
+         VectorBytes(edge_x_) + VectorBytes(edge_y_) +
+         VectorBytes(edge_noise_) + VectorBytes(edge_x_support_) +
+         VectorBytes(edge_y_support_) + VectorBytes(edge_distance_) +
+         index_bytes + static_cast<int64_t>(user_json_.capacity()) +
+         static_cast<int64_t>(user_json_offset_.capacity() * sizeof(int64_t)) +
+         static_cast<int64_t>(edge_json_.capacity()) +
+         static_cast<int64_t>(edge_json_offset_.capacity() * sizeof(int64_t));
+}
+
+Status ReadModel::AppendServeSection(const std::string& snapshot_path) const {
+  if (mmap_backed_) {
+    return Status::FailedPrecondition(
+        "cannot re-pack from an mmap-backed model — build from the snapshot");
+  }
+  // Validate the target is a well-formed snapshot and find where its
+  // checksummed core payload ends; everything after that is ours.
+  uint64_t core_end = 0;
+  {
+    std::ifstream in(snapshot_path, std::ios::binary | std::ios::ate);
+    if (!in.is_open()) {
+      return Status::NotFound("cannot open snapshot " + snapshot_path);
+    }
+    const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+    in.seekg(0);
+    uint8_t header[io::kModelSnapshotHeaderSize] = {};
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (!in.good()) {
+      return Status::IOError("cannot read snapshot header: " + snapshot_path);
+    }
+    Result<io::SnapshotHeaderInfo> info =
+        io::ParseSnapshotHeader(header, file_size);
+    if (!info.ok()) {
+      return Status(info.status().code(),
+                    info.status().message() + ": " + snapshot_path);
+    }
+    core_end = info->core_end;
+  }
+  // Drop any existing section so re-packing is idempotent.
+  std::error_code ec;
+  std::filesystem::resize_file(snapshot_path, core_end, ec);
+  if (ec) {
+    return Status::IOError("cannot truncate " + snapshot_path + ": " +
+                           ec.message());
+  }
+
+  // Sorted key table: binary search in the mapped model replaces the hash
+  // index. Duplicate (src,dst) edges resolve to the same id the hash map
+  // holds (the first inserted), so lookups agree between backings.
+  std::vector<uint64_t> keys;
+  keys.reserve(edge_index_.size());
+  for (const auto& [key, id] : edge_index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::vector<int64_t> ids;
+  ids.reserve(keys.size());
+  for (uint64_t key : keys) ids.push_back(edge_index_.at(key));
+
+  const uint64_t section_start = AlignUp(core_end, kServeAlign);
+  uint64_t cursor = section_start + kServeHeaderBytes;
+  auto place = [&cursor](uint64_t bytes) {
+    cursor = AlignUp(cursor, kServeAlign);
+    const uint64_t offset = cursor;
+    cursor += bytes;
+    return offset;
+  };
+  const uint64_t num_users_u64 = static_cast<uint64_t>(num_users());
+  const uint64_t num_edges_u64 = static_cast<uint64_t>(num_edges());
+  const uint64_t user_offsets_off = place((num_users_u64 + 1) * 8);
+  const uint64_t edge_offsets_off = place((num_edges_u64 + 1) * 8);
+  const uint64_t edge_keys_off = place(keys.size() * 8);
+  const uint64_t edge_ids_off = place(ids.size() * 8);
+  const uint64_t user_json_off = place(user_json_.size());
+  const uint64_t edge_json_off = place(edge_json_.size());
+  const uint64_t file_size = cursor;
+
+  uint64_t fields[18] = {};
+  fields[kFieldNumUsers] = num_users_u64;
+  fields[kFieldNumEdges] = num_edges_u64;
+  fields[kFieldNumEdgeKeys] = keys.size();
+  fields[kFieldTotalProfileEntries] =
+      static_cast<uint64_t>(total_profile_entries_);
+  std::memcpy(&fields[kFieldAlpha], &alpha_, sizeof(double));
+  std::memcpy(&fields[kFieldBeta], &beta_, sizeof(double));
+  fields[kFieldLayoutVersion] = layout_version_;
+  fields[kFieldActiveSlots] = static_cast<uint64_t>(active_slots_);
+  fields[kFieldFitComplete] = fit_complete_ ? 1 : 0;
+  fields[kFieldFileSize] = file_size;
+  fields[kFieldUserOffsetsOff] = user_offsets_off;
+  fields[kFieldEdgeOffsetsOff] = edge_offsets_off;
+  fields[kFieldEdgeKeysOff] = edge_keys_off;
+  fields[kFieldEdgeIdsOff] = edge_ids_off;
+  fields[kFieldUserJsonOff] = user_json_off;
+  fields[kFieldUserJsonSize] = user_json_.size();
+  fields[kFieldEdgeJsonOff] = edge_json_off;
+  fields[kFieldEdgeJsonSize] = edge_json_.size();
+
+  Fnv1a64 checksum;
+  checksum.Bytes(fields, sizeof(fields));
+
+  std::string header;
+  header.append(kServeMagic, sizeof(kServeMagic));
+  const uint32_t version = kServeSectionVersion;
+  header.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  header.append(reinterpret_cast<const char*>(&kServeEndianMarker),
+                sizeof(kServeEndianMarker));
+  header.append(reinterpret_cast<const char*>(&checksum.hash),
+                sizeof(checksum.hash));
+  header.append(reinterpret_cast<const char*>(fields), sizeof(fields));
+
+  std::ofstream out(snapshot_path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + snapshot_path + " for packing");
+  }
+  out.seekp(static_cast<std::streamoff>(core_end));
+  uint64_t written = core_end;
+  auto pad_to = [&out, &written](uint64_t offset) {
+    static const char zeros[kServeAlign] = {};
+    while (written < offset) {
+      const uint64_t n = std::min<uint64_t>(offset - written, sizeof(zeros));
+      out.write(zeros, static_cast<std::streamsize>(n));
+      written += n;
+    }
+  };
+  auto write_bytes = [&out, &written](const void* p, uint64_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    written += n;
+  };
+  pad_to(section_start);
+  write_bytes(header.data(), header.size());
+  pad_to(user_offsets_off);
+  write_bytes(user_json_offset_.data(), (num_users_u64 + 1) * 8);
+  pad_to(edge_offsets_off);
+  write_bytes(edge_json_offset_.data(), (num_edges_u64 + 1) * 8);
+  pad_to(edge_keys_off);
+  write_bytes(keys.data(), keys.size() * 8);
+  pad_to(edge_ids_off);
+  write_bytes(ids.data(), ids.size() * 8);
+  pad_to(user_json_off);
+  write_bytes(user_json_.data(), user_json_.size());
+  pad_to(edge_json_off);
+  write_bytes(edge_json_.data(), edge_json_.size());
+  out.flush();
+  if (!out.good() || written != file_size) {
+    return Status::IOError("short write packing serve section into " +
+                           snapshot_path);
+  }
+  return Status::OK();
+}
+
+Result<ReadModel> ReadModel::MapServeSection(const std::string& snapshot_path,
+                                             const geo::Gazetteer* gazetteer) {
+  Result<io::MmapFile> mapped = io::MmapFile::Open(snapshot_path);
+  if (!mapped.ok()) return mapped.status();
+  const uint8_t* data = mapped->data();
+  const uint64_t size = mapped->size();
+  Result<io::SnapshotHeaderInfo> core = io::ParseSnapshotHeader(data, size);
+  if (!core.ok()) {
+    return Status(core.status().code(),
+                  core.status().message() + ": " + snapshot_path);
+  }
+  const uint64_t section_start = AlignUp(core->core_end, kServeAlign);
+  if (size < section_start + kServeHeaderBytes ||
+      std::memcmp(data + section_start, kServeMagic, sizeof(kServeMagic)) !=
+          0) {
+    return Status::NotFound("snapshot has no serve section (run `mlpctl "
+                            "pack` to append one): " +
+                            snapshot_path);
+  }
+  const uint8_t* section = data + section_start;
+  uint32_t version;
+  std::memcpy(&version, section + 8, sizeof(version));
+  if (version != kServeSectionVersion) {
+    return Status::InvalidArgument(
+        "serve section version " + std::to_string(version) +
+        " unsupported (this build serves v" +
+        std::to_string(kServeSectionVersion) +
+        "; re-run `mlpctl pack`): " + snapshot_path);
+  }
+  uint32_t endian;
+  std::memcpy(&endian, section + 12, sizeof(endian));
+  if (endian != kServeEndianMarker) {
+    return Status::InvalidArgument(
+        "serve section written on an incompatible-endianness machine: " +
+        snapshot_path);
+  }
+  const uint64_t stored_checksum = ReadU64(section + 16);
+  Fnv1a64 checksum;
+  checksum.Bytes(section + kServeChecksumStart,
+                 kServeHeaderBytes - kServeChecksumStart);
+  if (checksum.hash != stored_checksum) {
+    return Status::IOError("serve section header checksum mismatch: " +
+                           snapshot_path);
+  }
+  auto field = [section](int i) {
+    return ReadU64(section + kServeChecksumStart + i * 8);
+  };
+  if (field(kFieldFileSize) != size) {
+    return Status::IOError("serve section truncated (expected " +
+                           std::to_string(field(kFieldFileSize)) +
+                           " bytes, file has " + std::to_string(size) +
+                           "): " + snapshot_path);
+  }
+  const uint64_t num_users = field(kFieldNumUsers);
+  const uint64_t num_edges = field(kFieldNumEdges);
+  const uint64_t num_keys = field(kFieldNumEdgeKeys);
+  auto in_bounds = [size](uint64_t off, uint64_t bytes) {
+    return off % kServeAlign == 0 && off <= size && bytes <= size - off;
+  };
+  if (!in_bounds(field(kFieldUserOffsetsOff), (num_users + 1) * 8) ||
+      !in_bounds(field(kFieldEdgeOffsetsOff), (num_edges + 1) * 8) ||
+      !in_bounds(field(kFieldEdgeKeysOff), num_keys * 8) ||
+      !in_bounds(field(kFieldEdgeIdsOff), num_keys * 8) ||
+      !in_bounds(field(kFieldUserJsonOff), field(kFieldUserJsonSize)) ||
+      !in_bounds(field(kFieldEdgeJsonOff), field(kFieldEdgeJsonSize))) {
+    return Status::IOError("serve section layout out of bounds: " +
+                           snapshot_path);
+  }
+
+  ReadModel model;
+  model.gazetteer_ = gazetteer;
+  model.mmap_backed_ = true;
+  model.map_num_users_ = static_cast<int64_t>(num_users);
+  model.map_num_edges_ = static_cast<int64_t>(num_edges);
+  model.map_num_edge_keys_ = static_cast<int64_t>(num_keys);
+  model.total_profile_entries_ =
+      static_cast<int64_t>(field(kFieldTotalProfileEntries));
+  model.alpha_ = ReadF64(section + kServeChecksumStart + kFieldAlpha * 8);
+  model.beta_ = ReadF64(section + kServeChecksumStart + kFieldBeta * 8);
+  model.layout_version_ = field(kFieldLayoutVersion);
+  model.active_slots_ = static_cast<int64_t>(field(kFieldActiveSlots));
+  model.fit_complete_ = field(kFieldFitComplete) != 0;
+  model.map_user_json_offset_ =
+      reinterpret_cast<const int64_t*>(data + field(kFieldUserOffsetsOff));
+  model.map_edge_json_offset_ =
+      reinterpret_cast<const int64_t*>(data + field(kFieldEdgeOffsetsOff));
+  model.map_edge_keys_ =
+      reinterpret_cast<const uint64_t*>(data + field(kFieldEdgeKeysOff));
+  model.map_edge_ids_ =
+      reinterpret_cast<const int64_t*>(data + field(kFieldEdgeIdsOff));
+  model.map_user_json_ = std::string_view(
+      reinterpret_cast<const char*>(data + field(kFieldUserJsonOff)),
+      field(kFieldUserJsonSize));
+  model.map_edge_json_ = std::string_view(
+      reinterpret_cast<const char*>(data + field(kFieldEdgeJsonOff)),
+      field(kFieldEdgeJsonSize));
+  // Cheap coherence probe (touches two pages): the CSR ends must agree
+  // with the blob sizes the header promises.
+  if (model.map_user_json_offset_[num_users] !=
+          static_cast<int64_t>(field(kFieldUserJsonSize)) ||
+      model.map_edge_json_offset_[num_edges] !=
+          static_cast<int64_t>(field(kFieldEdgeJsonSize))) {
+    return Status::IOError("serve section offsets disagree with blobs: " +
+                           snapshot_path);
+  }
+  model.mapped_ = std::move(*mapped);
+  return model;
 }
 
 }  // namespace serve

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "geo/gazetteer.h"
 #include "graph/social_graph.h"
+#include "io/mmap_file.h"
 #include "io/model_snapshot.h"
 
 namespace mlp {
@@ -56,6 +57,13 @@ struct ReadModelOptions {
   int top_k = 10;
 };
 
+/// Serve-section format version (the mmap-able blob AppendServeSection
+/// appends after a snapshot's core payload). Bump on any layout change;
+/// MapServeSection rejects versions it does not understand, and `mlpctl
+/// serve --mmap` falls back to asking the operator to re-pack — the core
+/// snapshot itself stays readable either way (downgrade path).
+inline constexpr uint32_t kServeSectionVersion = 1;
+
 /// Immutable, query-optimized view of one fitted model snapshot: flat
 /// top-K posterior profiles (CSR over users, probabilities copied verbatim
 /// from MlpResult so served values are byte-consistent with the fit),
@@ -78,17 +86,45 @@ class ReadModel {
                                  const geo::Gazetteer* gazetteer,
                                  const ReadModelOptions& options = {});
 
+  /// Renders this (in-memory) model's serving surface — the pre-rendered
+  /// JSON blobs, their CSR offsets, a sorted (src,dst)→edge key table and
+  /// the /statsz metadata — into an aligned, versioned section appended to
+  /// the snapshot file at `snapshot_path` (replacing any existing section,
+  /// so re-packing is idempotent). The core snapshot bytes are untouched
+  /// and keep loading everywhere. Layout: src/io/README.md.
+  Status AppendServeSection(const std::string& snapshot_path) const;
+
+  /// Out-of-core backing: maps the serve section of a packed snapshot and
+  /// serves every HTTP query (UserJson / EdgeJson / FindEdge / statsz
+  /// metadata) straight out of the mapping — responses are byte-identical
+  /// to the in-memory model the section was rendered from, but resident
+  /// memory stays proportional to the touched pages, not the model size.
+  /// The struct-answer lookups (GetUser/GetEdge/GetEdgeById) are not
+  /// available in this mode and return false. Fails with NotFound when the
+  /// snapshot has no serve section (run `mlpctl pack` first) and
+  /// InvalidArgument/IOError on a foreign, stale-version or corrupt one.
+  static Result<ReadModel> MapServeSection(const std::string& snapshot_path,
+                                           const geo::Gazetteer* gazetteer);
+
   ReadModel() = default;
   ReadModel(ReadModel&&) = default;
   ReadModel& operator=(ReadModel&&) = default;
   ReadModel(const ReadModel&) = delete;
   ReadModel& operator=(const ReadModel&) = delete;
 
-  int num_users() const { return static_cast<int>(home_.size()); }
-  int num_edges() const { return static_cast<int>(edge_x_.size()); }
+  int num_users() const {
+    return mmap_backed_ ? static_cast<int>(map_num_users_)
+                        : static_cast<int>(home_.size());
+  }
+  int num_edges() const {
+    return mmap_backed_ ? static_cast<int>(map_num_edges_)
+                        : static_cast<int>(edge_x_.size());
+  }
 
   /// Point lookups. Return false when the id is out of range / the edge
-  /// does not exist; `out` is untouched in that case.
+  /// does not exist; `out` is untouched in that case. An mmap-backed model
+  /// carries only the rendered responses, so these always return false
+  /// there — the serving surface goes through UserJson/EdgeJson instead.
   bool GetUser(graph::UserId u, UserAnswer* out) const;
   bool GetEdge(graph::UserId src, graph::UserId dst, EdgeAnswer* out) const;
   /// Edge lookup by id (the batch scan path after index resolution).
@@ -102,13 +138,19 @@ class ReadModel {
   /// instead of per-request JSON assembly. Empty view when out of range.
   std::string_view UserJson(graph::UserId u) const {
     if (u < 0 || u >= num_users()) return {};
-    return std::string_view(user_json_).substr(
-        user_json_offset_[u], user_json_offset_[u + 1] - user_json_offset_[u]);
+    const int64_t* off =
+        mmap_backed_ ? map_user_json_offset_ : user_json_offset_.data();
+    std::string_view blob =
+        mmap_backed_ ? map_user_json_ : std::string_view(user_json_);
+    return blob.substr(off[u], off[u + 1] - off[u]);
   }
   std::string_view EdgeJson(graph::EdgeId s) const {
     if (s < 0 || s >= num_edges()) return {};
-    return std::string_view(edge_json_).substr(
-        edge_json_offset_[s], edge_json_offset_[s + 1] - edge_json_offset_[s]);
+    const int64_t* off =
+        mmap_backed_ ? map_edge_json_offset_ : edge_json_offset_.data();
+    std::string_view blob =
+        mmap_backed_ ? map_edge_json_ : std::string_view(edge_json_);
+    return blob.substr(off[s], off[s + 1] - off[s]);
   }
 
   const geo::Gazetteer* gazetteer() const { return gazetteer_; }
@@ -121,6 +163,19 @@ class ReadModel {
   int64_t active_candidate_slots() const { return active_slots_; }
   uint64_t candidate_layout_version() const { return layout_version_; }
   double mean_profile_entries() const;
+
+  /// True when this model serves out of a mapped serve section.
+  bool mmap_backed() const { return mmap_backed_; }
+
+  /// Exact heap footprint of the owned read-side structures (vector
+  /// capacities + blob sizes + edge index), feeding the mem_readmodel_bytes
+  /// gauge. An mmap-backed model accounts only its resident skeleton — the
+  /// mapping itself is paged in and out by the kernel on demand.
+  int64_t AccountedBytes() const;
+
+  /// First edge of the model as (src, dst), or false when edgeless — the
+  /// probe the mmap selfcheck uses in place of a loaded graph.
+  bool ExampleEdge(graph::UserId* src, graph::UserId* dst) const;
 
  private:
   const geo::Gazetteer* gazetteer_ = nullptr;
@@ -160,6 +215,23 @@ class ReadModel {
   bool fit_complete_ = false;
   int64_t active_slots_ = 0;
   uint64_t layout_version_ = 0;
+
+  // ---- mmap backing (MapServeSection) ----
+  // The mapping owns the file; the raw pointers/views below alias it.
+  // io::MmapFile moves preserve the base address, so a moved ReadModel
+  // keeps serving without re-deriving them.
+  io::MmapFile mapped_;
+  bool mmap_backed_ = false;
+  int64_t map_num_users_ = 0;
+  int64_t map_num_edges_ = 0;
+  int64_t total_profile_entries_ = 0;  // for mean_profile_entries()
+  const int64_t* map_user_json_offset_ = nullptr;  // num_users + 1
+  const int64_t* map_edge_json_offset_ = nullptr;  // num_edges + 1
+  int64_t map_num_edge_keys_ = 0;  // distinct (src,dst) pairs, ≤ num_edges
+  const uint64_t* map_edge_keys_ = nullptr;  // sorted (src<<32|dst)
+  const int64_t* map_edge_ids_ = nullptr;    // parallel edge ids
+  std::string_view map_user_json_;
+  std::string_view map_edge_json_;
 };
 
 }  // namespace serve

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "io/dataset_io.h"
 #include "stats/alias_table.h"
 #include "synth/venue_model.h"
 #include "text/profile_parser.h"
@@ -32,13 +35,7 @@ class WorldGenerator {
 
   Result<SyntheticWorld> Generate() {
     MLP_RETURN_NOT_OK(Validate());
-    world_.config = config_;
-    world_.gazetteer =
-        std::make_unique<geo::Gazetteer>(geo::Gazetteer::FromEmbedded());
-    world_.distances = std::make_unique<geo::CityDistanceMatrix>(
-        *world_.gazetteer, /*floor_miles=*/1.0);
-    world_.vocab = std::make_unique<text::VenueVocabulary>(
-        text::VenueVocabulary::Build(*world_.gazetteer));
+    Setup();
     world_.graph =
         std::make_unique<graph::SocialGraph>(world_.vocab->size());
 
@@ -51,7 +48,69 @@ class WorldGenerator {
     return std::move(world_);
   }
 
+  /// Streamed mode: same generative story, but users and edges go straight
+  /// to the dataset CSVs — the graph and per-edge truth never exist in
+  /// memory. Pass 1 (GenerateProfiles) still materializes the compact true
+  /// profiles: the per-city user mass the edge generator samples from needs
+  /// every profile before the first edge can be drawn.
+  Result<StreamWorldStats> Stream(const std::string& directory,
+                                  int chunk_users) {
+    MLP_RETURN_NOT_OK(Validate());
+    if (chunk_users < 1) {
+      return Status::InvalidArgument("chunk_users must be >= 1");
+    }
+    Setup();
+    GenerateProfiles();
+    PickCelebrities();
+    PrepareVenueModel();
+
+    MLP_ASSIGN_OR_RETURN(io::DatasetStreamWriter writer,
+                         io::DatasetStreamWriter::Open(directory,
+                                                       /*with_truth=*/true));
+    StreamWorldStats stats;
+    Status write_status = Status::OK();
+    auto note = [&write_status](Status status) {
+      if (write_status.ok() && !status.ok()) write_status = status;
+    };
+    for (int u = 0; u < config_.num_users; ++u) {
+      graph::UserRecord record = MakeUserRecord(u);
+      if (record.registered_city != geo::kInvalidCity) ++stats.num_labeled;
+      note(writer.AppendUser(record, &world_.truth.profiles[u]));
+      FollowingForUser(u, [&](UserId j, const FollowingTruth& truth) {
+        note(writer.AppendFollowing(u, j, &truth));
+      });
+      TweetingForUser(u, [&](int venue, const TweetingTruth& truth) {
+        note(writer.AppendTweeting(u, venue, &truth));
+      });
+      if ((u + 1) % chunk_users == 0 || u + 1 == config_.num_users) {
+        ++stats.chunks;
+        MLP_LOG(kInfo) << "streamed " << (u + 1) << "/" << config_.num_users
+                      << " users (" << writer.following_written()
+                      << " following, " << writer.tweeting_written()
+                      << " tweeting)";
+      }
+    }
+    stats.num_users = writer.users_written();
+    stats.num_following = writer.following_written();
+    stats.num_tweeting = writer.tweeting_written();
+    MLP_RETURN_NOT_OK(write_status);
+    MLP_RETURN_NOT_OK(writer.Close());
+    return stats;
+  }
+
  private:
+  /// World-level context shared by both modes: gazetteer, distances, venue
+  /// vocabulary. No graph — streaming mode never creates one.
+  void Setup() {
+    world_.config = config_;
+    world_.gazetteer =
+        std::make_unique<geo::Gazetteer>(geo::Gazetteer::FromEmbedded());
+    world_.distances = std::make_unique<geo::CityDistanceMatrix>(
+        *world_.gazetteer, /*floor_miles=*/1.0);
+    world_.vocab = std::make_unique<text::VenueVocabulary>(
+        text::VenueVocabulary::Build(*world_.gazetteer));
+  }
+
   Status Validate() const {
     if (config_.num_users < 2) {
       return Status::InvalidArgument("num_users must be >= 2");
@@ -189,44 +248,48 @@ class WorldGenerator {
     if (want > 0) celebrity_alias_ = stats::AliasTable(zipf);
   }
 
-  void GenerateProfileStrings() {
+  graph::UserRecord MakeUserRecord(UserId u) {
     const geo::Gazetteer& gaz = *world_.gazetteer;
-    for (int u = 0; u < config_.num_users; ++u) {
-      graph::UserRecord record;
-      record.handle = StringPrintf("user%06d", u);
-      if (rng_.Bernoulli(config_.unparseable_profile_fraction)) {
-        int pick = rng_.UniformInt(
-            0, static_cast<int>(std::size(kUnparseableProfiles)) - 1);
-        record.profile_location = kUnparseableProfiles[pick];
-      } else {
-        CityId rendered = world_.truth.profiles[u].home();
-        if (rng_.Bernoulli(config_.wrong_label_fraction)) {
-          rendered = static_cast<CityId>(
-              rng_.UniformU32(static_cast<uint32_t>(gaz.size())));
-        }
-        const geo::City& city = gaz.city(rendered);
-        // Render with the formatting quirks real profiles show; all of
-        // these must survive the parser.
-        switch (rng_.UniformInt(0, 3)) {
-          case 0:
-            record.profile_location = city.name + ", " + city.state;
-            break;
-          case 1:
-            record.profile_location = ToLower(city.name) + ", " +
-                                      ToLower(city.state);
-            break;
-          case 2:
-            record.profile_location = city.name + " ,  " + city.state;
-            break;
-          default:
-            record.profile_location = ToLower(city.name) + ", " + city.state;
-            break;
-        }
+    graph::UserRecord record;
+    record.handle = StringPrintf("user%06d", u);
+    if (rng_.Bernoulli(config_.unparseable_profile_fraction)) {
+      int pick = rng_.UniformInt(
+          0, static_cast<int>(std::size(kUnparseableProfiles)) - 1);
+      record.profile_location = kUnparseableProfiles[pick];
+    } else {
+      CityId rendered = world_.truth.profiles[u].home();
+      if (rng_.Bernoulli(config_.wrong_label_fraction)) {
+        rendered = static_cast<CityId>(
+            rng_.UniformU32(static_cast<uint32_t>(gaz.size())));
       }
-      std::optional<CityId> parsed =
-          text::ParseRegisteredLocation(record.profile_location, gaz);
-      record.registered_city = parsed.value_or(geo::kInvalidCity);
-      world_.graph->AddUser(std::move(record));
+      const geo::City& city = gaz.city(rendered);
+      // Render with the formatting quirks real profiles show; all of
+      // these must survive the parser.
+      switch (rng_.UniformInt(0, 3)) {
+        case 0:
+          record.profile_location = city.name + ", " + city.state;
+          break;
+        case 1:
+          record.profile_location = ToLower(city.name) + ", " +
+                                    ToLower(city.state);
+          break;
+        case 2:
+          record.profile_location = city.name + " ,  " + city.state;
+          break;
+        default:
+          record.profile_location = ToLower(city.name) + ", " + city.state;
+          break;
+      }
+    }
+    std::optional<CityId> parsed =
+        text::ParseRegisteredLocation(record.profile_location, gaz);
+    record.registered_city = parsed.value_or(geo::kInvalidCity);
+    return record;
+  }
+
+  void GenerateProfileStrings() {
+    for (int u = 0; u < config_.num_users; ++u) {
+      world_.graph->AddUser(MakeUserRecord(u));
     }
   }
 
@@ -248,42 +311,49 @@ class WorldGenerator {
     return table;
   }
 
+  /// Draws user i's following edges and hands each (target, truth) to
+  /// `emit`. Dedup is per source user, so the batch and streamed modes
+  /// share the exact edge-rejection behavior.
+  template <typename Emit>
+  void FollowingForUser(UserId i, Emit&& emit) {
+    std::unordered_set<UserId> friends;
+    int degree = rng_.Poisson(config_.avg_friends);
+    for (int slot = 0; slot < degree; ++slot) {
+      if (rng_.Bernoulli(config_.following_noise_fraction)) {
+        UserId j = SampleNoisyTarget(i, friends);
+        if (j == graph::kInvalidUser) continue;
+        friends.insert(j);
+        emit(j, FollowingTruth{true, geo::kInvalidCity, geo::kInvalidCity});
+      } else {
+        CityId x = SampleLocation(world_.truth.profiles[i], &rng_);
+        const stats::AliasTable& targets = TargetCityAlias(x);
+        if (!targets.ok()) continue;
+        UserId j = graph::kInvalidUser;
+        CityId y = geo::kInvalidCity;
+        for (int attempt = 0; attempt < 10; ++attempt) {
+          CityId c = targets.Sample(&rng_);
+          UserId candidate =
+              city_users_[c][city_user_alias_[c].Sample(&rng_)];
+          if (candidate != i && friends.count(candidate) == 0) {
+            j = candidate;
+            y = c;
+            break;
+          }
+        }
+        if (j == graph::kInvalidUser) continue;
+        friends.insert(j);
+        emit(j, FollowingTruth{false, x, y});
+      }
+    }
+  }
+
   void GenerateFollowing() {
     graph::SocialGraph& graph = *world_.graph;
-    std::vector<std::unordered_set<UserId>> friends(config_.num_users);
     for (int i = 0; i < config_.num_users; ++i) {
-      int degree = rng_.Poisson(config_.avg_friends);
-      for (int slot = 0; slot < degree; ++slot) {
-        if (rng_.Bernoulli(config_.following_noise_fraction)) {
-          UserId j = SampleNoisyTarget(i, friends[i]);
-          if (j == graph::kInvalidUser) continue;
-          MLP_CHECK(graph.AddFollowing(i, j).ok());
-          friends[i].insert(j);
-          world_.truth.following.push_back(FollowingTruth{true,
-                                                          geo::kInvalidCity,
-                                                          geo::kInvalidCity});
-        } else {
-          CityId x = SampleLocation(world_.truth.profiles[i], &rng_);
-          const stats::AliasTable& targets = TargetCityAlias(x);
-          if (!targets.ok()) continue;
-          UserId j = graph::kInvalidUser;
-          CityId y = geo::kInvalidCity;
-          for (int attempt = 0; attempt < 10; ++attempt) {
-            CityId c = targets.Sample(&rng_);
-            UserId candidate =
-                city_users_[c][city_user_alias_[c].Sample(&rng_)];
-            if (candidate != i && friends[i].count(candidate) == 0) {
-              j = candidate;
-              y = c;
-              break;
-            }
-          }
-          if (j == graph::kInvalidUser) continue;
-          MLP_CHECK(graph.AddFollowing(i, j).ok());
-          friends[i].insert(j);
-          world_.truth.following.push_back(FollowingTruth{false, x, y});
-        }
-      }
+      FollowingForUser(i, [&](UserId j, const FollowingTruth& truth) {
+        MLP_CHECK(graph.AddFollowing(i, j).ok());
+        world_.truth.following.push_back(truth);
+      });
     }
   }
 
@@ -303,38 +373,47 @@ class WorldGenerator {
     return graph::kInvalidUser;
   }
 
-  void GenerateTweeting() {
+  void PrepareVenueModel() {
     VenueModelParams params;
     params.local_mass = config_.local_mass;
     params.global_mass = config_.global_mass;
     params.uniform_mass = config_.uniform_mass;
     params.decay_miles = config_.venue_decay_miles;
     params.own_city_boost = config_.own_city_boost;
-    TrueVenueModel model(*world_.gazetteer, *world_.vocab, *world_.distances,
-                         params);
+    venue_model_ = std::make_unique<TrueVenueModel>(
+        *world_.gazetteer, *world_.vocab, *world_.distances, params);
+    global_venue_alias_ = stats::AliasTable(venue_model_->GlobalPopularity());
+    city_venue_alias_.assign(world_.gazetteer->size(), stats::AliasTable());
+  }
 
-    stats::AliasTable global_alias(model.GlobalPopularity());
-    std::vector<stats::AliasTable> city_alias(world_.gazetteer->size());
+  /// Draws user u's venue tweets and hands each (venue, truth) to `emit`.
+  template <typename Emit>
+  void TweetingForUser(UserId u, Emit&& emit) {
+    int count = rng_.Poisson(config_.avg_tweeted_venues);
+    for (int t = 0; t < count; ++t) {
+      if (rng_.Bernoulli(config_.tweeting_noise_fraction)) {
+        int v = global_venue_alias_.Sample(&rng_);
+        emit(v, TweetingTruth{true, geo::kInvalidCity});
+      } else {
+        CityId z = SampleLocation(world_.truth.profiles[u], &rng_);
+        if (!city_venue_alias_[z].ok()) {
+          city_venue_alias_[z] =
+              stats::AliasTable(venue_model_->CityDistribution(z));
+        }
+        int v = city_venue_alias_[z].Sample(&rng_);
+        emit(v, TweetingTruth{false, z});
+      }
+    }
+  }
 
+  void GenerateTweeting() {
+    PrepareVenueModel();
     graph::SocialGraph& graph = *world_.graph;
     for (int u = 0; u < config_.num_users; ++u) {
-      int count = rng_.Poisson(config_.avg_tweeted_venues);
-      for (int t = 0; t < count; ++t) {
-        if (rng_.Bernoulli(config_.tweeting_noise_fraction)) {
-          int v = global_alias.Sample(&rng_);
-          MLP_CHECK(graph.AddTweeting(u, v).ok());
-          world_.truth.tweeting.push_back(
-              TweetingTruth{true, geo::kInvalidCity});
-        } else {
-          CityId z = SampleLocation(world_.truth.profiles[u], &rng_);
-          if (!city_alias[z].ok()) {
-            city_alias[z] = stats::AliasTable(model.CityDistribution(z));
-          }
-          int v = city_alias[z].Sample(&rng_);
-          MLP_CHECK(graph.AddTweeting(u, v).ok());
-          world_.truth.tweeting.push_back(TweetingTruth{false, z});
-        }
-      }
+      TweetingForUser(u, [&](int v, const TweetingTruth& truth) {
+        MLP_CHECK(graph.AddTweeting(u, v).ok());
+        world_.truth.tweeting.push_back(truth);
+      });
     }
   }
 
@@ -349,6 +428,10 @@ class WorldGenerator {
   std::vector<stats::AliasTable> target_city_alias_;
   std::vector<UserId> celebrities_;
   stats::AliasTable celebrity_alias_;
+
+  std::unique_ptr<TrueVenueModel> venue_model_;
+  stats::AliasTable global_venue_alias_;
+  std::vector<stats::AliasTable> city_venue_alias_;
 };
 
 }  // namespace
@@ -356,6 +439,13 @@ class WorldGenerator {
 Result<SyntheticWorld> GenerateWorld(const WorldConfig& config) {
   WorldGenerator generator(config);
   return generator.Generate();
+}
+
+Result<StreamWorldStats> StreamWorldToDataset(const WorldConfig& config,
+                                              const std::string& directory,
+                                              int chunk_users) {
+  WorldGenerator generator(config);
+  return generator.Stream(directory, chunk_users);
 }
 
 }  // namespace synth

@@ -1,6 +1,9 @@
 #ifndef MLP_SYNTH_WORLD_GENERATOR_H_
 #define MLP_SYNTH_WORLD_GENERATOR_H_
 
+#include <cstdint>
+#include <string>
+
 #include "common/result.h"
 #include "synth/world.h"
 #include "synth/world_config.h"
@@ -26,6 +29,33 @@ namespace synth {
 ///
 /// Deterministic given config.seed.
 Result<SyntheticWorld> GenerateWorld(const WorldConfig& config);
+
+/// What the streaming generator wrote (and how it was shaped), reported so
+/// callers can log/verify without re-reading the CSVs.
+struct StreamWorldStats {
+  int64_t num_users = 0;
+  int64_t num_following = 0;
+  int64_t num_tweeting = 0;
+  /// Users whose rendered profile string parsed to a city.
+  int64_t num_labeled = 0;
+  int64_t chunks = 0;
+};
+
+/// Streamed variant of GenerateWorld for worlds too large to materialize
+/// (the ROADMAP million-user item): runs the same generative story but
+/// emits users/edges straight to the dataset CSVs under `directory` via
+/// io::DatasetStreamWriter, never building a SocialGraph or per-edge truth
+/// vectors. Memory is O(users · avg locations) for the true profiles (the
+/// per-city mass/alias tables need a full first pass) plus O(1) per edge.
+///
+/// Users are generated in chunks of `chunk_users` (flush + progress
+/// logging granularity). Deterministic given config.seed, but the draw
+/// order is interleaved per user, so a streamed world is NOT byte-identical
+/// to the batch GenerateWorld world at the same seed — it is a sample from
+/// the same distribution. Load the result with io::LoadDataset.
+Result<StreamWorldStats> StreamWorldToDataset(const WorldConfig& config,
+                                              const std::string& directory,
+                                              int chunk_users = 65536);
 
 }  // namespace synth
 }  // namespace mlp

@@ -291,6 +291,136 @@ TEST(ReadModelTest, RejectsMismatchedGraph) {
   EXPECT_FALSE(model.ok());
 }
 
+// ------------------------------------------------------ mmap-backed parity
+
+/// Packs the snapshot at `path` with a serve section rendered from the
+/// in-memory ReadModel, maps it back, and asserts the mapped serving
+/// surface (UserJson / EdgeJson / FindEdge / statsz metadata) is
+/// byte-identical to the in-memory one — the out-of-core contract.
+void ExpectMmapParity(const std::string& path,
+                      const synth::SyntheticWorld& world,
+                      const io::ModelSnapshot& snapshot) {
+  Result<ReadModel> mem =
+      ReadModel::Build(snapshot, *world.graph, world.gazetteer.get());
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+  Status packed = mem->AppendServeSection(path);
+  ASSERT_TRUE(packed.ok()) << packed.ToString();
+  // Packing must not disturb the core payload: the classic loader still
+  // accepts the file (it tolerates the trailing section).
+  EXPECT_TRUE(io::LoadModelSnapshot(path).ok());
+
+  Result<ReadModel> mapped =
+      ReadModel::MapServeSection(path, world.gazetteer.get());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mmap_backed());
+  EXPECT_FALSE(mem->mmap_backed());
+
+  // /statsz metadata parity.
+  ASSERT_EQ(mapped->num_users(), mem->num_users());
+  ASSERT_EQ(mapped->num_edges(), mem->num_edges());
+  EXPECT_EQ(mapped->alpha(), mem->alpha());
+  EXPECT_EQ(mapped->beta(), mem->beta());
+  EXPECT_EQ(mapped->fit_complete(), mem->fit_complete());
+  EXPECT_EQ(mapped->active_candidate_slots(), mem->active_candidate_slots());
+  EXPECT_EQ(mapped->candidate_layout_version(),
+            mem->candidate_layout_version());
+  EXPECT_EQ(mapped->mean_profile_entries(), mem->mean_profile_entries());
+
+  // Rendered responses, byte for byte, across every user and edge.
+  for (graph::UserId u = 0; u < mem->num_users(); ++u) {
+    ASSERT_EQ(mapped->UserJson(u), mem->UserJson(u)) << "user " << u;
+  }
+  for (graph::EdgeId s = 0; s < mem->num_edges(); ++s) {
+    ASSERT_EQ(mapped->EdgeJson(s), mem->EdgeJson(s)) << "edge " << s;
+  }
+  EXPECT_EQ(mapped->UserJson(-1), std::string_view());
+  EXPECT_EQ(mapped->UserJson(mem->num_users()), std::string_view());
+  EXPECT_EQ(mapped->EdgeJson(mem->num_edges()), std::string_view());
+
+  // Edge-index agreement, present and absent keys alike — the binary
+  // search over the sorted section table must resolve duplicates the
+  // same way as the in-memory hash map.
+  for (graph::EdgeId s = 0; s < mem->num_edges(); ++s) {
+    const graph::FollowingEdge& edge = world.graph->following(s);
+    EXPECT_EQ(mapped->FindEdge(edge.follower, edge.friend_user),
+              mem->FindEdge(edge.follower, edge.friend_user))
+        << "edge " << s;
+  }
+  const graph::UserId absent = mem->num_users() + 7;
+  EXPECT_EQ(mapped->FindEdge(0, absent), -1);
+  EXPECT_EQ(mapped->FindEdge(0, absent), mem->FindEdge(0, absent));
+
+  // Struct-path lookups are in-memory-only: the section carries rendered
+  // responses, not the column arrays behind UserAnswer/EdgeAnswer.
+  UserAnswer user_answer;
+  EXPECT_FALSE(mapped->GetUser(0, &user_answer));
+  graph::UserId src = graph::kInvalidUser;
+  graph::UserId dst = graph::kInvalidUser;
+  if (mapped->ExampleEdge(&src, &dst)) {
+    EXPECT_EQ(mapped->FindEdge(src, dst), mem->FindEdge(src, dst));
+    EdgeAnswer edge_answer;
+    EXPECT_FALSE(mapped->GetEdge(src, dst, &edge_answer));
+  }
+}
+
+TEST(ReadModelMmapTest, V2PackedSnapshotServesByteIdenticalResponses) {
+  synth::SyntheticWorld world = TestWorld(220, 7);
+  const std::string path = TempPath("mmap_v2.snap");
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), path);
+  ExpectMmapParity(path, world, snapshot);
+}
+
+TEST(ReadModelMmapTest, V1PackedSnapshotServesByteIdenticalResponses) {
+  synth::SyntheticWorld world = TestWorld(220, 9);
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), "");
+  const std::string path = TempPath("mmap_v1.snap");
+  ASSERT_TRUE(io::SaveModelSnapshotV1(path, snapshot).ok());
+  Result<io::ModelSnapshot> loaded = io::LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectMmapParity(path, world, *loaded);
+}
+
+TEST(ReadModelMmapTest, PrunedSnapshotServesByteIdenticalResponses) {
+  synth::SyntheticWorld world = TestWorld(220, 8);
+  core::MlpConfig config = SmallConfig();
+  config.burn_in_iterations = 6;
+  config.prune_floor = 0.2;
+  config.prune_patience = 1;
+  const std::string path = TempPath("mmap_pruned.snap");
+  io::ModelSnapshot snapshot = FitSnapshot(world, config, path);
+  ASSERT_FALSE(snapshot.checkpoint.activation.history.empty())
+      << "pruning never fired — floor/patience need retuning";
+  ExpectMmapParity(path, world, snapshot);
+}
+
+TEST(ReadModelMmapTest, RepackingIsIdempotent) {
+  synth::SyntheticWorld world = TestWorld(150, 12);
+  const std::string path = TempPath("mmap_repack.snap");
+  io::ModelSnapshot snapshot = FitSnapshot(world, SmallConfig(), path);
+  Result<ReadModel> mem =
+      ReadModel::Build(snapshot, *world.graph, world.gazetteer.get());
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(mem->AppendServeSection(path).ok());
+  // A second pack replaces the section in place instead of stacking a
+  // new one after it.
+  ASSERT_TRUE(mem->AppendServeSection(path).ok());
+  Result<ReadModel> mapped =
+      ReadModel::MapServeSection(path, world.gazetteer.get());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->UserJson(0), mem->UserJson(0));
+}
+
+TEST(ReadModelMmapTest, UnpackedSnapshotReportsMissingSection) {
+  synth::SyntheticWorld world = TestWorld(150, 13);
+  const std::string path = TempPath("mmap_unpacked.snap");
+  FitSnapshot(world, SmallConfig(), path);
+  Result<ReadModel> mapped =
+      ReadModel::MapServeSection(path, world.gazetteer.get());
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_NE(mapped.status().ToString().find("pack"), std::string::npos)
+      << mapped.status().ToString();
+}
+
 // ---------------------------------------------------------------- batcher
 
 TEST(RequestBatcherTest, BatchAnswersEqualPointAnswers) {

@@ -3,6 +3,15 @@
 //   mlpctl generate --users 4000 --seed 42 --out DIR
 //       Generate a synthetic Twitter world and save it (with ground truth)
 //       as CSV under DIR.
+//   mlpctl genworld --users N --out DIR [--stream] [--chunk N]
+//                   [--avg_friends F] [--avg_venues F]
+//       The scale-test generator: same world model with the degree knobs
+//       exposed, and --stream writes the dataset CSVs incrementally
+//       (O(chunk) memory) so million-user worlds generate without ever
+//       materializing the full graph.
+//   mlpctl pack --data DIR --load MODEL.snap [--top_k T]
+//       Append the mmap-able serve section (pre-rendered responses +
+//       offset tables) to a fitted snapshot, enabling serve --mmap.
 //   mlpctl stats --data DIR
 //       Print dataset statistics for a saved world.
 //   mlpctl eval --data DIR [--folds 5] [--method MLP] [--warm]
@@ -42,6 +51,9 @@
 //       --save-data when given) is saved as an ordinary v2 snapshot.
 //   mlpctl serve --data DIR --load MODEL.snap [--port N] [--threads K]
 //                [--cache_mb M] [--top_k T] [--selfcheck]
+//                — or, out-of-core over a packed snapshot:
+//   mlpctl serve --load MODEL.snap --mmap [--port N] [--threads K]
+//                [--selfcheck]
 //       Online query server over a fitted snapshot (src/serve/): GET
 //       /v1/user/{id}, GET /v1/edge/{src}/{dst}, POST /v1/batch, /healthz,
 //       /statsz, /metricsz (Prometheus text). SIGINT/SIGTERM shut down
@@ -72,6 +84,7 @@
 #include "core/model.h"
 #include "obs/fit_profile.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "obs/trace.h"
 #include "eval/cross_validation.h"
 #include "eval/methods.h"
@@ -130,11 +143,87 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+// Validated numeric flag access. Every numeric flag goes through one of
+// these; a value that is not fully numeric ("--port x", "--users 10k",
+// "--prune_floor 0.1.2") is a usage error — exit code 3 with the
+// subcommand's usage line — instead of atoi's silent zero. The first bad
+// flag is reported; callers check ok() once after reading all flags.
+class NumericFlags {
+ public:
+  NumericFlags(const std::map<std::string, std::string>& flags,
+               std::string command)
+      : flags_(flags), command_(std::move(command)) {}
+
+  int Int(const std::string& key, int fallback) {
+    return static_cast<int>(Integer(key, fallback));
+  }
+
+  long long Integer(const std::string& key, long long fallback) {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (it->second.empty() || errno != 0 ||
+        end != it->second.c_str() + it->second.size()) {
+      return Fail(key, it->second), fallback;
+    }
+    return v;
+  }
+
+  uint64_t U64(const std::string& key, uint64_t fallback) {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (it->second.empty() || errno != 0 ||
+        end != it->second.c_str() + it->second.size() ||
+        it->second[0] == '-') {
+      return Fail(key, it->second), fallback;
+    }
+    return v;
+  }
+
+  double Double(const std::string& key, double fallback) {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || errno != 0 ||
+        end != it->second.c_str() + it->second.size()) {
+      return Fail(key, it->second), fallback;
+    }
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  void Fail(const std::string& key, const std::string& value) {
+    if (ok_) {
+      std::fprintf(stderr, "mlpctl %s: invalid value '%s' for --%s\n",
+                   command_.c_str(), value.c_str(), key.c_str());
+    }
+    ok_ = false;
+  }
+
+  const std::map<std::string, std::string>& flags_;
+  const std::string command_;
+  bool ok_ = true;
+};
+
 // Per-subcommand usage lines, printed alone on a flag error for that
 // subcommand and concatenated for the global usage message.
 const std::map<std::string, std::string>& UsageTexts() {
   static const std::map<std::string, std::string> kUsage = {
       {"generate", "  mlpctl generate --users N [--seed S] --out DIR\n"},
+      {"genworld",
+       "  mlpctl genworld --users N --out DIR [--seed S] [--stream]\n"
+       "             [--chunk N] [--avg_friends F] [--avg_venues F]\n"},
+      {"pack",
+       "  mlpctl pack --data DIR --load MODEL.snap [--top_k T]\n"},
       {"stats", "  mlpctl stats --data DIR\n"},
       {"eval",
        "  mlpctl eval --data DIR [--folds K] [--method NAME|all]\n"
@@ -145,6 +234,7 @@ const std::map<std::string, std::string>& UsageTexts() {
        "  mlpctl fit --data DIR --save MODEL.snap [--burn N]\n"
        "             [--sampling N] [--threads N] [--seed S]\n"
        "             [--em-rounds R] [--max-sweeps K]\n"
+       "             [--mem_budget_mb M]\n"
        "             [--prune_floor F] [--prune_patience K]\n"
        "             [--no_prune] [--profile] [--trace FILE]\n"},
       {"resume",
@@ -159,7 +249,9 @@ const std::map<std::string, std::string>& UsageTexts() {
       {"serve",
        "  mlpctl serve --data DIR --load MODEL.snap [--port N]\n"
        "             [--threads K] [--cache_mb M] [--top_k T]\n"
-       "             [--selfcheck]\n"},
+       "             [--selfcheck]\n"
+       "  mlpctl serve --load MODEL.snap --mmap [--port N]\n"
+       "             [--threads K] [--cache_mb M] [--selfcheck]\n"},
   };
   return kUsage;
 }
@@ -186,9 +278,11 @@ int UsageFor(const std::string& command) {
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   std::string out = FlagOr(flags, "out", "");
   if (out.empty()) return UsageFor("generate");
+  NumericFlags numeric(flags, "generate");
   synth::WorldConfig config;
-  config.num_users = std::atoi(FlagOr(flags, "users", "4000").c_str());
-  config.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  config.num_users = numeric.Int("users", 4000);
+  config.seed = numeric.U64("seed", 42);
+  if (!numeric.ok()) return UsageFor("generate");
   Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
   if (!world.ok()) {
     std::fprintf(stderr, "generate failed: %s\n",
@@ -206,6 +300,61 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
               world->graph->num_users(), world->graph->num_following(),
               world->graph->num_tweeting(), out.c_str());
   return 0;
+}
+
+// genworld — the scale-test generator. Same world model as `generate`,
+// but with the degree knobs exposed and a --stream mode that emits the
+// dataset CSVs shard-by-shard through synth::StreamWorldToDataset, never
+// materializing the SyntheticWorld: a 1M-user world generates in O(chunk)
+// memory instead of O(world).
+int CmdGenWorld(const std::map<std::string, std::string>& flags) {
+  std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return UsageFor("genworld");
+  NumericFlags numeric(flags, "genworld");
+  synth::WorldConfig config;
+  config.num_users = numeric.Int("users", 4000);
+  config.seed = numeric.U64("seed", 42);
+  config.avg_friends = numeric.Double("avg_friends", config.avg_friends);
+  config.avg_tweeted_venues =
+      numeric.Double("avg_venues", config.avg_tweeted_venues);
+  const bool stream = FlagOr(flags, "stream", "0") != "0";
+  const int chunk = numeric.Int("chunk", 65536);
+  if (!numeric.ok()) return UsageFor("genworld");
+
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  if (!stream) {
+    Result<synth::SyntheticWorld> world = synth::GenerateWorld(config);
+    if (!world.ok()) {
+      std::fprintf(stderr, "genworld failed: %s\n",
+                   world.status().ToString().c_str());
+      return kExitRuntime;
+    }
+    Status saved = io::SaveDataset(out, *world->graph, &world->truth);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return kExitRuntime;
+    }
+    std::printf("wrote %d users, %d following, %d tweeting to %s\n",
+                world->graph->num_users(), world->graph->num_following(),
+                world->graph->num_tweeting(), out.c_str());
+    return kExitOk;
+  }
+  Result<synth::StreamWorldStats> stats =
+      synth::StreamWorldToDataset(config, out, chunk);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "genworld --stream failed: %s\n",
+                 stats.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  std::printf(
+      "streamed %lld users, %lld following, %lld tweeting "
+      "(%lld labeled, %d chunks) to %s\n",
+      static_cast<long long>(stats->num_users),
+      static_cast<long long>(stats->num_following),
+      static_cast<long long>(stats->num_tweeting),
+      static_cast<long long>(stats->num_labeled), stats->chunks, out.c_str());
+  return kExitOk;
 }
 
 struct LoadedWorld {
@@ -272,15 +421,10 @@ core::ModelInput FullInput(
 // untouched (fit: the MlpConfig defaults; resume: the stored policy), and
 // an explicit --no_prune always wins.
 void ApplyPruneFlags(const std::map<std::string, std::string>& flags,
-                     core::MlpConfig* config) {
-  auto floor_flag = flags.find("prune_floor");
-  if (floor_flag != flags.end()) {
-    config->prune_floor = std::atof(floor_flag->second.c_str());
-  }
-  auto patience_flag = flags.find("prune_patience");
-  if (patience_flag != flags.end()) {
-    config->prune_patience = std::atoi(patience_flag->second.c_str());
-  }
+                     NumericFlags* numeric, core::MlpConfig* config) {
+  config->prune_floor = numeric->Double("prune_floor", config->prune_floor);
+  config->prune_patience =
+      numeric->Int("prune_patience", config->prune_patience);
   if (FlagOr(flags, "no_prune", "0") != "0") config->prune_floor = 0.0;
 }
 
@@ -368,6 +512,22 @@ class FitProfileSession {
                       StringPrintf("%.1f%%", row.pct_of_sweep)});
       }
       table.Print();
+      // Memory picture at end of fit: exact accounted footprint (what the
+      // --mem_budget_mb enforcement gates on) next to the process RSS.
+      obs::UpdateProcessRssGauges();
+      obs::Registry& registry = obs::Registry::Global();
+      auto mb = [&registry](const char* name) {
+        return registry.GetGauge(name)->Value() / (1024.0 * 1024.0);
+      };
+      std::printf(
+          "memory: accounted %.1f MB (arena %.1f MB, candidates %.1f MB), "
+          "budget %.0f MB, rss %.1f MB (peak %.1f MB), "
+          "budget tightenings %llu\n",
+          mb(obs::kMemFitAccountedBytes), mb(obs::kMemArenaBytes),
+          mb(obs::kMemCandidateBytes), mb(obs::kMemFitBudgetBytes),
+          mb(obs::kMemProcessRssBytes), mb(obs::kMemProcessPeakRssBytes),
+          static_cast<unsigned long long>(
+              registry.GetCounter(obs::kFitBudgetTightenTotal)->Value()));
     }
     return kExitOk;
   }
@@ -384,6 +544,23 @@ int CmdFit(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   std::string save = FlagOr(flags, "save", "");
   if (dir.empty() || save.empty()) return UsageFor("fit");
+  NumericFlags numeric(flags, "fit");
+  core::MlpConfig config;
+  config.burn_in_iterations = numeric.Int("burn", 10);
+  config.sampling_iterations = numeric.Int("sampling", 14);
+  config.num_threads = std::max(1, numeric.Int("threads", 1));
+  config.sync_every_sweeps = std::max(1, numeric.Int("sync-every", 1));
+  config.gibbs_em_rounds = numeric.Int("em-rounds", 0);
+  config.seed = numeric.U64("seed", 1234);
+  ApplyPruneFlags(flags, &numeric, &config);
+
+  core::FitCheckpoint checkpoint;
+  core::FitOptions opts;
+  opts.max_total_sweeps = numeric.Int("max-sweeps", -1);
+  opts.mem_budget_mb = numeric.Int("mem_budget_mb", 0);
+  opts.checkpoint_out = &checkpoint;
+  if (!numeric.ok()) return UsageFor("fit");
+
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -392,23 +569,6 @@ int CmdFit(const std::map<std::string, std::string>& flags) {
   }
   auto referents = world->vocab.ReferentTable();
   core::ModelInput input = FullInput(*world, referents);
-
-  core::MlpConfig config;
-  config.burn_in_iterations = std::atoi(FlagOr(flags, "burn", "10").c_str());
-  config.sampling_iterations =
-      std::atoi(FlagOr(flags, "sampling", "14").c_str());
-  config.num_threads = std::max(1, std::atoi(FlagOr(flags, "threads", "1").c_str()));
-  config.sync_every_sweeps =
-      std::max(1, std::atoi(FlagOr(flags, "sync-every", "1").c_str()));
-  config.gibbs_em_rounds = std::atoi(FlagOr(flags, "em-rounds", "0").c_str());
-  config.seed =
-      std::strtoull(FlagOr(flags, "seed", "1234").c_str(), nullptr, 10);
-  ApplyPruneFlags(flags, &config);
-
-  core::FitCheckpoint checkpoint;
-  core::FitOptions opts;
-  opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
-  opts.checkpoint_out = &checkpoint;
   FitProfileSession session(flags, config.num_threads);
   Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
   if (!result.ok()) {
@@ -445,14 +605,17 @@ int CmdResume(const std::map<std::string, std::string>& flags) {
   // overrides are the pruning knobs — sweep-time policy that is
   // deliberately outside the fingerprint (so e.g. a v1 or unpruned
   // snapshot can resume WITH pruning, or a pruned one finish without).
+  NumericFlags numeric(flags, "resume");
   core::MlpConfig config = snapshot->checkpoint.config;
-  ApplyPruneFlags(flags, &config);
+  ApplyPruneFlags(flags, &numeric, &config);
   snapshot->checkpoint.config = config;
   core::FitCheckpoint checkpoint;
   core::FitOptions opts;
-  opts.max_total_sweeps = std::atoi(FlagOr(flags, "max-sweeps", "-1").c_str());
+  opts.max_total_sweeps = numeric.Int("max-sweeps", -1);
+  opts.mem_budget_mb = numeric.Int("mem_budget_mb", 0);
   opts.warm_start = &snapshot->checkpoint;
   opts.checkpoint_out = &checkpoint;
+  if (!numeric.ok()) return UsageFor("resume");
   FitProfileSession session(flags, config.num_threads);
   Result<core::MlpResult> result = core::MlpModel(config).Fit(input, opts);
   if (!result.ok()) {
@@ -541,11 +704,13 @@ int EvalSnapshot(const LoadedWorld& world, const std::string& path) {
 int CmdEval(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   if (dir.empty()) return UsageFor("eval");
-  int folds = std::atoi(FlagOr(flags, "folds", "5").c_str());
+  NumericFlags numeric(flags, "eval");
+  int folds = numeric.Int("folds", 5);
   std::string method = FlagOr(flags, "method", "all");
-  int threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
+  int threads = numeric.Int("threads", 1);
   if (threads < 1) threads = 1;
   bool warm = FlagOr(flags, "warm", "0") != "0";
+  if (!numeric.ok()) return UsageFor("eval");
 
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
@@ -565,7 +730,8 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   core::MlpConfig config;
   config.burn_in_iterations = 10;
   config.sampling_iterations = 14;
-  ApplyPruneFlags(flags, &config);
+  ApplyPruneFlags(flags, &numeric, &config);
+  if (!numeric.ok()) return UsageFor("eval");
   // The MLP_PR row appears when pruning is requested AND actually on: an
   // explicit --prune_floor 0 or --no_prune means no pruned variant at all
   // (MakePrunedMlpMethod would otherwise resurrect the default floor).
@@ -637,11 +803,11 @@ int CmdIngest(const std::map<std::string, std::string>& flags) {
 
   auto referents = world->vocab.ReferentTable();
   core::ModelInput base_input = FullInput(*world, referents);
+  NumericFlags numeric(flags, "ingest");
   stream::IngestOptions options;
-  options.resample_burn =
-      std::max(0, std::atoi(FlagOr(flags, "resample-burn", "3").c_str()));
-  options.resample_sampling =
-      std::max(1, std::atoi(FlagOr(flags, "resample-sampling", "5").c_str()));
+  options.resample_burn = std::max(0, numeric.Int("resample-burn", 3));
+  options.resample_sampling = std::max(1, numeric.Int("resample-sampling", 5));
+  if (!numeric.ok()) return UsageFor("ingest");
 
   const auto start = std::chrono::steady_clock::now();
   Result<stream::IngestOutput> ingested = stream::ApplyDeltaBatch(
@@ -801,19 +967,143 @@ int RunSelfcheck(const serve::ModelServer& server,
   return failures == 0 ? kExitOk : kExitRuntime;
 }
 
+// The serve loop shared by both backings: signal-driven shutdown with
+// request draining.
+int ServeLoop(serve::ModelServer& server) {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::printf("Ctrl-C to stop\n");
+  std::fflush(stdout);
+  while (!g_shutdown_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("\nshutting down (draining in-flight requests)...\n");
+  server.Stop();
+  std::printf("served %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.connections_accepted()));
+  return kExitOk;
+}
+
+// --selfcheck for the mmap backing: no snapshot or graph is loaded, so the
+// probes come from the read model itself (ExampleEdge / num_users) and the
+// parity check is against the mapped pre-rendered fragment — which is also
+// exactly what the in-memory path would have rendered.
+int RunSelfcheckMmap(const serve::ModelServer& server) {
+  const int port = server.port();
+  const serve::ReadModel& model = *server.model();
+  int failures = 0;
+  auto check = [&](const char* what, bool ok) {
+    std::printf("selfcheck %-28s %s\n", what, ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
+  };
+
+  Result<serve::HttpResponse> health =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  check("/healthz", health.ok() && health->status == 200 &&
+                        serve::ParseJson(health->body).ok());
+
+  if (model.num_users() > 0) {
+    Result<serve::HttpResponse> user =
+        serve::HttpFetch("127.0.0.1", port, "GET", "/v1/user/0");
+    bool user_ok = user.ok() && user->status == 200;
+    if (user_ok) {
+      Result<serve::JsonValue> parsed = serve::ParseJson(user->body);
+      user_ok = parsed.ok() && parsed->is_object() &&
+                parsed->Find("user") != nullptr &&
+                parsed->Find("user")->AsInt(-1) == 0 &&
+                user->body == model.UserJson(0);
+    }
+    check("/v1/user (mmap parity)", user_ok);
+  }
+
+  graph::UserId src = 0, dst = 0;
+  if (model.ExampleEdge(&src, &dst)) {
+    Result<serve::HttpResponse> edge_response = serve::HttpFetch(
+        "127.0.0.1", port, "GET",
+        "/v1/edge/" + std::to_string(src) + "/" + std::to_string(dst));
+    bool edge_ok = edge_response.ok() && edge_response->status == 200;
+    if (edge_ok) {
+      Result<serve::JsonValue> parsed = serve::ParseJson(edge_response->body);
+      edge_ok = parsed.ok() && parsed->Find("explanation") != nullptr;
+    }
+    check("/v1/edge", edge_ok);
+
+    std::string body = "{\"users\":[0],\"edges\":[[" + std::to_string(src) +
+                       "," + std::to_string(dst) + "]]}";
+    Result<serve::HttpResponse> batch =
+        serve::HttpFetch("127.0.0.1", port, "POST", "/v1/batch", body);
+    bool batch_ok = batch.ok() && batch->status == 200;
+    if (batch_ok) {
+      Result<serve::JsonValue> parsed = serve::ParseJson(batch->body);
+      batch_ok = parsed.ok() && parsed->Find("users") != nullptr &&
+                 parsed->Find("users")->items.size() == 1 &&
+                 parsed->Find("edges") != nullptr &&
+                 parsed->Find("edges")->items.size() == 1;
+    }
+    check("/v1/batch", batch_ok);
+  }
+
+  Result<serve::HttpResponse> stats =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/statsz?format=csv");
+  check("/statsz?format=csv",
+        stats.ok() && stats->status == 200 &&
+            stats->body.rfind("stat,value", 0) == 0 &&
+            stats->body.find("mmap_backed") != std::string::npos);
+
+  Result<serve::HttpResponse> missing =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/v1/user/999999999");
+  check("404 on unknown user", missing.ok() && missing->status == 404);
+
+  std::printf("selfcheck %s\n", failures == 0 ? "passed" : "FAILED");
+  return failures == 0 ? kExitOk : kExitRuntime;
+}
+
 int CmdServe(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "data", "");
   std::string load = FlagOr(flags, "load", "");
-  if (dir.empty() || load.empty()) return UsageFor("serve");
+  const bool mmap = FlagOr(flags, "mmap", "0") != "0";
+  if (load.empty() || (dir.empty() && !mmap)) return UsageFor("serve");
   const bool selfcheck = FlagOr(flags, "selfcheck", "0") != "0";
 
+  NumericFlags numeric(flags, "serve");
   serve::ServeOptions options;
   // Ephemeral port under --selfcheck so smoke runs never collide.
-  options.port = std::atoi(
-      FlagOr(flags, "port", selfcheck ? "0" : "8080").c_str());
-  options.threads = std::max(1, std::atoi(FlagOr(flags, "threads", "4").c_str()));
-  options.cache_mb = std::max(0, std::atoi(FlagOr(flags, "cache_mb", "16").c_str()));
-  options.top_k = std::atoi(FlagOr(flags, "top_k", "10").c_str());
+  options.port = numeric.Int("port", selfcheck ? 0 : 8080);
+  options.threads = std::max(1, numeric.Int("threads", 4));
+  options.cache_mb = std::max(0, numeric.Int("cache_mb", 16));
+  options.top_k = numeric.Int("top_k", 10);
+  if (!numeric.ok()) return UsageFor("serve");
+
+  if (mmap) {
+    // Out-of-core: map the packed serve section; no dataset, no snapshot
+    // parse, no JSON render — resident memory is just the touched pages.
+    // The gazetteer is not needed (responses are pre-rendered).
+    Result<serve::ReadModel> model =
+        serve::ReadModel::MapServeSection(load, nullptr);
+    if (!model.ok()) {
+      std::fprintf(stderr, "mmap serve failed: %s\n",
+                   model.status().ToString().c_str());
+      return kExitRuntime;
+    }
+    serve::ModelServer server(std::move(*model), options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+      return kExitRuntime;
+    }
+    std::printf(
+        "serving %d users / %d edges (mmap-backed) on http://127.0.0.1:%d "
+        "(threads=%d cache=%dMB)\n",
+        server.model()->num_users(), server.model()->num_edges(),
+        server.port(), options.threads, options.cache_mb);
+    if (selfcheck) {
+      int rc = RunSelfcheckMmap(server);
+      server.Stop();
+      return rc;
+    }
+    return ServeLoop(server);
+  }
 
   Result<LoadedWorld> world = LoadWorld(dir);
   if (!world.ok()) {
@@ -856,19 +1146,57 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     server.Stop();
     return rc;
   }
+  return ServeLoop(server);
+}
 
-  std::signal(SIGINT, HandleShutdownSignal);
-  std::signal(SIGTERM, HandleShutdownSignal);
-  std::printf("Ctrl-C to stop\n");
-  std::fflush(stdout);
-  while (!g_shutdown_requested) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+// ------------------------------------------------------------------- pack
+// Builds the in-memory read model for a fitted snapshot (same
+// fingerprint-checked path serve uses) and appends it to the .snap file as
+// the mmap-able serve section `mlpctl serve --mmap` maps. Idempotent:
+// re-packing replaces the existing section.
+int CmdPack(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "data", "");
+  const std::string load = FlagOr(flags, "load", "");
+  if (dir.empty() || load.empty()) return UsageFor("pack");
+  NumericFlags numeric(flags, "pack");
+  serve::ReadModelOptions model_options;
+  model_options.top_k = numeric.Int("top_k", 10);
+  if (!numeric.ok()) return UsageFor("pack");
+
+  Result<LoadedWorld> world = LoadWorld(dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 world.status().ToString().c_str());
+    return kExitRuntime;
   }
-  std::printf("\nshutting down (draining in-flight requests)...\n");
-  server.Stop();
-  std::printf("served %llu requests over %llu connections\n",
-              static_cast<unsigned long long>(server.requests_served()),
-              static_cast<unsigned long long>(server.connections_accepted()));
+  Result<io::ModelSnapshot> snapshot = LoadSnapshotChecked(*world, load);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  Result<serve::ReadModel> model =
+      serve::ReadModel::Build(*snapshot, world->data->graph,
+                              &world->gazetteer, model_options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "read model build failed: %s\n",
+                 model.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  std::error_code ec;
+  const uint64_t before = std::filesystem::file_size(load, ec);
+  Status packed = model->AppendServeSection(load);
+  if (!packed.ok()) {
+    std::fprintf(stderr, "pack failed: %s\n", packed.ToString().c_str());
+    return kExitRuntime;
+  }
+  const uint64_t after = std::filesystem::file_size(load, ec);
+  std::printf(
+      "packed serve section -> %s (%d users, %d edges, +%llu bytes, "
+      "%llu total)\n",
+      load.c_str(), model->num_users(), model->num_edges(),
+      static_cast<unsigned long long>(after - std::min(before, after)),
+      static_cast<unsigned long long>(after));
   return kExitOk;
 }
 
@@ -892,11 +1220,13 @@ int main(int argc, char** argv) {
     mlp::SetLogLevel(level);
   }
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "genworld") return CmdGenWorld(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "fit") return CmdFit(flags);
   if (command == "resume") return CmdResume(flags);
   if (command == "ingest") return CmdIngest(flags);
+  if (command == "pack") return CmdPack(flags);
   if (command == "serve") return CmdServe(flags);
   std::fprintf(stderr, "mlpctl: unknown subcommand '%s'\n", command.c_str());
   return Usage();
