@@ -23,7 +23,11 @@
 #include "eval/cross_validation.h"
 #include "geo/gazetteer.h"
 #include "geo/grid_index.h"
+#include "io/model_snapshot.h"
 #include "obs/trace.h"
+#include "serve/http_server.h"
+#include "serve/model_server.h"
+#include "serve/read_model.h"
 #include "stats/alias_table.h"
 #include "synth/world_generator.h"
 #include "text/venue_extractor.h"
@@ -234,11 +238,120 @@ int RunObsOverheadGuard() {
   return 0;
 }
 
+// ------------------------- request-path overhead guard (≤2%, ISSUE 9)
+
+/// Same contract for the per-request serving path: full HTTP round trips
+/// (the unit the request-trace instrumentation taxes — socket read, parse,
+/// route, cache, render, write) against a live ModelServer, with request
+/// tracing enabled vs. obs::SetEnabled(false). Minima of interleaved
+/// repetitions, ≤2% budget. Uses a keep-alive connection and a cycling
+/// target set so most requests after the first pass are cache hits — the
+/// fastest (worst-case relative overhead) request shape.
+int RunRequestTraceOverheadGuard() {
+  synth::WorldConfig config;
+  config.num_users = 300;
+  config.seed = 41;
+  auto world = std::move(synth::GenerateWorld(config).ValueOrDie());
+  auto referents = world.vocab->ReferentTable();
+  core::ModelInput input;
+  input.gazetteer = world.gazetteer.get();
+  input.graph = world.graph.get();
+  input.distances = world.distances.get();
+  input.venue_referents = &referents;
+  input.observed_home = eval::RegisteredHomes(*world.graph);
+  core::MlpConfig fit_config;
+  fit_config.burn_in_iterations = 2;
+  fit_config.sampling_iterations = 2;
+  fit_config.seed = 43;
+  core::FitCheckpoint checkpoint;
+  core::FitOptions fit_options;
+  fit_options.checkpoint_out = &checkpoint;
+  auto result = core::MlpModel(fit_config).Fit(input, fit_options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "request_trace_guard: fit failed\n");
+    return 1;
+  }
+  io::ModelSnapshot snapshot =
+      io::MakeModelSnapshot(input, checkpoint, *result);
+  auto model = serve::ReadModel::Build(snapshot, *world.graph,
+                                       world.gazetteer.get());
+  if (!model.ok()) {
+    std::fprintf(stderr, "request_trace_guard: read model build failed\n");
+    return 1;
+  }
+  serve::ServeOptions options;
+  options.port = 0;  // ephemeral
+  options.threads = 2;
+  options.cache_mb = 8;
+  serve::ModelServer server(std::move(*model), options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "request_trace_guard: server start failed\n");
+    return 1;
+  }
+  auto client = serve::HttpClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "request_trace_guard: connect failed\n");
+    return 1;
+  }
+  std::vector<std::string> targets;
+  for (int u = 0; u < 64; ++u) {
+    targets.push_back("/v1/user/" + std::to_string(u));
+  }
+
+  constexpr int kRepetitions = 7;
+  constexpr int kRequestsPerRep = 400;
+  bool failed = false;
+  auto run_requests = [&](bool enabled) {
+    obs::SetEnabled(enabled);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRequestsPerRep; ++i) {
+      auto response =
+          client->RoundTrip("GET", targets[i % targets.size()]);
+      if (!response.ok() || response->status != 200) failed = true;
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  run_requests(true);  // shared warmup (cache fill, connection, predictors)
+  double min_enabled = 1e30;
+  double min_disabled = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    min_enabled = std::min(min_enabled, run_requests(true));
+    min_disabled = std::min(min_disabled, run_requests(false));
+  }
+  obs::SetEnabled(true);
+  server.Stop();
+  if (failed) {
+    std::fprintf(stderr, "request_trace_guard: request failed\n");
+    return 1;
+  }
+
+  const double overhead =
+      min_disabled > 0.0 ? (min_enabled / min_disabled - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "request_trace_overhead_guard: traced %.3f ms vs short-circuited "
+      "%.3f ms per %d requests -> %+.2f%% (budget +2%%)\n",
+      min_enabled * 1000.0, min_disabled * 1000.0, kRequestsPerRep, overhead);
+  if (overhead > 2.0) {
+    std::fprintf(stderr,
+                 "request_trace_overhead_guard FAILED: per-request tracing "
+                 "overhead %.2f%% exceeds the 2%% budget "
+                 "(src/obs/README.md)\n",
+                 overhead);
+    return 1;
+  }
+  std::printf("request_trace_overhead_guard OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
-  return RunObsOverheadGuard();
+  int rc = RunObsOverheadGuard();
+  rc |= RunRequestTraceOverheadGuard();
+  return rc;
 }

@@ -1,10 +1,13 @@
 # End-to-end smoke of the serving subsystem through the real mlpctl
 # binary: generate a tiny world, fit and persist a model, then run
 # `mlpctl serve --selfcheck`, which starts the HTTP server on an ephemeral
-# port and round-trips /healthz, /v1/user, /v1/edge, /v1/batch and /statsz
-# through the built-in socket client (no curl), asserting 200s, valid JSON
-# and home parity against the snapshot. Registered as the
-# `mlpctl_serve_smoke` ctest in CMakeLists.txt.
+# port and round-trips /healthz, /v1/user, /v1/edge, /v1/batch, /statsz,
+# /metricsz, /statusz and /debug/slowz through the built-in socket client
+# (no curl), asserting 200s, valid JSON and home parity against the
+# snapshot. Runs with --access_log and a 1µs slow-request threshold so the
+# selfcheck can correlate slow-ring request ids against the structured
+# access log; the log itself is re-checked below and uploaded as a CI
+# artifact. Registered as the `mlpctl_serve_smoke` ctest in CMakeLists.txt.
 #
 # Usage: cmake -DMLPCTL=<path> -DWORK_DIR=<dir> -P serve_smoke.cmake
 
@@ -26,7 +29,26 @@ run_step(${MLPCTL} generate --users 300 --seed 11 --out ${WORK_DIR}/data)
 run_step(${MLPCTL} fit --data ${WORK_DIR}/data --save ${WORK_DIR}/model.snap
          --burn 2 --sampling 2)
 run_step(${MLPCTL} serve --data ${WORK_DIR}/data
-         --load ${WORK_DIR}/model.snap --threads 2 --selfcheck)
+         --load ${WORK_DIR}/model.snap --threads 2 --selfcheck
+         --access_log=${WORK_DIR}/access.log --slow_request_us 1)
+
+# The access log must exist, hold one JSON object per line, and carry the
+# request-trace fields the dashboard and slow-ring report.
+if(NOT EXISTS ${WORK_DIR}/access.log)
+  message(FATAL_ERROR "serve smoke produced no access log")
+endif()
+file(STRINGS ${WORK_DIR}/access.log access_lines)
+list(LENGTH access_lines access_line_count)
+if(access_line_count LESS 5)
+  message(FATAL_ERROR
+          "access log has only ${access_line_count} lines; expected one per "
+          "selfcheck request")
+endif()
+foreach(line IN LISTS access_lines)
+  if(NOT line MATCHES "^\\{.*\"id\":.*\"total_us\":.*\"render_us\":.*\\}$")
+    message(FATAL_ERROR "malformed access log line: ${line}")
+  endif()
+endforeach()
 
 # A fingerprint-mismatched pairing must be rejected, not served.
 run_step(${MLPCTL} generate --users 200 --seed 12 --out ${WORK_DIR}/other)

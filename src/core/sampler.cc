@@ -273,7 +273,7 @@ int GibbsSampler::MhResampleSlot(graph::UserId u, const CandidateView& view,
                                  const double* phi_u, int cur,
                                  geo::CityId anchor,
                                  const ProposalTables& proposals,
-                                 Pcg32* rng) const {
+                                 Pcg32* rng, GibbsScratch* scratch) const {
   const int n = view.count;
   if (n <= 1) return 0;
   auto target = [&](int l) {
@@ -295,6 +295,12 @@ int GibbsSampler::MhResampleSlot(graph::UserId u, const CandidateView& view,
     // to any positive-mass proposal.
     const bool accept =
         den > 0.0 ? rng->NextDouble() * den < num : num > 0.0;
+    // Mixing tallies (plain ints, no RNG impact): acceptance rate per
+    // sweep is a fit-health gauge on /metricsz.
+    if (scratch != nullptr) {
+      ++scratch->mh_proposed;
+      scratch->mh_accepted += accept ? 1 : 0;
+    }
     if (accept) {
       cur = prop;
       t_cur = t_prop;
@@ -309,7 +315,8 @@ int GibbsSampler::MhResampleSlotVenue(graph::UserId u,
                                       graph::VenueId v,
                                       const SuffStatsArena& stats,
                                       const ProposalTables& proposals,
-                                      Pcg32* rng) const {
+                                      Pcg32* rng,
+                                      GibbsScratch* scratch) const {
   const int n = view.count;
   if (n <= 1) return 0;
   auto target = [&](int l) {
@@ -326,6 +333,10 @@ int GibbsSampler::MhResampleSlotVenue(graph::UserId u,
     const double den = t_cur * proposals.Weight(u, prop);
     const bool accept =
         den > 0.0 ? rng->NextDouble() * den < num : num > 0.0;
+    if (scratch != nullptr) {
+      ++scratch->mh_proposed;
+      scratch->mh_accepted += accept ? 1 : 0;
+    }
     if (accept) {
       cur = prop;
       t_cur = t_prop;
@@ -338,7 +349,6 @@ void GibbsSampler::SampleFollowingEdgeFast(graph::EdgeId s,
                                            SuffStatsArena* stats,
                                            GibbsScratch* scratch, Pcg32* rng,
                                            const ProposalTables& proposals) {
-  (void)scratch;  // kept for signature parity; the fast path needs no rows
   const graph::FollowingEdge& edge = input_->graph->following(s);
   const graph::UserId i = edge.follower;
   const graph::UserId j = edge.friend_user;
@@ -374,10 +384,12 @@ void GibbsSampler::SampleFollowingEdgeFast(graph::EdgeId s,
   // --- x | μ, y then y | μ, x via alias-MH rounds ---
   const bool located = mu_[s] == 0;
   x_idx_[s] = MhResampleSlot(i, prior_i, phi_i, x_idx_[s],
-                             located ? cy : geo::kInvalidCity, proposals, rng);
+                             located ? cy : geo::kInvalidCity, proposals, rng,
+                             scratch);
   cx = prior_i.candidates[x_idx_[s]];
   y_idx_[s] = MhResampleSlot(j, prior_j, phi_j, y_idx_[s],
-                             located ? cx : geo::kInvalidCity, proposals, rng);
+                             located ? cx : geo::kInvalidCity, proposals, rng,
+                             scratch);
 
   if (located) {
     phi_i[x_idx_[s]] += 1.0;
@@ -423,7 +435,7 @@ void GibbsSampler::SampleTweetingEdgeFast(graph::EdgeId k,
   // --- z | ν via alias-MH rounds ---
   if (nu_[k] == 0) {
     z_idx_[k] = MhResampleSlotVenue(i, prior_i, phi_i, z_idx_[k], v, *stats,
-                                    proposals, rng);
+                                    proposals, rng, scratch);
     const geo::CityId z = prior_i.candidates[z_idx_[k]];
     phi_i[z_idx_[k]] += 1.0;
     stats->phi_total[i] += 1.0;
@@ -432,7 +444,7 @@ void GibbsSampler::SampleTweetingEdgeFast(graph::EdgeId k,
     scratch->venue_cells.push_back(static_cast<int64_t>(z) * num_venues + v);
   } else {
     z_idx_[k] = MhResampleSlot(i, prior_i, phi_i, z_idx_[k],
-                               geo::kInvalidCity, proposals, rng);
+                               geo::kInvalidCity, proposals, rng, scratch);
   }
 }
 
@@ -468,11 +480,23 @@ void GibbsSampler::RecordSweepTrace() {
   for (size_t u = 0; u < homes.size(); ++u) {
     if (homes[u] != last_homes_[u]) ++changed;
   }
-  home_change_per_sweep_.push_back(
+  const double flip_rate =
       homes.empty() ? 0.0
                     : static_cast<double>(changed) /
-                          static_cast<double>(homes.size()));
+                          static_cast<double>(homes.size());
+  home_change_per_sweep_.push_back(flip_rate);
   last_homes_ = std::move(homes);
+  // Fit-health gauges (ISSUE 9): last-sweep home flip rate (ppm, so the
+  // integer gauge keeps 6 digits of precision) and live candidate-space
+  // occupancy — visible on /metricsz while a fit or ingest-refit runs.
+  if (obs::Enabled()) {
+    static obs::Gauge* const flip_ppm =
+        obs::Registry::Global().GetGauge(obs::kFitHomeFlipPpm);
+    static obs::Gauge* const active_slots =
+        obs::Registry::Global().GetGauge(obs::kFitActiveCandidateSlots);
+    flip_ppm->Set(static_cast<int64_t>(flip_rate * 1e6));
+    active_slots->Set(space_->active_size());
+  }
 }
 
 int64_t GibbsSampler::AccountedBytes() const {

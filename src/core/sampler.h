@@ -61,6 +61,13 @@ struct GibbsScratch {
   /// exactly this dirty set (plus the owned users' ϕ rows) instead of the
   /// whole location×venue rectangle.
   std::vector<int64_t> venue_cells;
+  /// Alias-MH mixing tallies for this worker since the engine last folded
+  /// them (ISSUE 9): proposals that differed from the current assignment,
+  /// and how many of those were accepted. Plain ints — the owner is
+  /// single-threaded; the engine folds them into fit_mh_*_total at the
+  /// merge barrier.
+  int64_t mh_proposed = 0;
+  int64_t mh_accepted = 0;
 };
 
 /// The sampler's complete restorable state: chain assignments, arena
@@ -301,15 +308,19 @@ class GibbsSampler {
   /// t(l) = max(0, ϕ_u[l]+γ[l]) · d^α(c_l, anchor) — pass
   /// geo::kInvalidCity to drop the distance factor (latent / noise-branch
   /// draws). Proposals and their stale weights come from `proposals`.
+  /// `scratch` (may be null) tallies proposed/accepted moves for the
+  /// mixing gauges; the RNG stream is untouched by the tallies.
   int MhResampleSlot(graph::UserId u, const CandidateView& view,
                      const double* phi_u, int cur, geo::CityId anchor,
-                     const ProposalTables& proposals, Pcg32* rng) const;
+                     const ProposalTables& proposals, Pcg32* rng,
+                     GibbsScratch* scratch) const;
 
   /// Same, with the tweeting target t(l) = max(0, ϕ_u[l]+γ[l]) · ψ_l(v).
   int MhResampleSlotVenue(graph::UserId u, const CandidateView& view,
                           const double* phi_u, int cur, graph::VenueId v,
                           const SuffStatsArena& stats,
-                          const ProposalTables& proposals, Pcg32* rng) const;
+                          const ProposalTables& proposals, Pcg32* rng,
+                          GibbsScratch* scratch) const;
 
   const ModelInput* input_;
   const MlpConfig* config_;

@@ -24,6 +24,9 @@ struct FitCounters {
   obs::Counter* delta_merge_ns;
   obs::Counter* prune_ns;
   obs::Counter* rebalance_ns;
+  obs::Counter* mh_proposed;
+  obs::Counter* mh_accepted;
+  obs::Gauge* mh_accept_ppm;
 };
 
 const FitCounters& Counters() {
@@ -40,6 +43,9 @@ const FitCounters& Counters() {
     c.delta_merge_ns = registry.GetCounter(obs::kFitDeltaMergeNs);
     c.prune_ns = registry.GetCounter(obs::kFitPruneNs);
     c.rebalance_ns = registry.GetCounter(obs::kFitRebalanceNs);
+    c.mh_proposed = registry.GetCounter(obs::kFitMhProposedTotal);
+    c.mh_accepted = registry.GetCounter(obs::kFitMhAcceptedTotal);
+    c.mh_accept_ppm = registry.GetGauge(obs::kFitMhAcceptPpm);
     return c;
   }();
   return counters;
@@ -351,6 +357,22 @@ void ParallelGibbsEngine::RunSweep(Pcg32* rng) {
     const int64_t barrier_ns = num_threads_ * section_ns - busy_sum_ns;
     if (barrier_ns > 0) {
       Counters().barrier_wait_ns->Add(static_cast<uint64_t>(barrier_ns));
+    }
+    // Fold this sweep's alias-MH mixing tallies from the worker scratches
+    // (workers are quiesced at this point, so plain reads are safe) and
+    // publish the acceptance rate as a gauge.
+    int64_t proposed = 0;
+    int64_t accepted = 0;
+    for (core::GibbsScratch& scratch : scratches_) {
+      proposed += scratch.mh_proposed;
+      accepted += scratch.mh_accepted;
+      scratch.mh_proposed = 0;
+      scratch.mh_accepted = 0;
+    }
+    if (proposed > 0) {
+      Counters().mh_proposed->Add(static_cast<uint64_t>(proposed));
+      Counters().mh_accepted->Add(static_cast<uint64_t>(accepted));
+      Counters().mh_accept_ppm->Set(accepted * 1000000 / proposed);
     }
   }
   // Fold this sweep's measurements into the cost model and re-derive the

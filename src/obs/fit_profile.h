@@ -28,11 +28,29 @@ inline constexpr char kFitRebalanceNs[] = "fit_rebalance_ns";
 inline constexpr char kFitSeqFollowingNs[] = "fit_seq_following_ns";
 inline constexpr char kFitSeqTweetingNs[] = "fit_seq_tweeting_ns";
 
+// Per-sweep fit health gauges/counters (ISSUE 9): sampler mixing and
+// candidate-space occupancy, refreshed each sweep and scraped from
+// /metricsz. Rates are parts-per-million so they stay integers.
+inline constexpr char kFitHomeFlipPpm[] = "fit_home_flip_ppm";
+inline constexpr char kFitMhProposedTotal[] = "fit_mh_proposed_total";
+inline constexpr char kFitMhAcceptedTotal[] = "fit_mh_accepted_total";
+inline constexpr char kFitMhAcceptPpm[] = "fit_mh_accept_ppm";
+inline constexpr char kFitActiveCandidateSlots[] =
+    "fit_active_candidate_slots";
+
 // Streaming ingest phases (core::MlpModel::ApplyDelta /
 // stream::ApplyDeltaBatch).
 inline constexpr char kIngestMergeNs[] = "ingest_merge_ns";
 inline constexpr char kIngestMigrateNs[] = "ingest_migrate_ns";
 inline constexpr char kIngestResampleNs[] = "ingest_resample_ns";
+
+// Streaming ingest volume counters (stream::ApplyDeltaBatch).
+inline constexpr char kIngestBatchesTotal[] = "ingest_batches_total";
+inline constexpr char kIngestUsersAddedTotal[] = "ingest_users_added_total";
+inline constexpr char kIngestFollowingAddedTotal[] =
+    "ingest_following_added_total";
+inline constexpr char kIngestTweetingAddedTotal[] =
+    "ingest_tweeting_added_total";
 
 /// One row of the per-phase fit report.
 struct PhaseRow {

@@ -79,6 +79,29 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
   return snapshot;
 }
 
+double HistogramQuantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(snapshot.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.bounds.size(); ++i) {
+    const uint64_t in_bucket = snapshot.bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (in_bucket == 0) return static_cast<double>(snapshot.bounds[i]);
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(snapshot.bounds[i - 1]);
+      const double upper = static_cast<double>(snapshot.bounds[i]);
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative += in_bucket;
+  }
+  // Landed in the +Inf bucket: clamp to the last finite bound.
+  return static_cast<double>(snapshot.bounds.back());
+}
+
 // ----------------------------------------------------------------- Registry
 
 Registry& Registry::Global() {

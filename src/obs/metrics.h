@@ -95,6 +95,14 @@ class Histogram {
   HistCell cells_[kCells];
 };
 
+/// Estimates the q-quantile (q in [0, 1]) of a histogram snapshot by
+/// linear interpolation inside the bucket the quantile lands in (the
+/// standard Prometheus histogram_quantile estimate). Returns 0 for an
+/// empty snapshot; a quantile landing in the +Inf bucket is clamped to the
+/// last finite bound — the estimate is for dashboards (/statusz), not for
+/// exact statistics.
+double HistogramQuantile(const Histogram::Snapshot& snapshot, double q);
+
 /// Process-wide metric registry. GetCounter/GetGauge/GetHistogram return a
 /// stable pointer for the lifetime of the process — resolve handles once
 /// (construction time) and hit the handle from the hot path; the lookup

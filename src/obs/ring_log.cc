@@ -1,0 +1,61 @@
+#include "obs/ring_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mlp {
+namespace obs {
+
+RequestTraceRecord MakeRecord(const RequestTrace& trace,
+                              const std::string& method,
+                              const std::string& target) {
+  RequestTraceRecord record;
+  record.id = trace.id();
+  record.start_ns = trace.start_ns();
+  record.total_ns = trace.total_ns();
+  for (int s = 0; s < kNumRequestStages; ++s) {
+    record.stage_ns[s] = trace.stage_ns(static_cast<RequestStage>(s));
+  }
+  record.endpoint = trace.endpoint();
+  record.outcome = trace.outcome();
+  record.status = trace.status();
+  record.generation = trace.generation();
+  record.method = method;
+  record.target = target;
+  return record;
+}
+
+RingLog::RingLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void RingLog::Push(RequestTraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pushed_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<RequestTraceRecord> RingLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTraceRecord> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest record; before that the ring is
+  // already in insertion order.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t RingLog::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+}  // namespace obs
+}  // namespace mlp

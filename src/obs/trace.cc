@@ -51,12 +51,28 @@ void TraceRecorder::Record(const char* name, int64_t start_ns,
   event.dur_us = (end_ns - start_ns) / 1000;
   if (event.dur_us < 0) event.dur_us = 0;
   std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxTraceEvents) {
+    ++dropped_;
+    if (!overflow_warned_) {
+      overflow_warned_ = true;
+      // Routed through common/logging.h — --log_level / MLP_LOG_LEVEL
+      // decide whether an operator sees this, like every other warning.
+      MLP_LOG(kWarning) << "trace recorder full (" << kMaxTraceEvents
+                        << " events); dropping further spans";
+    }
+    return;
+  }
   events_.push_back(event);
 }
 
 size_t TraceRecorder::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
+}
+
+size_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 Status TraceRecorder::WriteChromeTrace(const std::string& path) const {

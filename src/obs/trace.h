@@ -32,6 +32,13 @@ struct TraceEvent {
   int64_t dur_us = 0;
 };
 
+/// Hard cap on retained trace events (~128 MB of TraceEvent at 4M). A
+/// recorder left installed across a very long run must not grow without
+/// bound; past the cap further spans are dropped and a single warning is
+/// emitted through common/logging.h (so --log_level / MLP_LOG_LEVEL
+/// governs it like every other diagnostic).
+inline constexpr size_t kMaxTraceEvents = 4u << 20;
+
 /// Collects spans for one run and writes them as Chrome trace_event JSON
 /// (open in chrome://tracing or Perfetto). Span recording takes a mutex —
 /// fine at span granularity (per sweep / per shard task / per request),
@@ -47,6 +54,8 @@ class TraceRecorder {
   void Record(const char* name, int64_t start_ns, int64_t end_ns);
 
   size_t event_count() const;
+  /// Events dropped because the recorder hit kMaxTraceEvents.
+  size_t dropped_count() const;
 
   /// Writes {"traceEvents":[...]} to `path`. All events carry pid 1; tids
   /// are the process's thread ordinals, so shard workers line up as
@@ -56,6 +65,8 @@ class TraceRecorder {
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  size_t dropped_ = 0;
+  bool overflow_warned_ = false;
 };
 
 /// Installs (or, with nullptr, uninstalls) the process-wide recorder.

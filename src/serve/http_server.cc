@@ -128,9 +128,11 @@ HttpServer::HttpServer(engine::ThreadPool* pool) : pool_(pool) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
-Status HttpServer::Start(int port, HttpHandler handler) {
+Status HttpServer::Start(int port, HttpHandler handler,
+                         HttpCompletionHook on_complete) {
   if (running_.load()) return Status::FailedPrecondition("already started");
   handler_ = std::move(handler);
+  on_complete_ = std::move(on_complete);
 
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -204,12 +206,17 @@ void HttpServer::AcceptLoop() {
 }
 
 bool HttpServer::ReadRequest(int fd, std::string* buffer,
-                             HttpRequest* request) {
+                             HttpRequest* request, int64_t* first_byte_ns) {
+  // Pipelined leftovers in the carry-over buffer count as "first byte now";
+  // otherwise the stamp is taken right after the first successful read, so
+  // keep-alive idle time never leaks into the parse stage.
+  *first_byte_ns = buffer->empty() ? 0 : obs::NowNs();
   // Accumulate until the blank line ending the header block.
   size_t header_end;
   while ((header_end = buffer->find("\r\n\r\n")) == std::string::npos) {
     if (buffer->size() > kMaxHeaderBytes) return false;
     if (!ReadMore(fd, buffer)) return false;
+    if (*first_byte_ns == 0) *first_byte_ns = obs::NowNs();
   }
 
   size_t line_end = buffer->find("\r\n");
@@ -248,8 +255,15 @@ void HttpServer::ServeConnection(int fd) {
   std::string buffer;
   while (!stopping_.load()) {
     HttpRequest request;
-    if (!ReadRequest(fd, &buffer, &request)) break;
-    HttpResponse response = handler_(request);
+    int64_t first_byte_ns = 0;
+    if (!ReadRequest(fd, &buffer, &request, &first_byte_ns)) break;
+    obs::RequestTrace trace;
+    trace.RebaseStart(first_byte_ns);
+    if (first_byte_ns > 0) {
+      const int64_t parsed_ns = obs::NowNs();
+      trace.AddStageNs(obs::RequestStage::kParse, parsed_ns - first_byte_ns);
+    }
+    HttpResponse response = handler_(request, &trace);
     requests_served_.fetch_add(1);
     const bool keep_alive = request.keep_alive && !stopping_.load();
     std::string out = StringPrintf(
@@ -262,7 +276,16 @@ void HttpServer::ServeConnection(int fd) {
         response.content_type.c_str(), response.body.size(),
         keep_alive ? "keep-alive" : "close");
     out += response.body;
-    if (!WriteAll(fd, out)) break;
+    const int64_t write_start_ns = obs::NowNs();
+    const bool write_ok = WriteAll(fd, out);
+    if (write_start_ns > 0) {
+      trace.AddStageNs(obs::RequestStage::kWrite,
+                       obs::NowNs() - write_start_ns);
+    }
+    trace.set_status(response.status);
+    trace.Finish();
+    if (on_complete_) on_complete_(request, response, trace);
+    if (!write_ok) break;
     if (!keep_alive) break;
   }
   {

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "engine/thread_pool.h"
+#include "obs/request_trace.h"
 
 namespace mlp {
 namespace serve {
@@ -33,7 +34,19 @@ struct HttpResponse {
   std::string body;
 };
 
-using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+/// Request handler. The server creates one obs::RequestTrace per request
+/// (request id + parse time already recorded) and hands it to the handler,
+/// which attributes its own stages (cache lookup, batch queue wait,
+/// render) and labels endpoint/outcome. Never null.
+using HttpHandler =
+    std::function<HttpResponse(const HttpRequest&, obs::RequestTrace*)>;
+
+/// Invoked after the response bytes have been written (write stage and
+/// total time are final at this point). This is where the model server
+/// hangs its access log, latency histograms and slow-request ring — the
+/// hook runs on the connection's pool thread, so it must be cheap.
+using HttpCompletionHook = std::function<void(
+    const HttpRequest&, const HttpResponse&, obs::RequestTrace&)>;
 
 /// Minimal HTTP/1.1 server over plain POSIX sockets — no external
 /// dependencies. One dedicated accept thread; each accepted connection is
@@ -56,7 +69,10 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
-  Status Start(int port, HttpHandler handler);
+  /// `on_complete` (optional) fires once per request after the response
+  /// has been written, with the finished trace.
+  Status Start(int port, HttpHandler handler,
+               HttpCompletionHook on_complete = nullptr);
   /// The bound port; 0 before Start.
   int port() const { return port_; }
   bool running() const { return running_.load(); }
@@ -73,11 +89,16 @@ class HttpServer {
   void ServeConnection(int fd);
   /// Reads one request off `fd` into `*request`, using `*buffer` as the
   /// connection's carry-over buffer. Returns false on EOF/timeout/parse
-  /// error (connection should close).
-  bool ReadRequest(int fd, std::string* buffer, HttpRequest* request);
+  /// error (connection should close). `*first_byte_ns` is set to the
+  /// obs::NowNs() timestamp at which this request's first byte was
+  /// available (0 when observability is disabled) — the keep-alive idle
+  /// wait before it is deliberately excluded from request timing.
+  bool ReadRequest(int fd, std::string* buffer, HttpRequest* request,
+                   int64_t* first_byte_ns);
 
   engine::ThreadPool* pool_;
   HttpHandler handler_;
+  HttpCompletionHook on_complete_;
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;

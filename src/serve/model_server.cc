@@ -5,6 +5,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "io/table_printer.h"
 #include "obs/metrics.h"
@@ -49,6 +50,21 @@ graph::UserId NarrowUserId(int64_t id) {
   return static_cast<graph::UserId>(id);
 }
 
+/// steady_clock nanoseconds — independent of the obs::Enabled() switch
+/// (model staleness must stay observable with tracing off).
+int64_t SteadyNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Latency bounds shared by the per-endpoint histograms (same scale as
+/// serve_request_latency_us).
+std::vector<int64_t> LatencyBoundsUs() {
+  return {100,   250,   500,    1000,   2500,  5000,
+          10000, 25000, 50000, 100000, 250000, 1000000};
+}
+
 }  // namespace
 
 ModelServer::ModelServer(ReadModel model, const ServeOptions& options)
@@ -58,12 +74,37 @@ ModelServer::ModelServer(ReadModel model, const ServeOptions& options)
       batch_pool_(std::max(1, options.threads)),
       batcher_(nullptr, &batch_pool_),
       http_(&conn_pool_),
+      slow_ring_(static_cast<size_t>(std::max(1, options.slow_ring_capacity))),
       requests_total_(
           obs::Registry::Global().GetCounter("serve_requests_total")),
       request_latency_us_(obs::Registry::Global().GetHistogram(
-          "serve_request_latency_us",
-          {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
-           250000, 1000000})) {
+          "serve_request_latency_us", LatencyBoundsUs())),
+      user_hit_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_user_hit_latency_us", LatencyBoundsUs())),
+      user_miss_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_user_miss_latency_us", LatencyBoundsUs())),
+      edge_hit_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_edge_hit_latency_us", LatencyBoundsUs())),
+      edge_miss_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_edge_miss_latency_us", LatencyBoundsUs())),
+      batch_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_batch_latency_us", LatencyBoundsUs())),
+      other_latency_us_(obs::Registry::Global().GetHistogram(
+          "serve_other_latency_us", LatencyBoundsUs())),
+      user_errors_total_(
+          obs::Registry::Global().GetCounter("serve_user_errors_total")),
+      edge_errors_total_(
+          obs::Registry::Global().GetCounter("serve_edge_errors_total")),
+      batch_errors_total_(
+          obs::Registry::Global().GetCounter("serve_batch_errors_total")),
+      other_errors_total_(
+          obs::Registry::Global().GetCounter("serve_other_errors_total")),
+      slow_requests_total_(
+          obs::Registry::Global().GetCounter("serve_slow_requests_total")) {
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    stage_ns_total_[s] = obs::Registry::Global().GetCounter(
+        obs::RequestStageCounterName(static_cast<obs::RequestStage>(s)));
+  }
   auto published = std::make_shared<Published>();
   published->model = std::make_shared<const ReadModel>(std::move(model));
   published->generation = 1;
@@ -75,10 +116,23 @@ ModelServer::~ModelServer() { Stop(); }
 
 Status ModelServer::Start() {
   start_time_ = std::chrono::steady_clock::now();
-  return http_.Start(options_.port,
-                     [this](const HttpRequest& request) {
-                       return Handle(request);
-                     });
+  last_swap_ns_.store(SteadyNs());
+  if (options_.access_log && !options_.access_log_path.empty()) {
+    access_log_file_ = std::fopen(options_.access_log_path.c_str(), "a");
+    if (access_log_file_ == nullptr) {
+      return Status::IOError("cannot open access log " +
+                             options_.access_log_path);
+    }
+  }
+  return http_.Start(
+      options_.port,
+      [this](const HttpRequest& request, obs::RequestTrace* trace) {
+        return HandleTraced(request, trace);
+      },
+      [this](const HttpRequest& request, const HttpResponse& response,
+             obs::RequestTrace& trace) {
+        FinishRequest(request, response, trace);
+      });
 }
 
 void ModelServer::Stop() {
@@ -86,6 +140,10 @@ void ModelServer::Stop() {
   http_.Stop();
   batch_pool_.Drain();
   conn_pool_.Drain();
+  if (access_log_file_ != nullptr) {
+    std::fclose(access_log_file_);
+    access_log_file_ = nullptr;
+  }
 }
 
 std::shared_ptr<const ModelServer::Published> ModelServer::Pin() const {
@@ -111,6 +169,13 @@ void ModelServer::SwapReadModel(ReadModel model) {
   // new model without waiting for LRU pressure.
   cache_.Clear();
   swaps_.fetch_add(1);
+  last_swap_ns_.store(SteadyNs());
+}
+
+double ModelServer::SecondsSinceLastSwap() const {
+  const int64_t last = last_swap_ns_.load();
+  if (last == 0) return 0.0;
+  return static_cast<double>(SteadyNs() - last) / 1e9;
 }
 
 std::shared_ptr<const ReadModel> ModelServer::model() const {
@@ -124,7 +189,7 @@ uint64_t ModelServer::model_generation() const { return Pin()->generation; }
 HttpResponse ModelServer::CachedGet(
     const Published& published, const std::string& target,
     HttpResponse (ModelServer::*render)(const ReadModel&, const std::string&),
-    const std::string& arg) {
+    const std::string& arg, obs::RequestTrace* trace) {
   // Generation-namespaced key: a body rendered from model generation G can
   // only ever serve generation G, no matter how requests and swaps race.
   const std::string key =
@@ -132,10 +197,19 @@ HttpResponse ModelServer::CachedGet(
                    static_cast<unsigned long long>(published.generation),
                    target.c_str());
   HttpResponse response;
-  if (cache_.Get(key, &response.body)) {
-    return response;  // cached bodies are always 200/application/json
+  {
+    obs::RequestTrace::StageTimer timer(trace,
+                                        obs::RequestStage::kCacheLookup);
+    if (cache_.Get(key, &response.body)) {
+      trace->set_outcome("hit");
+      return response;  // cached bodies are always 200/application/json
+    }
   }
-  response = (this->*render)(*published.model, arg);
+  trace->set_outcome("miss");
+  {
+    obs::RequestTrace::StageTimer timer(trace, obs::RequestStage::kRender);
+    response = (this->*render)(*published.model, arg);
+  }
   if (response.status == 200) cache_.Put(key, response.body);
   return response;
 }
@@ -188,7 +262,8 @@ HttpResponse ModelServer::HandleEdge(const ReadModel& model,
 }
 
 HttpResponse ModelServer::HandleBatch(const ReadModel& model,
-                                      const HttpRequest& request) {
+                                      const HttpRequest& request,
+                                      obs::RequestTrace* trace) {
   Result<JsonValue> parsed = ParseJson(request.body);
   if (!parsed.ok()) {
     errors_.fetch_add(1);
@@ -227,7 +302,17 @@ HttpResponse ModelServer::HandleBatch(const ReadModel& model,
   batch_queries_.fetch_add(batch.users.size() + batch.edges.size());
 
   HttpResponse response;
-  response.body = batcher_.ExecuteJson(model, batch);
+  trace->set_outcome("batch");
+  const int64_t exec_start_ns = obs::NowNs();
+  response.body = batcher_.ExecuteJson(model, batch, trace);
+  if (exec_start_ns > 0) {
+    // The batcher attributed chunk queue wait separately; render is the
+    // execute time minus that wait, so the two stages stay disjoint.
+    const int64_t elapsed = obs::NowNs() - exec_start_ns;
+    trace->AddStageNs(
+        obs::RequestStage::kRender,
+        elapsed - trace->stage_ns(obs::RequestStage::kBatchQueueWait));
+  }
   return response;
 }
 
@@ -310,10 +395,13 @@ HttpResponse ModelServer::HandleStats(const Published& published,
 
 HttpResponse ModelServer::HandleMetrics(const Published& published) {
   // Everything the process-wide registry holds (fit/ingest phase counters,
-  // the request-latency histogram), plus server-local stats rendered in
+  // the request-latency histograms), plus server-local stats rendered in
   // the same exposition format. Queue depths and cache occupancy are
   // gauges; the cache tallies are cumulative counters.
   const ResponseCache::Stats cache = cache_.GetStats();
+  // Every scrape sees the memory picture as of this scrape, not as of the
+  // last /statsz visit: refresh VmRSS/VmHWM before rendering.
+  obs::UpdateProcessRssGauges();
   std::string body = obs::Registry::Global().RenderPrometheus();
   auto counter = [&](const char* name, uint64_t value) {
     body += StringPrintf("# TYPE %s counter\n%s %llu\n", name, name,
@@ -335,23 +423,239 @@ HttpResponse ModelServer::HandleMetrics(const Published& published) {
   gauge("serve_conn_queue_depth", conn_pool_.queue_depth());
   gauge("serve_batch_queue_depth", batch_pool_.queue_depth());
   gauge("serve_model_generation", static_cast<int64_t>(published.generation));
+  gauge("serve_seconds_since_last_swap",
+        static_cast<int64_t>(SecondsSinceLastSwap()));
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";
   response.body = std::move(body);
   return response;
 }
 
-HttpResponse ModelServer::Handle(const HttpRequest& request) {
-  requests_total_->Add(1);
-  const int64_t start_ns = obs::NowNs();
-  HttpResponse response = Route(request);
-  if (obs::Enabled()) {
-    request_latency_us_->Record((obs::NowNs() - start_ns) / 1000);
-  }
+HttpResponse ModelServer::HandleStatusz(const Published& published) {
+  const ReadModel& model = *published.model;
+  const ResponseCache::Stats cache = cache_.GetStats();
+  obs::UpdateProcessRssGauges();
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const uint64_t requests = http_.requests_served();
+  const double qps = uptime > 0.0 ? static_cast<double>(requests) / uptime
+                                  : 0.0;
+  const uint64_t lookups = cache.hits + cache.misses;
+  const double hit_ratio =
+      lookups > 0 ? static_cast<double>(cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+
+  std::string body;
+  body +=
+      "<!DOCTYPE html><html><head><title>mlp /statusz</title>"
+      "<style>body{font-family:monospace;margin:2em}"
+      "table{border-collapse:collapse;margin-bottom:1.5em}"
+      "td,th{border:1px solid #999;padding:4px 10px;text-align:right}"
+      "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+      "</style></head><body><h1>mlp model server</h1>\n";
+
+  body += "<h2>server</h2><table>\n";
+  auto row = [&](const char* key, const std::string& value) {
+    body += StringPrintf("<tr><td>%s</td><td>%s</td></tr>\n", key,
+                         value.c_str());
+  };
+  row("uptime_seconds", StringPrintf("%.1f", uptime));
+  row("qps", StringPrintf("%.2f", qps));
+  row("requests_served", std::to_string(requests));
+  row("errors", std::to_string(errors_.load()));
+  row("model_generation", std::to_string(published.generation));
+  row("model_swaps", std::to_string(swaps_.load()));
+  row("seconds_since_last_swap",
+      StringPrintf("%.1f", SecondsSinceLastSwap()));
+  row("model_users", std::to_string(model.num_users()));
+  row("cache_hit_ratio", StringPrintf("%.3f", hit_ratio));
+  row("cache_entries", std::to_string(cache.entries));
+  row("cache_bytes", std::to_string(cache.bytes));
+  row("vm_rss_bytes", std::to_string(obs::ProcessRssBytes()));
+  row("vm_hwm_bytes", std::to_string(obs::ProcessPeakRssBytes()));
+  row("slow_requests_captured", std::to_string(slow_ring_.total_pushed()));
+  body += "</table>\n";
+
+  body +=
+      "<h2>latency by endpoint (µs)</h2><table>\n"
+      "<tr><th>endpoint</th><th>count</th><th>p50</th><th>p99</th></tr>\n";
+  auto latency_row = [&](const char* label, const obs::Histogram* histogram) {
+    const obs::Histogram::Snapshot snap = histogram->GetSnapshot();
+    body += StringPrintf(
+        "<tr><td>%s</td><td>%llu</td><td>%.0f</td><td>%.0f</td></tr>\n",
+        label, static_cast<unsigned long long>(snap.count),
+        obs::HistogramQuantile(snap, 0.5), obs::HistogramQuantile(snap, 0.99));
+  };
+  latency_row("all", request_latency_us_);
+  latency_row("user (hit)", user_hit_latency_us_);
+  latency_row("user (miss)", user_miss_latency_us_);
+  latency_row("edge (hit)", edge_hit_latency_us_);
+  latency_row("edge (miss)", edge_miss_latency_us_);
+  latency_row("batch", batch_latency_us_);
+  latency_row("other", other_latency_us_);
+  body += "</table>\n";
+
+  body +=
+      "<p>more: <a href=\"/statsz\">/statsz</a> "
+      "<a href=\"/metricsz\">/metricsz</a> "
+      "<a href=\"/debug/slowz\">/debug/slowz</a></p></body></html>\n";
+
+  HttpResponse response;
+  response.content_type = "text/html; charset=utf-8";
+  response.body = std::move(body);
   return response;
 }
 
-HttpResponse ModelServer::Route(const HttpRequest& request) {
+HttpResponse ModelServer::HandleSlowz() {
+  const std::vector<obs::RequestTraceRecord> records = slow_ring_.Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("threshold_us");
+  w.Int(options_.slow_request_us);
+  w.Key("capacity");
+  w.Int(static_cast<int64_t>(slow_ring_.capacity()));
+  w.Key("total_captured");
+  w.Int(static_cast<int64_t>(slow_ring_.total_pushed()));
+  w.Key("count");
+  w.Int(static_cast<int64_t>(records.size()));
+  w.Key("requests");
+  w.BeginArray();
+  for (const obs::RequestTraceRecord& r : records) {
+    w.BeginObject();
+    w.Key("id");
+    w.Int(static_cast<int64_t>(r.id));
+    w.Key("method");
+    w.String(r.method);
+    w.Key("target");
+    w.String(r.target);
+    w.Key("status");
+    w.Int(r.status);
+    w.Key("endpoint");
+    w.String(r.endpoint);
+    w.Key("outcome");
+    w.String(r.outcome);
+    w.Key("generation");
+    w.Int(static_cast<int64_t>(r.generation));
+    w.Key("total_us");
+    w.Int(r.total_ns / 1000);
+    w.Key("stages");
+    w.BeginObject();
+    for (int s = 0; s < obs::kNumRequestStages; ++s) {
+      const auto stage = static_cast<obs::RequestStage>(s);
+      w.Key(std::string(obs::RequestStageName(stage)) + "_us");
+      w.Int(r.stage_ns[s] / 1000);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+void ModelServer::WriteAccessLog(const HttpRequest& request,
+                                 const obs::RequestTrace& trace) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts_us");
+  w.Int(trace.start_ns() / 1000);
+  w.Key("id");
+  w.Int(static_cast<int64_t>(trace.id()));
+  w.Key("method");
+  w.String(request.method);
+  w.Key("target");
+  w.String(request.target);
+  w.Key("status");
+  w.Int(trace.status());
+  w.Key("endpoint");
+  w.String(trace.endpoint());
+  w.Key("outcome");
+  w.String(trace.outcome());
+  w.Key("generation");
+  w.Int(static_cast<int64_t>(trace.generation()));
+  w.Key("total_us");
+  w.Int(trace.total_ns() / 1000);
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    const auto stage = static_cast<obs::RequestStage>(s);
+    w.Key(std::string(obs::RequestStageName(stage)) + "_us");
+    w.Int(trace.stage_ns(stage) / 1000);
+  }
+  w.EndObject();
+  const std::string line = std::move(w).Take();
+  if (access_log_file_ != nullptr) {
+    // One locked fputs+flush per request: the log is line-atomic and
+    // survives a crash up to the last completed request.
+    std::lock_guard<std::mutex> lock(access_log_mu_);
+    std::fputs(line.c_str(), access_log_file_);
+    std::fputc('\n', access_log_file_);
+    std::fflush(access_log_file_);
+  } else {
+    MLP_LOG(kInfo) << "access " << line;
+  }
+}
+
+HttpResponse ModelServer::Handle(const HttpRequest& request) {
+  obs::RequestTrace trace;
+  HttpResponse response = HandleTraced(request, &trace);
+  trace.set_status(response.status);
+  FinishRequest(request, response, trace);
+  return response;
+}
+
+HttpResponse ModelServer::HandleTraced(const HttpRequest& request,
+                                       obs::RequestTrace* trace) {
+  requests_total_->Add(1);
+  return Route(request, trace);
+}
+
+void ModelServer::FinishRequest(const HttpRequest& request,
+                                const HttpResponse& response,
+                                obs::RequestTrace& trace) {
+  trace.Finish();  // idempotent; the socket path already finished it
+  if (obs::Enabled()) {
+    const int64_t total_us = trace.total_ns() / 1000;
+    request_latency_us_->Record(total_us);
+    for (int s = 0; s < obs::kNumRequestStages; ++s) {
+      const int64_t ns = trace.stage_ns(static_cast<obs::RequestStage>(s));
+      if (ns > 0) stage_ns_total_[s]->Add(static_cast<uint64_t>(ns));
+    }
+    const std::string_view endpoint = trace.endpoint();
+    if (response.status >= 400) {
+      trace.set_outcome("error");
+      obs::Counter* errors = other_errors_total_;
+      if (endpoint == "user") errors = user_errors_total_;
+      else if (endpoint == "edge") errors = edge_errors_total_;
+      else if (endpoint == "batch") errors = batch_errors_total_;
+      errors->Add(1);
+    } else {
+      const std::string_view outcome = trace.outcome();
+      obs::Histogram* latency = other_latency_us_;
+      if (endpoint == "user") {
+        latency = outcome == "hit" ? user_hit_latency_us_
+                                   : user_miss_latency_us_;
+      } else if (endpoint == "edge") {
+        latency = outcome == "hit" ? edge_hit_latency_us_
+                                   : edge_miss_latency_us_;
+      } else if (endpoint == "batch") {
+        latency = batch_latency_us_;
+      }
+      latency->Record(total_us);
+    }
+    if (options_.slow_request_us > 0 && total_us >= options_.slow_request_us) {
+      slow_requests_total_->Add(1);
+      slow_ring_.Push(obs::MakeRecord(trace, request.method, request.target));
+    }
+  }
+  if (options_.access_log) WriteAccessLog(request, trace);
+}
+
+HttpResponse ModelServer::Route(const HttpRequest& request,
+                                obs::RequestTrace* trace) {
   const std::string& target = request.target;
   std::string path = target;
   std::string query;
@@ -365,8 +669,10 @@ HttpResponse ModelServer::Route(const HttpRequest& request) {
   // concurrent SwapReadModel can land at any point from here on and this
   // request still renders consistently from the model it started with.
   const std::shared_ptr<const Published> published = Pin();
+  trace->set_generation(published->generation);
 
   if (path == "/healthz") {
+    trace->set_endpoint("health");
     JsonWriter w;
     w.BeginObject();
     w.Key("status");
@@ -380,33 +686,50 @@ HttpResponse ModelServer::Route(const HttpRequest& request) {
     response.body = std::move(w).Take();
     return response;
   }
-  if (path == "/statsz") return HandleStats(*published, query);
-  if (path == "/metricsz") return HandleMetrics(*published);
+  if (path == "/statsz") {
+    trace->set_endpoint("stats");
+    return HandleStats(*published, query);
+  }
+  if (path == "/metricsz") {
+    trace->set_endpoint("metrics");
+    return HandleMetrics(*published);
+  }
+  if (path == "/statusz") {
+    trace->set_endpoint("statusz");
+    return HandleStatusz(*published);
+  }
+  if (path == "/debug/slowz") {
+    trace->set_endpoint("slowz");
+    return HandleSlowz();
+  }
 
   constexpr char kUserPrefix[] = "/v1/user/";
   constexpr char kEdgePrefix[] = "/v1/edge/";
   if (path.rfind(kUserPrefix, 0) == 0) {
+    trace->set_endpoint("user");
     if (request.method != "GET") {
       errors_.fetch_add(1);
       return ErrorResponse(405, "use GET");
     }
     return CachedGet(*published, path, &ModelServer::HandleUser,
-                     path.substr(sizeof(kUserPrefix) - 1));
+                     path.substr(sizeof(kUserPrefix) - 1), trace);
   }
   if (path.rfind(kEdgePrefix, 0) == 0) {
+    trace->set_endpoint("edge");
     if (request.method != "GET") {
       errors_.fetch_add(1);
       return ErrorResponse(405, "use GET");
     }
     return CachedGet(*published, path, &ModelServer::HandleEdge,
-                     path.substr(sizeof(kEdgePrefix) - 1));
+                     path.substr(sizeof(kEdgePrefix) - 1), trace);
   }
   if (path == "/v1/batch") {
+    trace->set_endpoint("batch");
     if (request.method != "POST") {
       errors_.fetch_add(1);
       return ErrorResponse(405, "use POST");
     }
-    return HandleBatch(*published->model, request);
+    return HandleBatch(*published->model, request, trace);
   }
   errors_.fetch_add(1);
   return ErrorResponse(404, "unknown endpoint " + path);

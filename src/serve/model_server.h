@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +12,8 @@
 #include "common/result.h"
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/ring_log.h"
 #include "serve/http_server.h"
 #include "serve/json.h"
 #include "serve/read_model.h"
@@ -31,6 +34,18 @@ struct ServeOptions {
   int cache_mb = 16;
   /// Profile entries served per user (ReadModelOptions::top_k).
   int top_k = 10;
+  /// Structured JSON access log, one line per request (`mlpctl serve
+  /// --access_log[=path]`). With a path the lines are appended to that
+  /// file (flushed per line); with the bare flag they go through
+  /// MLP_LOG(kInfo).
+  bool access_log = false;
+  std::string access_log_path;
+  /// Requests whose total time crosses this many microseconds are retained
+  /// (with their stage breakdown) in the GET /debug/slowz ring; <= 0
+  /// disables slow-request capture.
+  int64_t slow_request_us = 10000;
+  /// How many slow-request traces /debug/slowz retains.
+  int slow_ring_capacity = 64;
 };
 
 /// The online query front end over one fitted model (ISSUE 4 / ROADMAP
@@ -45,6 +60,10 @@ struct ServeOptions {
 ///   GET  /healthz              liveness
 ///   GET  /statsz               server/model counters (?format=csv for CSV)
 ///   GET  /metricsz             Prometheus text exposition (scrape target)
+///   GET  /statusz              human-readable HTML dashboard (QPS,
+///                              per-endpoint p50/p99, cache hit ratio,
+///                              model generation/staleness, RSS)
+///   GET  /debug/slowz          last-N slow requests with stage breakdowns
 ///
 /// Threading: connections run on `conn_pool_`, batch fan-out on
 /// `batch_pool_` (two pools because ThreadPool tasks must not block on
@@ -93,8 +112,22 @@ class ModelServer {
   }
 
   /// The request router — exposed so tests can exercise routing and
-  /// rendering without sockets.
+  /// rendering without sockets. Creates a local RequestTrace and runs the
+  /// full HandleTraced + FinishRequest pipeline (histograms, access log,
+  /// slow ring), minus the socket-level parse/write stages.
   HttpResponse Handle(const HttpRequest& request);
+
+  /// The traced request path: counts the request, routes it, and lets each
+  /// layer attribute its stages into `*trace` (never null). The HTTP
+  /// server calls this as its handler.
+  HttpResponse HandleTraced(const HttpRequest& request,
+                            obs::RequestTrace* trace);
+  /// Completion hook: finishes the trace (idempotent), records the
+  /// per-endpoint/per-outcome latency histograms, stage counters and error
+  /// counters, captures slow requests into the /debug/slowz ring, and
+  /// emits the access-log line.
+  void FinishRequest(const HttpRequest& request, const HttpResponse& response,
+                     obs::RequestTrace& trace);
 
  private:
   /// One published (model, generation) pair — swapped as a unit so a
@@ -109,20 +142,30 @@ class ModelServer {
 
   HttpResponse HandleUser(const ReadModel& model, const std::string& rest);
   HttpResponse HandleEdge(const ReadModel& model, const std::string& rest);
-  HttpResponse HandleBatch(const ReadModel& model, const HttpRequest& request);
+  HttpResponse HandleBatch(const ReadModel& model, const HttpRequest& request,
+                           obs::RequestTrace* trace);
   HttpResponse HandleStats(const Published& published,
                            const std::string& query);
   HttpResponse HandleMetrics(const Published& published);
-  /// The actual router; Handle() wraps it with request counting and the
-  /// serve_request_latency_us histogram.
-  HttpResponse Route(const HttpRequest& request);
+  HttpResponse HandleStatusz(const Published& published);
+  HttpResponse HandleSlowz();
+  /// The actual router; HandleTraced() wraps it with request counting and
+  /// labels the trace with endpoint/generation.
+  HttpResponse Route(const HttpRequest& request, obs::RequestTrace* trace);
   /// GET-endpoint cache wrapper: serves `target` from the cache (keyed
   /// under the pinned generation) or renders via `render` and inserts.
+  /// Attributes cache probe time to the cache_lookup stage and render time
+  /// to the render stage, and labels the trace outcome hit/miss.
   HttpResponse CachedGet(
       const Published& published, const std::string& target,
       HttpResponse (ModelServer::*render)(const ReadModel&,
                                           const std::string&),
-      const std::string& arg);
+      const std::string& arg, obs::RequestTrace* trace);
+  /// Appends one structured JSON access-log line for a finished request.
+  void WriteAccessLog(const HttpRequest& request,
+                      const obs::RequestTrace& trace);
+  /// Seconds since the last SwapReadModel (or Start, before any swap).
+  double SecondsSinceLastSwap() const;
 
   /// Swapped atomically (std::atomic_load/atomic_store on shared_ptr).
   std::shared_ptr<const Published> published_;
@@ -143,10 +186,37 @@ class ModelServer {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> swaps_{0};
   std::chrono::steady_clock::time_point start_time_;
+  /// steady_clock ns of the last model publish (Start or SwapReadModel) —
+  /// deliberately not obs::NowNs(), so /statusz staleness survives
+  /// obs::SetEnabled(false).
+  std::atomic<int64_t> last_swap_ns_{0};
+
+  /// Slow-request retention (GET /debug/slowz); only requests crossing
+  /// options_.slow_request_us ever touch it.
+  obs::RingLog slow_ring_;
+  /// Access log sink when options_.access_log names a path; lines are
+  /// serialized by access_log_mu_ and flushed per line.
+  std::FILE* access_log_file_ = nullptr;
+  std::mutex access_log_mu_;
 
   // Registry-owned handles (process-lifetime; see src/obs/README.md).
   obs::Counter* requests_total_;
   obs::Histogram* request_latency_us_;
+  // Per-endpoint, per-outcome latency histograms (error responses are
+  // counted, not histogrammed).
+  obs::Histogram* user_hit_latency_us_;
+  obs::Histogram* user_miss_latency_us_;
+  obs::Histogram* edge_hit_latency_us_;
+  obs::Histogram* edge_miss_latency_us_;
+  obs::Histogram* batch_latency_us_;
+  obs::Histogram* other_latency_us_;
+  obs::Counter* user_errors_total_;
+  obs::Counter* edge_errors_total_;
+  obs::Counter* batch_errors_total_;
+  obs::Counter* other_errors_total_;
+  obs::Counter* slow_requests_total_;
+  // serve_stage_*_ns, indexed by obs::RequestStage.
+  obs::Counter* stage_ns_total_[obs::kNumRequestStages];
 };
 
 }  // namespace serve

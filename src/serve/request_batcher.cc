@@ -60,23 +60,34 @@ std::vector<std::pair<int, int>> ChunkRanges(engine::ThreadPool* pool,
 
 /// Runs `work(chunk, begin, end)` for every range — on `pool` when there
 /// is more than one range, inline otherwise. Chunks write disjoint output
-/// slots, so no locking inside `work`.
-void RunChunks(engine::ThreadPool* pool,
-               const std::vector<std::pair<int, int>>& ranges,
-               const std::function<void(int, int, int)>& work) {
-  if (ranges.empty()) return;
+/// slots, so no locking inside `work`. Returns the batch's queue wait:
+/// submit until the FIRST chunk started running on a pool worker (0 for
+/// inline execution or when observability is disabled).
+int64_t RunChunks(engine::ThreadPool* pool,
+                  const std::vector<std::pair<int, int>>& ranges,
+                  const std::function<void(int, int, int)>& work) {
+  if (ranges.empty()) return 0;
   if (ranges.size() == 1 || pool == nullptr) {
     for (size_t c = 0; c < ranges.size(); ++c) {
       work(static_cast<int>(c), ranges[c].first, ranges[c].second);
     }
-    return;
+    return 0;
   }
+  const int64_t submit_ns = obs::NowNs();
+  std::atomic<int64_t> first_start_ns{0};
   Latch latch(static_cast<int>(ranges.size()));
   for (size_t c = 0; c < ranges.size(); ++c) {
     const int chunk = static_cast<int>(c);
     const int begin = ranges[c].first;
     const int end = ranges[c].second;
     bool submitted = pool->Submit([&, chunk, begin, end] {
+      if (submit_ns > 0) {
+        // One winner stamps the first-execution time; everyone else's CAS
+        // fails and costs one relaxed load.
+        int64_t expected = 0;
+        first_start_ns.compare_exchange_strong(expected, obs::NowNs(),
+                                               std::memory_order_relaxed);
+      }
       work(chunk, begin, end);
       latch.CountDown();
     });
@@ -88,6 +99,8 @@ void RunChunks(engine::ThreadPool* pool,
     }
   }
   latch.Wait();
+  const int64_t first = first_start_ns.load(std::memory_order_relaxed);
+  return (submit_ns > 0 && first > submit_ns) ? first - submit_ns : 0;
 }
 
 }  // namespace
@@ -160,7 +173,8 @@ std::string RequestBatcher::ExecuteJson(const BatchRequest& request) const {
 }
 
 std::string RequestBatcher::ExecuteJson(const ReadModel& model,
-                                        const BatchRequest& request) const {
+                                        const BatchRequest& request,
+                                        obs::RequestTrace* trace) const {
   const auto user_ranges = ChunkRanges(
       pool_, static_cast<int>(request.users.size()), min_parallel_items_);
   const auto edge_ranges = ChunkRanges(
@@ -170,7 +184,9 @@ std::string RequestBatcher::ExecuteJson(const ReadModel& model,
 
   // Each chunk concatenates its slice of pre-rendered fragments in request
   // order — a sequential scan over the fragment blob for clustered ids.
-  RunChunks(pool_, user_ranges, [&](int chunk, int begin, int end) {
+  int64_t queue_wait_ns = 0;
+  queue_wait_ns += RunChunks(pool_, user_ranges,
+                             [&](int chunk, int begin, int end) {
     std::string& out = user_parts[chunk];
     for (int i = begin; i < end; ++i) {
       if (i > begin) out += ',';
@@ -182,7 +198,8 @@ std::string RequestBatcher::ExecuteJson(const ReadModel& model,
       }
     }
   });
-  RunChunks(pool_, edge_ranges, [&](int chunk, int begin, int end) {
+  queue_wait_ns += RunChunks(pool_, edge_ranges,
+                             [&](int chunk, int begin, int end) {
     std::string& out = edge_parts[chunk];
     for (int i = begin; i < end; ++i) {
       if (i > begin) out += ',';
@@ -195,6 +212,9 @@ std::string RequestBatcher::ExecuteJson(const ReadModel& model,
       }
     }
   });
+  if (trace != nullptr) {
+    trace->AddStageNs(obs::RequestStage::kBatchQueueWait, queue_wait_ns);
+  }
 
   size_t total = 32;
   for (const std::string& part : user_parts) total += part.size() + 1;

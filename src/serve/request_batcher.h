@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/thread_pool.h"
+#include "obs/request_trace.h"
 #include "serve/read_model.h"
 
 namespace mlp {
@@ -61,9 +62,13 @@ class RequestBatcher {
   /// from the read model's pre-rendered fragments — per chunk a sequential
   /// concatenation scan, chunks across the batch pool. No per-request JSON
   /// rendering at all.
+  /// When `trace` is non-null the time the batch's chunks spent queued
+  /// behind other work on the batch pool (submit → first chunk running) is
+  /// attributed to the batch_queue_wait stage; inline execution counts as
+  /// zero wait.
   std::string ExecuteJson(const BatchRequest& request) const;
-  std::string ExecuteJson(const ReadModel& model,
-                          const BatchRequest& request) const;
+  std::string ExecuteJson(const ReadModel& model, const BatchRequest& request,
+                          obs::RequestTrace* trace = nullptr) const;
 
   uint64_t batches_executed() const { return batches_; }
   uint64_t lookups_executed() const { return lookups_; }

@@ -18,6 +18,17 @@ Result<IngestOutput> ApplyDeltaBatch(const core::ModelInput& base_input,
                        MergeDelta(*base_input.graph, delta));
   obs::EndSpan(obs::Registry::Global().GetCounter(obs::kIngestMergeNs),
                "ingest_merge", merge_start_ns);
+  // Ingest volume counters (ISSUE 9): how much the world grew, batch by
+  // batch — scraped from /metricsz alongside the ingest phase timers.
+  {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter(obs::kIngestBatchesTotal)->Add(1);
+    registry.GetCounter(obs::kIngestUsersAddedTotal)->Add(delta.users.size());
+    registry.GetCounter(obs::kIngestFollowingAddedTotal)
+        ->Add(delta.following.size());
+    registry.GetCounter(obs::kIngestTweetingAddedTotal)
+        ->Add(delta.tweeting.size());
+  }
 
   IngestOutput out;
   out.merged_graph = std::make_unique<graph::SocialGraph>(std::move(merged));

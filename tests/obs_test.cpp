@@ -16,6 +16,8 @@
 #include "common/logging.h"
 #include "obs/fit_profile.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/ring_log.h"
 #include "obs/trace.h"
 
 namespace mlp {
@@ -154,6 +156,60 @@ TEST(HistogramTest, ScrapeDuringRecordTSan) {
   EXPECT_EQ(final_snap.count, total);
 }
 
+TEST(HistogramTest, EmptySnapshotScrapesCleanly) {
+  Histogram histogram({10, 100});
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0);
+  ASSERT_EQ(snap.bucket_counts.size(), 3u);  // two bounds + the +Inf slot
+  for (uint64_t c : snap.bucket_counts) EXPECT_EQ(c, 0u);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBucket) {
+  Histogram histogram({100, 200});
+  for (int i = 0; i < 100; ++i) histogram.Record(150);  // all in (100, 200]
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  // Linear interpolation inside the (100, 200] bucket: p50 is the middle.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 150.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 1.0), 200.0);
+}
+
+TEST(HistogramQuantileTest, ValueEqualToBoundStaysInLowerBucket) {
+  // Upper-inclusive semantics carry into the quantile: a population of
+  // exactly-at-bound values is attributed to that bound's bucket, so every
+  // quantile lands at or below the bound — never in the next bucket.
+  Histogram histogram({10, 100});
+  for (int i = 0; i < 8; ++i) histogram.Record(10);
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  EXPECT_EQ(snap.bucket_counts[0], 8u);
+  EXPECT_LE(HistogramQuantile(snap, 0.99), 10.0);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClampsToLastFiniteBound) {
+  Histogram histogram({10, 100});
+  histogram.Record(5000);  // +Inf bucket
+  histogram.Record(7000);
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  EXPECT_EQ(snap.bucket_counts.back(), 2u);
+  // A quantile falling in +Inf cannot interpolate to infinity; it reports
+  // the last finite bound as the best lower estimate.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.99), 100.0);
+}
+
+TEST(HistogramQuantileTest, ClampsQAndSkipsEmptyLeadingBuckets) {
+  Histogram histogram({10, 100, 1000});
+  histogram.Record(50);
+  Histogram::Snapshot snap = histogram.GetSnapshot();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, -1.0),
+                   HistogramQuantile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 2.0),
+                   HistogramQuantile(snap, 1.0));
+  // The single sample lives in (10, 100]; every quantile stays there.
+  EXPECT_GT(HistogramQuantile(snap, 0.5), 10.0);
+  EXPECT_LE(HistogramQuantile(snap, 0.5), 100.0);
+}
+
 // ------------------------------------------------------------- registry
 
 TEST(RegistryTest, SameNameReturnsSameHandle) {
@@ -259,6 +315,143 @@ TEST(TraceTest, NoRecorderInstalledStillCounts) {
   EXPECT_GT(counter.Value(), 0u);
 }
 
+// -------------------------------------------------------- request traces
+
+TEST(RequestTraceTest, IdsAreProcessMonotonic) {
+  RequestTrace a;
+  RequestTrace b;
+  RequestTrace c;
+  EXPECT_LT(a.id(), b.id());
+  EXPECT_LT(b.id(), c.id());
+}
+
+TEST(RequestTraceTest, StageAccumulationAndDefaults) {
+  RequestTrace trace;
+  EXPECT_STREQ(trace.endpoint(), "other");
+  EXPECT_STREQ(trace.outcome(), "none");
+  trace.AddStageNs(RequestStage::kRender, 100);
+  trace.AddStageNs(RequestStage::kRender, 50);
+  trace.AddStageNs(RequestStage::kParse, 0);    // ignored
+  trace.AddStageNs(RequestStage::kParse, -10);  // ignored
+  EXPECT_EQ(trace.stage_ns(RequestStage::kRender), 150);
+  EXPECT_EQ(trace.stage_ns(RequestStage::kParse), 0);
+}
+
+TEST(RequestTraceTest, StageTimerRecordsElapsedAndToleratesNull) {
+  RequestTrace trace;
+  {
+    RequestTrace::StageTimer timer(&trace, RequestStage::kCacheLookup);
+  }
+  EXPECT_GT(trace.stage_ns(RequestStage::kCacheLookup), 0);
+  {
+    RequestTrace::StageTimer timer(nullptr, RequestStage::kRender);
+  }  // must not crash
+}
+
+TEST(RequestTraceTest, FinishIsIdempotent) {
+  RequestTrace trace;
+  const int64_t first = trace.Finish();
+  EXPECT_GE(first, 0);
+  EXPECT_EQ(trace.Finish(), first);
+  EXPECT_EQ(trace.total_ns(), first);
+}
+
+TEST(RequestTraceTest, DisabledStillAssignsIdsButSkipsTimings) {
+  SetEnabled(false);
+  RequestTrace a;
+  RequestTrace b;
+  EXPECT_LT(a.id(), b.id());  // access-log correlation survives the switch
+  EXPECT_EQ(a.start_ns(), 0);
+  {
+    RequestTrace::StageTimer timer(&a, RequestStage::kRender);
+  }
+  EXPECT_EQ(a.stage_ns(RequestStage::kRender), 0);
+  EXPECT_EQ(a.Finish(), 0);
+  SetEnabled(true);
+}
+
+TEST(RequestTraceTest, RebaseStartMovesTheClockBack) {
+  RequestTrace trace;
+  const int64_t earlier = trace.start_ns() - 1000;
+  trace.RebaseStart(earlier);
+  EXPECT_EQ(trace.start_ns(), earlier);
+  trace.RebaseStart(0);  // ignored: no first byte observed
+  EXPECT_EQ(trace.start_ns(), earlier);
+}
+
+TEST(RequestTraceTest, StageNamesAndCounterNamesAlign) {
+  EXPECT_STREQ(RequestStageName(RequestStage::kParse), "parse");
+  EXPECT_STREQ(RequestStageName(RequestStage::kBatchQueueWait),
+               "batch_queue_wait");
+  EXPECT_STREQ(RequestStageCounterName(RequestStage::kParse),
+               kServeStageParseNs);
+  EXPECT_STREQ(RequestStageCounterName(RequestStage::kWrite),
+               kServeStageWriteNs);
+}
+
+// -------------------------------------------------------- slow-query ring
+
+RequestTraceRecord TestRecord(uint64_t id) {
+  RequestTraceRecord record;
+  record.id = id;
+  record.method = "GET";
+  record.target = "/v1/user/" + std::to_string(id);
+  return record;
+}
+
+TEST(RingLogTest, RetainsInsertionOrderBelowCapacity) {
+  RingLog ring(4);
+  ring.Push(TestRecord(1));
+  ring.Push(TestRecord(2));
+  std::vector<RequestTraceRecord> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, 1u);
+  EXPECT_EQ(snap[1].id, 2u);
+  EXPECT_EQ(ring.total_pushed(), 2u);
+}
+
+TEST(RingLogTest, WrapsKeepingNewestOldestFirst) {
+  RingLog ring(3);
+  for (uint64_t id = 1; id <= 5; ++id) ring.Push(TestRecord(id));
+  std::vector<RequestTraceRecord> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].id, 3u);  // 1 and 2 aged out
+  EXPECT_EQ(snap[1].id, 4u);
+  EXPECT_EQ(snap[2].id, 5u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+}
+
+TEST(RingLogTest, ZeroCapacityClampsToOne) {
+  RingLog ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Push(TestRecord(7));
+  ring.Push(TestRecord(8));
+  std::vector<RequestTraceRecord> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].id, 8u);
+}
+
+TEST(RingLogTest, MakeRecordFlattensTheTrace) {
+  RequestTrace trace;
+  trace.set_endpoint("user");
+  trace.set_outcome("miss");
+  trace.set_status(200);
+  trace.set_generation(3);
+  trace.AddStageNs(RequestStage::kRender, 1234);
+  trace.Finish();
+  RequestTraceRecord record = MakeRecord(trace, "GET", "/v1/user/9");
+  EXPECT_EQ(record.id, trace.id());
+  EXPECT_EQ(record.total_ns, trace.total_ns());
+  EXPECT_EQ(record.stage_ns[static_cast<int>(RequestStage::kRender)], 1234);
+  EXPECT_STREQ(record.endpoint, "user");
+  EXPECT_STREQ(record.outcome, "miss");
+  EXPECT_EQ(record.status, 200);
+  EXPECT_EQ(record.generation, 3u);
+  EXPECT_EQ(record.method, "GET");
+  EXPECT_EQ(record.target, "/v1/user/9");
+}
+
 // ----------------------------------------------------------- fit profile
 
 TEST(FitProfileTest, BreakdownNormalizesWorkerPhasesByThreads) {
@@ -351,6 +544,28 @@ TEST(LoggingTest, SetLogLevelRoundTrips) {
   const LogLevel original = GetLogLevel();
   SetLogLevel(LogLevel::kError);
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EveryLevelNameRoundTripsThroughParseAndSet) {
+  // The MLP_LOG_LEVEL environment variable goes through exactly this path
+  // (ParseLogLevel then the atomic level store) at process start, so the
+  // canonical spelling of every level must survive a full round trip.
+  const LogLevel original = GetLogLevel();
+  const struct {
+    const char* name;
+    LogLevel level;
+  } kLevels[] = {{"debug", LogLevel::kDebug},
+                 {"info", LogLevel::kInfo},
+                 {"warning", LogLevel::kWarning},
+                 {"error", LogLevel::kError}};
+  for (const auto& entry : kLevels) {
+    LogLevel parsed = LogLevel::kInfo;
+    ASSERT_TRUE(ParseLogLevel(entry.name, &parsed)) << entry.name;
+    EXPECT_EQ(parsed, entry.level) << entry.name;
+    SetLogLevel(parsed);
+    EXPECT_EQ(GetLogLevel(), entry.level) << entry.name;
+  }
   SetLogLevel(original);
 }
 

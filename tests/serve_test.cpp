@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 
 #include "core/model.h"
 #include "io/model_snapshot.h"
+#include "obs/trace.h"
 #include "serve/http_server.h"
 #include "serve/json.h"
 #include "serve/model_server.h"
@@ -484,20 +487,26 @@ class ModelServerTest : public ::testing::Test {
     world_ = nullptr;
   }
 
-  /// Starts a fresh server on an ephemeral port.
-  std::unique_ptr<ModelServer> StartServer(int threads = 4, int cache_mb = 4) {
+  /// Starts a fresh server on an ephemeral port with explicit options
+  /// (port is forced to 0).
+  std::unique_ptr<ModelServer> StartServerWithOptions(ServeOptions options) {
     Result<ReadModel> model = ReadModel::Build(*snapshot_, *world_->graph,
                                                world_->gazetteer.get());
     EXPECT_TRUE(model.ok());
-    ServeOptions options;
     options.port = 0;
-    options.threads = threads;
-    options.cache_mb = cache_mb;
     auto server =
         std::make_unique<ModelServer>(std::move(*model), options);
     EXPECT_TRUE(server->Start().ok());
     EXPECT_GT(server->port(), 0);
     return server;
+  }
+
+  /// Starts a fresh server on an ephemeral port.
+  std::unique_ptr<ModelServer> StartServer(int threads = 4, int cache_mb = 4) {
+    ServeOptions options;
+    options.threads = threads;
+    options.cache_mb = cache_mb;
+    return StartServerWithOptions(options);
   }
 
   static synth::SyntheticWorld* world_;
@@ -746,6 +755,165 @@ TEST_F(ModelServerTest, UnknownEndpointsAnd404s) {
       HttpFetch("127.0.0.1", server->port(), "POST", "/v1/user/1", "{}");
   ASSERT_TRUE(wrong_method.ok());
   EXPECT_EQ(wrong_method->status, 405);
+}
+
+// ----------------------------------------- request tracing (ISSUE 9)
+
+TEST_F(ModelServerTest, MetricszExposesPerEndpointAndStageSeries) {
+  auto server = StartServer();
+  // One miss then one hit on the same user primes both outcome histograms.
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/1").ok());
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/1").ok());
+  Result<HttpResponse> metrics =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/metricsz");
+  ASSERT_TRUE(metrics.ok());
+  const std::string& body = metrics->body;
+  EXPECT_NE(body.find("# TYPE serve_user_miss_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_user_hit_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_stage_render_ns counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_stage_write_ns counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_seconds_since_last_swap"), std::string::npos);
+  // Satellite: the scrape refreshes the process RSS gauges in place.
+  EXPECT_NE(body.find("mem_process_rss_bytes"), std::string::npos);
+  EXPECT_NE(body.find("mem_process_peak_rss_bytes"), std::string::npos);
+}
+
+TEST_F(ModelServerTest, StatuszDashboardReportsLatencyAndModelState) {
+  auto server = StartServer();
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/2").ok());
+  Result<HttpResponse> statusz =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/statusz");
+  ASSERT_TRUE(statusz.ok()) << statusz.status().ToString();
+  EXPECT_EQ(statusz->status, 200);
+  // The test client does not surface response headers; the HTML doctype
+  // in the body is the content-type witness.
+  const std::string& body = statusz->body;
+  EXPECT_EQ(body.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(body.find("model_generation"), std::string::npos);
+  EXPECT_NE(body.find("seconds_since_last_swap"), std::string::npos);
+  EXPECT_NE(body.find("cache_hit_ratio"), std::string::npos);
+  EXPECT_NE(body.find("vm_rss_bytes"), std::string::npos);
+  EXPECT_NE(body.find("<th>p99</th>"), std::string::npos);
+  EXPECT_NE(body.find("user (miss)"), std::string::npos);
+  EXPECT_NE(body.find("qps"), std::string::npos);
+}
+
+TEST_F(ModelServerTest, SlowzCapturesStageBreakdownsAndHonorsCapacity) {
+  ServeOptions options;
+  options.threads = 2;
+  options.slow_request_us = 1;  // everything is "slow"
+  options.slow_ring_capacity = 4;
+  auto server = StartServerWithOptions(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(HttpFetch("127.0.0.1", server->port(), "GET",
+                          "/v1/user/" + std::to_string(i))
+                    .ok());
+  }
+  // An extra round trip gives the last on_complete hook time to land
+  // before the scrape reads the ring.
+  ASSERT_TRUE(HttpFetch("127.0.0.1", server->port(), "GET", "/healthz").ok());
+  Result<HttpResponse> slowz =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/debug/slowz");
+  ASSERT_TRUE(slowz.ok());
+  ASSERT_EQ(slowz->status, 200);
+  Result<JsonValue> parsed = ParseJson(slowz->body);
+  ASSERT_TRUE(parsed.ok()) << slowz->body;
+  EXPECT_EQ(parsed->Find("threshold_us")->AsInt(-1), 1);
+  EXPECT_EQ(parsed->Find("capacity")->AsInt(-1), 4);
+  const JsonValue* requests = parsed->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_GE(requests->items.size(), 1u);
+  ASSERT_LE(requests->items.size(), 4u);  // ring capacity bounds retention
+  EXPECT_GE(parsed->Find("total_captured")->AsInt(-1),
+            static_cast<int64_t>(requests->items.size()));
+  for (const JsonValue& record : requests->items) {
+    EXPECT_GT(record.Find("id")->AsInt(-1), 0);
+    EXPECT_GE(record.Find("total_us")->AsInt(-1), 0);
+    EXPECT_FALSE(record.Find("target")->string_value.empty());
+    const JsonValue* stages = record.Find("stages");
+    ASSERT_NE(stages, nullptr);
+    EXPECT_NE(stages->Find("parse_us"), nullptr);
+    EXPECT_NE(stages->Find("cache_lookup_us"), nullptr);
+    EXPECT_NE(stages->Find("batch_queue_wait_us"), nullptr);
+    EXPECT_NE(stages->Find("render_us"), nullptr);
+    EXPECT_NE(stages->Find("write_us"), nullptr);
+  }
+}
+
+TEST_F(ModelServerTest, AccessLogLinesCorrelateWithSlowRingIds) {
+  const std::string log_path = TempPath("serve_access_test.log");
+  std::remove(log_path.c_str());
+  ServeOptions options;
+  options.threads = 2;
+  options.access_log = true;
+  options.access_log_path = log_path;
+  options.slow_request_us = 1;
+  auto server = StartServerWithOptions(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(HttpFetch("127.0.0.1", server->port(), "GET",
+                          "/v1/user/" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(HttpFetch("127.0.0.1", server->port(), "GET", "/healthz").ok());
+  Result<HttpResponse> slowz =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/debug/slowz");
+  ASSERT_TRUE(slowz.ok());
+  Result<JsonValue> parsed = ParseJson(slowz->body);
+  ASSERT_TRUE(parsed.ok());
+  std::set<int64_t> slow_ids;
+  for (const JsonValue& record : parsed->Find("requests")->items) {
+    slow_ids.insert(record.Find("id")->AsInt(-1));
+  }
+  ASSERT_FALSE(slow_ids.empty());
+  // Stop joins the worker pool and closes the log: every completion hook
+  // has run and every line is flushed by the time we read the file.
+  server->Stop();
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.good());
+  std::set<int64_t> logged_ids;
+  std::string line;
+  int64_t lines = 0;
+  while (std::getline(log, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    Result<JsonValue> entry = ParseJson(line);
+    ASSERT_TRUE(entry.ok()) << line;
+    logged_ids.insert(entry->Find("id")->AsInt(-1));
+    EXPECT_GE(entry->Find("total_us")->AsInt(-1), 0) << line;
+    EXPECT_GT(entry->Find("status")->AsInt(-1), 0) << line;
+    EXPECT_FALSE(entry->Find("method")->string_value.empty()) << line;
+    EXPECT_NE(entry->Find("render_us"), nullptr) << line;
+  }
+  EXPECT_GE(lines, 7);  // 5 user + healthz + slowz
+  for (int64_t id : slow_ids) {
+    EXPECT_TRUE(logged_ids.count(id))
+        << "slow-ring id " << id << " missing from the access log";
+  }
+  std::remove(log_path.c_str());
+}
+
+TEST_F(ModelServerTest, DisabledObsStillServesAndAssignsRequestIds) {
+  obs::SetEnabled(false);
+  auto server = StartServer(2);
+  Result<HttpResponse> user =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/v1/user/0");
+  ASSERT_TRUE(user.ok());
+  EXPECT_EQ(user->status, 200);
+  Result<HttpResponse> statusz =
+      HttpFetch("127.0.0.1", server->port(), "GET", "/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_EQ(statusz->status, 200);
+  // Staleness runs on a raw steady clock, so it survives the obs switch.
+  EXPECT_NE(statusz->body.find("seconds_since_last_swap"), std::string::npos);
+  obs::SetEnabled(true);
 }
 
 TEST_F(ModelServerTest, GracefulStopRefusesNewConnections) {

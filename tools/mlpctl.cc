@@ -75,9 +75,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -249,9 +252,11 @@ const std::map<std::string, std::string>& UsageTexts() {
       {"serve",
        "  mlpctl serve --data DIR --load MODEL.snap [--port N]\n"
        "             [--threads K] [--cache_mb M] [--top_k T]\n"
+       "             [--access_log[=FILE]] [--slow_request_us N]\n"
        "             [--selfcheck]\n"
        "  mlpctl serve --load MODEL.snap --mmap [--port N]\n"
-       "             [--threads K] [--cache_mb M] [--selfcheck]\n"},
+       "             [--threads K] [--cache_mb M] [--selfcheck]\n"
+       "             [--access_log[=FILE]] [--slow_request_us N]\n"},
   };
   return kUsage;
 }
@@ -863,7 +868,8 @@ void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
 // This is the CI smoke's curl replacement (cmake/serve_smoke.cmake).
 int RunSelfcheck(const serve::ModelServer& server,
                  const io::ModelSnapshot& snapshot,
-                 const graph::SocialGraph& graph) {
+                 const graph::SocialGraph& graph,
+                 const serve::ServeOptions& options) {
   const int port = server.port();
   int failures = 0;
   auto check = [&](const char* what, bool ok) {
@@ -959,9 +965,84 @@ int RunSelfcheck(const serve::ModelServer& server,
                 std::string::npos &&
             metrics->body.find("serve_requests_total") != std::string::npos);
 
+  // Per-endpoint latency histograms + fit gauges land on the same scrape.
+  check("/metricsz (request stages)",
+        metrics.ok() &&
+            metrics->body.find("serve_user_miss_latency_us") !=
+                std::string::npos &&
+            metrics->body.find("serve_stage_render_ns") !=
+                std::string::npos &&
+            metrics->body.find("serve_seconds_since_last_swap") !=
+                std::string::npos);
+
   Result<serve::HttpResponse> missing =
       serve::HttpFetch("127.0.0.1", port, "GET", "/v1/user/999999999");
   check("404 on unknown user", missing.ok() && missing->status == 404);
+
+  Result<serve::HttpResponse> statusz =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/statusz");
+  check("/statusz (dashboard)",
+        statusz.ok() && statusz->status == 200 &&
+            statusz->body.find("p99") != std::string::npos &&
+            statusz->body.find("model_generation") != std::string::npos &&
+            statusz->body.find("seconds_since_last_swap") !=
+                std::string::npos);
+
+  // Slow-request ring: JSON shape always; with a threshold at or below
+  // 1ms the requests above must have been captured, stage breakdowns
+  // included (this is how the smoke demonstrates a "slow" request).
+  Result<serve::HttpResponse> slowz =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/debug/slowz");
+  bool slowz_ok = slowz.ok() && slowz->status == 200;
+  std::vector<long long> slow_ids;
+  if (slowz_ok) {
+    Result<serve::JsonValue> parsed = serve::ParseJson(slowz->body);
+    slowz_ok = parsed.ok() && parsed->is_object() &&
+               parsed->Find("requests") != nullptr &&
+               parsed->Find("requests")->is_array();
+    if (slowz_ok && options.slow_request_us > 0 &&
+        options.slow_request_us <= 1000) {
+      const serve::JsonValue* requests = parsed->Find("requests");
+      slowz_ok = !requests->items.empty();
+      for (const serve::JsonValue& r : requests->items) {
+        const serve::JsonValue* stages = r.Find("stages");
+        slowz_ok = slowz_ok && stages != nullptr &&
+                   stages->Find("render_us") != nullptr &&
+                   stages->Find("parse_us") != nullptr;
+        if (const serve::JsonValue* id = r.Find("id")) {
+          slow_ids.push_back(id->AsInt(-1));
+        }
+      }
+    }
+  }
+  check("/debug/slowz", slowz_ok);
+
+  // Access-log / trace correlation: every line is one JSON object carrying
+  // the request id, and every id retained in the slow ring shows up in the
+  // log (the slow requests above finished several round trips ago, and the
+  // server flushes per line).
+  if (options.access_log && !options.access_log_path.empty()) {
+    std::ifstream in(options.access_log_path);
+    bool log_ok = in.good();
+    std::set<long long> logged_ids;
+    int lines = 0;
+    std::string line;
+    while (log_ok && std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++lines;
+      Result<serve::JsonValue> parsed = serve::ParseJson(line);
+      const serve::JsonValue* id =
+          parsed.ok() && parsed->is_object() ? parsed->Find("id") : nullptr;
+      log_ok = id != nullptr && parsed->Find("total_us") != nullptr &&
+               parsed->Find("status") != nullptr;
+      if (log_ok) logged_ids.insert(id->AsInt(-1));
+    }
+    log_ok = log_ok && lines > 0;
+    for (long long id : slow_ids) {
+      log_ok = log_ok && logged_ids.count(id) != 0;
+    }
+    check("access log (id correlation)", log_ok);
+  }
 
   std::printf("selfcheck %s\n", failures == 0 ? "passed" : "FAILED");
   return failures == 0 ? kExitOk : kExitRuntime;
@@ -1051,6 +1132,15 @@ int RunSelfcheckMmap(const serve::ModelServer& server) {
             stats->body.rfind("stat,value", 0) == 0 &&
             stats->body.find("mmap_backed") != std::string::npos);
 
+  Result<serve::HttpResponse> statusz =
+      serve::HttpFetch("127.0.0.1", port, "GET", "/statusz");
+  check("/statusz (dashboard)",
+        statusz.ok() && statusz->status == 200 &&
+            statusz->body.find("p99") != std::string::npos &&
+            statusz->body.find("model_generation") != std::string::npos &&
+            statusz->body.find("seconds_since_last_swap") !=
+                std::string::npos);
+
   Result<serve::HttpResponse> missing =
       serve::HttpFetch("127.0.0.1", port, "GET", "/v1/user/999999999");
   check("404 on unknown user", missing.ok() && missing->status == 404);
@@ -1073,7 +1163,16 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   options.threads = std::max(1, numeric.Int("threads", 4));
   options.cache_mb = std::max(0, numeric.Int("cache_mb", 16));
   options.top_k = numeric.Int("top_k", 10);
+  options.slow_request_us = numeric.Integer("slow_request_us", 10000);
   if (!numeric.ok()) return UsageFor("serve");
+  // --access_log enables the structured log; "--access_log=FILE" (or
+  // "--access_log FILE") appends JSON lines to FILE, the bare flag routes
+  // them through MLP_LOG(kInfo).
+  if (flags.count("access_log") != 0) {
+    options.access_log = true;
+    const std::string path = FlagOr(flags, "access_log", "");
+    if (path != "1") options.access_log_path = path;
+  }
 
   if (mmap) {
     // Out-of-core: map the packed serve section; no dataset, no snapshot
@@ -1142,7 +1241,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       options.threads, options.cache_mb, options.top_k);
 
   if (selfcheck) {
-    int rc = RunSelfcheck(server, *snapshot, world->data->graph);
+    int rc = RunSelfcheck(server, *snapshot, world->data->graph, options);
     server.Stop();
     return rc;
   }
