@@ -77,3 +77,29 @@ endif()
 expect_exit(3 fit --data d --save m.snap --prune_floor 0.1.2)
 expect_exit(3 generate --users -3x --out d)
 expect_exit(3 eval --data d --folds five)
+
+# Live ingest daemon flags (ISSUE 10): the --spool* knobs share the same
+# usage contract — a bad value or an incoherent combination exits 3 with
+# serve's usage, before any dataset/snapshot I/O.
+expect_exit(3 serve --data d --load m.snap --spool s --spool_poll_ms xyz)
+if(NOT last_stderr MATCHES "invalid value 'xyz' for --spool_poll_ms")
+  message(FATAL_ERROR "bad --spool_poll_ms value not named in:\n${last_stderr}")
+endif()
+expect_exit(3 serve --data d --load m.snap --spool s --spool_poll_ms 0)
+expect_exit(3 serve --load m.snap --mmap --spool s)
+if(NOT last_stderr MATCHES "mlpctl serve")
+  message(FATAL_ERROR "spool+mmap rejection should print serve usage:\n${last_stderr}")
+endif()
+expect_exit(3 serve --data d --load m.snap --spool_poll_ms 100)
+expect_exit(3 serve --data d --load m.snap --save out.snap)
+expect_exit(3 serve --data d --load m.snap --spool s --checkpoint_every 2)
+
+# probe: --port is required and must be numeric.
+expect_exit(3 probe)
+if(NOT last_stderr MATCHES "mlpctl probe" OR last_stderr MATCHES "mlpctl serve")
+  message(FATAL_ERROR "probe usage should show only probe:\n${last_stderr}")
+endif()
+expect_exit(3 probe --port xyz)
+if(NOT last_stderr MATCHES "invalid value 'xyz' for --port")
+  message(FATAL_ERROR "bad probe --port value not named in:\n${last_stderr}")
+endif()

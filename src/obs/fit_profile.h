@@ -52,6 +52,39 @@ inline constexpr char kIngestFollowingAddedTotal[] =
 inline constexpr char kIngestTweetingAddedTotal[] =
     "ingest_tweeting_added_total";
 
+// Live ingest+serve daemon (stream::LiveIngestor, ISSUE 10): the spool
+// watcher's health surface. Depth is the pending batch-* count per scan;
+// apply/swap are per-batch histograms; staleness is now − the swapped
+// batch's spool mtime, set at the instant the swap publishes (the
+// freshness an operator actually observes). Surfaced on /statusz,
+// /statsz and /metricsz.
+inline constexpr char kIngestSpoolDepth[] = "ingest_spool_depth";
+inline constexpr char kIngestApplyNs[] = "ingest_apply_ns";
+inline constexpr char kIngestSwapNs[] = "ingest_swap_ns";
+inline constexpr char kIngestLiveBatchesTotal[] = "ingest_live_batches_total";
+inline constexpr char kIngestFailedBatchesTotal[] =
+    "ingest_failed_batches_total";
+inline constexpr char kIngestSwapStalenessMs[] = "ingest_swap_staleness_ms";
+
+/// Canonical bucket bounds for the two live-ingest histograms. The
+/// registry is first-caller-wins on bounds, and both stream::LiveIngestor
+/// (recording) and serve::ModelServer (/statusz rendering) resolve these
+/// names — sharing the bounds here keeps whichever side registers first
+/// from truncating the other's buckets. Apply spans ~ms..minutes, swaps
+/// ~µs..ms; both record nanoseconds.
+inline const std::vector<int64_t>& IngestApplyNsBounds() {
+  static const std::vector<int64_t> kBounds = {
+      1000000,    5000000,    10000000,   50000000,    100000000,
+      500000000,  1000000000, 5000000000, 10000000000, 60000000000};
+  return kBounds;
+}
+inline const std::vector<int64_t>& IngestSwapNsBounds() {
+  static const std::vector<int64_t> kBounds = {
+      10000,   50000,    100000,   500000,    1000000,
+      5000000, 10000000, 100000000, 1000000000};
+  return kBounds;
+}
+
 /// One row of the per-phase fit report.
 struct PhaseRow {
   std::string phase;      // display name, e.g. "shard kernel"

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "io/table_printer.h"
+#include "obs/fit_profile.h"
 #include "obs/metrics.h"
 #include "obs/process_stats.h"
 #include "obs/trace.h"
@@ -369,6 +370,22 @@ HttpResponse ModelServer::HandleStats(const Published& published,
   add("cache_capacity_bytes", std::to_string(cache.capacity_bytes));
   add("conn_queue_depth", std::to_string(conn_pool_.queue_depth()));
   add("batch_queue_depth", std::to_string(batch_pool_.queue_depth()));
+  // Live ingest daemon (ISSUE 10): the spool watcher's registry metrics,
+  // surfaced here so the CI live-pipeline job (and operators) can poll a
+  // single JSON endpoint for swap progress and quarantine counts. All
+  // zero when no --spool watcher is attached.
+  obs::Registry& registry = obs::Registry::Global();
+  add("live_spool_depth",
+      std::to_string(registry.GetGauge(obs::kIngestSpoolDepth)->Value()));
+  add("live_batches_applied",
+      std::to_string(
+          registry.GetCounter(obs::kIngestLiveBatchesTotal)->Value()));
+  add("live_batches_failed",
+      std::to_string(
+          registry.GetCounter(obs::kIngestFailedBatchesTotal)->Value()));
+  add("live_swap_staleness_ms",
+      std::to_string(
+          registry.GetGauge(obs::kIngestSwapStalenessMs)->Value()));
 
   HttpResponse response;
   if (query == "format=csv" || query == "format=table") {
@@ -478,6 +495,36 @@ HttpResponse ModelServer::HandleStatusz(const Published& published) {
   row("vm_hwm_bytes", std::to_string(obs::ProcessPeakRssBytes()));
   row("slow_requests_captured", std::to_string(slow_ring_.total_pushed()));
   body += "</table>\n";
+
+  // Live ingest daemon (ISSUE 10): spool health at a glance. Rendered only
+  // when a watcher has ever touched the registry (applied or failed at
+  // least one batch, or has a non-empty spool) — a plain static server
+  // keeps its dashboard uncluttered.
+  obs::Registry& registry = obs::Registry::Global();
+  const int64_t live_depth = registry.GetGauge(obs::kIngestSpoolDepth)->Value();
+  const uint64_t live_applied =
+      registry.GetCounter(obs::kIngestLiveBatchesTotal)->Value();
+  const uint64_t live_failed =
+      registry.GetCounter(obs::kIngestFailedBatchesTotal)->Value();
+  if (live_depth > 0 || live_applied > 0 || live_failed > 0) {
+    body += "<h2>live ingest</h2><table>\n";
+    row("spool_depth", std::to_string(live_depth));
+    row("batches_applied", std::to_string(live_applied));
+    row("batches_failed", std::to_string(live_failed));
+    row("swap_staleness_ms",
+        std::to_string(
+            registry.GetGauge(obs::kIngestSwapStalenessMs)->Value()));
+    const obs::Histogram::Snapshot apply_snap =
+        registry.GetHistogram(obs::kIngestApplyNs, obs::IngestApplyNsBounds())
+            ->GetSnapshot();
+    row("mean_apply_ms",
+        StringPrintf("%.1f", apply_snap.count > 0
+                                 ? static_cast<double>(apply_snap.sum) /
+                                       static_cast<double>(apply_snap.count) /
+                                       1e6
+                                 : 0.0));
+    body += "</table>\n";
+  }
 
   body +=
       "<h2>latency by endpoint (µs)</h2><table>\n"

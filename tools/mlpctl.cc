@@ -51,6 +51,8 @@
 //       --save-data when given) is saved as an ordinary v2 snapshot.
 //   mlpctl serve --data DIR --load MODEL.snap [--port N] [--threads K]
 //                [--cache_mb M] [--top_k T] [--selfcheck]
+//                [--spool DIR [--spool_poll_ms N]
+//                 [--checkpoint_every K] [--save MODEL2.snap]]
 //                — or, out-of-core over a packed snapshot:
 //   mlpctl serve --load MODEL.snap --mmap [--port N] [--threads K]
 //                [--selfcheck]
@@ -60,6 +62,16 @@
 //       gracefully (drain in-flight requests). --selfcheck starts on an
 //       ephemeral port, round-trips a query set against the snapshot
 //       through a real socket client, and exits — the curl-free CI smoke.
+//       --spool attaches the live ingest daemon (stream::LiveIngestor):
+//       delta batches renamed into DIR as batch-* are applied in-process
+//       and atomically swapped into serving; SIGTERM drains the in-flight
+//       batch and (with --save) checkpoints the absorbed model. See
+//       src/stream/README.md for the spool protocol.
+//   mlpctl probe --port N [--host H] [--target /path] [--count K]
+//                [--interval_ms M] [--out FILE]
+//       Minimal HTTP client over the server's own socket code: fetch
+//       TARGET COUNT times, exit 1 on any non-2xx, write the last body to
+//       --out. The curl-free CI query hammer / endpoint scraper.
 //
 // Global flags: --log_level debug|info|warn|error (also honors the
 // MLP_LOG_LEVEL environment variable; the flag wins).
@@ -99,6 +111,7 @@
 #include "serve/http_server.h"
 #include "stream/delta_batch.h"
 #include "stream/delta_ingest.h"
+#include "stream/live_ingest.h"
 #include "serve/json.h"
 #include "serve/model_server.h"
 #include "serve/read_model.h"
@@ -254,9 +267,14 @@ const std::map<std::string, std::string>& UsageTexts() {
        "             [--threads K] [--cache_mb M] [--top_k T]\n"
        "             [--access_log[=FILE]] [--slow_request_us N]\n"
        "             [--selfcheck]\n"
+       "             [--spool DIR [--spool_poll_ms N]\n"
+       "              [--checkpoint_every K] [--save MODEL2.snap]]\n"
        "  mlpctl serve --load MODEL.snap --mmap [--port N]\n"
        "             [--threads K] [--cache_mb M] [--selfcheck]\n"
        "             [--access_log[=FILE]] [--slow_request_us N]\n"},
+      {"probe",
+       "  mlpctl probe --port N [--host H] [--target /path]\n"
+       "             [--count K] [--interval_ms M] [--out FILE]\n"},
   };
   return kUsage;
 }
@@ -1049,8 +1067,12 @@ int RunSelfcheck(const serve::ModelServer& server,
 }
 
 // The serve loop shared by both backings: signal-driven shutdown with
-// request draining.
-int ServeLoop(serve::ModelServer& server) {
+// request draining. When a live ingestor is attached it drains FIRST —
+// the in-flight batch finishes applying and swapping (and checkpoints,
+// when configured) while the server still answers queries; only then do
+// the request threads stop.
+int ServeLoop(serve::ModelServer& server,
+              stream::LiveIngestor* ingestor = nullptr) {
   std::signal(SIGINT, HandleShutdownSignal);
   std::signal(SIGTERM, HandleShutdownSignal);
   std::printf("Ctrl-C to stop\n");
@@ -1058,7 +1080,14 @@ int ServeLoop(serve::ModelServer& server) {
   while (!g_shutdown_requested) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
-  std::printf("\nshutting down (draining in-flight requests)...\n");
+  if (ingestor != nullptr) {
+    std::printf("\ndraining live ingest (finishing in-flight batch)...\n");
+    ingestor->Stop();
+    std::printf("live ingest: %llu batches applied, %llu quarantined\n",
+                static_cast<unsigned long long>(ingestor->batches_applied()),
+                static_cast<unsigned long long>(ingestor->batches_failed()));
+  }
+  std::printf("shutting down (draining in-flight requests)...\n");
   server.Stop();
   std::printf("served %llu requests over %llu connections\n",
               static_cast<unsigned long long>(server.requests_served()),
@@ -1164,7 +1193,40 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   options.cache_mb = std::max(0, numeric.Int("cache_mb", 16));
   options.top_k = numeric.Int("top_k", 10);
   options.slow_request_us = numeric.Integer("slow_request_us", 10000);
+
+  // Live ingest daemon flags. Coherence is a usage error (exit 3), not a
+  // runtime one: the spool knobs only mean something together, and the
+  // mmap backing has no in-memory fit state to apply deltas to.
+  const std::string spool = FlagOr(flags, "spool", "");
+  stream::LiveIngestOptions live;
+  live.spool_dir = spool;
+  live.poll_ms = numeric.Int("spool_poll_ms", 200);
+  live.checkpoint_every = numeric.Int("checkpoint_every", 0);
+  live.checkpoint_path = FlagOr(flags, "save", "");
   if (!numeric.ok()) return UsageFor("serve");
+  if (spool.empty() && (flags.count("spool_poll_ms") != 0 ||
+                        flags.count("checkpoint_every") != 0 ||
+                        flags.count("save") != 0)) {
+    std::fprintf(stderr,
+                 "mlpctl serve: --spool_poll_ms/--checkpoint_every/--save "
+                 "need --spool\n");
+    return UsageFor("serve");
+  }
+  if (!spool.empty() && mmap) {
+    std::fprintf(stderr,
+                 "mlpctl serve: --spool needs the in-memory backing "
+                 "(no --mmap)\n");
+    return UsageFor("serve");
+  }
+  if (!spool.empty() && live.poll_ms <= 0) {
+    std::fprintf(stderr, "mlpctl serve: --spool_poll_ms must be > 0\n");
+    return UsageFor("serve");
+  }
+  if (live.checkpoint_every > 0 && live.checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "mlpctl serve: --checkpoint_every needs --save PATH\n");
+    return UsageFor("serve");
+  }
   // --access_log enables the structured log; "--access_log=FILE" (or
   // "--access_log FILE") appends JSON lines to FILE, the bare flag routes
   // them through MLP_LOG(kInfo).
@@ -1240,12 +1302,88 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       server.model()->num_users(), server.model()->num_edges(), server.port(),
       options.threads, options.cache_mb, options.top_k);
 
+  // Live ingest daemon: attach the spool watcher before entering the serve
+  // loop. Start() validates the spool synchronously, so a typo'd or
+  // unwritable directory aborts startup here — never inside the watcher
+  // thread. `referents` must outlive the ingestor (the ModelInput borrows
+  // it), hence the declaration order.
+  const auto referents = world->vocab.ReferentTable();
+  std::unique_ptr<stream::LiveIngestor> ingestor;
+  if (!spool.empty()) {
+    live.read_model.top_k = options.top_k;
+    ingestor = std::make_unique<stream::LiveIngestor>(
+        &server, FullInput(*world, referents), snapshot->checkpoint,
+        snapshot->result, live);
+    Status live_started = ingestor->Start();
+    if (!live_started.ok()) {
+      std::fprintf(stderr, "live ingest failed: %s\n",
+                   live_started.ToString().c_str());
+      server.Stop();
+      return kExitRuntime;
+    }
+    std::printf("live ingest: watching %s (poll %dms%s)\n", spool.c_str(),
+                live.poll_ms,
+                live.checkpoint_path.empty() ? ""
+                                             : ", checkpoint on drain");
+    std::fflush(stdout);
+  }
+
   if (selfcheck) {
     int rc = RunSelfcheck(server, *snapshot, world->data->graph, options);
+    if (ingestor != nullptr) ingestor->Stop();
     server.Stop();
     return rc;
   }
-  return ServeLoop(server);
+  return ServeLoop(server, ingestor.get());
+}
+
+// ------------------------------------------------------------------ probe
+// Minimal HTTP client over the server's own socket code (serve::HttpFetch)
+// — the curl-free query hammer and endpoint scraper the CI live-pipeline
+// job uses: fetch --target --count times, fail on any non-2xx, write the
+// last body to --out for follow-on assertions.
+int CmdProbe(const std::map<std::string, std::string>& flags) {
+  if (flags.count("port") == 0) return UsageFor("probe");
+  NumericFlags numeric(flags, "probe");
+  const int port = numeric.Int("port", 0);
+  const int count = std::max(1, numeric.Int("count", 1));
+  const int interval_ms = std::max(0, numeric.Int("interval_ms", 0));
+  if (!numeric.ok()) return UsageFor("probe");
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const std::string target = FlagOr(flags, "target", "/healthz");
+  const std::string out = FlagOr(flags, "out", "");
+
+  std::string last_body;
+  for (int i = 0; i < count; ++i) {
+    Result<serve::HttpResponse> response =
+        serve::HttpFetch(host, port, "GET", target);
+    if (!response.ok()) {
+      std::fprintf(stderr, "probe %s:%d %s failed after %d requests: %s\n",
+                   host.c_str(), port, target.c_str(), i,
+                   response.status().ToString().c_str());
+      return kExitRuntime;
+    }
+    if (response->status < 200 || response->status >= 300) {
+      std::fprintf(stderr, "probe %s: non-2xx (%d) on request %d/%d\n",
+                   target.c_str(), response->status, i + 1, count);
+      return kExitRuntime;
+    }
+    last_body = std::move(response->body);
+    if (interval_ms > 0 && i + 1 < count) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "probe: cannot write %s\n", out.c_str());
+      return kExitRuntime;
+    }
+    std::fwrite(last_body.data(), 1, last_body.size(), f);
+    std::fclose(f);
+  }
+  std::printf("probe %s x%d: all 2xx\n", target.c_str(), count);
+  return kExitOk;
 }
 
 // ------------------------------------------------------------------- pack
@@ -1327,6 +1465,7 @@ int main(int argc, char** argv) {
   if (command == "ingest") return CmdIngest(flags);
   if (command == "pack") return CmdPack(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "probe") return CmdProbe(flags);
   std::fprintf(stderr, "mlpctl: unknown subcommand '%s'\n", command.c_str());
   return Usage();
 }
